@@ -1,0 +1,64 @@
+"""Ablation — HeaderLocalize vs. raw BDD cube enumeration.
+
+The alternative to the ddNF/GetMatch pipeline is dumping the affected
+set's BDD cubes (disjoint bit-pattern products).  Cubes are neither
+aligned with the configuration's prefix ranges nor compact: a range
+difference like (10.9.0.0/16, 16-32) − (10.9.0.0/16, 16-16) explodes
+into per-length bit cubes.  This bench compares representation sizes on
+the Figure 1 differences.
+"""
+
+from conftest import emit
+
+from repro.bdd import cube_count
+from repro.core import config_diff
+from repro.workloads.figure1 import figure1_devices
+
+
+def _run():
+    report = config_diff(*figure1_devices())
+    rows = []
+    for index, difference in enumerate(report.semantic, start=1):
+        localization = difference.localization
+        terms = len(localization.terms)
+        ranges_mentioned = len(localization.included) + len(localization.excluded)
+        # project to prefix dimensions the same way Present does
+        from repro.encoding import RouteSpace
+
+        cubes = cube_count(difference.input_set, limit=10_000)
+        rows.append(
+            {
+                "difference": index,
+                "headerlocalize_terms": terms,
+                "ranges_mentioned": ranges_mentioned,
+                "raw_cubes": cubes,
+            }
+        )
+    return rows
+
+
+def test_ablation_headerlocalize_vs_cubes(benchmark, results_dir):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    lines = [
+        "| difference | HeaderLocalize terms | ranges mentioned | raw BDD cubes |",
+        "|---|---|---|---|",
+    ]
+    for row in rows:
+        lines.append(
+            f"| {row['difference']} | {row['headerlocalize_terms']} "
+            f"| {row['ranges_mentioned']} | {row['raw_cubes']} |"
+        )
+    lines += [
+        "",
+        "HeaderLocalize expresses each difference in a handful of",
+        "configuration-aligned range terms; the raw cube cover is orders",
+        "of magnitude larger and aligned to bit patterns, not config text.",
+    ]
+    emit(results_dir, "ablation_headerlocalize", "\n".join(lines))
+
+    for row in rows:
+        assert row["headerlocalize_terms"] <= 4
+        assert row["raw_cubes"] >= 10 * row["headerlocalize_terms"], (
+            "cube covers should dwarf the localized representation"
+        )

@@ -1,0 +1,72 @@
+"""Extension — exhaustive community localization (§4 future work).
+
+The paper: "for other relevant parts of a route advertisement such as
+community tags, Campion provides a single example.  It is possible to
+extend HeaderLocalize to provide exhaustive information...".  This
+bench runs that extension on the Figure 1 and university workloads and
+contrasts the output with the single-example baseline: the Figure 1
+community bug is characterized *completely* as "exactly one of
+10:10/10:11" instead of a lone sample route.
+"""
+
+from conftest import emit
+
+from repro.core import config_diff
+from repro.model import Community
+from repro.workloads.figure1 import figure1_devices
+from repro.workloads.university import university_network
+
+
+def _run():
+    example_report = config_diff(*figure1_devices())
+    exhaustive_report = config_diff(*figure1_devices(), exhaustive_communities=True)
+    network = university_network()
+    border_report = config_diff(
+        network.border.cisco, network.border.juniper, exhaustive_communities=True
+    )
+    return example_report, exhaustive_report, border_report
+
+
+def test_extension_exhaustive_community_localization(benchmark, results_dir):
+    example_report, exhaustive_report, border_report = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+
+    second_example = example_report.semantic[1].example.get("Community", "")
+    second_exhaustive = exhaustive_report.semantic[1].extra_localizations[
+        "communities"
+    ]
+
+    lines = [
+        "Figure 1, Difference 2 (community any-vs-all bug):",
+        f"  paper-mode output (single example): Community = {second_example}",
+        "  extension output (exhaustive DNF):",
+    ]
+    lines.extend(f"    {line}" for line in second_exhaustive.render().splitlines())
+    lines += ["", "University border pair (regex discrepancies):"]
+    for difference in border_report.semantic:
+        localization = difference.extra_localizations.get("communities")
+        if localization is None:
+            continue
+        rendered = localization.render().replace("\n", " ")
+        lines.append(f"  {difference.class1.step_name}: {rendered}")
+    emit(results_dir, "ext_community_localize", "\n".join(lines))
+
+    c1, c2 = Community.parse("10:10"), Community.parse("10:11")
+    # The exhaustive characterization is exact: exactly one of the tags.
+    for carried in [
+        frozenset(),
+        frozenset({c1}),
+        frozenset({c2}),
+        frozenset({c1, c2}),
+    ]:
+        assert second_exhaustive.matches(carried) == (len(carried) == 1)
+    # The single-example mode only ever names one sample.
+    assert second_example in ("10:10", "10:11")
+    # Border regex differences also get complete community conditions.
+    localized = [
+        d
+        for d in border_report.semantic
+        if d.extra_localizations.get("communities") is not None
+    ]
+    assert localized

@@ -1,0 +1,61 @@
+"""Extension — n-way fleet comparison with medoid outlier detection.
+
+Scenario 3 generalized: a mixed-vendor gateway fleet intended to
+enforce one policy, with seeded deviations.  Asserts exact outlier
+recovery (no false positives, no misses) across seeds and reports the
+comparison cost as the fleet grows.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.core import compare_fleet
+from repro.workloads.datacenter import gateway_fleet
+
+SEEDS = range(5)
+SIZES = (4, 8, 12)
+
+
+def _run():
+    recovery = []
+    for seed in SEEDS:
+        devices, expected = gateway_fleet(count=6, outliers=2, seed=seed)
+        report = compare_fleet(devices)
+        recovery.append(
+            {
+                "seed": seed,
+                "expected": expected,
+                "found": report.outliers,
+                "reference_clean": report.reference not in expected,
+            }
+        )
+    scaling = []
+    for size in SIZES:
+        devices, _ = gateway_fleet(count=size, outliers=2, rule_count=40, seed=1)
+        start = time.perf_counter()
+        compare_fleet(devices)
+        scaling.append((size, time.perf_counter() - start))
+    return recovery, scaling
+
+
+def test_extension_fleet_outliers(benchmark, results_dir):
+    recovery, scaling = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    lines = ["| seed | seeded outliers | detected | medoid clean |", "|---|---|---|---|"]
+    for row in recovery:
+        lines.append(
+            f"| {row['seed']} | {row['expected']} | {row['found']} "
+            f"| {row['reference_clean']} |"
+        )
+    lines += ["", "| fleet size | full matrix comparison (s) |", "|---|---|"]
+    for size, seconds in scaling:
+        lines.append(f"| {size} | {seconds:.2f} |")
+    emit(results_dir, "ext_fleet_outliers", "\n".join(lines))
+
+    for row in recovery:
+        assert row["found"] == row["expected"], row
+        assert row["reference_clean"], "the medoid must be a conforming device"
+    # The matrix is quadratic but each comparison is fast; a 12-device
+    # fleet should still complete in seconds.
+    assert scaling[-1][1] < 30.0

@@ -1,0 +1,53 @@
+"""Figure 2 — partitioning the advertisement space by route-map paths.
+
+Regenerates the three equivalence classes of the Figure 1(a) Cisco
+route map — NETS / ¬NETS∧COMM / ¬NETS∧¬COMM — with their actions, and
+verifies the partition laws (pairwise disjoint, union = universe).
+"""
+
+from conftest import emit
+
+from repro.encoding import RouteSpace, route_map_equivalence_classes
+from repro.workloads.figure1 import figure1_devices
+
+
+def _run():
+    cisco, juniper = figure1_devices()
+    map1 = cisco.route_maps["POL"]
+    space = RouteSpace([map1, juniper.route_maps["POL"]])
+    return space, map1, route_map_equivalence_classes(space, map1)
+
+
+def test_figure2_equivalence_classes(benchmark, results_dir):
+    space, map1, classes = benchmark(_run)
+
+    assert len(classes) == 3
+
+    rows = ["| class | region | action |", "|---|---|---|"]
+    for index, cls in enumerate(classes, start=1):
+        region = ["NETS", "¬NETS ∧ COMM", "¬NETS ∧ ¬COMM"][index - 1]
+        rows.append(
+            f"| {index} ({cls.step_name}) | {region} | "
+            f"{cls.action.describe().replace(chr(10), ' / ')} |"
+        )
+    emit(results_dir, "figure2_equivalence_classes", "\n".join(rows))
+
+    # The symbolic regions are exactly Figure 2's.
+    nets = space.prefix_list_pred(map1.clauses[0].matches[0].prefix_list)
+    comm = space.community_list_pred(map1.clauses[1].matches[0].community_list)
+    assert classes[0].predicate == nets & space.universe
+    assert classes[1].predicate == ~nets & comm & space.universe
+    assert classes[2].predicate == ~nets & ~comm & space.universe
+
+    # Partition laws.
+    union = space.manager.false
+    for index, cls in enumerate(classes):
+        for other in classes[index + 1 :]:
+            assert not cls.predicate.intersects(other.predicate)
+        union = union | cls.predicate
+    assert union == space.universe
+
+    # Actions: reject / reject / set-local-pref-30 accept.
+    assert classes[0].action.describe() == "REJECT"
+    assert classes[1].action.describe() == "REJECT"
+    assert classes[2].action.describe() == "SET LOCAL PREF 30\nACCEPT"

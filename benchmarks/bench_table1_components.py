@@ -1,0 +1,35 @@
+"""Table 1 — components supported by Campion and the check used for each.
+
+A property of the tool rather than a measurement; regenerated from the
+live dispatch table so the bench fails if a component's check type ever
+drifts from the paper's design.
+"""
+
+from conftest import emit
+
+from repro.core import COMPONENT_CHECKS, ComponentKind
+from repro.core.config_diff import config_diff
+from repro.workloads.figure1 import figure1_devices
+
+PAPER_TABLE1 = {
+    ComponentKind.ACL: "SemanticDiff",
+    ComponentKind.ROUTE_MAP: "SemanticDiff",
+    ComponentKind.STATIC_ROUTE: "StructuralDiff",
+    ComponentKind.CONNECTED_ROUTE: "StructuralDiff",
+    ComponentKind.BGP_PROPERTY: "StructuralDiff",
+    ComponentKind.OSPF_PROPERTY: "StructuralDiff",
+    ComponentKind.ADMIN_DISTANCE: "StructuralDiff",
+}
+
+
+def test_table1_component_checks(benchmark, results_dir):
+    # The timed body is the dispatch a full ConfigDiff performs.
+    devices = figure1_devices()
+    benchmark(lambda: config_diff(*devices))
+
+    rows = ["| Feature | Check Used |", "|---|---|"]
+    for kind, check in COMPONENT_CHECKS.items():
+        rows.append(f"| {kind.value} | {check} |")
+    emit(results_dir, "table1_components", "\n".join(rows))
+
+    assert COMPONENT_CHECKS == PAPER_TABLE1

@@ -1,0 +1,50 @@
+"""Table 2 — Campion's output for the Figure 1 route maps.
+
+Regenerates both difference tables (header + text localization) and
+asserts the paper's rows: Difference 1's included/excluded prefix
+ranges, Difference 2's universe-minus-NETS shape with a community
+example, and the REJECT vs SET-LOCAL-PREF-30/ACCEPT action pair.
+"""
+
+from conftest import emit
+
+from repro.core import config_diff, render_semantic_difference
+from repro.workloads.figure1 import figure1_devices
+
+
+def _run():
+    return config_diff(*figure1_devices())
+
+
+def test_table2_route_map_differences(benchmark, results_dir):
+    report = benchmark(_run)
+
+    semantic = report.semantic
+    assert len(semantic) == 2, "Campion finds exactly the two Table 2 differences"
+
+    rendered = "\n\n".join(render_semantic_difference(d) for d in semantic)
+    emit(results_dir, "table2_routemap_diff", rendered)
+
+    # Difference 1 (Table 2a)
+    first = semantic[0]
+    assert [str(r) for r in first.localization.included] == [
+        "10.9.0.0/16 : 16-32",
+        "10.100.0.0/16 : 16-32",
+    ]
+    assert [str(r) for r in first.localization.excluded] == [
+        "10.9.0.0/16 : 16-16",
+        "10.100.0.0/16 : 16-16",
+    ]
+    assert first.action_pair() == ("REJECT", "SET LOCAL PREF 30\nACCEPT")
+    assert "deny 10" in first.class1.text()
+    assert "rule3" in first.class2.text()
+
+    # Difference 2 (Table 2b)
+    second = semantic[1]
+    assert [str(r) for r in second.localization.included] == ["0.0.0.0/0 : 0-32"]
+    assert [str(r) for r in second.localization.excluded] == [
+        "10.9.0.0/16 : 16-32",
+        "10.100.0.0/16 : 16-32",
+    ]
+    assert second.example.get("Community") in ("10:10", "10:11")
+    assert "deny 20" in second.class1.text()

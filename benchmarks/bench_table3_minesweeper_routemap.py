@@ -1,0 +1,45 @@
+"""Table 3 — the Minesweeper-style baseline on the Figure 1 route maps.
+
+The monolithic check returns a single concrete counterexample with no
+localization; the bench regenerates the table and asserts its shape:
+one route, one packet, one 'X forwards / Y does not' verdict — and
+nothing about the second underlying difference or the affected sets.
+"""
+
+from conftest import emit
+
+from repro.baseline import monolithic_route_map_check
+from repro.model import Prefix
+from repro.workloads.figure1 import figure1_devices
+
+
+def _run():
+    cisco, juniper = figure1_devices()
+    return monolithic_route_map_check(
+        cisco.route_maps["POL"],
+        juniper.route_maps["POL"],
+        router1="cisco_router",
+        router2="juniper_router",
+    )
+
+
+def test_table3_minesweeper_single_counterexample(benchmark, results_dir):
+    counterexample = benchmark(_run)
+    assert counterexample is not None
+
+    rendered = counterexample.render()
+    emit(results_dir, "table3_minesweeper_routemap", rendered)
+
+    # Table 3's shape: a single sub-prefix of a NETS network that the
+    # Juniper map forwards and the Cisco map does not.
+    prefix = counterexample.route.prefix
+    assert 16 < prefix.length <= 32
+    in_nets = Prefix.parse("10.9.0.0/16").contains_prefix(prefix) or Prefix.parse(
+        "10.100.0.0/16"
+    ).contains_prefix(prefix)
+    assert in_nets
+    assert "juniper_router forwards (BGP)" in rendered
+    assert "cisco_router does not forward" in rendered
+    # The monolithic interface provides no localization rows.
+    assert "Included Prefixes" not in rendered
+    assert "Text" not in rendered

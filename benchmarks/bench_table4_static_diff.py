@@ -1,0 +1,33 @@
+"""Table 4 — Campion's StructuralDiff on the §2.2 static routes.
+
+Regenerates the two-column table: the Cisco-only 10.1.1.2/31 route with
+its next hop, administrative distance, and exact configuration line,
+against 'None' on the Juniper side.
+"""
+
+from conftest import emit
+
+from repro.core import ComponentKind, config_diff, render_structural_difference
+from repro.workloads.figure1 import section2_static_devices
+
+
+def _run():
+    return config_diff(*section2_static_devices())
+
+
+def test_table4_static_route_structural_diff(benchmark, results_dir):
+    report = benchmark(_run)
+    static = [d for d in report.structural if d.kind is ComponentKind.STATIC_ROUTE]
+    assert len(static) == 1
+
+    difference = static[0]
+    rendered = render_structural_difference(difference)
+    emit(results_dir, "table4_static_diff", rendered)
+
+    assert difference.attribute == "presence"
+    assert "10.1.1.2/31" in difference.component
+    assert "10.2.2.2" in (difference.value1 or "")
+    assert difference.value2 is None
+    assert "ip route 10.1.1.2 255.255.255.254 10.2.2.2" in difference.source1.render()
+    # Rendered table shows None for the absent side (Table 4's right column).
+    assert "None" in rendered

@@ -1,0 +1,34 @@
+"""Table 5 — the Minesweeper-style baseline on the §2.2 static routes.
+
+One concrete packet (dstIp 10.1.1.2), a forwards/does-not-forward
+verdict, and no prefix, distance, or configuration text — the contrast
+with Table 4 the paper draws.
+"""
+
+from conftest import emit
+
+from repro.baseline import monolithic_static_route_check
+from repro.model import Prefix
+from repro.workloads.figure1 import section2_static_devices
+
+
+def _run():
+    return monolithic_static_route_check(*section2_static_devices())
+
+
+def test_table5_minesweeper_static_counterexample(benchmark, results_dir):
+    counterexample = benchmark(_run)
+    assert counterexample is not None
+
+    rendered = counterexample.render()
+    emit(results_dir, "table5_minesweeper_static", rendered)
+
+    # The witness must fall inside the Cisco-only /31.
+    assert Prefix.parse("10.1.1.2/31").contains_address(counterexample.dst_ip)
+    assert counterexample.forwards1 and not counterexample.forwards2
+    assert "cisco_router forwards (static)" in rendered
+    assert "juniper_router does not forward" in rendered
+    # No localization: no prefix, distance, or config text rows.
+    assert "Prefix" not in rendered
+    assert "Distance" not in rendered
+    assert "ip route" not in rendered

@@ -1,0 +1,42 @@
+"""Table 7 — ACL debugging output for the gateway routers.
+
+Regenerates the two-column ACL difference table for the Scenario 3
+whitelist case: ICMP from 9.140.0.0/23 rejected by the Cisco blacklist
+line but accepted by the Juniper whitelist term, with header
+localization (source prefix) and text localization (the exact Cisco
+line, the Juniper term).
+"""
+
+from conftest import emit
+
+from repro.core import config_diff, render_semantic_difference
+from repro.workloads.datacenter import scenario3_gateway_acls
+
+
+def _run():
+    pair = scenario3_gateway_acls().pairs[0]
+    return config_diff(pair.primary, pair.backup)
+
+
+def test_table7_acl_difference(benchmark, results_dir):
+    report = benchmark(_run)
+
+    whitelist = [
+        d for d in report.semantic if "permit_whitelist" in d.class2.step_name
+    ]
+    assert len(whitelist) == 1
+    difference = whitelist[0]
+
+    rendered = render_semantic_difference(difference)
+    emit(results_dir, "table7_acl_diff", rendered)
+
+    # Header localization: the relevant source prefix.
+    src_localization = difference.extra_localizations["srcIp"]
+    assert [str(p) for p in src_localization.included] == ["9.140.0.0/23"]
+    # Action row: REJECT on the Cisco side, ACCEPT on the Juniper side.
+    assert difference.action_pair() == ("REJECT", "ACCEPT")
+    # Text localization: the exact Cisco line and the Juniper term.
+    assert "deny ipv4 9.140.0.0 0.0.1.255 any" in difference.class1.text()
+    assert "permit_whitelist" in difference.class2.text()
+    assert "ACL Name" in rendered
+    assert "VM_FILTER_1" in rendered

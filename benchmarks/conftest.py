@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures,
+times the underlying computation with pytest-benchmark, writes the
+regenerated table to ``benchmarks/results/<name>.txt``, and asserts the
+qualitative claims (who wins, which counts, which rows) so a regression
+in the reproduction fails loudly.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist a regenerated table and echo it for -s runs."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}")

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Fleet outlier detection — the n-way extension of Scenario 3.
+
+"All of network A's gateway routers should have identical
+access-control policies" (§5.1).  Campion compares pairs; this example
+lifts it to a whole fleet: the pairwise difference matrix elects a
+medoid reference, every other gateway is compared against it, and the
+deviating devices get full Campion localization.
+
+Run:  python examples/gateway_fleet_outliers.py
+"""
+
+from repro.core import compare_fleet, render_semantic_difference
+from repro.workloads.datacenter import gateway_fleet
+
+
+def main() -> int:
+    devices, expected = gateway_fleet(count=8, outliers=2, rule_count=50, seed=11)
+    print(
+        f"fleet: {', '.join(d.hostname for d in devices)} "
+        f"(mixed {sum(1 for d in devices if d.vendor == 'cisco')} Cisco / "
+        f"{sum(1 for d in devices if d.vendor == 'juniper')} Juniper)\n"
+    )
+
+    report = compare_fleet(devices)
+    print(report.render_summary())
+
+    for hostname in report.outliers:
+        print(f"\n=== {hostname} deviates from {report.reference} ===")
+        for difference in report.reports[hostname].semantic:
+            print(render_semantic_difference(difference))
+
+    print(f"\nseeded deviations: {expected}; detected: {report.outliers}")
+    return 0 if not report.outliers else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""The route-reflector replacement outage, end to end — §5.1 Scenario 2.
+
+The paper's highest-stakes finding: a proposed replacement of an iBGP
+route reflector carried a wrong local preference, and "if this bug were
+not detected, the proposed replacement would have caused a severe
+outage."  This example makes that counterfactual executable:
+
+1. build the fabric on the SRP simulator — two border routers
+   advertising the same prefix (primary at local-pref 120, backup at
+   100), a route reflector applying the preference, and client ToRs
+   that only learn what the reflector selects;
+2. solve the correct fabric: every client exits via the primary border;
+3. swap in the *mistranslated* reflector (local-pref 110 on primary —
+   the Scenario 2 bug class) where the backup session still sets 115:
+   route selection flips fabric-wide, clients exit via the backup path;
+4. show that Campion flags exactly this difference from the two
+   configurations alone — no simulation required (Theorem 3.3).
+
+Run:  python examples/route_reflector_outage.py
+"""
+
+from repro.core import config_diff, render_semantic_difference
+from repro.model import (
+    Action,
+    ConcreteRoute,
+    Prefix,
+    RouteMap,
+    RouteMapClause,
+    SetLocalPref,
+)
+from repro.parsers import parse_cisco, parse_juniper
+from repro.srp import BgpEdgeConfig, SrpNetwork, Topology, solve_network
+
+SERVICE_PREFIX = Prefix.parse("203.0.113.0/24")
+
+
+def _reflector_policy(primary_pref: int, backup_pref: int):
+    """Per-session import policies the reflector applies."""
+    primary = RouteMap(
+        "FROM-PRIMARY",
+        (RouteMapClause("c", Action.PERMIT, (), (SetLocalPref(primary_pref),)),),
+        default_action=Action.DENY,
+    )
+    backup = RouteMap(
+        "FROM-BACKUP",
+        (RouteMapClause("c", Action.PERMIT, (), (SetLocalPref(backup_pref),)),),
+        default_action=Action.DENY,
+    )
+    return primary, backup
+
+
+def _build_fabric(primary_pref: int, backup_pref: int) -> SrpNetwork:
+    """Hub-and-spoke iBGP: borders -> reflector -> client ToRs."""
+    topology = Topology(nodes=["border-primary", "border-backup", "reflector", "tor1", "tor2"])
+    for border in ("border-primary", "border-backup"):
+        topology.edges.append((border, "reflector"))
+    for tor in ("tor1", "tor2"):
+        topology.edges.append(("reflector", tor))
+
+    network = SrpNetwork(topology=topology)
+    primary_policy, backup_policy = _reflector_policy(primary_pref, backup_pref)
+    network.bgp_edges[("border-primary", "reflector")] = BgpEdgeConfig(
+        sender_asn=65000, ebgp=False, import_map=primary_policy, next_hop=1
+    )
+    network.bgp_edges[("border-backup", "reflector")] = BgpEdgeConfig(
+        sender_asn=65000, ebgp=False, import_map=backup_policy, next_hop=2
+    )
+    for tor in ("tor1", "tor2"):
+        network.bgp_edges[("reflector", tor)] = BgpEdgeConfig(
+            sender_asn=65000, ebgp=False
+        )
+    for border, hop in (("border-primary", 1), ("border-backup", 2)):
+        network.originate(
+            border, ConcreteRoute(prefix=SERVICE_PREFIX, next_hop=hop)
+        )
+    return network
+
+
+_CISCO_REFLECTOR = """\
+hostname reflector
+!
+route-map FROM-PRIMARY permit 10
+ set local-preference 120
+route-map FROM-BACKUP permit 10
+ set local-preference 115
+!
+router bgp 65000
+ bgp router-id 10.255.255.1
+ neighbor 10.0.0.1 remote-as 65000
+ neighbor 10.0.0.1 route-map FROM-PRIMARY in
+ neighbor 10.0.0.1 route-reflector-client
+ neighbor 10.0.0.2 remote-as 65000
+ neighbor 10.0.0.2 route-map FROM-BACKUP in
+ neighbor 10.0.0.2 route-reflector-client
+!
+"""
+
+_JUNIPER_REFLECTOR_BUGGY = """\
+system {
+    host-name reflector-new;
+}
+routing-options {
+    autonomous-system 65000;
+    router-id 10.255.255.1;
+}
+policy-options {
+    policy-statement FROM-PRIMARY {
+        term t1 {
+            then {
+                local-preference 110;
+                accept;
+            }
+        }
+    }
+    policy-statement FROM-BACKUP {
+        term t1 {
+            then {
+                local-preference 115;
+                accept;
+            }
+        }
+    }
+}
+protocols {
+    bgp {
+        group CLIENTS {
+            type internal;
+            cluster 10.255.255.1;
+            neighbor 10.0.0.1 {
+                import FROM-PRIMARY;
+            }
+            neighbor 10.0.0.2 {
+                import FROM-BACKUP;
+            }
+        }
+    }
+}
+"""
+
+
+def main() -> int:
+    print("correct fabric (reflector prefers primary at lp 120 over backup 115):")
+    correct = solve_network(_build_fabric(primary_pref=120, backup_pref=115))
+    for tor in ("tor1", "tor2"):
+        route = correct.routes_at(tor)[0]
+        exit_hop = "primary" if route.next_hop == 1 else "backup"
+        print(f"  {tor}: {route.prefix} via {exit_hop} border (lp {route.local_pref})")
+
+    print("\nmistranslated fabric (lp 110 on primary — the Scenario 2 bug):")
+    buggy = solve_network(_build_fabric(primary_pref=110, backup_pref=115))
+    flipped = 0
+    for tor in ("tor1", "tor2"):
+        route = buggy.routes_at(tor)[0]
+        exit_hop = "primary" if route.next_hop == 1 else "backup"
+        flipped += exit_hop == "backup"
+        print(f"  {tor}: {route.prefix} via {exit_hop} border (lp {route.local_pref})")
+    print(f"\n  -> {flipped} of 2 clients silently moved to the backup path:")
+    print("     fabric-wide egress change from one translated number.")
+
+    print("\nCampion on the two reflector configs (no simulation needed):")
+    old = parse_cisco(_CISCO_REFLECTOR, "reflector-old.cfg")
+    new = parse_juniper(_JUNIPER_REFLECTOR_BUGGY, "reflector-new.cfg")
+    report = config_diff(old, new)
+    for difference in report.semantic:
+        print(render_semantic_difference(difference))
+    caught = any(
+        "110" in " ".join(d.action_pair()) for d in report.semantic
+    )
+    print(f"\nwrong local preference caught before deployment: {caught}")
+    return 0 if caught else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

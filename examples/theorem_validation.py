@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Theorem 3.3 live — why Campion never models BGP or OSPF.
+
+Builds a random network on the SRP simulator, makes an isomorphic copy,
+and shows the theorem in action: Campion's per-edge modular checks pass
+and the two networks compute identical routing solutions.  Then a single
+export policy is corrupted: the modular check flags exactly that edge,
+and solving the networks confirms the routing solutions diverge.
+
+Run:  python examples/theorem_validation.py
+"""
+
+from repro.model import Action, RouteMap
+from repro.srp import (
+    BgpEdgeConfig,
+    check_local_equivalence,
+    same_routing_solutions,
+    solve_network,
+)
+from repro.workloads.srp_random import random_network, renamed_copy
+
+
+def main() -> int:
+    network = random_network(seed=4, size=6)
+    copy, iso = renamed_copy(network)
+    print(
+        f"network: {len(network.topology.nodes)} routers, "
+        f"{len(network.topology.edges)} directed edges, BGP + OSPF"
+    )
+
+    violations = check_local_equivalence(network, copy, iso)
+    print(f"\nmodular per-edge checks: {len(violations)} violation(s)")
+    equal, explanation = same_routing_solutions(network, copy, iso)
+    print(f"routing solutions identical: {equal} ({explanation})")
+
+    solution = solve_network(network)
+    node = network.topology.nodes[-1]
+    print(f"\nstable routes at {node}:")
+    for route in solution.routes_at(node):
+        print(
+            f"  {route.prefix} via {route.protocol} "
+            f"(lp={route.local_pref}, as-path={list(route.as_path)}, metric={route.med})"
+        )
+
+    # Corrupt edges one at a time, as a bad config push would.  Some
+    # corruptions are *latent* (shadowed by topology — the spurious
+    # differences of §5.3); others change routing fabric-wide.  The
+    # modular check flags every one of them either way.
+    latent = 0
+    for edge in network.topology.edges:
+        mutated, _ = renamed_copy(network)
+        mapped = (iso[edge[0]], iso[edge[1]])
+        old = mutated.bgp_edges[mapped]
+        mutated.bgp_edges[mapped] = BgpEdgeConfig(
+            sender_asn=old.sender_asn,
+            next_hop=old.next_hop,
+            export_map=RouteMap("DENY-ALL", (), default_action=Action.DENY),
+            import_map=old.import_map,
+        )
+        violations = check_local_equivalence(network, mutated, iso)
+        flagged = any(v.edge == edge for v in violations)
+        equal, _ = same_routing_solutions(network, mutated, iso)
+        verdict = "LATENT (shadowed)" if equal else "BEHAVIORAL (solutions diverge)"
+        if equal:
+            latent += 1
+        print(f"  corrupt export on {edge}: flagged={flagged}, {verdict}")
+        if not equal and latent:
+            break  # one of each is enough for the demo
+    print(
+        "\nEvery corruption was flagged by the modular check; latent ones are"
+        "\nthe paper's §5.3 spurious differences — real risks awaiting a"
+        "\nconfig change elsewhere to activate them."
+    )
+
+    print(
+        "\nTheorem 3.3: local (per-edge) equivalence of the configured"
+        "\ntransfer functions is sufficient for identical routing solutions"
+        "\n— so checking components modularly needs no protocol model."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

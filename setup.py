@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets `pip install -e .` work without the `wheel`
+package (this environment is offline, setuptools 65 + no wheel)."""
+
+from setuptools import setup
+
+setup()

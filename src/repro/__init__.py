@@ -1,0 +1,43 @@
+"""Reproduction of *Campion: Debugging Router Configuration Differences*
+(Tang et al., SIGCOMM 2021).
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.bdd` — from-scratch ROBDD engine (JavaBDD substitute),
+* :mod:`repro.model` — vendor-independent configuration model (Batfish
+  representation substitute), plus concrete policy evaluation,
+* :mod:`repro.parsers` — Cisco IOS and Juniper JunOS parsers,
+* :mod:`repro.encoding` — BDD encodings of packets, route
+  advertisements, and per-component path equivalence classes,
+* :mod:`repro.core` — the paper's contribution: SemanticDiff,
+  StructuralDiff, HeaderLocalize, MatchPolicies, ConfigDiff, Present,
+* :mod:`repro.baseline` — Minesweeper-style monolithic checker,
+* :mod:`repro.srp` — stable-routing-problem simulator validating
+  Theorem 3.3,
+* :mod:`repro.workloads` — synthetic versions of the paper's evaluation
+  networks (Figure 1, Table 6 data center, Table 8 university, §5.4
+  ACL scaling).
+
+Quick start::
+
+    from repro.parsers import load_config
+    from repro.core import config_diff, render_report
+
+    report = config_diff(load_config("a.cfg"), load_config("b.cfg"))
+    print(render_report(report))
+"""
+
+from .core import config_diff, render_report
+from .parsers import load_config, parse_cisco, parse_config, parse_juniper
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "config_diff",
+    "load_config",
+    "parse_cisco",
+    "parse_config",
+    "parse_juniper",
+    "render_report",
+]

@@ -1,0 +1,25 @@
+"""Minesweeper-style monolithic baseline (single-counterexample interface)."""
+
+from .iterate import IterationResult, count_to_cover, iterate_route_map_counterexamples
+from .monolithic import (
+    AclCounterexample,
+    RouteMapCounterexample,
+    StaticRouteCounterexample,
+    monolithic_acl_check,
+    monolithic_route_map_check,
+    monolithic_static_route_check,
+    route_map_difference_set,
+)
+
+__all__ = [
+    "AclCounterexample",
+    "IterationResult",
+    "RouteMapCounterexample",
+    "StaticRouteCounterexample",
+    "count_to_cover",
+    "iterate_route_map_counterexamples",
+    "monolithic_acl_check",
+    "monolithic_route_map_check",
+    "monolithic_static_route_check",
+    "route_map_difference_set",
+]

@@ -1,0 +1,324 @@
+"""A Minesweeper-style monolithic equivalence checker (§2 baseline).
+
+Minesweeper builds one logical representation of each router's whole
+behavior and asks an SMT solver for a single counterexample.  This module
+reproduces that *interface* over our BDD engine: each component pair is
+composed into one difference relation, and the checker reports exactly
+one concrete witness — no header localization, no text localization, no
+enumeration of distinct differences.  Tables 3 and 5 are renderings of
+these results; the §2 comparison benchmarks contrast them with Campion's
+output on identical inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..bdd import Bdd, BddManager, complete_model
+from ..encoding import (
+    PacketSpace,
+    RouteExample,
+    RouteSpace,
+    acl_equivalence_classes,
+    route_map_equivalence_classes,
+)
+from ..model.acl import Acl, AclAction
+from ..model.device import DeviceConfig
+from ..model.routemap import RouteMap
+from ..model.types import Prefix, int_to_ip
+
+__all__ = [
+    "RouteMapCounterexample",
+    "StaticRouteCounterexample",
+    "AclCounterexample",
+    "monolithic_route_map_check",
+    "monolithic_static_route_check",
+    "monolithic_acl_check",
+    "route_map_difference_set",
+]
+
+
+@dataclass(frozen=True)
+class RouteMapCounterexample:
+    """Minesweeper-style output: one route treated differently (Table 3)."""
+
+    route: RouteExample
+    action1: str
+    action2: str
+    router1: str
+    router2: str
+
+    def render(self) -> str:
+        """Render the Table 3 style output block."""
+        lines = [
+            f"Route received ({self.router1}) | Prefix: {self.route.prefix}",
+            f"Route received ({self.router2}) | Prefix: {self.route.prefix}",
+        ]
+        if self.route.communities:
+            communities = " ".join(sorted(str(c) for c in self.route.communities))
+            lines.append(f"Communities                  | {communities}")
+        packet_ip = int_to_ip(self.route.prefix.network)
+        lines.append(f"Packet                       | dstIp: {packet_ip}")
+        forwards1 = "ACCEPT" in self.action1
+        forwards2 = "ACCEPT" in self.action2
+        if forwards1 != forwards2:
+            forwarder = self.router1 if forwards1 else self.router2
+            dropper = self.router2 if forwards1 else self.router1
+            lines.append(
+                f"Forwarding                   | {forwarder} forwards (BGP); "
+                f"{dropper} does not forward"
+            )
+        else:
+            lines.append(
+                f"Forwarding                   | both forward, different attributes "
+                f"({self.action1!r} vs {self.action2!r})"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class StaticRouteCounterexample:
+    """One packet whose static forwarding differs (Table 5)."""
+
+    dst_ip: int
+    forwards1: bool
+    forwards2: bool
+    next_hop1: Optional[int]
+    next_hop2: Optional[int]
+    router1: str
+    router2: str
+
+    def render(self) -> str:
+        """Render the Table 5 style output block."""
+        lines = [f"Packet     | dstIp: {int_to_ip(self.dst_ip)}"]
+        if self.forwards1 != self.forwards2:
+            forwarder = self.router1 if self.forwards1 else self.router2
+            dropper = self.router2 if self.forwards1 else self.router1
+            lines.append(
+                f"Forwarding | {forwarder} forwards (static); {dropper} does not forward"
+            )
+        else:
+            hop1 = int_to_ip(self.next_hop1) if self.next_hop1 is not None else "?"
+            hop2 = int_to_ip(self.next_hop2) if self.next_hop2 is not None else "?"
+            lines.append(
+                f"Forwarding | both forward (static) but to different next hops: "
+                f"{hop1} vs {hop2}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class AclCounterexample:
+    """One packet accepted by one ACL and rejected by the other."""
+
+    packet: Dict[str, str]
+    action1: str
+    action2: str
+    router1: str
+    router2: str
+
+    def render(self) -> str:
+        """Render the packet and both filters' verdicts."""
+        fields = ", ".join(f"{key}: {value}" for key, value in self.packet.items())
+        return (
+            f"Packet     | {fields}\n"
+            f"Filtering  | {self.router1}: {self.action1}; {self.router2}: {self.action2}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Route maps
+# ---------------------------------------------------------------------------
+
+
+def route_map_difference_set(
+    space: RouteSpace, map1: RouteMap, map2: RouteMap
+) -> List[Tuple[Bdd, str, str]]:
+    """The monolithic difference relation, kept as (set, action1, action2)
+    pieces so a single model can name both actions.
+
+    The union of the sets is the full "behaviors differ" predicate — the
+    monolithic checker's single query object.
+    """
+    classes1 = route_map_equivalence_classes(space, map1)
+    classes2 = route_map_equivalence_classes(space, map2)
+    pieces: List[Tuple[Bdd, str, str]] = []
+    for class1 in classes1:
+        for class2 in classes2:
+            if class1.action == class2.action:
+                continue
+            overlap = class1.predicate & class2.predicate
+            if overlap:
+                pieces.append(
+                    (overlap, class1.action.describe(), class2.action.describe())
+                )
+    return pieces
+
+
+def monolithic_route_map_check(
+    map1: RouteMap,
+    map2: RouteMap,
+    router1: str = "router1",
+    router2: str = "router2",
+    space: Optional[RouteSpace] = None,
+) -> Optional[RouteMapCounterexample]:
+    """One counterexample to route-map equivalence, or None if equivalent.
+
+    Mirrors the adapted Minesweeper of §2.1: a single query, a single
+    concrete route, no information about other differences.
+    """
+    if space is None:
+        space = RouteSpace([map1, map2])
+    pieces = route_map_difference_set(space, map1, map2)
+    if not pieces:
+        return None
+    # Deterministic: first piece in class order, lexicographically-least
+    # model — the analogue of a solver's arbitrary-but-fixed model choice.
+    overlap, action1, action2 = pieces[0]
+    model = complete_model(overlap, space.manager.num_vars)
+    assert model is not None  # pieces only contain non-empty sets
+    return RouteMapCounterexample(
+        route=space.decode(model),
+        action1=action1,
+        action2=action2,
+        router1=router1,
+        router2=router2,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Static routes
+# ---------------------------------------------------------------------------
+
+
+def monolithic_static_route_check(
+    device1: DeviceConfig, device2: DeviceConfig
+) -> Optional[StaticRouteCounterexample]:
+    """One packet whose static-route forwarding differs (Table 5).
+
+    Builds each device's "forwarded by some static route" dstIp set; a
+    witness is drawn from the symmetric difference, or — if coverage is
+    equal — from addresses forwarded to different next hops under
+    longest-prefix match.
+    """
+    manager = BddManager()
+    from ..bdd import BitVector
+
+    dst_ip = BitVector.allocate(manager, "dstIp", 32)
+
+    def coverage(device: DeviceConfig) -> Bdd:
+        return manager.disjoin(
+            dst_ip.prefix_match(route.prefix.network, route.prefix.length)
+            for route in device.static_routes
+        )
+
+    covered1 = coverage(device1)
+    covered2 = coverage(device2)
+    asymmetric = (covered1 - covered2) | (covered2 - covered1)
+    if asymmetric:
+        model = complete_model(asymmetric, manager.num_vars)
+        assert model is not None
+        address = dst_ip.value_of(model)
+        forwards1 = any(
+            route.prefix.contains_address(address) for route in device1.static_routes
+        )
+        return StaticRouteCounterexample(
+            dst_ip=address,
+            forwards1=forwards1,
+            forwards2=not forwards1,
+            next_hop1=_static_next_hop(device1, address),
+            next_hop2=_static_next_hop(device2, address),
+            router1=device1.hostname,
+            router2=device2.hostname,
+        )
+
+    # Same coverage: look for next-hop disagreement under longest-prefix
+    # match.  Each device's static table partitions its covered space
+    # into LPM cells (a route's prefix minus all strictly longer covering
+    # prefixes); cells from the two devices that overlap with different
+    # next hops witness a forwarding difference.
+    def lpm_cells(device: DeviceConfig):
+        prefixes = sorted(
+            {route.prefix for route in device.static_routes},
+            key=lambda p: -p.length,
+        )
+        cells = []
+        for prefix in prefixes:
+            cell = dst_ip.prefix_match(prefix.network, prefix.length)
+            for longer in prefixes:
+                if longer.length > prefix.length and prefix.contains_prefix(longer):
+                    cell = cell - dst_ip.prefix_match(longer.network, longer.length)
+            hops = frozenset(
+                route.next_hop
+                for route in device.static_routes
+                if route.prefix == prefix
+            )
+            cells.append((cell, hops))
+        return cells
+
+    for cell1, hops1 in lpm_cells(device1):
+        for cell2, hops2 in lpm_cells(device2):
+            if hops1 == hops2:
+                continue
+            model = complete_model(cell1 & cell2, manager.num_vars)
+            if model is None:
+                continue
+            address = dst_ip.value_of(model)
+            return StaticRouteCounterexample(
+                dst_ip=address,
+                forwards1=True,
+                forwards2=True,
+                next_hop1=_static_next_hop(device1, address),
+                next_hop2=_static_next_hop(device2, address),
+                router1=device1.hostname,
+                router2=device2.hostname,
+            )
+    return None
+
+
+def _static_next_hop(device: DeviceConfig, address: int) -> Optional[int]:
+    """Longest-prefix-match next hop among the device's static routes."""
+    best = None
+    best_length = -1
+    for route in device.static_routes:
+        if route.prefix.contains_address(address) and route.prefix.length > best_length:
+            best = route.next_hop
+            best_length = route.prefix.length
+    return best
+
+
+# ---------------------------------------------------------------------------
+# ACLs
+# ---------------------------------------------------------------------------
+
+
+def monolithic_acl_check(
+    acl1: Acl,
+    acl2: Acl,
+    router1: str = "router1",
+    router2: str = "router2",
+    space: Optional[PacketSpace] = None,
+) -> Optional[AclCounterexample]:
+    """One packet filtered differently by the two ACLs, or None."""
+    if space is None:
+        space = PacketSpace()
+    permit1 = space.acl_permit_pred(acl1)
+    permit2 = space.acl_permit_pred(acl2)
+    difference = (permit1 - permit2) | (permit2 - permit1)
+    if difference.is_false():
+        return None
+    model = complete_model(difference, space.manager.num_vars)
+    assert model is not None
+    packet = space.decode(model)
+    permitted1 = bool((space.encode_concrete(
+        packet.src_ip, packet.dst_ip, packet.protocol,
+        packet.src_port, packet.dst_port, packet.icmp_type,
+    ) & permit1))
+    return AclCounterexample(
+        packet=packet.describe(),
+        action1="ACCEPT" if permitted1 else "REJECT",
+        action2="REJECT" if permitted1 else "ACCEPT",
+        router1=router1,
+        router2=router2,
+    )

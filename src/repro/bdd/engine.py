@@ -1,0 +1,573 @@
+"""A reduced ordered binary decision diagram (ROBDD) engine.
+
+This module is a from-scratch substitute for the JavaBDD library used by
+Campion.  It implements hash-consed ROBDD nodes with an if-then-else (ite)
+core, the standard boolean connectives, restriction, existential and
+universal quantification, satisfiability counting, and variable support
+computation.
+
+Design notes
+------------
+* Nodes are stored in flat parallel lists (``_var``, ``_low``, ``_high``)
+  indexed by integer node ids.  Ids 0 and 1 are the terminal FALSE and TRUE
+  nodes.  This "struct of arrays" layout keeps the engine allocation-light,
+  which matters because SemanticDiff on 10,000-rule ACLs creates millions of
+  nodes.
+* A unique table (``_unique``) maps ``(var, low, high)`` triples to node ids
+  so that structurally equal subgraphs share one node; BDD equality is then
+  id equality, which is what makes the pairwise intersection tests in
+  SemanticDiff cheap.
+* Operation results are memoized in ``_ite_cache`` keyed on the operand ids.
+  The cache is never invalidated because nodes are immortal for the life of
+  the manager; Campion's workloads are one-shot comparisons so this is the
+  right trade-off.
+* Variable order is the order of :meth:`BddManager.new_var` calls.  Callers
+  that care about ordering (see ``benchmarks/bench_ablation_var_order.py``)
+  allocate variables accordingly.
+
+The public surface is :class:`BddManager` and the lightweight :class:`Bdd`
+wrapper, which supports ``&``, ``|``, ``^``, ``~`` and ``-`` (set
+difference) operators so that the algorithm code reads like the paper's
+set algebra.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Bdd", "BddManager"]
+
+# Terminal node ids.  They are the same in every manager.
+_FALSE = 0
+_TRUE = 1
+
+# Sentinel variable index for terminals: larger than any real variable so
+# that terminals sort below all decision nodes in the variable order.
+_TERMINAL_LEVEL = 1 << 30
+
+
+class Bdd:
+    """An immutable boolean function handle bound to a :class:`BddManager`.
+
+    Instances are value objects: two ``Bdd`` handles from the same manager
+    denote the same function if and only if their node ids are equal, so
+    ``==`` and hashing are O(1).
+    """
+
+    __slots__ = ("manager", "node")
+
+    def __init__(self, manager: "BddManager", node: int):
+        self.manager = manager
+        self.node = node
+
+    # -- identity ---------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bdd):
+            return NotImplemented
+        return self.manager is other.manager and self.node == other.node
+
+    def __hash__(self) -> int:
+        return hash((id(self.manager), self.node))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.node == _FALSE:
+            return "Bdd(FALSE)"
+        if self.node == _TRUE:
+            return "Bdd(TRUE)"
+        return f"Bdd(node={self.node}, var={self.manager._var[self.node]})"
+
+    # -- predicates -------------------------------------------------------
+    def is_false(self) -> bool:
+        """True when this function is unsatisfiable."""
+        return self.node == _FALSE
+
+    def is_true(self) -> bool:
+        """True when this function is a tautology."""
+        return self.node == _TRUE
+
+    def __bool__(self) -> bool:
+        """Truthiness is satisfiability, matching set-intuition (`if s:`)."""
+        return self.node != _FALSE
+
+    # -- connectives ------------------------------------------------------
+    def __and__(self, other: "Bdd") -> "Bdd":
+        return self.manager.apply_and(self, other)
+
+    def __or__(self, other: "Bdd") -> "Bdd":
+        return self.manager.apply_or(self, other)
+
+    def __xor__(self, other: "Bdd") -> "Bdd":
+        return self.manager.apply_xor(self, other)
+
+    def __invert__(self) -> "Bdd":
+        return self.manager.apply_not(self)
+
+    def __sub__(self, other: "Bdd") -> "Bdd":
+        """Set difference: ``self & ~other``."""
+        return self.manager.apply_diff(self, other)
+
+    # -- relational helpers -------------------------------------------------
+    def implies(self, other: "Bdd") -> bool:
+        """Decide ``self => other`` (set containment)."""
+        return self.manager.apply_diff(self, other).is_false()
+
+    def intersects(self, other: "Bdd") -> bool:
+        """Decide whether the two sets share any element."""
+        return not self.manager.apply_and(self, other).is_false()
+
+    # -- queries ------------------------------------------------------------
+    def satcount(self, nvars: Optional[int] = None) -> int:
+        """Number of satisfying assignments over ``nvars`` variables.
+
+        Defaults to all variables currently allocated in the manager.
+        """
+        return self.manager.satcount(self, nvars)
+
+    def support(self) -> List[int]:
+        """Sorted list of variable indices this function depends on."""
+        return self.manager.support(self)
+
+    def any_model(self) -> Optional[Dict[int, bool]]:
+        """One satisfying assignment (partial: unmentioned vars are free)."""
+        return self.manager.any_model(self)
+
+
+class BddManager:
+    """Owner of all BDD nodes, the unique table, and operation caches."""
+
+    def __init__(self) -> None:
+        # Parallel node arrays.  Slots 0/1 are the FALSE/TRUE terminals.
+        self._var: List[int] = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
+        self._low: List[int] = [0, 1]
+        self._high: List[int] = [0, 1]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._satcount_cache: Dict[Tuple[int, int], int] = {}
+        self._num_vars = 0
+        self.false = Bdd(self, _FALSE)
+        self.true = Bdd(self, _TRUE)
+
+    # -- variable management ------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        """Number of decision variables allocated so far."""
+        return self._num_vars
+
+    def new_var(self) -> Bdd:
+        """Allocate the next variable in the global order and return it."""
+        var = self._num_vars
+        self._num_vars += 1
+        return Bdd(self, self._mk(var, _FALSE, _TRUE))
+
+    def new_vars(self, count: int) -> List[Bdd]:
+        """Allocate ``count`` consecutive variables."""
+        if count < 0:
+            raise ValueError(f"variable count must be non-negative, got {count}")
+        return [self.new_var() for _ in range(count)]
+
+    def var(self, index: int) -> Bdd:
+        """The positive literal of an already-allocated variable."""
+        if not 0 <= index < self._num_vars:
+            raise IndexError(f"variable {index} not allocated (have {self._num_vars})")
+        return Bdd(self, self._mk(index, _FALSE, _TRUE))
+
+    def nvar(self, index: int) -> Bdd:
+        """The negative literal of an already-allocated variable."""
+        if not 0 <= index < self._num_vars:
+            raise IndexError(f"variable {index} not allocated (have {self._num_vars})")
+        return Bdd(self, self._mk(index, _TRUE, _FALSE))
+
+    def constant(self, value: bool) -> Bdd:
+        """The constant TRUE or FALSE function."""
+        return self.true if value else self.false
+
+    @property
+    def node_count(self) -> int:
+        """Total number of allocated nodes, including the two terminals."""
+        return len(self._var)
+
+    # -- node construction ----------------------------------------------------
+    def _mk(self, var: int, low: int, high: int) -> int:
+        """Find-or-create the node ``(var, low, high)`` with reduction."""
+        if low == high:
+            return low
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._var)
+            self._var.append(var)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    # -- ite core ---------------------------------------------------------------
+    def _ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else on raw node ids; every connective reduces to this."""
+        # Terminal short-circuits.
+        if f == _TRUE:
+            return g
+        if f == _FALSE:
+            return h
+        if g == h:
+            return g
+        if g == _TRUE and h == _FALSE:
+            return f
+
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+
+        var_arr, low_arr, high_arr = self._var, self._low, self._high
+        top = min(var_arr[f], var_arr[g], var_arr[h])
+
+        if var_arr[f] == top:
+            f0, f1 = low_arr[f], high_arr[f]
+        else:
+            f0 = f1 = f
+        if var_arr[g] == top:
+            g0, g1 = low_arr[g], high_arr[g]
+        else:
+            g0 = g1 = g
+        if var_arr[h] == top:
+            h0, h1 = low_arr[h], high_arr[h]
+        else:
+            h0 = h1 = h
+
+        low = self._ite(f0, g0, h0)
+        high = self._ite(f1, g1, h1)
+        result = self._mk(top, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    # -- connectives ------------------------------------------------------------
+    def _check(self, *operands: Bdd) -> None:
+        for operand in operands:
+            if operand.manager is not self:
+                raise ValueError("operands belong to different BddManagers")
+
+    def ite(self, f: Bdd, g: Bdd, h: Bdd) -> Bdd:
+        """``if f then g else h``."""
+        self._check(f, g, h)
+        return Bdd(self, self._ite(f.node, g.node, h.node))
+
+    def apply_and(self, a: Bdd, b: Bdd) -> Bdd:
+        """Conjunction of two functions."""
+        self._check(a, b)
+        return Bdd(self, self._ite(a.node, b.node, _FALSE))
+
+    def apply_or(self, a: Bdd, b: Bdd) -> Bdd:
+        """Disjunction of two functions."""
+        self._check(a, b)
+        return Bdd(self, self._ite(a.node, _TRUE, b.node))
+
+    def apply_xor(self, a: Bdd, b: Bdd) -> Bdd:
+        """Exclusive-or of two functions."""
+        self._check(a, b)
+        not_b = self._ite(b.node, _FALSE, _TRUE)
+        return Bdd(self, self._ite(a.node, not_b, b.node))
+
+    def apply_not(self, a: Bdd) -> Bdd:
+        """Negation of a function."""
+        self._check(a)
+        return Bdd(self, self._ite(a.node, _FALSE, _TRUE))
+
+    def apply_diff(self, a: Bdd, b: Bdd) -> Bdd:
+        """``a & ~b`` without materializing ``~b`` separately."""
+        self._check(a, b)
+        not_b = self._ite(b.node, _FALSE, _TRUE)
+        return Bdd(self, self._ite(a.node, not_b, _FALSE))
+
+    def conjoin(self, operands: Iterable[Bdd]) -> Bdd:
+        """AND of an iterable (TRUE for the empty iterable)."""
+        acc = _TRUE
+        for operand in operands:
+            self._check(operand)
+            acc = self._ite(acc, operand.node, _FALSE)
+            if acc == _FALSE:
+                break
+        return Bdd(self, acc)
+
+    def disjoin(self, operands: Iterable[Bdd]) -> Bdd:
+        """OR of an iterable (FALSE for the empty iterable)."""
+        acc = _FALSE
+        for operand in operands:
+            self._check(operand)
+            acc = self._ite(acc, _TRUE, operand.node)
+            if acc == _TRUE:
+                break
+        return Bdd(self, acc)
+
+    # -- restriction & quantification ------------------------------------------
+    def restrict(self, f: Bdd, assignment: Dict[int, bool]) -> Bdd:
+        """Substitute constants for the variables in ``assignment``."""
+        self._check(f)
+        if not assignment:
+            return f
+        cache: Dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node <= _TRUE:
+                return node
+            hit = cache.get(node)
+            if hit is not None:
+                return hit
+            var = self._var[node]
+            if var in assignment:
+                result = walk(self._high[node] if assignment[var] else self._low[node])
+            else:
+                result = self._mk(var, walk(self._low[node]), walk(self._high[node]))
+            cache[node] = result
+            return result
+
+        return Bdd(self, walk(f.node))
+
+    def exists(self, f: Bdd, variables: Sequence[int]) -> Bdd:
+        """Existential quantification over ``variables``."""
+        return self._quantify(f, frozenset(variables), is_exists=True)
+
+    def forall(self, f: Bdd, variables: Sequence[int]) -> Bdd:
+        """Universal quantification over ``variables``."""
+        return self._quantify(f, frozenset(variables), is_exists=False)
+
+    def _quantify(self, f: Bdd, variables: frozenset, is_exists: bool) -> Bdd:
+        self._check(f)
+        if not variables:
+            return f
+        cache: Dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node <= _TRUE:
+                return node
+            hit = cache.get(node)
+            if hit is not None:
+                return hit
+            var = self._var[node]
+            low = walk(self._low[node])
+            high = walk(self._high[node])
+            if var in variables:
+                if is_exists:
+                    result = self._ite(low, _TRUE, high)  # low | high
+                else:
+                    result = self._ite(low, high, _FALSE)  # low & high
+            else:
+                result = self._mk(var, low, high)
+            cache[node] = result
+            return result
+
+        return Bdd(self, walk(f.node))
+
+    # -- queries ---------------------------------------------------------------
+    def satcount(self, f: Bdd, nvars: Optional[int] = None) -> int:
+        """Count satisfying assignments of ``f`` over ``nvars`` variables."""
+        self._check(f)
+        if nvars is None:
+            nvars = self._num_vars
+        if nvars < 0:
+            raise ValueError(f"nvars must be non-negative, got {nvars}")
+
+        def count(node: int) -> Tuple[int, int]:
+            """Return (count, level) where count is over vars below level."""
+            if node == _FALSE:
+                return 0, nvars
+            if node == _TRUE:
+                return 1, nvars
+            key = (node, nvars)
+            hit = self._satcount_cache.get(key)
+            if hit is not None:
+                return hit, self._var[node]
+            var = self._var[node]
+            low_count, low_level = count(self._low[node])
+            high_count, high_level = count(self._high[node])
+            total = low_count * (1 << (low_level - var - 1)) + high_count * (
+                1 << (high_level - var - 1)
+            )
+            self._satcount_cache[key] = total
+            return total, var
+
+        top_count, top_level = count(f.node)
+        return top_count * (1 << top_level)
+
+    def support(self, f: Bdd) -> List[int]:
+        """Sorted variable indices appearing in ``f``."""
+        self._check(f)
+        seen: set = set()
+        variables: set = set()
+        stack = [f.node]
+        while stack:
+            node = stack.pop()
+            if node <= _TRUE or node in seen:
+                continue
+            seen.add(node)
+            variables.add(self._var[node])
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return sorted(variables)
+
+    def any_model(self, f: Bdd) -> Optional[Dict[int, bool]]:
+        """One satisfying partial assignment, or ``None`` if unsatisfiable.
+
+        Follows a deterministic low-first descent, so repeated calls on the
+        same function return the same model (important for reproducible
+        baseline counterexamples).
+        """
+        self._check(f)
+        node = f.node
+        if node == _FALSE:
+            return None
+        model: Dict[int, bool] = {}
+        while node > _TRUE:
+            if self._low[node] != _FALSE:
+                model[self._var[node]] = False
+                node = self._low[node]
+            else:
+                model[self._var[node]] = True
+                node = self._high[node]
+        return model
+
+    def uniform_model(self, f: Bdd, rng, nvars: Optional[int] = None) -> Optional[Dict[int, bool]]:
+        """A *total* model sampled uniformly from ``f``'s satisfying set.
+
+        Each descent step weights the low/high branch by its model count,
+        and variables skipped on the path are assigned by fair coin flips,
+        giving exactly uniform sampling.  The iterated-counterexample
+        baseline (§2.1) uses this to emulate the varied models an SMT
+        solver returns — deterministic lexicographic models would step
+        through single addresses and never cover the interesting ranges.
+        """
+        self._check(f)
+        if f.node == _FALSE:
+            return None
+        if nvars is None:
+            nvars = self._num_vars
+
+        def count(node: int) -> int:
+            # Models over variables strictly below the node's level.
+            if node == _FALSE:
+                return 0
+            if node == _TRUE:
+                return 1
+            key = (node, nvars)
+            hit = self._satcount_cache.get(key)
+            if hit is not None:
+                return hit
+            var = self._var[node]
+            low, high = self._low[node], self._high[node]
+            low_level = self._var[low] if low > _TRUE else nvars
+            high_level = self._var[high] if high > _TRUE else nvars
+            total = count(low) * (1 << (low_level - var - 1)) + count(high) * (
+                1 << (high_level - var - 1)
+            )
+            self._satcount_cache[key] = total
+            return total
+
+        model: Dict[int, bool] = {}
+        node = f.node
+        level = 0
+        while True:
+            node_level = self._var[node] if node > _TRUE else nvars
+            # Variables between the current level and the node are free.
+            for free in range(level, min(node_level, nvars)):
+                model[free] = bool(rng.getrandbits(1))
+            if node <= _TRUE:
+                break
+            var = self._var[node]
+            low, high = self._low[node], self._high[node]
+            low_level = self._var[low] if low > _TRUE else nvars
+            high_level = self._var[high] if high > _TRUE else nvars
+            low_weight = count(low) * (1 << (low_level - var - 1))
+            high_weight = count(high) * (1 << (high_level - var - 1))
+            pick_high = rng.randrange(low_weight + high_weight) < high_weight
+            model[var] = pick_high
+            node = high if pick_high else low
+            level = var + 1
+        return model
+
+    def random_cube_model(self, f: Bdd, rng, nvars: Optional[int] = None) -> Optional[Dict[int, bool]]:
+        """A total model sampled uniformly over ``f``'s *cubes* (paths to
+        TRUE), with off-path variables filled by coin flips.
+
+        Point-uniform sampling (:meth:`uniform_model`) weights regions by
+        cardinality, which buries structurally small regions; sampling by
+        path instead gives every branch-distinct region similar mass —
+        much closer to how an SMT solver's successive models hop between
+        structural cases, which is what the §2.1 iterated-counterexample
+        experiment depends on.
+        """
+        self._check(f)
+        if f.node == _FALSE:
+            return None
+        if nvars is None:
+            nvars = self._num_vars
+        model = dict(self.random_cube(f, rng) or {})
+        for index in range(nvars):
+            if index not in model:
+                model[index] = bool(rng.getrandbits(1))
+        return model
+
+    def random_cube(self, f: Bdd, rng) -> Optional[Dict[int, bool]]:
+        """A path-uniform random cube: the partial assignment along one
+        uniformly-chosen BDD path to TRUE (off-path variables omitted)."""
+        self._check(f)
+        if f.node == _FALSE:
+            return None
+
+        path_counts: Dict[int, int] = {_FALSE: 0, _TRUE: 1}
+
+        def paths(node: int) -> int:
+            hit = path_counts.get(node)
+            if hit is not None:
+                return hit
+            total = paths(self._low[node]) + paths(self._high[node])
+            path_counts[node] = total
+            return total
+
+        cube: Dict[int, bool] = {}
+        node = f.node
+        while node > _TRUE:
+            var = self._var[node]
+            low_paths = paths(self._low[node])
+            high_paths = paths(self._high[node])
+            pick_high = rng.randrange(low_paths + high_paths) < high_paths
+            cube[var] = pick_high
+            node = self._high[node] if pick_high else self._low[node]
+        return cube
+
+    def iter_cubes(self, f: Bdd) -> Iterator[Dict[int, bool]]:
+        """Yield all prime paths to TRUE as partial assignments (cubes).
+
+        Each cube assigns only the variables on its BDD path; absent
+        variables are don't-cares.  The cubes are disjoint and their union
+        is exactly ``f``.
+        """
+        self._check(f)
+
+        def walk(node: int, acc: Dict[int, bool]) -> Iterator[Dict[int, bool]]:
+            if node == _FALSE:
+                return
+            if node == _TRUE:
+                yield dict(acc)
+                return
+            var = self._var[node]
+            acc[var] = False
+            yield from walk(self._low[node], acc)
+            acc[var] = True
+            yield from walk(self._high[node], acc)
+            del acc[var]
+
+        yield from walk(f.node, {})
+
+    def dag_size(self, f: Bdd) -> int:
+        """Number of decision nodes reachable from ``f`` (terminals excluded)."""
+        self._check(f)
+        seen: set = set()
+        stack = [f.node]
+        while stack:
+            node = stack.pop()
+            if node <= _TRUE or node in seen:
+                continue
+            seen.add(node)
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return len(seen)

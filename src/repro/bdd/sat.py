@@ -1,0 +1,86 @@
+"""Model- and cube-level utilities on top of the ROBDD engine.
+
+The Campion pipeline mostly manipulates whole sets symbolically, but two
+places need concrete witnesses:
+
+* the Minesweeper-style baseline reports a single concrete counterexample
+  per query (paper §2.1, Tables 3 and 5), and
+* Campion itself reports one example community/field value for route-map
+  differences outside the exhaustively-localized prefix dimension (§3.2).
+
+This module centralizes witness extraction so those callers share one
+deterministic strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from .engine import Bdd, BddManager
+from .vector import BitVector
+
+__all__ = [
+    "complete_model",
+    "extract_field_values",
+    "cube_count",
+    "blocking_clause",
+]
+
+
+def complete_model(
+    predicate: Bdd, total_vars: Optional[int] = None
+) -> Optional[Dict[int, bool]]:
+    """A *total* satisfying assignment of ``predicate``.
+
+    ``any_model`` returns a partial assignment (don't-cares omitted); the
+    baseline needs every variable fixed so that a counterexample names one
+    concrete packet or route.  Unassigned variables default to False, which
+    keeps witnesses minimal and deterministic.
+    """
+    partial = predicate.any_model()
+    if partial is None:
+        return None
+    if total_vars is None:
+        total_vars = predicate.manager.num_vars
+    return {index: partial.get(index, False) for index in range(total_vars)}
+
+
+def extract_field_values(
+    model: Dict[int, bool], fields: Sequence[BitVector]
+) -> Dict[str, int]:
+    """Decode a model into ``{field_name: integer_value}``."""
+    return {field.name: field.value_of(model) for field in fields}
+
+
+def cube_count(predicate: Bdd, limit: Optional[int] = None) -> int:
+    """Number of disjoint cubes in ``predicate``'s prime-path cover.
+
+    Stops early at ``limit`` when given — the ablation benchmarks use this
+    to show raw cube covers explode where HeaderLocalize stays small.
+    """
+    count = 0
+    for _ in predicate.manager.iter_cubes(predicate):
+        count += 1
+        if limit is not None and count >= limit:
+            break
+    return count
+
+
+def blocking_clause(
+    manager: BddManager, model: Dict[int, bool], variables: Sequence[int]
+) -> Bdd:
+    """A predicate excluding exactly ``model`` projected onto ``variables``.
+
+    Used by the iterated-counterexample baseline (§2.1): each successive
+    query conjoins the blocking clauses of all previously returned models,
+    forcing the solver to exhibit a fresh witness.
+    """
+    if not variables:
+        raise ValueError("blocking clause needs at least one variable")
+    cube = manager.true
+    for index in variables:
+        if index not in model:
+            raise KeyError(f"model does not assign variable {index}")
+        literal = manager.var(index) if model[index] else manager.nvar(index)
+        cube = cube & literal
+    return ~cube

@@ -1,0 +1,202 @@
+"""The ``campion`` command-line interface.
+
+Subcommands:
+
+* ``campion compare A.cfg B.cfg`` — run ConfigDiff on two configuration
+  files (dialects auto-detected) and print the localization report.
+* ``campion parse A.cfg`` — parse one file and dump a model summary,
+  useful for checking feature coverage before comparing.
+* ``campion baseline A.cfg B.cfg`` — run the Minesweeper-style
+  monolithic check instead (single counterexample, no localization),
+  for side-by-side comparison of the two interfaces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .baseline import monolithic_route_map_check, monolithic_static_route_check
+from .core import (
+    compare_fleet,
+    config_diff,
+    render_report,
+    render_semantic_difference,
+    report_to_json,
+)
+from .model.device import DeviceConfig
+from .parsers import load_config
+
+__all__ = ["main"]
+
+
+def _summarize(device: DeviceConfig) -> str:
+    lines = [
+        f"hostname:        {device.hostname}",
+        f"vendor:          {device.vendor}",
+        f"interfaces:      {len(device.interfaces)}",
+        f"static routes:   {len(device.static_routes)}",
+        f"prefix lists:    {len(device.prefix_lists)}",
+        f"community lists: {len(device.community_lists)}",
+        f"route maps:      {len(device.route_maps)}",
+        f"ACLs:            {len(device.acls)}",
+        f"BGP neighbors:   {len(device.bgp.neighbors) if device.bgp else 0}",
+        f"OSPF interfaces: {len(device.ospf.interfaces) if device.ospf else 0}",
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_parse(args: argparse.Namespace) -> int:
+    device = load_config(args.config, dialect=args.dialect)
+    print(_summarize(device))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    start = time.time()
+    device1 = load_config(args.config1, dialect=args.dialect)
+    device2 = load_config(args.config2, dialect=args.dialect)
+    parse_time = time.time() - start
+    start = time.time()
+    report = config_diff(
+        device1, device2, exhaustive_communities=args.exhaustive_communities
+    )
+    diff_time = time.time() - start
+    if args.json:
+        print(report_to_json(report))
+    else:
+        print(render_report(report))
+        print()
+        print(f"(parse {parse_time:.2f}s, diff {diff_time:.2f}s)")
+    return 0 if report.is_equivalent() else 1
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    device1 = load_config(args.config1, dialect=args.dialect)
+    device2 = load_config(args.config2, dialect=args.dialect)
+    found = False
+    shared_maps = set(device1.route_maps) & set(device2.route_maps)
+    for name in sorted(shared_maps):
+        counterexample = monolithic_route_map_check(
+            device1.route_maps[name],
+            device2.route_maps[name],
+            device1.hostname,
+            device2.hostname,
+        )
+        if counterexample is not None:
+            print(f"route map {name}:")
+            print(counterexample.render())
+            print()
+            found = True
+    static = monolithic_static_route_check(device1, device2)
+    if static is not None:
+        print("static routes:")
+        print(static.render())
+        found = True
+    if not found:
+        print("no differences found by the monolithic check")
+    return 1 if found else 0
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    from .render import translate
+
+    device = load_config(args.config, dialect=args.dialect)
+    result = translate(device, args.target)
+    for warning in result.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(result.text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(result.text, end="")
+    if result.verified:
+        print("verification: translation is behaviorally equivalent", file=sys.stderr)
+        return 0
+    print("verification: translation DIFFERS from the source:", file=sys.stderr)
+    print(render_report(result.report), file=sys.stderr)
+    return 1
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    devices = [load_config(path, dialect=args.dialect) for path in args.configs]
+    report = compare_fleet(devices, reference=args.reference)
+    print(report.render_summary())
+    for hostname in report.outliers:
+        print(f"\n--- {hostname} vs {report.reference} " + "-" * 40)
+        print(render_report(report.reports[hostname]))
+    return 0 if not report.outliers else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``campion`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="campion",
+        description="Debug router configuration differences (SIGCOMM 2021 reproduction)",
+    )
+    parser.add_argument(
+        "--dialect",
+        choices=["auto", "cisco", "juniper", "arista"],
+        default="auto",
+        help="configuration dialect (default: auto-detect)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    parse_parser = subparsers.add_parser("parse", help="parse one configuration")
+    parse_parser.add_argument("config")
+    parse_parser.set_defaults(func=_cmd_parse)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="find and localize all differences between two configs"
+    )
+    compare_parser.add_argument("config1")
+    compare_parser.add_argument("config2")
+    compare_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    compare_parser.add_argument(
+        "--exhaustive-communities",
+        action="store_true",
+        help="localize the community dimension exhaustively (extension)",
+    )
+    compare_parser.set_defaults(func=_cmd_compare)
+
+    baseline_parser = subparsers.add_parser(
+        "baseline", help="Minesweeper-style single-counterexample check"
+    )
+    baseline_parser.add_argument("config1")
+    baseline_parser.add_argument("config2")
+    baseline_parser.set_defaults(func=_cmd_baseline)
+
+    fleet_parser = subparsers.add_parser(
+        "fleet", help="n-way comparison with outlier detection"
+    )
+    fleet_parser.add_argument("configs", nargs="+", help="two or more config files")
+    fleet_parser.add_argument(
+        "--reference",
+        default=None,
+        help="known-good hostname (default: elect the medoid)",
+    )
+    fleet_parser.set_defaults(func=_cmd_fleet)
+
+    translate_parser = subparsers.add_parser(
+        "translate", help="render a config in the other dialect and verify it"
+    )
+    translate_parser.add_argument("config")
+    translate_parser.add_argument(
+        "--target", choices=["cisco", "juniper"], required=True
+    )
+    translate_parser.add_argument(
+        "--output", default=None, help="write the translation here (default: stdout)"
+    )
+    translate_parser.set_defaults(func=_cmd_translate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Campion core: SemanticDiff, StructuralDiff, HeaderLocalize, ConfigDiff."""
+
+from .community_localize import (
+    CommunityCondition,
+    CommunityLocalization,
+    localize_communities,
+)
+from .config_diff import COMPONENT_CHECKS, config_diff
+from .fleet import FleetReport, compare_fleet
+from .grouping import IssueGroup, group_differences
+from .topology import (
+    Adjacency,
+    BackupCandidate,
+    audit_backup_pairs,
+    discover_backup_pairs,
+    infer_adjacencies,
+)
+from .ddnf import (
+    DdnfDag,
+    DdnfNode,
+    RangeAlgebra,
+    address_prefix_algebra,
+    build_dag,
+    close_under_intersection,
+    prefix_range_algebra,
+)
+from .header_localize import (
+    FlatTerm,
+    GetMatchStats,
+    HeaderLocalizeError,
+    Localization,
+    MatchTerm,
+    flatten_terms,
+    get_match,
+    header_localize,
+)
+from .match_policies import AclPair, PolicyPairing, RouteMapPair, match_policies
+from .present import (
+    localize_acl_difference,
+    localize_route_map_difference,
+    render_report,
+    render_semantic_difference,
+    render_structural_difference,
+)
+from .results import (
+    CampionReport,
+    ComponentKind,
+    SemanticDifference,
+    StructuralDifference,
+    UnmatchedPolicy,
+)
+from .semantic_diff import diff_acls, diff_route_maps, semantic_diff_classes
+from .serialize import report_to_dict, report_to_json
+from .structural_diff import (
+    diff_admin_distances,
+    diff_bgp_properties,
+    diff_connected_routes,
+    diff_ospf_properties,
+    diff_static_routes,
+    structural_diff_all,
+)
+
+__all__ = [
+    "AclPair",
+    "Adjacency",
+    "BackupCandidate",
+    "CampionReport",
+    "CommunityCondition",
+    "CommunityLocalization",
+    "COMPONENT_CHECKS",
+    "ComponentKind",
+    "DdnfDag",
+    "DdnfNode",
+    "FlatTerm",
+    "FleetReport",
+    "GetMatchStats",
+    "HeaderLocalizeError",
+    "IssueGroup",
+    "Localization",
+    "MatchTerm",
+    "PolicyPairing",
+    "RangeAlgebra",
+    "RouteMapPair",
+    "SemanticDifference",
+    "StructuralDifference",
+    "UnmatchedPolicy",
+    "address_prefix_algebra",
+    "audit_backup_pairs",
+    "build_dag",
+    "close_under_intersection",
+    "compare_fleet",
+    "config_diff",
+    "diff_acls",
+    "discover_backup_pairs",
+    "diff_admin_distances",
+    "diff_bgp_properties",
+    "diff_connected_routes",
+    "diff_ospf_properties",
+    "diff_route_maps",
+    "diff_static_routes",
+    "flatten_terms",
+    "get_match",
+    "group_differences",
+    "header_localize",
+    "infer_adjacencies",
+    "localize_acl_difference",
+    "localize_communities",
+    "localize_route_map_difference",
+    "match_policies",
+    "prefix_range_algebra",
+    "render_report",
+    "report_to_dict",
+    "report_to_json",
+    "render_semantic_difference",
+    "render_structural_difference",
+    "semantic_diff_classes",
+    "structural_diff_all",
+]

@@ -1,0 +1,174 @@
+"""Exhaustive localization of the community dimension — the §3.2/§4
+extension the paper leaves as future work.
+
+Campion localizes the prefix dimension exhaustively but reports only a
+*single example* for communities ("It is possible to extend
+HeaderLocalize to provide exhaustive information across multiple parts
+of a route advertisement" — §4).  This module implements that
+extension for standard communities:
+
+The community dimension of a comparison is a finite boolean space over
+the comparison's community atoms (see
+:func:`repro.encoding.route.community_universe`).  Projecting a
+difference's input set onto those variables yields a boolean function
+whose BDD cube cover is already a compact DNF: each cube is a
+*condition* — communities that must be carried, communities that must
+be absent, everything else free.  For the paper's Figure 1 bug this
+produces exactly
+
+    (10:10 ∧ ¬10:11) ∨ (¬10:10 ∧ 10:11)
+
+i.e. "routes carrying exactly one of the two tags" — a complete
+characterization where the paper's tool shows one sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..bdd import Bdd
+from ..encoding.route import RouteSpace
+from ..model.types import Community
+
+__all__ = ["CommunityCondition", "CommunityLocalization", "localize_communities"]
+
+
+@dataclass(frozen=True)
+class CommunityCondition:
+    """One disjunct: required communities ∧ ¬(forbidden communities)."""
+
+    required: FrozenSet[Community] = frozenset()
+    forbidden: FrozenSet[Community] = frozenset()
+
+    def render(self) -> str:
+        """Human-readable conjunction, e.g. ``10:10 and not 10:11``."""
+        parts = [str(c) for c in sorted(self.required)]
+        parts.extend(f"not {c}" for c in sorted(self.forbidden))
+        if not parts:
+            return "(any communities)"
+        return " and ".join(parts)
+
+    def matches(self, carried: FrozenSet[Community]) -> bool:
+        """Concrete test, used as the oracle in property tests."""
+        return self.required <= carried and not (self.forbidden & carried)
+
+
+@dataclass(frozen=True)
+class CommunityLocalization:
+    """The full community-space characterization of a difference.
+
+    ``conditions`` is the exact DNF (used by :meth:`matches`);
+    ``summary`` is a human-oriented equivalent in *at least one of /
+    none of* form when the function has that shape (regex-set
+    differences typically do), preferred by :meth:`render`.
+    """
+
+    conditions: Tuple[CommunityCondition, ...]
+    universal: bool = False  # difference independent of communities
+    summary: Optional[str] = None
+
+    def render(self) -> str:
+        """Human-readable DNF (or the compact summary when available)."""
+        if self.universal:
+            return "(any communities)"
+        if not self.conditions:
+            return "(unsatisfiable)"
+        if self.summary is not None:
+            return self.summary
+        return "\nor ".join(condition.render() for condition in self.conditions)
+
+    def matches(self, carried: FrozenSet[Community]) -> bool:
+        """Concrete membership test against the exact DNF (test oracle)."""
+        if self.universal:
+            return True
+        return any(condition.matches(carried) for condition in self.conditions)
+
+
+def localize_communities(space: RouteSpace, affected: Bdd) -> CommunityLocalization:
+    """Project ``affected`` onto the community dimension and return its
+    exhaustive DNF over the comparison's community atoms.
+
+    The projection quantifies away every non-community variable, asking
+    "for which community sets does *some* advertisement exhibit the
+    difference" — the community-dimension analogue of HeaderLocalize's
+    prefix projection.
+    """
+    manager = space.manager
+    community_indices = {
+        var.support()[0]: community
+        for community, var in space.community_vars.items()
+    }
+    drop = [
+        index
+        for index in range(manager.num_vars)
+        if index not in community_indices
+    ]
+    projected = manager.exists(affected, drop)
+    if projected.is_true():
+        return CommunityLocalization(conditions=(), universal=True)
+
+    conditions: List[CommunityCondition] = []
+    for cube in manager.iter_cubes(projected):
+        required = frozenset(
+            community_indices[index] for index, value in cube.items() if value
+        )
+        forbidden = frozenset(
+            community_indices[index] for index, value in cube.items() if not value
+        )
+        conditions.append(CommunityCondition(required, forbidden))
+    summary = _summarize(space, projected, community_indices)
+    return CommunityLocalization(conditions=tuple(conditions), summary=summary)
+
+
+def _summarize(space: RouteSpace, projected: Bdd, community_indices) -> Optional[str]:
+    """A compact equivalent when the function has one of two shapes:
+
+    * ``(all of P) and (none of N)`` — pure conjunction, or
+    * ``(at least one of P) and (none of N)`` — the shape regex-set
+      differences produce ("any of the communities only one side's regex
+      accepts, carrying none of the shared ones").
+    """
+    manager = space.manager
+    support_atoms = [
+        community_indices[index]
+        for index in projected.support()
+        if index in community_indices
+    ]
+    if not support_atoms:
+        return None
+    forbidden = [
+        atom
+        for atom in support_atoms
+        if (projected & space.community_pred(atom)).is_false()
+    ]
+    required = [
+        atom
+        for atom in support_atoms
+        if projected.implies(space.community_pred(atom))
+    ]
+    positives = [a for a in support_atoms if a not in forbidden and a not in required]
+    base = manager.conjoin(space.community_pred(a) for a in required) & manager.conjoin(
+        ~space.community_pred(a) for a in forbidden
+    )
+
+    def render_summary(head: str) -> str:
+        parts = []
+        if required:
+            parts.append(" and ".join(str(a) for a in sorted(required)))
+        if head:
+            parts.append(head)
+        if forbidden:
+            rendered = ", ".join(str(a) for a in sorted(forbidden))
+            parts.append(f"none of {{{rendered}}}")
+        return " and ".join(parts)
+
+    if not positives:
+        if base == projected:
+            return render_summary("")
+        return None
+    at_least_one = manager.disjoin(space.community_pred(a) for a in positives)
+    if (base & at_least_one) == projected:
+        rendered = ", ".join(str(a) for a in sorted(positives))
+        return render_summary(f"at least one of {{{rendered}}}")
+    return None

@@ -1,0 +1,114 @@
+"""ConfigDiff — Campion's top-level algorithm (§3).
+
+    func ConfigDiff(C1, C2):
+        pairs <- MatchPolicies(C1, C2)
+        for (p1, p2) in pairs:
+            for d in Diff(p1, p2):           # Semantic- or StructuralDiff
+                result.append(Present(d))
+        return result
+
+``Diff`` dispatches per Table 1: SemanticDiff for ACLs and route maps,
+StructuralDiff for everything else; ``Present`` attaches HeaderLocalize
+output and renders.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..model.device import DeviceConfig
+from .match_policies import PolicyPairing, match_policies
+from .present import localize_acl_difference, localize_route_map_difference
+from .results import CampionReport, ComponentKind
+from .semantic_diff import diff_acls, diff_route_maps
+from .structural_diff import structural_diff_all
+
+__all__ = ["COMPONENT_CHECKS", "config_diff"]
+
+# Table 1: Components supported by Campion and the check used for each.
+COMPONENT_CHECKS: Dict[ComponentKind, str] = {
+    kind: kind.check_used() for kind in ComponentKind
+}
+
+
+def config_diff(
+    device1: DeviceConfig,
+    device2: DeviceConfig,
+    pairing: Optional[PolicyPairing] = None,
+    exhaustive_communities: bool = False,
+) -> CampionReport:
+    """Find and localize all differences between two router configurations.
+
+    ``pairing`` overrides MatchPolicies' heuristics when supplied (the
+    paper allows user-provided component correspondences).
+    ``exhaustive_communities`` enables the §4 future-work extension:
+    full DNF localization of the community dimension instead of one
+    example.
+    """
+    if pairing is None:
+        pairing = match_policies(device1, device2)
+
+    report = CampionReport(router1=device1.hostname, router2=device2.hostname)
+    report.unmatched = list(pairing.unmatched)
+
+    seen_route_map_pairs = set()
+    for pair in pairing.route_map_pairs:
+        dedup_key = (pair.name1, pair.name2)
+        if dedup_key in seen_route_map_pairs:
+            continue  # the same map pair applied to several neighbors
+        seen_route_map_pairs.add(dedup_key)
+        map1 = device1.route_maps.get(pair.name1)
+        map2 = device2.route_maps.get(pair.name2)
+        if map1 is None or map2 is None:
+            # A referenced-but-undefined policy behaves as permit-all on
+            # IOS; flag it as unmatched rather than guessing semantics.
+            from .results import UnmatchedPolicy
+
+            missing_name = pair.name1 if map1 is None else pair.name2
+            present_on = device2.hostname if map1 is None else device1.hostname
+            missing_on = device1.hostname if map1 is None else device2.hostname
+            report.unmatched.append(
+                UnmatchedPolicy(
+                    kind=ComponentKind.ROUTE_MAP,
+                    name=missing_name,
+                    present_on=present_on,
+                    missing_on=missing_on,
+                    context=f"referenced by {pair.context} but not defined",
+                )
+            )
+            continue
+        space, differences = diff_route_maps(
+            map1,
+            map2,
+            router1=device1.hostname,
+            router2=device2.hostname,
+            context=pair.context,
+        )
+        for difference in differences:
+            localize_route_map_difference(
+                space,
+                difference,
+                map1,
+                map2,
+                exhaustive_communities=exhaustive_communities,
+            )
+        report.semantic.extend(differences)
+
+    for pair in pairing.acl_pairs:
+        acl1 = device1.acls[pair.name1]
+        acl2 = device2.acls[pair.name2]
+        space, differences = diff_acls(
+            acl1,
+            acl2,
+            router1=device1.hostname,
+            router2=device2.hostname,
+            context=f"ACL {pair.name1}",
+        )
+        for difference in differences:
+            localize_acl_difference(space, difference, acl1, acl2)
+        report.semantic.extend(differences)
+
+    report.structural = structural_diff_all(
+        device1, device2, pairing.ospf_interface_pairing
+    )
+    return report

@@ -1,0 +1,179 @@
+"""The ddNF-style containment DAG over prefix ranges (§3.2, Figure 3).
+
+HeaderLocalize expresses an affected input set in terms of the prefix
+ranges appearing in the two configurations.  This module builds the data
+structure that makes the minimal representation computable: a DAG whose
+nodes are the configurations' prefix ranges (plus the universe, closed
+under intersection) and whose edges are *immediate* strict containments.
+
+The DAG is generic over the range type so the same machinery localizes
+route-map differences (elements are :class:`~repro.model.types.PrefixRange`)
+and ACL differences (elements are :class:`~repro.model.types.Prefix`
+denoting address sets).  An element type must supply:
+
+* ``contains(a, b)`` — set containment of denoted sets,
+* ``intersect(a, b)`` — the denoted intersection as another element, or
+  ``None`` when empty (prefix ranges and prefixes are both closed under
+  nonempty intersection, which property (3) of the paper requires).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generic, Hashable, List, Optional, Sequence, Set, TypeVar
+
+from ..model.types import Prefix, PrefixRange
+
+__all__ = [
+    "DdnfNode",
+    "DdnfDag",
+    "build_dag",
+    "prefix_range_algebra",
+    "address_prefix_algebra",
+    "RangeAlgebra",
+]
+
+ElementT = TypeVar("ElementT", bound=Hashable)
+
+
+@dataclass(frozen=True)
+class RangeAlgebra(Generic[ElementT]):
+    """The operations the DAG needs from its element type."""
+
+    universe: ElementT
+    contains: Callable[[ElementT, ElementT], bool]
+    intersect: Callable[[ElementT, ElementT], Optional[ElementT]]
+
+
+def prefix_range_algebra() -> RangeAlgebra[PrefixRange]:
+    """Prefix ranges under range containment/intersection (route maps)."""
+    return RangeAlgebra(
+        universe=PrefixRange.universe(),
+        contains=lambda a, b: a.contains_range(b),
+        intersect=lambda a, b: a.intersect(b),
+    )
+
+
+def _prefix_intersect(a: Prefix, b: Prefix) -> Optional[Prefix]:
+    if a.contains_prefix(b):
+        return b
+    if b.contains_prefix(a):
+        return a
+    return None
+
+
+def address_prefix_algebra() -> RangeAlgebra[Prefix]:
+    """Prefixes as *address sets* (ACL source/destination localization)."""
+    return RangeAlgebra(
+        universe=Prefix(0, 0),
+        contains=lambda a, b: a.contains_prefix(b),
+        intersect=_prefix_intersect,
+    )
+
+
+@dataclass
+class DdnfNode(Generic[ElementT]):
+    """One DAG node: a unique range label plus immediate-containment edges."""
+
+    label: ElementT
+    children: List["DdnfNode[ElementT]"] = field(default_factory=list)
+
+    def is_leaf(self) -> bool:
+        """Whether this node has no children."""
+        return not self.children
+
+
+class DdnfDag(Generic[ElementT]):
+    """The containment DAG with the four properties of §3.2.
+
+    (1) rooted at the universe, (2) unique labels, (3) label set closed
+    under intersection and containing the input ranges, (4) edges are
+    immediate strict containments.
+    """
+
+    def __init__(self, root: DdnfNode[ElementT], nodes: Dict[ElementT, DdnfNode[ElementT]]):
+        self.root = root
+        self.nodes = nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, label: ElementT) -> DdnfNode[ElementT]:
+        """The node labeled ``label``."""
+        return self.nodes[label]
+
+    def topological(self) -> List[DdnfNode[ElementT]]:
+        """Nodes in a parent-before-child order."""
+        order: List[DdnfNode[ElementT]] = []
+        visited: Set[int] = set()
+
+        def visit(node: DdnfNode[ElementT]) -> None:
+            if id(node) in visited:
+                return
+            visited.add(id(node))
+            order.append(node)
+            for child in node.children:
+                visit(child)
+
+        visit(self.root)
+        return order
+
+
+def close_under_intersection(
+    ranges: Sequence[ElementT], algebra: RangeAlgebra[ElementT]
+) -> List[ElementT]:
+    """The input ranges plus the universe, closed under intersection.
+
+    For prefix-structured elements the intersection of two elements is
+    one of them or empty unless one contains the other, so closure
+    converges after a single pairwise pass; we iterate to a fixpoint
+    anyway to stay correct for any conforming algebra.
+    """
+    closed: Set[ElementT] = set(ranges)
+    closed.add(algebra.universe)
+    worklist: List[ElementT] = list(closed)
+    while worklist:
+        current = worklist.pop()
+        for other in list(closed):
+            meet = algebra.intersect(current, other)
+            if meet is not None and meet not in closed:
+                closed.add(meet)
+                worklist.append(meet)
+    return sorted(closed)  # deterministic construction order
+
+
+def build_dag(
+    ranges: Sequence[ElementT], algebra: RangeAlgebra[ElementT]
+) -> DdnfDag[ElementT]:
+    """Build the immediate-containment DAG over the closed range set."""
+    labels = close_under_intersection(ranges, algebra)
+    nodes: Dict[ElementT, DdnfNode[ElementT]] = {
+        label: DdnfNode(label) for label in labels
+    }
+
+    # strict_supersets[x] = labels strictly containing x.
+    strict_supersets: Dict[ElementT, List[ElementT]] = {label: [] for label in labels}
+    for outer in labels:
+        for inner in labels:
+            if outer != inner and algebra.contains(outer, inner):
+                strict_supersets[inner].append(outer)
+
+    # Edge (m, n) iff m strictly contains n with no label strictly between.
+    for inner in labels:
+        supersets = strict_supersets[inner]
+        for parent in supersets:
+            immediate = True
+            for middle in supersets:
+                if middle == parent:
+                    continue
+                if algebra.contains(parent, middle):
+                    # parent > middle > inner, so parent is not immediate.
+                    immediate = False
+                    break
+            if immediate:
+                nodes[parent].children.append(nodes[inner])
+
+    root = nodes[algebra.universe]
+    for node in nodes.values():
+        node.children.sort(key=lambda child: repr(child.label))
+    return DdnfDag(root, nodes)

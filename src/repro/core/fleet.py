@@ -1,0 +1,132 @@
+"""Fleet comparison — n-way equivalence with outlier detection.
+
+§5.1 Scenario 3 wants *all* gateway routers to enforce identical
+policy; Campion's unit of work is a pair.  This module lifts ConfigDiff
+to a fleet: it computes the pairwise difference matrix, elects the
+*medoid* configuration (the device minimizing total differences to the
+rest — the fleet's de-facto intent, in the spirit of the outlier-
+detection related work the paper cites) and reports every other device
+against it, so each outlier comes with Campion's full localization.
+
+For a fleet of n devices this costs n(n-1)/2 comparisons for the
+matrix; pass ``reference=<hostname>`` to skip the election and compare
+everything against a known-good device in n-1 comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..model.device import DeviceConfig
+from .config_diff import config_diff
+from .results import CampionReport
+
+__all__ = ["FleetReport", "compare_fleet"]
+
+
+@dataclass
+class FleetReport:
+    """Result of an n-way comparison."""
+
+    reference: str
+    hostnames: List[str]
+    # difference counts for every unordered pair (by hostname)
+    matrix: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    # full reports of each non-reference device against the reference
+    reports: Dict[str, CampionReport] = field(default_factory=dict)
+
+    @property
+    def outliers(self) -> List[str]:
+        """Devices that differ from the reference."""
+        return sorted(
+            hostname
+            for hostname, report in self.reports.items()
+            if not report.is_equivalent()
+        )
+
+    @property
+    def conforming(self) -> List[str]:
+        """Devices equivalent to the reference."""
+        return sorted(
+            hostname
+            for hostname, report in self.reports.items()
+            if report.is_equivalent()
+        )
+
+    def pair_count(self, first: str, second: str) -> int:
+        """Difference count between two devices (order-insensitive)."""
+        key = (min(first, second), max(first, second))
+        return self.matrix[key]
+
+    def render_summary(self) -> str:
+        """One-paragraph fleet verdict for CLI output."""
+        lines = [
+            f"fleet of {len(self.hostnames)}; reference: {self.reference}",
+            f"conforming: {len(self.conforming)}; outliers: {len(self.outliers)}",
+        ]
+        for hostname in self.outliers:
+            report = self.reports[hostname]
+            lines.append(
+                f"  {hostname}: {report.total_differences()} difference(s) vs {self.reference}"
+            )
+        return "\n".join(lines)
+
+
+def compare_fleet(
+    devices: Sequence[DeviceConfig],
+    reference: Optional[str] = None,
+    exhaustive_communities: bool = False,
+) -> FleetReport:
+    """Compare a fleet of configurations intended to be identical.
+
+    With ``reference=None`` the medoid is elected from the pairwise
+    difference matrix; ties break toward the lexicographically-smallest
+    hostname for determinism.
+    """
+    if len(devices) < 2:
+        raise ValueError("a fleet comparison needs at least two devices")
+    by_name = {device.hostname: device for device in devices}
+    if len(by_name) != len(devices):
+        raise ValueError("fleet hostnames must be unique")
+    hostnames = sorted(by_name)
+
+    matrix: Dict[Tuple[str, str], int] = {}
+    pair_reports: Dict[Tuple[str, str], CampionReport] = {}
+
+    if reference is None:
+        for index, first in enumerate(hostnames):
+            for second in hostnames[index + 1 :]:
+                report = config_diff(
+                    by_name[first],
+                    by_name[second],
+                    exhaustive_communities=exhaustive_communities,
+                )
+                matrix[(first, second)] = report.total_differences()
+                pair_reports[(first, second)] = report
+        totals = {
+            hostname: sum(
+                count for pair, count in matrix.items() if hostname in pair
+            )
+            for hostname in hostnames
+        }
+        reference = min(hostnames, key=lambda h: (totals[h], h))
+    elif reference not in by_name:
+        raise ValueError(f"reference {reference!r} is not in the fleet")
+
+    result = FleetReport(reference=reference, hostnames=hostnames, matrix=matrix)
+    for hostname in hostnames:
+        if hostname == reference:
+            continue
+        key = (min(reference, hostname), max(reference, hostname))
+        report = pair_reports.get(key)
+        if report is None or key[0] != reference:
+            # Re-run oriented reference-first so reports read uniformly.
+            report = config_diff(
+                by_name[reference],
+                by_name[hostname],
+                exhaustive_communities=exhaustive_communities,
+            )
+        result.reports[hostname] = report
+        result.matrix.setdefault(key, report.total_differences())
+    return result

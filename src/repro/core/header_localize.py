@@ -1,0 +1,274 @@
+"""HeaderLocalize — minimal representation of an affected input set (§3.2).
+
+Given the BDD ``S`` of inputs exhibiting a behavioral difference (from
+SemanticDiff) and the prefix ranges appearing in the two configurations,
+produce a compact union of *difference terms* ``R − X₁ − … − Xₖ`` over
+those ranges.  The algorithm is the paper's:
+
+1. extract the configurations' ranges, add the universe, close under
+   intersection, and build the ddNF containment DAG (``core.ddnf``);
+2. traverse with the recursive ``GetMatch`` — a leaf contributes itself
+   when contained in ``S``; an internal node whose *remainder* (itself
+   minus its children) lies in ``S`` contributes itself minus whatever
+   parts of its children are *not* in ``S`` (computed by recursing with
+   the complement); otherwise recurse into children and union;
+3. flatten nested differences in one pass: ``C − (F − G)`` becomes
+   ``{C − F, G}`` (valid because nested terms always denote subsets of
+   their enclosing range in a containment DAG).
+
+The same machinery handles route maps (ranges are
+:class:`~repro.model.types.PrefixRange` over the advertisement's
+prefix+length dimensions) and ACLs (ranges are address prefixes over the
+source or destination address dimensions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, List, Optional, Sequence, Tuple, TypeVar
+
+from ..bdd import Bdd
+from .ddnf import DdnfDag, DdnfNode, RangeAlgebra, build_dag
+
+__all__ = [
+    "HeaderLocalizeError",
+    "MatchTerm",
+    "FlatTerm",
+    "Localization",
+    "GetMatchStats",
+    "get_match",
+    "flatten_terms",
+    "header_localize",
+]
+
+ElementT = TypeVar("ElementT")
+
+
+class HeaderLocalizeError(RuntimeError):
+    """The affected set is not expressible over the supplied ranges.
+
+    By construction SemanticDiff's sets are boolean combinations of the
+    configurations' range predicates, making every remainder/leaf either
+    contained in or disjoint from the set; this error firing means the
+    caller passed ranges that don't generate the set's algebra.
+    """
+
+
+@dataclass(frozen=True)
+class MatchTerm(Generic[ElementT]):
+    """A (possibly nested) difference term ``range − minus₁ − …``."""
+
+    range: ElementT
+    minus: Tuple["MatchTerm[ElementT]", ...] = ()
+
+    def render(self) -> str:
+        """Human-readable nested-difference form."""
+        if not self.minus:
+            return str(self.range)
+        inner = ", ".join(term.render() for term in self.minus)
+        return f"({self.range}) - [{inner}]"
+
+
+@dataclass(frozen=True)
+class FlatTerm(Generic[ElementT]):
+    """A flattened term: one positive range minus plain ranges only."""
+
+    range: ElementT
+    minus: Tuple[ElementT, ...] = ()
+
+    def render(self) -> str:
+        """Human-readable flat-difference form."""
+        if not self.minus:
+            return str(self.range)
+        inner = " - ".join(str(m) for m in self.minus)
+        return f"{self.range} - {inner}"
+
+
+@dataclass
+class GetMatchStats:
+    """Instrumentation for the ablation benchmarks."""
+
+    dag_nodes: int = 0
+    containment_checks: int = 0
+    recursive_calls: int = 0
+
+
+@dataclass(frozen=True)
+class Localization(Generic[ElementT]):
+    """HeaderLocalize's output for one behavioral difference.
+
+    ``included`` / ``excluded`` are the merged positive and subtracted
+    ranges — the *Included Prefixes* / *Excluded Prefixes* rows of
+    Table 2 — while ``terms`` keeps the precise structure.
+    """
+
+    terms: Tuple[FlatTerm[ElementT], ...]
+    stats: GetMatchStats = field(default_factory=GetMatchStats, compare=False)
+
+    @property
+    def included(self) -> List[ElementT]:
+        """The positive ranges (Included Prefixes row)."""
+        seen: List[ElementT] = []
+        for term in self.terms:
+            if term.range not in seen:
+                seen.append(term.range)
+        return seen
+
+    @property
+    def excluded(self) -> List[ElementT]:
+        """The subtracted ranges (Excluded Prefixes row)."""
+        seen: List[ElementT] = []
+        for term in self.terms:
+            for minus in term.minus:
+                if minus not in seen:
+                    seen.append(minus)
+        return seen
+
+    def render(self) -> str:
+        """Union of the flat terms, rendered."""
+        return " ∪ ".join(term.render() for term in self.terms)
+
+    def is_empty(self) -> bool:
+        """Whether the localized set is empty."""
+        return not self.terms
+
+
+def get_match(
+    affected: Bdd,
+    dag: DdnfDag[ElementT],
+    to_pred: Callable[[ElementT], Bdd],
+    stats: Optional[GetMatchStats] = None,
+) -> List[MatchTerm[ElementT]]:
+    """The paper's recursive GetMatch over the containment DAG.
+
+    ``to_pred`` maps a range label to its BDD over the same dimensions as
+    ``affected`` (other dimensions must already be projected away by the
+    caller).
+    """
+    if stats is None:
+        stats = GetMatchStats()
+    stats.dag_nodes = len(dag)
+
+    manager = affected.manager
+    pred_cache: dict = {}
+
+    def pred_of(label: ElementT) -> Bdd:
+        cached = pred_cache.get(label)
+        if cached is None:
+            cached = to_pred(label)
+            pred_cache[label] = cached
+        return cached
+
+    def contained(part: Bdd, target: Bdd) -> bool:
+        stats.containment_checks += 1
+        return part.implies(target)
+
+    def walk(target: Bdd, node: DdnfNode[ElementT]) -> List[MatchTerm[ElementT]]:
+        stats.recursive_calls += 1
+        node_pred = pred_of(node.label)
+        if node.is_leaf():
+            if contained(node_pred, target):
+                return [MatchTerm(node.label)]
+            if node_pred.intersects(target):
+                raise HeaderLocalizeError(
+                    f"leaf {node.label} straddles the affected set; "
+                    "the range vocabulary does not generate it"
+                )
+            return []
+        remainder = node_pred
+        for child in node.children:
+            remainder = remainder - pred_of(child.label)
+        if contained(remainder, target):
+            complement = ~target
+            nonmatches: List[MatchTerm[ElementT]] = []
+            for child in node.children:
+                nonmatches.extend(walk(complement, child))
+            return [MatchTerm(node.label, tuple(_prune(nonmatches)))]
+        if remainder.intersects(target):
+            raise HeaderLocalizeError(
+                f"remainder of {node.label} straddles the affected set; "
+                "the range vocabulary does not generate it"
+            )
+        matches: List[MatchTerm[ElementT]] = []
+        for child in node.children:
+            matches.extend(walk(target, child))
+        return _prune(matches)
+
+    def denote(term: MatchTerm[ElementT]) -> Bdd:
+        result = pred_of(term.range)
+        for subtrahend in term.minus:
+            result = result - denote(subtrahend)
+        return result
+
+    def _prune(terms: List[MatchTerm[ElementT]]) -> List[MatchTerm[ElementT]]:
+        """Drop terms semantically covered by the union of the others.
+
+        Overlapping DAG siblings (whose intersection is itself a closure
+        node) can contribute redundant terms — e.g. ``B − D − (E∩D)``
+        where ``E∩D ⊆ D``; the paper asks for the *minimal*
+        representation, so we greedily keep only non-redundant terms,
+        preferring structurally simpler (fewer subtrahends) ones.
+        """
+        unique = _dedupe(terms)
+        if len(unique) <= 1:
+            return unique
+        # Simple terms first so complex ones are dropped preferentially.
+        ordered = sorted(unique, key=lambda t: (len(t.minus), repr(t.range)))
+        denotations = {id(term): denote(term) for term in ordered}
+        kept: List[MatchTerm[ElementT]] = []
+        for index, term in enumerate(ordered):
+            rest = kept + ordered[index + 1 :]
+            union_rest = manager.disjoin(denotations[id(t)] for t in rest)
+            if not denotations[id(term)].implies(union_rest):
+                kept.append(term)
+        return kept
+
+    terms = walk(affected, dag.root)
+    return _dedupe(terms)
+
+
+def _dedupe(terms: List[MatchTerm[ElementT]]) -> List[MatchTerm[ElementT]]:
+    """Drop duplicate terms (a node reachable via two parents is visited
+    twice in a DAG traversal)."""
+    seen: List[MatchTerm[ElementT]] = []
+    for term in terms:
+        if term not in seen:
+            seen.append(term)
+    return seen
+
+
+def flatten_terms(terms: Sequence[MatchTerm[ElementT]]) -> List[FlatTerm[ElementT]]:
+    """Single-pass removal of nested differences (§3.2's final step).
+
+    ``R − (X − Y)`` = ``(R − X) ∪ Y`` because ``Y ⊆ X ⊆ R`` in a
+    containment DAG, so each nested subtrahend surfaces as its own term.
+    """
+    flat: List[FlatTerm[ElementT]] = []
+
+    def emit(term: MatchTerm[ElementT]) -> None:
+        flat.append(FlatTerm(term.range, tuple(m.range for m in term.minus)))
+        for subtrahend in term.minus:
+            for nested in subtrahend.minus:
+                emit(nested)
+
+    for term in terms:
+        emit(term)
+    # Deduplicate while preserving discovery order.
+    unique: List[FlatTerm[ElementT]] = []
+    for term in flat:
+        if term not in unique:
+            unique.append(term)
+    return unique
+
+
+def header_localize(
+    affected: Bdd,
+    ranges: Sequence[ElementT],
+    algebra: RangeAlgebra[ElementT],
+    to_pred: Callable[[ElementT], Bdd],
+) -> Localization[ElementT]:
+    """End-to-end HeaderLocalize: DAG build, GetMatch, flattening."""
+    stats = GetMatchStats()
+    dag = build_dag(ranges, algebra)
+    terms = get_match(affected, dag, to_pred, stats)
+    return Localization(terms=tuple(flatten_terms(terms)), stats=stats)

@@ -1,0 +1,153 @@
+"""SemanticDiff — all behavioral differences between two components (§3.1).
+
+The algorithm is the paper's two-step:
+
+1. partition each component's input space into path equivalence classes
+   (done by the encoders, shared with the caller so the comparison and
+   localization use one variable layout);
+2. for every cross pair of classes whose predicates intersect and whose
+   actions differ, emit a difference whose input set is the intersection.
+
+Because classes within one component are disjoint, the emitted input sets
+for a fixed class of one component are disjoint too, so a reader can sum
+them; the union over all emitted differences is exactly the set of inputs
+on which the components disagree (tests verify this against a concrete
+first-match oracle).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..bdd import Bdd, BddManager
+from ..encoding import (
+    PacketSpace,
+    RouteSpace,
+    acl_equivalence_classes,
+    route_map_equivalence_classes,
+)
+from ..encoding.classes import EquivalenceClass
+from ..model.acl import Acl
+from ..model.routemap import RouteMap
+from .results import ComponentKind, SemanticDifference
+
+__all__ = [
+    "semantic_diff_classes",
+    "diff_route_maps",
+    "diff_acls",
+]
+
+
+def _disagreement_region(
+    classes1: Sequence[EquivalenceClass], classes2: Sequence[EquivalenceClass]
+) -> Bdd:
+    """The set of inputs on which the two partitions' actions differ.
+
+    Computed as the complement of the agreement region
+    ``∪_a (U1_a ∧ U2_a)`` where ``U_a`` unions the classes taking action
+    ``a``.  This costs O(n) BDD operations and lets the pairwise loop
+    skip every class that only overlaps agreeing classes — on
+    nearly-equivalent 10,000-rule ACLs (§5.4) that prunes the quadratic
+    comparison down to the handful of genuinely differing paths.
+    """
+    manager = classes1[0].predicate.manager
+    agree = manager.false
+    by_action1 = {}
+    by_action2 = {}
+    for cls in classes1:
+        key = cls.action if not hasattr(cls.action, "describe") else cls.action.describe()
+        by_action1.setdefault(key, []).append(cls.predicate)
+    for cls in classes2:
+        key = cls.action if not hasattr(cls.action, "describe") else cls.action.describe()
+        by_action2.setdefault(key, []).append(cls.predicate)
+    for key, preds1 in by_action1.items():
+        preds2 = by_action2.get(key)
+        if not preds2:
+            continue
+        union1 = manager.disjoin(preds1)
+        union2 = manager.disjoin(preds2)
+        agree = agree | (union1 & union2)
+    return ~agree
+
+
+def semantic_diff_classes(
+    kind: ComponentKind,
+    classes1: Sequence[EquivalenceClass],
+    classes2: Sequence[EquivalenceClass],
+    router1: str = "router1",
+    router2: str = "router2",
+    context: str = "",
+) -> List[SemanticDifference]:
+    """Pairwise comparison of two path partitions (§3.1 step 2)."""
+    differences: List[SemanticDifference] = []
+    if not classes1 or not classes2:
+        return differences
+    disagree = _disagreement_region(classes1, classes2)
+    if disagree.is_false():
+        return differences
+    candidates2 = [cls for cls in classes2 if cls.predicate.intersects(disagree)]
+    for class1 in classes1:
+        narrowed1 = class1.predicate & disagree
+        if narrowed1.is_false():
+            continue
+        for class2 in candidates2:
+            if class1.action == class2.action:
+                continue
+            overlap = class1.predicate & class2.predicate
+            if overlap.is_false():
+                continue
+            differences.append(
+                SemanticDifference(
+                    kind=kind,
+                    input_set=overlap,
+                    class1=class1,
+                    class2=class2,
+                    router1=router1,
+                    router2=router2,
+                    context=context,
+                )
+            )
+    return differences
+
+
+def diff_route_maps(
+    map1: RouteMap,
+    map2: RouteMap,
+    router1: str = "router1",
+    router2: str = "router2",
+    context: str = "",
+    space: Optional[RouteSpace] = None,
+) -> Tuple[RouteSpace, List[SemanticDifference]]:
+    """SemanticDiff on two route maps.
+
+    Builds (or reuses) a :class:`RouteSpace` whose vocabulary covers both
+    policies and returns it with the differences so the caller can run
+    HeaderLocalize and decode witnesses in the same space.
+    """
+    if space is None:
+        space = RouteSpace([map1, map2])
+    classes1 = route_map_equivalence_classes(space, map1)
+    classes2 = route_map_equivalence_classes(space, map2)
+    differences = semantic_diff_classes(
+        ComponentKind.ROUTE_MAP, classes1, classes2, router1, router2, context
+    )
+    return space, differences
+
+
+def diff_acls(
+    acl1: Acl,
+    acl2: Acl,
+    router1: str = "router1",
+    router2: str = "router2",
+    context: str = "",
+    space: Optional[PacketSpace] = None,
+) -> Tuple[PacketSpace, List[SemanticDifference]]:
+    """SemanticDiff on two ACLs over a shared packet space."""
+    if space is None:
+        space = PacketSpace()
+    classes1 = acl_equivalence_classes(space, acl1)
+    classes2 = acl_equivalence_classes(space, acl2)
+    differences = semantic_diff_classes(
+        ComponentKind.ACL, classes1, classes2, router1, router2, context
+    )
+    return space, differences

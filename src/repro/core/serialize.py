@@ -1,0 +1,122 @@
+"""JSON serialization of Campion reports.
+
+``campion compare --json`` and CI integrations need machine-readable
+output; this module renders a :class:`~repro.core.results.CampionReport`
+as plain JSON-compatible dictionaries.  The schema mirrors the report
+tables: each semantic difference carries its included/excluded ranges,
+action pair, text localization (with file/line provenance), and any
+examples; structural differences carry component/attribute/values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..model.types import SourceSpan
+from .header_localize import Localization
+from .results import CampionReport, SemanticDifference, StructuralDifference
+
+__all__ = ["report_to_dict", "report_to_json"]
+
+SCHEMA_VERSION = 1
+
+
+def _span_to_dict(span: SourceSpan) -> Optional[Dict]:
+    if span.is_empty():
+        return None
+    return {
+        "file": span.filename,
+        "start_line": span.start_line,
+        "end_line": span.end_line,
+        "text": list(span.text),
+    }
+
+
+def _localization_to_dict(localization: Optional[Localization]) -> Optional[Dict]:
+    if localization is None:
+        return None
+    return {
+        "terms": [
+            {"range": str(term.range), "minus": [str(m) for m in term.minus]}
+            for term in localization.terms
+        ],
+        "included": [str(r) for r in localization.included],
+        "excluded": [str(r) for r in localization.excluded],
+    }
+
+
+def _semantic_to_dict(difference: SemanticDifference) -> Dict:
+    action1, action2 = difference.action_pair()
+    result = {
+        "kind": difference.kind.value,
+        "context": difference.context,
+        "policy": {
+            "router1": difference.class1.policy_name,
+            "router2": difference.class2.policy_name,
+        },
+        "step": {
+            "router1": difference.class1.step_name,
+            "router2": difference.class2.step_name,
+        },
+        "action": {"router1": action1, "router2": action2},
+        "text": {
+            "router1": _span_to_dict(difference.class1.source),
+            "router2": _span_to_dict(difference.class2.source),
+        },
+        "localization": _localization_to_dict(difference.localization),
+        "example": dict(difference.example),
+    }
+    extra = {}
+    for key, value in difference.extra_localizations.items():
+        if value is None:
+            extra[key] = None
+        elif isinstance(value, Localization):
+            extra[key] = _localization_to_dict(value)
+        else:  # CommunityLocalization and future kinds render themselves
+            extra[key] = {"rendered": value.render()}
+    if extra:
+        result["extra_localizations"] = extra
+    return result
+
+
+def _structural_to_dict(difference: StructuralDifference) -> Dict:
+    return {
+        "kind": difference.kind.value,
+        "component": difference.component,
+        "attribute": difference.attribute,
+        "value": {"router1": difference.value1, "router2": difference.value2},
+        "text": {
+            "router1": _span_to_dict(difference.source1),
+            "router2": _span_to_dict(difference.source2),
+        },
+    }
+
+
+def report_to_dict(report: CampionReport) -> Dict:
+    """The report as JSON-compatible nested dictionaries."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "router1": report.router1,
+        "router2": report.router2,
+        "equivalent": report.is_equivalent(),
+        "total_differences": report.total_differences(),
+        "semantic": [_semantic_to_dict(d) for d in report.semantic],
+        "structural": [_structural_to_dict(d) for d in report.structural],
+        "unmatched": [
+            {
+                "kind": u.kind.value,
+                "name": u.name,
+                "present_on": u.present_on,
+                "missing_on": u.missing_on,
+                "context": u.context,
+            }
+            for u in report.unmatched
+        ],
+    }
+
+
+def report_to_json(report: CampionReport, indent: int = 2) -> str:
+    """The report as a JSON string."""
+    import json
+
+    return json.dumps(report_to_dict(report), indent=indent, sort_keys=False)

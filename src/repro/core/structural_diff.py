@@ -1,0 +1,499 @@
+"""StructuralDiff — equality checks on stylized components (§3.3).
+
+Components whose modular behavioral equivalence coincides with structural
+equality (Table 1: static routes, connected routes, non-route-map BGP
+properties, OSPF attributes, administrative distances) are compared as
+atomic values, tuples, and sets:
+
+* atomic values — equality,
+* tuples — field-wise equality,
+* sets — symmetric difference, with elements matched by a component key
+  (static routes by prefix, BGP neighbors by peer address, OSPF
+  interfaces by a pairing supplied by MatchPolicies).
+
+Every mismatch becomes a :class:`~repro.core.results.StructuralDifference`
+carrying both sides' values and source spans — localization is the check
+itself, which is the paper's point about these components.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..model.bgp import BgpNeighbor, BgpProcess
+from ..model.device import DeviceConfig
+from ..model.ospf import OspfInterfaceSettings, OspfProcess
+from ..model.static_route import ConnectedRoute, StaticRoute
+from ..model.types import Prefix, SourceSpan, int_to_ip
+from .results import ComponentKind, StructuralDifference
+
+__all__ = [
+    "diff_static_routes",
+    "diff_connected_routes",
+    "diff_bgp_properties",
+    "diff_ospf_properties",
+    "diff_admin_distances",
+    "structural_diff_all",
+]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def diff_static_routes(
+    device1: DeviceConfig, device2: DeviceConfig
+) -> List[StructuralDifference]:
+    """Set comparison of static routes, matched by destination prefix.
+
+    Emits a presence difference for prefixes routed on one side only
+    (Table 4), and per-attribute differences when both sides route the
+    prefix differently (next hop, administrative distance, tag — the bug
+    classes of §5.1 Scenarios 1-2).
+    """
+    differences: List[StructuralDifference] = []
+    by_prefix1 = _group_routes(device1.static_routes)
+    by_prefix2 = _group_routes(device2.static_routes)
+
+    for prefix in sorted(set(by_prefix1) | set(by_prefix2)):
+        routes1 = by_prefix1.get(prefix, [])
+        routes2 = by_prefix2.get(prefix, [])
+        if not routes1 or not routes2:
+            present = routes1 or routes2
+            source = present[0].source
+            differences.append(
+                StructuralDifference(
+                    kind=ComponentKind.STATIC_ROUTE,
+                    component=f"static route {prefix}",
+                    attribute="presence",
+                    value1=present[0].describe() if routes1 else None,
+                    value2=present[0].describe() if routes2 else None,
+                    source1=source if routes1 else SourceSpan(),
+                    source2=source if routes2 else SourceSpan(),
+                    router1=device1.hostname,
+                    router2=device2.hostname,
+                )
+            )
+            continue
+        differences.extend(
+            _diff_route_attributes(prefix, routes1, routes2, device1, device2)
+        )
+    return differences
+
+
+def _group_routes(routes: Iterable[StaticRoute]) -> Dict[Prefix, List[StaticRoute]]:
+    grouped: Dict[Prefix, List[StaticRoute]] = {}
+    for route in routes:
+        grouped.setdefault(route.key(), []).append(route)
+    return grouped
+
+
+def _diff_route_attributes(
+    prefix: Prefix,
+    routes1: Sequence[StaticRoute],
+    routes2: Sequence[StaticRoute],
+    device1: DeviceConfig,
+    device2: DeviceConfig,
+) -> List[StructuralDifference]:
+    """Attribute comparison for a prefix both routers route statically.
+
+    Routes to the same prefix may be multipath; compare the *sets* of
+    attribute tuples and report each attribute whose multiset of values
+    differs, keeping one difference per attribute rather than per tuple
+    (matching how the paper reports "incorrect next hops").
+    """
+    differences: List[StructuralDifference] = []
+    set1 = {route.attributes() for route in routes1}
+    set2 = {route.attributes() for route in routes2}
+    if set1 == set2:
+        return differences
+
+    component = f"static route {prefix}"
+    for attribute, selector in (
+        ("next-hop", lambda r: int_to_ip(r.next_hop) if r.next_hop is not None else None),
+        ("interface", lambda r: r.interface),
+        ("admin-distance", lambda r: r.admin_distance),
+        ("tag", lambda r: r.tag),
+    ):
+        values1 = sorted({_fmt(selector(r)) for r in routes1})
+        values2 = sorted({_fmt(selector(r)) for r in routes2})
+        if values1 != values2:
+            differences.append(
+                StructuralDifference(
+                    kind=ComponentKind.STATIC_ROUTE,
+                    component=component,
+                    attribute=attribute,
+                    value1=", ".join(values1),
+                    value2=", ".join(values2),
+                    source1=routes1[0].source,
+                    source2=routes2[0].source,
+                    router1=device1.hostname,
+                    router2=device2.hostname,
+                )
+            )
+    return differences
+
+
+def diff_connected_routes(
+    device1: DeviceConfig, device2: DeviceConfig
+) -> List[StructuralDifference]:
+    """Symmetric difference of the connected-subnet sets (§3.3)."""
+    differences: List[StructuralDifference] = []
+    subnets1 = {route.prefix: route for route in device1.connected_routes()}
+    subnets2 = {route.prefix: route for route in device2.connected_routes()}
+    for prefix in sorted(set(subnets1) | set(subnets2)):
+        if prefix in subnets1 and prefix in subnets2:
+            continue
+        present = subnets1.get(prefix) or subnets2.get(prefix)
+        assert present is not None
+        differences.append(
+            StructuralDifference(
+                kind=ComponentKind.CONNECTED_ROUTE,
+                component=f"connected route {prefix}",
+                attribute="presence",
+                value1=f"via {present.interface}" if prefix in subnets1 else None,
+                value2=f"via {present.interface}" if prefix in subnets2 else None,
+                source1=present.source if prefix in subnets1 else SourceSpan(),
+                source2=present.source if prefix in subnets2 else SourceSpan(),
+                router1=device1.hostname,
+                router2=device2.hostname,
+            )
+        )
+    return differences
+
+
+def diff_bgp_properties(
+    device1: DeviceConfig, device2: DeviceConfig
+) -> List[StructuralDifference]:
+    """Structural comparison of BGP configuration outside route maps.
+
+    Covers process presence/attributes, neighbor presence (matched by
+    peer address), per-neighbor attributes (route-reflector-client,
+    send-community, next-hop-self, policy presence — the university
+    network's send-community discrepancy lives here), and redistribution
+    entries (matched by source protocol).
+    """
+    differences: List[StructuralDifference] = []
+    bgp1, bgp2 = device1.bgp, device2.bgp
+    if bgp1 is None and bgp2 is None:
+        return differences
+    if bgp1 is None or bgp2 is None:
+        present = bgp1 or bgp2
+        assert present is not None
+        differences.append(
+            StructuralDifference(
+                kind=ComponentKind.BGP_PROPERTY,
+                component="bgp process",
+                attribute="presence",
+                value1=f"AS {present.asn}" if bgp1 else None,
+                value2=f"AS {present.asn}" if bgp2 else None,
+                source1=present.source if bgp1 else SourceSpan(),
+                source2=present.source if bgp2 else SourceSpan(),
+                router1=device1.hostname,
+                router2=device2.hostname,
+            )
+        )
+        return differences
+
+    for attribute, value1, value2 in _zip_attribute_maps(
+        bgp1.process_attributes(), bgp2.process_attributes()
+    ):
+        differences.append(
+            StructuralDifference(
+                kind=ComponentKind.BGP_PROPERTY,
+                component="bgp process",
+                attribute=attribute,
+                value1=_fmt(value1),
+                value2=_fmt(value2),
+                source1=bgp1.source,
+                source2=bgp2.source,
+                router1=device1.hostname,
+                router2=device2.hostname,
+            )
+        )
+
+    neighbors1 = bgp1.neighbor_map()
+    neighbors2 = bgp2.neighbor_map()
+    for peer in sorted(set(neighbors1) | set(neighbors2)):
+        neighbor1 = neighbors1.get(peer)
+        neighbor2 = neighbors2.get(peer)
+        component = f"bgp neighbor {int_to_ip(peer)}"
+        if neighbor1 is None or neighbor2 is None:
+            present = neighbor1 or neighbor2
+            assert present is not None
+            differences.append(
+                StructuralDifference(
+                    kind=ComponentKind.BGP_PROPERTY,
+                    component=component,
+                    attribute="presence",
+                    value1=present.describe() if neighbor1 else None,
+                    value2=present.describe() if neighbor2 else None,
+                    source1=present.source if neighbor1 else SourceSpan(),
+                    source2=present.source if neighbor2 else SourceSpan(),
+                    router1=device1.hostname,
+                    router2=device2.hostname,
+                )
+            )
+            continue
+        for attribute, value1, value2 in _zip_attribute_maps(
+            neighbor1.attributes(), neighbor2.attributes()
+        ):
+            differences.append(
+                StructuralDifference(
+                    kind=ComponentKind.BGP_PROPERTY,
+                    component=component,
+                    attribute=attribute,
+                    value1=_fmt(value1),
+                    value2=_fmt(value2),
+                    source1=neighbor1.source,
+                    source2=neighbor2.source,
+                    router1=device1.hostname,
+                    router2=device2.hostname,
+                )
+            )
+
+    redists1 = {r.key(): r for r in bgp1.redistributions}
+    redists2 = {r.key(): r for r in bgp2.redistributions}
+    for protocol in sorted(set(redists1) | set(redists2)):
+        redist1 = redists1.get(protocol)
+        redist2 = redists2.get(protocol)
+        component = f"bgp redistribute {protocol}"
+        if redist1 is None or redist2 is None:
+            present = redist1 or redist2
+            assert present is not None
+            differences.append(
+                StructuralDifference(
+                    kind=ComponentKind.BGP_PROPERTY,
+                    component=component,
+                    attribute="presence",
+                    value1="configured" if redist1 else None,
+                    value2="configured" if redist2 else None,
+                    source1=present.source if redist1 else SourceSpan(),
+                    source2=present.source if redist2 else SourceSpan(),
+                    router1=device1.hostname,
+                    router2=device2.hostname,
+                )
+            )
+            continue
+        for attribute, value1, value2 in _zip_attribute_maps(
+            redist1.attributes(), redist2.attributes()
+        ):
+            differences.append(
+                StructuralDifference(
+                    kind=ComponentKind.BGP_PROPERTY,
+                    component=component,
+                    attribute=attribute,
+                    value1=_fmt(value1),
+                    value2=_fmt(value2),
+                    source1=redist1.source,
+                    source2=redist2.source,
+                    router1=device1.hostname,
+                    router2=device2.hostname,
+                )
+            )
+    return differences
+
+
+def diff_ospf_properties(
+    device1: DeviceConfig,
+    device2: DeviceConfig,
+    interface_pairing: Optional[Dict[str, str]] = None,
+) -> List[StructuralDifference]:
+    """Structural comparison of OSPF configuration.
+
+    ``interface_pairing`` maps router-1 interface names to router-2 names
+    (from MatchPolicies' heuristics — backup routers rarely share
+    interface naming, §4); identity pairing is assumed for names not in
+    the map.
+    """
+    differences: List[StructuralDifference] = []
+    ospf1, ospf2 = device1.ospf, device2.ospf
+    if ospf1 is None and ospf2 is None:
+        return differences
+    if ospf1 is None or ospf2 is None:
+        present = ospf1 or ospf2
+        assert present is not None
+        differences.append(
+            StructuralDifference(
+                kind=ComponentKind.OSPF_PROPERTY,
+                component="ospf process",
+                attribute="presence",
+                value1="configured" if ospf1 else None,
+                value2="configured" if ospf2 else None,
+                source1=present.source if ospf1 else SourceSpan(),
+                source2=present.source if ospf2 else SourceSpan(),
+                router1=device1.hostname,
+                router2=device2.hostname,
+            )
+        )
+        return differences
+
+    for attribute, value1, value2 in _zip_attribute_maps(
+        ospf1.process_attributes(), ospf2.process_attributes()
+    ):
+        differences.append(
+            StructuralDifference(
+                kind=ComponentKind.OSPF_PROPERTY,
+                component="ospf process",
+                attribute=attribute,
+                value1=_fmt(value1),
+                value2=_fmt(value2),
+                source1=ospf1.source,
+                source2=ospf2.source,
+                router1=device1.hostname,
+                router2=device2.hostname,
+            )
+        )
+
+    pairing = interface_pairing or {}
+    interfaces1 = ospf1.interface_map()
+    interfaces2 = ospf2.interface_map()
+    matched2: set = set()
+    for name1 in sorted(interfaces1):
+        name2 = pairing.get(name1, name1)
+        settings1 = interfaces1[name1]
+        settings2 = interfaces2.get(name2)
+        component = (
+            f"ospf interface {name1}"
+            if name1 == name2
+            else f"ospf interface {name1} / {name2}"
+        )
+        if settings2 is None:
+            differences.append(
+                StructuralDifference(
+                    kind=ComponentKind.OSPF_PROPERTY,
+                    component=component,
+                    attribute="presence",
+                    value1=f"area {settings1.area}",
+                    value2=None,
+                    source1=settings1.source,
+                    router1=device1.hostname,
+                    router2=device2.hostname,
+                )
+            )
+            continue
+        matched2.add(name2)
+        for attribute, value1, value2 in _zip_attribute_maps(
+            settings1.attributes(), settings2.attributes()
+        ):
+            differences.append(
+                StructuralDifference(
+                    kind=ComponentKind.OSPF_PROPERTY,
+                    component=component,
+                    attribute=attribute,
+                    value1=_fmt(value1),
+                    value2=_fmt(value2),
+                    source1=settings1.source,
+                    source2=settings2.source,
+                    router1=device1.hostname,
+                    router2=device2.hostname,
+                )
+            )
+    for name2 in sorted(set(interfaces2) - matched2):
+        settings2 = interfaces2[name2]
+        differences.append(
+            StructuralDifference(
+                kind=ComponentKind.OSPF_PROPERTY,
+                component=f"ospf interface {name2}",
+                attribute="presence",
+                value1=None,
+                value2=f"area {settings2.area}",
+                source2=settings2.source,
+                router1=device1.hostname,
+                router2=device2.hostname,
+            )
+        )
+
+    redists1 = {r.key(): r for r in ospf1.redistributions}
+    redists2 = {r.key(): r for r in ospf2.redistributions}
+    for protocol in sorted(set(redists1) | set(redists2)):
+        redist1 = redists1.get(protocol)
+        redist2 = redists2.get(protocol)
+        component = f"ospf redistribute {protocol}"
+        if redist1 is None or redist2 is None:
+            present = redist1 or redist2
+            assert present is not None
+            differences.append(
+                StructuralDifference(
+                    kind=ComponentKind.OSPF_PROPERTY,
+                    component=component,
+                    attribute="presence",
+                    value1="configured" if redist1 else None,
+                    value2="configured" if redist2 else None,
+                    source1=present.source if redist1 else SourceSpan(),
+                    source2=present.source if redist2 else SourceSpan(),
+                    router1=device1.hostname,
+                    router2=device2.hostname,
+                )
+            )
+            continue
+        for attribute, value1, value2 in _zip_attribute_maps(
+            redist1.attributes(), redist2.attributes()
+        ):
+            differences.append(
+                StructuralDifference(
+                    kind=ComponentKind.OSPF_PROPERTY,
+                    component=component,
+                    attribute=attribute,
+                    value1=_fmt(value1),
+                    value2=_fmt(value2),
+                    source1=redist1.source,
+                    source2=redist2.source,
+                    router1=device1.hostname,
+                    router2=device2.hostname,
+                )
+            )
+    return differences
+
+
+def diff_admin_distances(
+    device1: DeviceConfig, device2: DeviceConfig
+) -> List[StructuralDifference]:
+    """Per-protocol administrative distance comparison (Table 1)."""
+    differences: List[StructuralDifference] = []
+    for protocol in sorted(set(device1.admin_distances) | set(device2.admin_distances)):
+        value1 = device1.admin_distances.get(protocol)
+        value2 = device2.admin_distances.get(protocol)
+        if value1 == value2:
+            continue
+        differences.append(
+            StructuralDifference(
+                kind=ComponentKind.ADMIN_DISTANCE,
+                component=f"administrative distance ({protocol})",
+                attribute="distance",
+                value1=_fmt(value1) if value1 is not None else None,
+                value2=_fmt(value2) if value2 is not None else None,
+                router1=device1.hostname,
+                router2=device2.hostname,
+            )
+        )
+    return differences
+
+
+def structural_diff_all(
+    device1: DeviceConfig,
+    device2: DeviceConfig,
+    interface_pairing: Optional[Dict[str, str]] = None,
+) -> List[StructuralDifference]:
+    """All structural checks of Table 1 in one pass."""
+    differences = diff_static_routes(device1, device2)
+    differences.extend(diff_connected_routes(device1, device2))
+    differences.extend(diff_bgp_properties(device1, device2))
+    differences.extend(diff_ospf_properties(device1, device2, interface_pairing))
+    differences.extend(diff_admin_distances(device1, device2))
+    return differences
+
+
+def _zip_attribute_maps(
+    attributes1: Dict[str, object], attributes2: Dict[str, object]
+) -> List[Tuple[str, object, object]]:
+    """Attribute names whose values differ, with both values."""
+    mismatches: List[Tuple[str, object, object]] = []
+    for attribute in sorted(set(attributes1) | set(attributes2)):
+        value1 = attributes1.get(attribute)
+        value2 = attributes2.get(attribute)
+        if value1 != value2:
+            mismatches.append((attribute, value1, value2))
+    return mismatches

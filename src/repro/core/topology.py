@@ -1,0 +1,142 @@
+"""Topology inference and backup-pair discovery across a device set.
+
+Campion's pairing heuristics (§4) lean on "Batfish's inferred topology":
+devices whose interfaces sit on the same subnets are adjacent, and
+*backup* routers — the unit Scenario 1 audits — are devices that share
+(nearly) all of their subnets while having different host addresses.
+This module reproduces that inference so a whole network snapshot can
+be audited without the operator enumerating pairs by hand:
+
+* :func:`infer_adjacencies` — (device, device, subnet) triples for every
+  shared subnet,
+* :func:`discover_backup_pairs` — candidate redundant pairs ranked by
+  subnet overlap (Jaccard), with a configurable threshold,
+* :func:`audit_backup_pairs` — run ConfigDiff over every discovered
+  pair, the fully-automatic Scenario 1 workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from ..model.device import DeviceConfig
+from ..model.types import Prefix
+from .config_diff import config_diff
+from .results import CampionReport
+
+__all__ = [
+    "Adjacency",
+    "BackupCandidate",
+    "infer_adjacencies",
+    "discover_backup_pairs",
+    "audit_backup_pairs",
+]
+
+
+@dataclass(frozen=True)
+class Adjacency:
+    """Two devices sharing one subnet (a probable link or LAN)."""
+
+    device1: str
+    device2: str
+    subnet: Prefix
+
+
+@dataclass
+class BackupCandidate:
+    """A probable redundant pair: high subnet overlap, distinct hosts."""
+
+    device1: str
+    device2: str
+    shared_subnets: FrozenSet[Prefix]
+    jaccard: float
+    report: CampionReport | None = None
+
+    def describe(self) -> str:
+        """One-line candidate summary."""
+        return (
+            f"{self.device1} <-> {self.device2}: "
+            f"{len(self.shared_subnets)} shared subnets, overlap {self.jaccard:.2f}"
+        )
+
+
+def _subnets(device: DeviceConfig) -> FrozenSet[Prefix]:
+    return frozenset(
+        interface.subnet()
+        for interface in device.interfaces.values()
+        if interface.subnet() is not None and not interface.shutdown
+    )
+
+
+def infer_adjacencies(devices: Sequence[DeviceConfig]) -> List[Adjacency]:
+    """All (device, device, subnet) triples with a shared subnet.
+
+    /32 loopbacks are skipped — they are device-local, not links.
+    """
+    by_subnet: Dict[Prefix, List[str]] = {}
+    for device in devices:
+        for subnet in _subnets(device):
+            if subnet.length >= 32:
+                continue
+            by_subnet.setdefault(subnet, []).append(device.hostname)
+    adjacencies: List[Adjacency] = []
+    for subnet, hostnames in sorted(by_subnet.items()):
+        for index, first in enumerate(sorted(hostnames)):
+            for second in sorted(hostnames)[index + 1 :]:
+                adjacencies.append(Adjacency(first, second, subnet))
+    return adjacencies
+
+
+def discover_backup_pairs(
+    devices: Sequence[DeviceConfig], min_overlap: float = 0.8
+) -> List[BackupCandidate]:
+    """Candidate backup pairs: device pairs whose subnet sets overlap by
+    at least ``min_overlap`` (Jaccard index).
+
+    Backup routers live on the same subnets with different host
+    addresses, so near-total subnet overlap is the §4 fingerprint of a
+    redundant pair.  Each device joins at most one pair (greedy by
+    overlap), mirroring how deployments pair devices one-to-one.
+    """
+    subnet_sets = {device.hostname: _subnets(device) for device in devices}
+    scored: List[Tuple[float, str, str, FrozenSet[Prefix]]] = []
+    hostnames = sorted(subnet_sets)
+    for index, first in enumerate(hostnames):
+        for second in hostnames[index + 1 :]:
+            union = subnet_sets[first] | subnet_sets[second]
+            if not union:
+                continue
+            shared = subnet_sets[first] & subnet_sets[second]
+            jaccard = len(shared) / len(union)
+            if jaccard >= min_overlap and shared:
+                scored.append((jaccard, first, second, frozenset(shared)))
+    scored.sort(key=lambda item: (-item[0], item[1], item[2]))
+
+    taken: set = set()
+    pairs: List[BackupCandidate] = []
+    for jaccard, first, second, shared in scored:
+        if first in taken or second in taken:
+            continue
+        taken.add(first)
+        taken.add(second)
+        pairs.append(
+            BackupCandidate(
+                device1=first, device2=second, shared_subnets=shared, jaccard=jaccard
+            )
+        )
+    return pairs
+
+
+def audit_backup_pairs(
+    devices: Sequence[DeviceConfig], min_overlap: float = 0.8
+) -> List[BackupCandidate]:
+    """Discover backup pairs and run ConfigDiff on each (Scenario 1,
+    fully automatic).  Each candidate's ``report`` is populated."""
+    by_name = {device.hostname: device for device in devices}
+    candidates = discover_backup_pairs(devices, min_overlap=min_overlap)
+    for candidate in candidates:
+        candidate.report = config_diff(
+            by_name[candidate.device1], by_name[candidate.device2]
+        )
+    return candidates

@@ -1,0 +1,154 @@
+"""BDD encoding of the packet header space for ACL analysis.
+
+:class:`PacketSpace` lays out the classic 5-tuple (plus ICMP type) over
+BDD variables and builds predicates for the match primitives the ACL
+model uses.  Variable order puts the destination and source addresses
+first — prefix matches then constrain a contiguous top block of the
+order, which keeps ACL BDDs near-linear in rule count (the property the
+§5.4 scalability result depends on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..bdd import Bdd, BddManager, BitVector
+from ..model.acl import Acl, AclLine, IpWildcard, PortRange
+from ..model.types import int_to_ip
+
+__all__ = ["PacketSpace", "PacketExample"]
+
+
+@dataclass(frozen=True)
+class PacketExample:
+    """A concrete packet decoded from a BDD model (baseline witnesses)."""
+
+    src_ip: int
+    dst_ip: int
+    protocol: int
+    src_port: int
+    dst_port: int
+    icmp_type: int
+
+    def describe(self) -> Dict[str, str]:
+        """Field-name to rendered-value mapping for reports."""
+        from ..model.acl import IP_PROTOCOL_NAMES
+
+        return {
+            "srcIp": int_to_ip(self.src_ip),
+            "dstIp": int_to_ip(self.dst_ip),
+            "protocol": IP_PROTOCOL_NAMES.get(self.protocol, str(self.protocol)),
+            "srcPort": str(self.src_port),
+            "dstPort": str(self.dst_port),
+            "icmpType": str(self.icmp_type),
+        }
+
+
+class PacketSpace:
+    """Variable layout and match-predicate builders for packets."""
+
+    def __init__(self, manager: Optional[BddManager] = None):
+        self.manager = manager if manager is not None else BddManager()
+        # Address fields first: every prefix/wildcard predicate then only
+        # constrains a contiguous top block of the variable order.
+        self.dst_ip = BitVector.allocate(self.manager, "dstIp", 32)
+        self.src_ip = BitVector.allocate(self.manager, "srcIp", 32)
+        self.protocol = BitVector.allocate(self.manager, "protocol", 8)
+        self.src_port = BitVector.allocate(self.manager, "srcPort", 16)
+        self.dst_port = BitVector.allocate(self.manager, "dstPort", 16)
+        self.icmp_type = BitVector.allocate(self.manager, "icmpType", 8)
+        self.fields: Tuple[BitVector, ...] = (
+            self.dst_ip,
+            self.src_ip,
+            self.protocol,
+            self.src_port,
+            self.dst_port,
+            self.icmp_type,
+        )
+
+    # -- primitive predicates ------------------------------------------------
+    def wildcard_pred(self, field: BitVector, wildcard: IpWildcard) -> Bdd:
+        """Address-with-don't-care-bits match on ``field``."""
+        if wildcard.is_any():
+            return self.manager.true
+        acc = self.manager.true
+        for position in range(31, -1, -1):
+            bit_index = 31 - position  # position 0 == MSB
+            if (wildcard.wildcard >> position) & 1:
+                continue  # don't-care bit
+            expected = (wildcard.address >> position) & 1
+            literal = field.bit(bit_index) if expected else ~field.bit(bit_index)
+            acc = literal & acc
+        return acc
+
+    def ports_pred(self, field: BitVector, ranges: Tuple[PortRange, ...]) -> Bdd:
+        """Disjunction of port intervals; empty tuple means any."""
+        if not ranges:
+            return self.manager.true
+        return self.manager.disjoin(field.interval(r.low, r.high) for r in ranges)
+
+    # -- ACL-level predicates ----------------------------------------------------
+    def line_pred(self, line: AclLine) -> Bdd:
+        """The set of packets matching one ACL line's conditions."""
+        acc = self.wildcard_pred(self.src_ip, line.src)
+        acc = acc & self.wildcard_pred(self.dst_ip, line.dst)
+        if line.protocol is not None:
+            acc = acc & self.protocol.eq_const(line.protocol)
+        acc = acc & self.ports_pred(self.src_port, line.src_ports)
+        acc = acc & self.ports_pred(self.dst_port, line.dst_ports)
+        if line.icmp_type is not None:
+            acc = acc & self.icmp_type.eq_const(line.icmp_type)
+        return acc
+
+    def acl_permit_pred(self, acl: Acl) -> Bdd:
+        """The full accepted-packet set of an ACL (first-match composed).
+
+        Used by the monolithic baseline; Campion's SemanticDiff instead
+        keeps per-path classes (see ``acl_encoder``).
+        """
+        from ..model.acl import AclAction
+
+        permitted = self.manager.false
+        reach = self.manager.true
+        for line in acl.lines:
+            fire = reach & self.line_pred(line)
+            if line.action is AclAction.PERMIT:
+                permitted = permitted | fire
+            reach = reach - fire
+        if acl.default_action is AclAction.PERMIT:
+            permitted = permitted | reach
+        return permitted
+
+    # -- decoding ---------------------------------------------------------------
+    def decode(self, model: Dict[int, bool]) -> PacketExample:
+        """Decode a total model into a concrete packet."""
+        return PacketExample(
+            src_ip=self.src_ip.value_of(model),
+            dst_ip=self.dst_ip.value_of(model),
+            protocol=self.protocol.value_of(model),
+            src_port=self.src_port.value_of(model),
+            dst_port=self.dst_port.value_of(model),
+            icmp_type=self.icmp_type.value_of(model),
+        )
+
+    def encode_concrete(
+        self,
+        src_ip: int,
+        dst_ip: int,
+        protocol: int,
+        src_port: int = 0,
+        dst_port: int = 0,
+        icmp_type: int = 0,
+    ) -> Bdd:
+        """The singleton set of one concrete packet (testing oracle glue)."""
+        return self.manager.conjoin(
+            [
+                self.src_ip.eq_const(src_ip),
+                self.dst_ip.eq_const(dst_ip),
+                self.protocol.eq_const(protocol),
+                self.src_port.eq_const(src_port),
+                self.dst_port.eq_const(dst_port),
+                self.icmp_type.eq_const(icmp_type),
+            ]
+        )

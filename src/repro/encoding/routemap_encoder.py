@@ -1,0 +1,105 @@
+"""Path equivalence classes for route maps (§3.1, Figure 2).
+
+A route map's paths are "clause i fired first" plus the fall-through.
+For the Figure 1(a) example this produces exactly the paper's Figure 2
+partition:
+
+* clause 10:  ``NETS``
+* clause 20:  ``¬NETS ∧ COMM``
+* clause 30:  ``¬NETS ∧ ¬COMM``
+
+Each class carries a :class:`~repro.encoding.classes.RouteMapAction`
+capturing accept/reject plus the set-statements applied, so SemanticDiff
+can compare dispositions precisely (``SET LOCAL PREF 30 / ACCEPT`` vs
+``REJECT`` in Table 2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..bdd import Bdd
+from ..model.routemap import (
+    MatchAsPath,
+    MatchCommunities,
+    MatchCondition,
+    MatchPrefixList,
+    MatchProtocol,
+    MatchTag,
+    RouteMap,
+    RouteMapClause,
+)
+from ..model.types import SourceSpan
+from .classes import EquivalenceClass, RouteMapAction
+from .route import RouteSpace
+
+__all__ = ["clause_match_pred", "route_map_equivalence_classes"]
+
+
+def clause_match_pred(space: RouteSpace, clause: RouteMapClause) -> Bdd:
+    """Conjunction of all of a clause's match conditions.
+
+    A clause with no conditions matches everything — both IOS (a
+    ``route-map`` stanza without ``match``) and JunOS (a term without
+    ``from``) use that as the catch-all idiom.
+    """
+    acc = space.manager.true
+    for condition in clause.matches:
+        acc = acc & _condition_pred(space, condition)
+        if acc.is_false():
+            break
+    return acc
+
+
+def _condition_pred(space: RouteSpace, condition: MatchCondition) -> Bdd:
+    if isinstance(condition, MatchPrefixList):
+        return space.prefix_list_pred(condition.prefix_list)
+    if isinstance(condition, MatchCommunities):
+        return space.community_list_pred(condition.community_list)
+    if isinstance(condition, MatchAsPath):
+        return space.as_path_list_pred(condition.as_path_list)
+    if isinstance(condition, MatchTag):
+        return space.tag_pred(condition.tag)
+    if isinstance(condition, MatchProtocol):
+        return space.protocol_pred(condition.protocol)
+    raise TypeError(f"unsupported match condition: {condition!r}")
+
+
+def route_map_equivalence_classes(
+    space: RouteSpace, route_map: RouteMap
+) -> List[EquivalenceClass]:
+    """Partition the advertisement space by first-matching clause.
+
+    Predicates are intersected with the space's well-formedness universe
+    (valid prefix lengths), are pairwise disjoint, and cover the universe.
+    Clauses that can never fire are dropped, as in the ACL encoder.
+    """
+    classes: List[EquivalenceClass] = []
+    reach = space.universe
+    for index, clause in enumerate(route_map.clauses):
+        fire = reach & clause_match_pred(space, clause)
+        if fire:
+            classes.append(
+                EquivalenceClass(
+                    predicate=fire,
+                    action=RouteMapAction(clause.action, clause.sets),
+                    policy_name=route_map.name,
+                    step_name=clause.name,
+                    source=clause.source,
+                    index=index,
+                )
+            )
+        reach = reach - fire
+    if reach:
+        classes.append(
+            EquivalenceClass(
+                predicate=reach,
+                action=RouteMapAction(route_map.default_action),
+                policy_name=route_map.name,
+                step_name=f"default {route_map.default_action}",
+                source=SourceSpan(),
+                index=len(route_map.clauses),
+                is_default=True,
+            )
+        )
+    return classes

@@ -1,0 +1,110 @@
+"""Vendor-independent BGP configuration.
+
+Route maps attached to neighbors are compared with SemanticDiff; the
+remaining per-neighbor and per-process attributes here (remote AS, route
+reflector client status, send-community, next-hop-self, ...) are the "Other
+BGP Properties" row of Table 1 and are compared with StructuralDiff.  The
+university study's send-community discrepancy (§5.2) and the cloud study's
+route-reflector local-preference bug (§5.1 Scenario 2) both live in this
+component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .types import SourceSpan, int_to_ip
+
+__all__ = ["BgpNeighbor", "Redistribution", "BgpProcess"]
+
+
+@dataclass(frozen=True)
+class BgpNeighbor:
+    """Configuration of one BGP session, keyed by peer address."""
+
+    peer_ip: int
+    remote_as: int
+    description: str = ""
+    import_policy: Optional[str] = None
+    export_policy: Optional[str] = None
+    route_reflector_client: bool = False
+    send_community: bool = False
+    next_hop_self: bool = False
+    update_source: Optional[str] = None
+    ebgp_multihop: bool = False
+    source: SourceSpan = field(default_factory=SourceSpan, compare=False)
+
+    def key(self) -> int:
+        """Neighbors are matched across routers by peer address."""
+        return self.peer_ip
+
+    def attributes(self) -> Dict[str, object]:
+        """Structurally-compared attributes, by display name.
+
+        ``import_policy``/``export_policy`` name route maps that
+        SemanticDiff compares separately, so only *presence* (applied or
+        not) is compared structurally, not the policy names, which
+        legitimately differ across vendors.
+        """
+        return {
+            "remote-as": self.remote_as,
+            "route-reflector-client": self.route_reflector_client,
+            "send-community": self.send_community,
+            "next-hop-self": self.next_hop_self,
+            "ebgp-multihop": self.ebgp_multihop,
+            "has-import-policy": self.import_policy is not None,
+            "has-export-policy": self.export_policy is not None,
+        }
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        return f"neighbor {int_to_ip(self.peer_ip)} remote-as {self.remote_as}"
+
+
+@dataclass(frozen=True)
+class Redistribution:
+    """Route redistribution into a protocol, optionally via a route map.
+
+    The route map itself (when present) goes through SemanticDiff — the
+    "Route Maps (BGP, Route Redistribution)" row of Table 1.
+    """
+
+    from_protocol: str
+    route_map: Optional[str] = None
+    metric: Optional[int] = None
+    source: SourceSpan = field(default_factory=SourceSpan, compare=False)
+
+    def key(self) -> str:
+        """Redistributions are matched across routers by source protocol."""
+        return self.from_protocol
+
+    def attributes(self) -> Dict[str, object]:
+        """Structurally-compared attributes, by display name."""
+        return {
+            "metric": self.metric,
+            "has-route-map": self.route_map is not None,
+        }
+
+
+@dataclass(frozen=True)
+class BgpProcess:
+    """One router's BGP process."""
+
+    asn: int
+    router_id: Optional[int] = None
+    neighbors: Tuple[BgpNeighbor, ...] = ()
+    redistributions: Tuple[Redistribution, ...] = ()
+    default_local_pref: int = 100
+    source: SourceSpan = field(default_factory=SourceSpan, compare=False)
+
+    def neighbor_map(self) -> Dict[int, BgpNeighbor]:
+        """Neighbors indexed by peer address."""
+        return {neighbor.peer_ip: neighbor for neighbor in self.neighbors}
+
+    def process_attributes(self) -> Dict[str, object]:
+        """Process-level structurally-compared attributes."""
+        return {
+            "asn": self.asn,
+            "default-local-preference": self.default_local_pref,
+        }

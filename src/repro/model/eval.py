@@ -1,0 +1,130 @@
+"""Concrete evaluation of routing policy on individual routes.
+
+This is the executable ground-truth semantics of :class:`RouteMap`:
+first-match over clauses, conjunctive conditions, set-actions applied on
+acceptance, explicit fall-through.  It serves two roles:
+
+* the **transfer function** of the SRP simulator (``repro.srp``), where
+  BGP edges apply export/import policies to concrete routes, and
+* the **differential-testing oracle** for SemanticDiff: a difference
+  reported symbolically must reproduce on a decoded concrete witness,
+  and policies reported equivalent must agree on random concrete routes
+  (see ``tests/core/test_semantic_diff.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Optional, Tuple
+
+from .routemap import (
+    Action,
+    MatchAsPath,
+    MatchCommunities,
+    MatchPrefixList,
+    MatchProtocol,
+    MatchTag,
+    RouteMap,
+    RouteMapClause,
+    SetAsPathPrepend,
+    SetCommunities,
+    SetLocalPref,
+    SetMed,
+    SetNextHop,
+    SetTag,
+)
+from .types import Community, Prefix
+
+__all__ = ["ConcreteRoute", "PolicyResult", "evaluate_clause_match", "evaluate_route_map"]
+
+
+@dataclass(frozen=True)
+class ConcreteRoute:
+    """One concrete route advertisement / RIB entry."""
+
+    prefix: Prefix
+    communities: FrozenSet[Community] = frozenset()
+    as_path: Tuple[int, ...] = ()
+    local_pref: int = 100
+    med: int = 0
+    tag: int = 0
+    protocol: str = "bgp"
+    next_hop: Optional[int] = None
+    admin_distance: int = 20
+
+    def with_updates(self, **kwargs) -> "ConcreteRoute":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class PolicyResult:
+    """Outcome of running a route map on one route."""
+
+    accepted: bool
+    route: Optional[ConcreteRoute]  # transformed route when accepted
+    clause: Optional[RouteMapClause]  # which clause decided (None = default)
+
+    def describe(self) -> str:
+        """One-line outcome summary, naming the deciding clause."""
+        where = self.clause.name if self.clause is not None else "default"
+        return f"{'accept' if self.accepted else 'reject'} at {where}"
+
+
+def evaluate_clause_match(clause: RouteMapClause, route: ConcreteRoute) -> bool:
+    """Whether all of a clause's conditions hold for ``route``."""
+    for condition in clause.matches:
+        if isinstance(condition, MatchPrefixList):
+            if not condition.prefix_list.permits(route.prefix):
+                return False
+        elif isinstance(condition, MatchCommunities):
+            if not condition.community_list.matches(route.communities):
+                return False
+        elif isinstance(condition, MatchAsPath):
+            if not condition.as_path_list.permits(route.as_path):
+                return False
+        elif isinstance(condition, MatchTag):
+            if route.tag != condition.tag:
+                return False
+        elif isinstance(condition, MatchProtocol):
+            if route.protocol != condition.protocol:
+                return False
+        else:
+            raise TypeError(f"unsupported match condition {condition!r}")
+    return True
+
+
+def _apply_sets(clause: RouteMapClause, route: ConcreteRoute) -> ConcreteRoute:
+    for action in clause.sets:
+        if isinstance(action, SetLocalPref):
+            route = route.with_updates(local_pref=action.value)
+        elif isinstance(action, SetMed):
+            route = route.with_updates(med=action.value)
+        elif isinstance(action, SetCommunities):
+            if action.additive:
+                route = route.with_updates(
+                    communities=route.communities | action.communities
+                )
+            else:
+                route = route.with_updates(communities=frozenset(action.communities))
+        elif isinstance(action, SetNextHop):
+            route = route.with_updates(next_hop=action.ip)
+        elif isinstance(action, SetAsPathPrepend):
+            route = route.with_updates(as_path=action.asns + route.as_path)
+        elif isinstance(action, SetTag):
+            route = route.with_updates(tag=action.tag)
+        else:
+            raise TypeError(f"unsupported set action {action!r}")
+    return route
+
+
+def evaluate_route_map(route_map: RouteMap, route: ConcreteRoute) -> PolicyResult:
+    """First-match evaluation of a route map on a concrete route."""
+    for clause in route_map.clauses:
+        if evaluate_clause_match(clause, route):
+            if clause.action is Action.PERMIT:
+                return PolicyResult(True, _apply_sets(clause, route), clause)
+            return PolicyResult(False, None, clause)
+    if route_map.default_action is Action.PERMIT:
+        return PolicyResult(True, route, None)
+    return PolicyResult(False, None, None)

@@ -1,0 +1,42 @@
+"""Router interfaces and their attached state (addresses, ACLs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .static_route import ConnectedRoute
+from .types import Prefix, SourceSpan
+
+__all__ = ["Interface"]
+
+
+@dataclass(frozen=True)
+class Interface:
+    """One router interface.
+
+    The connected subnet (when addressed) contributes a connected route,
+    compared structurally; inbound/outbound ACL references resolve to ACLs
+    compared semantically.
+    """
+
+    name: str
+    address: Optional[Prefix] = None  # interface IP with its subnet length
+    description: str = ""
+    shutdown: bool = False
+    acl_in: Optional[str] = None
+    acl_out: Optional[str] = None
+    source: SourceSpan = field(default_factory=SourceSpan, compare=False)
+
+    def connected_route(self) -> Optional[ConnectedRoute]:
+        """The connected route this interface contributes, if up/addressed."""
+        if self.address is None or self.shutdown:
+            return None
+        subnet = Prefix(self.address.network, self.address.length)
+        return ConnectedRoute(prefix=subnet, interface=self.name, source=self.source)
+
+    def subnet(self) -> Optional[Prefix]:
+        """The attached subnet, used by interface-matching heuristics."""
+        if self.address is None:
+            return None
+        return Prefix(self.address.network, self.address.length)

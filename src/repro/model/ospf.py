@@ -1,0 +1,92 @@
+"""Vendor-independent OSPF configuration.
+
+All OSPF attributes (costs, areas, passive status, timers) are compared
+with StructuralDiff (Table 1): two OSPF link configurations are
+behaviorally interchangeable in every surrounding configuration only when
+identical, so structural equality is exactly modular behavioral
+equivalence (§3.3).  Redistribution *policies* are route maps and go
+through SemanticDiff instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .types import SourceSpan
+
+__all__ = ["OspfInterfaceSettings", "OspfProcess"]
+
+
+@dataclass(frozen=True)
+class OspfInterfaceSettings:
+    """OSPF attributes of one participating interface."""
+
+    interface: str
+    area: int = 0
+    cost: Optional[int] = None
+    passive: bool = False
+    hello_interval: int = 10
+    dead_interval: int = 40
+    network_type: str = "broadcast"
+    source: SourceSpan = field(default_factory=SourceSpan, compare=False)
+
+    def key(self) -> str:
+        """Interfaces are matched by (possibly normalized) name; the
+        MatchPolicies heuristics may substitute subnet-based keys when
+        backup routers use different interface naming (§4)."""
+        return self.interface
+
+    def attributes(self) -> Dict[str, object]:
+        """Structurally-compared attributes, by display name."""
+        return {
+            "area": self.area,
+            "cost": self.cost,
+            "passive": self.passive,
+            "hello-interval": self.hello_interval,
+            "dead-interval": self.dead_interval,
+            "network-type": self.network_type,
+        }
+
+
+@dataclass(frozen=True)
+class OspfProcess:
+    """One router's OSPF process."""
+
+    process_id: str = "1"
+    router_id: Optional[int] = None
+    interfaces: Tuple[OspfInterfaceSettings, ...] = ()
+    redistributions: Tuple["OspfRedistribution", ...] = ()
+    reference_bandwidth: int = 100_000_000
+    source: SourceSpan = field(default_factory=SourceSpan, compare=False)
+
+    def interface_map(self) -> Dict[str, OspfInterfaceSettings]:
+        """Interface settings indexed by interface name."""
+        return {settings.interface: settings for settings in self.interfaces}
+
+    def process_attributes(self) -> Dict[str, object]:
+        """Process-level structurally-compared attributes."""
+        return {"reference-bandwidth": self.reference_bandwidth}
+
+
+@dataclass(frozen=True)
+class OspfRedistribution:
+    """Redistribution into OSPF, optionally filtered by a route map."""
+
+    from_protocol: str
+    route_map: Optional[str] = None
+    metric: Optional[int] = None
+    metric_type: int = 2
+    source: SourceSpan = field(default_factory=SourceSpan, compare=False)
+
+    def key(self) -> str:
+        """Redistributions are matched across routers by source protocol."""
+        return self.from_protocol
+
+    def attributes(self) -> Dict[str, object]:
+        """Structurally-compared attributes, by display name."""
+        return {
+            "metric": self.metric,
+            "metric-type": self.metric_type,
+            "has-route-map": self.route_map is not None,
+        }

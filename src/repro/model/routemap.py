@@ -1,0 +1,402 @@
+"""Vendor-independent model of routing policy: prefix lists, community
+lists, AS-path lists, and route maps.
+
+Both Cisco route-maps and Juniper policy-statements normalize to a
+:class:`RouteMap`: an ordered list of :class:`RouteMapClause` objects, each
+with match conditions, set actions, and a terminal disposition, plus an
+explicit fall-through action for advertisements matching no clause (the
+paper's university study found the two vendors' fall-throughs differed —
+§5.2).
+
+Community matching semantics
+----------------------------
+The paper's headline bug (Figure 1 / Table 2(b)) hinges on the difference
+between
+
+* Cisco: a ``community-list`` with several single-community entries
+  matches a route carrying *any* of them, while
+* Juniper: a ``community`` definition with several members matches only
+  routes carrying *all* of them.
+
+We model both with one normal form: a community-list entry is a
+*conjunction* (frozenset) of communities, and a list of entries is a
+*disjunction*.  Cisco's example becomes ``[{10:10}, {10:11}]``; Juniper's
+becomes ``[{10:10, 10:11}]``.  Regex-style community matches (used by the
+university border routers, Exports 3-4) are carried as literal regex
+strings and compared via their accepted-community sets over the comparison
+universe.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from .types import Community, ConfigError, Prefix, PrefixRange, SourceSpan
+
+__all__ = [
+    "Action",
+    "PrefixListEntry",
+    "PrefixList",
+    "CommunityListEntry",
+    "CommunityList",
+    "community_regex_matches",
+    "AsPathListEntry",
+    "AsPathList",
+    "MatchPrefixList",
+    "MatchCommunities",
+    "MatchAsPath",
+    "MatchTag",
+    "MatchProtocol",
+    "MatchCondition",
+    "SetLocalPref",
+    "SetMed",
+    "SetCommunities",
+    "SetNextHop",
+    "SetAsPathPrepend",
+    "SetTag",
+    "SetAction",
+    "RouteMapClause",
+    "RouteMap",
+]
+
+
+class Action(enum.Enum):
+    """Terminal disposition of a policy clause (or a whole policy)."""
+
+    PERMIT = "permit"
+    DENY = "deny"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+# ---------------------------------------------------------------------------
+# Named filter lists
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PrefixListEntry:
+    """One line of a prefix list: permit/deny a prefix range."""
+
+    action: Action
+    range: PrefixRange
+    source: SourceSpan = field(default_factory=SourceSpan, compare=False)
+
+    def matches(self, prefix: Prefix) -> bool:
+        """Whether the entry's range contains ``prefix``."""
+        return self.range.contains_prefix(prefix)
+
+
+@dataclass(frozen=True)
+class PrefixList:
+    """An ordered prefix list with first-match semantics, default deny."""
+
+    name: str
+    entries: Tuple[PrefixListEntry, ...] = ()
+
+    def permits(self, prefix: Prefix) -> bool:
+        """Concrete first-match evaluation (testing oracle)."""
+        for entry in self.entries:
+            if entry.matches(prefix):
+                return entry.action is Action.PERMIT
+        return False
+
+    def ranges(self) -> List[PrefixRange]:
+        """All prefix ranges mentioned, for HeaderLocalize's vocabulary."""
+        return [entry.range for entry in self.entries]
+
+
+@dataclass(frozen=True)
+class CommunityListEntry:
+    """One disjunct of a community match.
+
+    Either a conjunction of literal communities (``communities``) or a
+    regular expression over the ``asn:value`` rendering (``regex``).
+    Exactly one of the two is populated.
+    """
+
+    action: Action
+    communities: FrozenSet[Community] = frozenset()
+    regex: Optional[str] = None
+    source: SourceSpan = field(default_factory=SourceSpan, compare=False)
+
+    def __post_init__(self) -> None:
+        if bool(self.communities) == (self.regex is not None):
+            raise ConfigError(
+                "community list entry must have exactly one of members/regex"
+            )
+
+    def matches(self, carried: FrozenSet[Community]) -> bool:
+        """Whether a route carrying ``carried`` satisfies this entry."""
+        if self.regex is not None:
+            return any(community_regex_matches(self.regex, c) for c in carried)
+        return self.communities <= carried
+
+
+def community_regex_matches(regex: str, community: Community) -> bool:
+    """IOS-style community regex match against one community's text form.
+
+    IOS regexes are unanchored (``re.search`` semantics); ``_`` matches a
+    delimiter (start, end, or colon), following Cisco's convention.
+    """
+    translated = regex.replace("_", r"(?:^|$|:)")
+    try:
+        return re.search(translated, str(community)) is not None
+    except re.error as exc:
+        raise ConfigError(f"bad community regex {regex!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class CommunityList:
+    """A named disjunction of community-match entries."""
+
+    name: str
+    entries: Tuple[CommunityListEntry, ...] = ()
+
+    def matches(self, carried: FrozenSet[Community]) -> bool:
+        """First-match evaluation: True iff a PERMIT entry fires first."""
+        for entry in self.entries:
+            if entry.matches(carried):
+                return entry.action is Action.PERMIT
+        return False
+
+    def mentioned_communities(self) -> FrozenSet[Community]:
+        """All literal communities appearing in entries (regexes excluded)."""
+        result: set = set()
+        for entry in self.entries:
+            result.update(entry.communities)
+        return frozenset(result)
+
+
+@dataclass(frozen=True)
+class AsPathListEntry:
+    """One line of an as-path access list."""
+
+    action: Action
+    regex: str
+    source: SourceSpan = field(default_factory=SourceSpan, compare=False)
+
+    def matches(self, as_path: Sequence[int]) -> bool:
+        """IOS-style regex match over the rendered AS path."""
+        rendered = " ".join(str(asn) for asn in as_path)
+        translated = self.regex.replace("_", r"(?:^|$| )")
+        try:
+            return re.search(translated, rendered) is not None
+        except re.error as exc:
+            raise ConfigError(f"bad as-path regex {self.regex!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class AsPathList:
+    """A named ordered as-path access list, default deny."""
+
+    name: str
+    entries: Tuple[AsPathListEntry, ...] = ()
+
+    def permits(self, as_path: Sequence[int]) -> bool:
+        """First-match evaluation over the entries (default deny)."""
+        for entry in self.entries:
+            if entry.matches(as_path):
+                return entry.action is Action.PERMIT
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Match conditions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MatchPrefixList:
+    """``match ip address prefix-list NAME`` / ``from prefix-list NAME``."""
+
+    prefix_list: PrefixList
+    source: SourceSpan = field(default_factory=SourceSpan, compare=False)
+
+
+@dataclass(frozen=True)
+class MatchCommunities:
+    """``match community NAME`` / ``from community NAME``."""
+
+    community_list: CommunityList
+    source: SourceSpan = field(default_factory=SourceSpan, compare=False)
+
+
+@dataclass(frozen=True)
+class MatchAsPath:
+    """``match as-path N`` / ``from as-path NAME``."""
+
+    as_path_list: AsPathList
+    source: SourceSpan = field(default_factory=SourceSpan, compare=False)
+
+
+@dataclass(frozen=True)
+class MatchTag:
+    """``match tag N`` — used by redistribution policies."""
+
+    tag: int
+    source: SourceSpan = field(default_factory=SourceSpan, compare=False)
+
+
+@dataclass(frozen=True)
+class MatchProtocol:
+    """``from protocol static|ospf|bgp|connected`` (redistribution)."""
+
+    protocol: str
+    source: SourceSpan = field(default_factory=SourceSpan, compare=False)
+
+
+MatchCondition = Union[MatchPrefixList, MatchCommunities, MatchAsPath, MatchTag, MatchProtocol]
+
+
+# ---------------------------------------------------------------------------
+# Set actions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SetLocalPref:
+    value: int
+    source: SourceSpan = field(default_factory=SourceSpan, compare=False)
+
+    def describe(self) -> str:
+        """Canonical rendering for the Action row."""
+        return f"SET LOCAL PREF {self.value}"
+
+
+@dataclass(frozen=True)
+class SetMed:
+    value: int
+    source: SourceSpan = field(default_factory=SourceSpan, compare=False)
+
+    def describe(self) -> str:
+        """Canonical rendering for the Action row."""
+        return f"SET MED {self.value}"
+
+
+@dataclass(frozen=True)
+class SetCommunities:
+    """Set or add communities; ``additive`` mirrors IOS's keyword."""
+
+    communities: FrozenSet[Community]
+    additive: bool = False
+    source: SourceSpan = field(default_factory=SourceSpan, compare=False)
+
+    def describe(self) -> str:
+        """Canonical rendering for the Action row."""
+        rendered = " ".join(sorted(str(c) for c in self.communities))
+        mode = "ADD" if self.additive else "SET"
+        return f"{mode} COMMUNITY {rendered}"
+
+
+@dataclass(frozen=True)
+class SetNextHop:
+    ip: int
+    source: SourceSpan = field(default_factory=SourceSpan, compare=False)
+
+    def describe(self) -> str:
+        """Canonical rendering for the Action row."""
+        from .types import int_to_ip
+
+        return f"SET NEXT HOP {int_to_ip(self.ip)}"
+
+
+@dataclass(frozen=True)
+class SetAsPathPrepend:
+    asns: Tuple[int, ...]
+    source: SourceSpan = field(default_factory=SourceSpan, compare=False)
+
+    def describe(self) -> str:
+        """Canonical rendering for the Action row."""
+        return "PREPEND AS PATH " + " ".join(str(a) for a in self.asns)
+
+
+@dataclass(frozen=True)
+class SetTag:
+    tag: int
+    source: SourceSpan = field(default_factory=SourceSpan, compare=False)
+
+    def describe(self) -> str:
+        """Canonical rendering for the Action row."""
+        return f"SET TAG {self.tag}"
+
+
+SetAction = Union[SetLocalPref, SetMed, SetCommunities, SetNextHop, SetAsPathPrepend, SetTag]
+
+
+# ---------------------------------------------------------------------------
+# Route maps
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RouteMapClause:
+    """One route-map stanza / policy-statement term.
+
+    A route advertisement matches the clause when *all* conditions hold
+    (conditions on different attributes conjoin; IOS conjoins distinct
+    ``match`` types within one stanza, JunOS conjoins ``from`` conditions
+    in one term).  On match, ``sets`` apply and ``action`` decides.
+    """
+
+    name: str
+    action: Action
+    matches: Tuple[MatchCondition, ...] = ()
+    sets: Tuple[SetAction, ...] = ()
+    source: SourceSpan = field(default_factory=SourceSpan, compare=False)
+
+    def action_summary(self) -> str:
+        """Human-readable disposition, e.g. ``SET LOCAL PREF 30 / ACCEPT``."""
+        parts = [s.describe() for s in self.sets] if self.action is Action.PERMIT else []
+        parts.append("ACCEPT" if self.action is Action.PERMIT else "REJECT")
+        return "\n".join(parts)
+
+
+@dataclass(frozen=True)
+class RouteMap:
+    """An ordered routing policy with explicit fall-through action."""
+
+    name: str
+    clauses: Tuple[RouteMapClause, ...] = ()
+    default_action: Action = Action.DENY
+    source: SourceSpan = field(default_factory=SourceSpan, compare=False)
+
+    def prefix_ranges(self) -> List[PrefixRange]:
+        """Every prefix range mentioned anywhere in the policy.
+
+        This is HeaderLocalize's vocabulary ``R`` (§3.2): the constants in
+        terms of which affected prefix sets are expressed.
+        """
+        ranges: List[PrefixRange] = []
+        for clause in self.clauses:
+            for condition in clause.matches:
+                if isinstance(condition, MatchPrefixList):
+                    ranges.extend(condition.prefix_list.ranges())
+        return ranges
+
+    def mentioned_communities(self) -> FrozenSet[Community]:
+        """All literal communities matched or set anywhere in the policy."""
+        result: set = set()
+        for clause in self.clauses:
+            for condition in clause.matches:
+                if isinstance(condition, MatchCommunities):
+                    result.update(condition.community_list.mentioned_communities())
+            for action in clause.sets:
+                if isinstance(action, SetCommunities):
+                    result.update(action.communities)
+        return frozenset(result)
+
+    def community_regexes(self) -> List[str]:
+        """All community regexes used in match conditions."""
+        regexes: List[str] = []
+        for clause in self.clauses:
+            for condition in clause.matches:
+                if isinstance(condition, MatchCommunities):
+                    for entry in condition.community_list.entries:
+                        if entry.regex is not None:
+                            regexes.append(entry.regex)
+        return regexes

@@ -1,0 +1,61 @@
+"""Static and connected routes.
+
+Campion compares these with StructuralDiff (§2.2, §3.3): a static route is
+a tuple (prefix, next hop, administrative distance, tag), and the
+difference between two routers is simply the symmetric set difference of
+their tuples plus attribute mismatches on shared prefixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .types import Prefix, SourceSpan, int_to_ip
+
+__all__ = ["StaticRoute", "ConnectedRoute"]
+
+
+@dataclass(frozen=True, order=True)
+class StaticRoute:
+    """One static route.  ``next_hop`` may be None for interface routes."""
+
+    prefix: Prefix
+    next_hop: Optional[int] = None
+    interface: Optional[str] = None
+    admin_distance: int = 1
+    tag: Optional[int] = None
+    source: SourceSpan = field(default_factory=SourceSpan, compare=False)
+
+    def key(self) -> Prefix:
+        """Routes are matched across routers by destination prefix."""
+        return self.prefix
+
+    def attributes(self) -> tuple:
+        """The comparable attribute tuple (everything but provenance)."""
+        return (self.prefix, self.next_hop, self.interface, self.admin_distance, self.tag)
+
+    def describe(self) -> str:
+        """One-line summary for reports (Table 4's value cell)."""
+        parts = [f"prefix {self.prefix}"]
+        if self.next_hop is not None:
+            parts.append(f"next-hop {int_to_ip(self.next_hop)}")
+        if self.interface is not None:
+            parts.append(f"interface {self.interface}")
+        parts.append(f"distance {self.admin_distance}")
+        if self.tag is not None:
+            parts.append(f"tag {self.tag}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True, order=True)
+class ConnectedRoute:
+    """A subnet directly attached via an interface."""
+
+    prefix: Prefix
+    interface: str
+    source: SourceSpan = field(default_factory=SourceSpan, compare=False)
+
+    def key(self) -> Prefix:
+        """Connected routes are matched across routers by subnet."""
+        return self.prefix

@@ -1,0 +1,76 @@
+"""Shared parser utilities: numbered-line handling and token helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..model.types import ConfigError, SourceSpan
+
+__all__ = ["NumberedLine", "number_lines", "ParserWarning", "ParseContext"]
+
+
+@dataclass(frozen=True)
+class NumberedLine:
+    """One raw configuration line with its 1-based line number."""
+
+    number: int
+    text: str
+
+    @property
+    def stripped(self) -> str:
+        """The line without surrounding whitespace."""
+        return self.text.strip()
+
+    @property
+    def indent(self) -> int:
+        """Leading-whitespace width (IOS block structure)."""
+        return len(self.text) - len(self.text.lstrip())
+
+    def tokens(self) -> List[str]:
+        """Whitespace-separated tokens of the line."""
+        return self.stripped.split()
+
+    def span(self, filename: str) -> SourceSpan:
+        """A single-line SourceSpan for this line."""
+        return SourceSpan(filename, self.number, self.number, (self.text.rstrip(),))
+
+
+def number_lines(text: str) -> List[NumberedLine]:
+    """Split raw text into numbered lines, keeping blanks for numbering."""
+    return [
+        NumberedLine(number, line)
+        for number, line in enumerate(text.splitlines(), start=1)
+    ]
+
+
+@dataclass(frozen=True)
+class ParserWarning:
+    """A non-fatal parse issue: unsupported or malformed construct.
+
+    Campion-style tools must not die on the long tail of vendor syntax;
+    we record what was skipped so callers can audit coverage (the paper's
+    §5.1 "not fully supported format" case degraded output the same way).
+    """
+
+    line: int
+    text: str
+    reason: str
+
+
+class ParseContext:
+    """Accumulates warnings and provides error helpers during a parse."""
+
+    def __init__(self, filename: str):
+        self.filename = filename
+        self.warnings: List[ParserWarning] = []
+
+    def warn(self, line: NumberedLine, reason: str) -> None:
+        """Record a non-fatal parse issue."""
+        self.warnings.append(ParserWarning(line.number, line.stripped, reason))
+
+    def fail(self, line: NumberedLine, reason: str) -> ConfigError:
+        """Build a ConfigError pointing at ``line``."""
+        return ConfigError(
+            f"{self.filename}:{line.number}: {reason}: {line.stripped!r}"
+        )

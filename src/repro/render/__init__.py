@@ -1,0 +1,24 @@
+"""Configuration renderers ("unparsers", §4).
+
+Turn the vendor-independent model back into Cisco IOS or Juniper JunOS
+text.  Two uses:
+
+* **round-trip validation** — parse → render → parse must be
+  behaviorally equivalent (property-tested via ConfigDiff), which
+  pins down parser/model/renderer semantics against each other;
+* **assisted translation** — render a parsed Cisco config as JunOS (or
+  vice versa) to bootstrap a router replacement, then verify the result
+  with Campion exactly as §5.1 Scenario 2 prescribes.
+"""
+
+from .cisco_render import render_cisco_device
+from .errors import RenderError
+from .juniper_render import render_juniper_device
+from .translate import translate
+
+__all__ = [
+    "RenderError",
+    "render_cisco_device",
+    "render_juniper_device",
+    "translate",
+]

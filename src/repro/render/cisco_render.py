@@ -1,0 +1,402 @@
+"""Render a DeviceConfig as Cisco IOS text.
+
+The output targets exactly the IOS subset ``repro.parsers.cisco``
+consumes, so parse→render→parse round-trips (property-tested).  The
+renderer is semantics-preserving: structural details that IOS leaves
+implicit (the route-map's trailing deny) are emitted only when the
+model deviates from the implicit default.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..model import (
+    Acl,
+    AclAction,
+    AclLine,
+    Action,
+    AsPathList,
+    BgpProcess,
+    CommunityList,
+    DEFAULT_ADMIN_DISTANCES,
+    DeviceConfig,
+    Interface,
+    IpWildcard,
+    MatchAsPath,
+    MatchCommunities,
+    MatchPrefixList,
+    MatchProtocol,
+    MatchTag,
+    OspfProcess,
+    PortRange,
+    PrefixList,
+    RouteMap,
+    SetAsPathPrepend,
+    SetCommunities,
+    SetLocalPref,
+    SetMed,
+    SetNextHop,
+    SetTag,
+    int_to_ip,
+)
+from ..model.acl import IP_PROTOCOL_NAMES
+from .errors import RenderError
+
+__all__ = ["render_cisco_device"]
+
+
+def _mask(length: int) -> str:
+    value = 0 if length == 0 else (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+    return int_to_ip(value)
+
+
+def _wildcard_of(length: int) -> str:
+    value = 0xFFFFFFFF if length == 0 else (~((0xFFFFFFFF << (32 - length)))) & 0xFFFFFFFF
+    return int_to_ip(value)
+
+
+def _render_interfaces(device: DeviceConfig, lines: List[str]) -> None:
+    for name in sorted(device.interfaces):
+        interface = device.interfaces[name]
+        lines.append(f"interface {name}")
+        if interface.description:
+            lines.append(f" description {interface.description}")
+        if interface.address is not None:
+            lines.append(
+                f" ip address {int_to_ip(interface.address.network)} "
+                f"{_mask(interface.address.length)}"
+            )
+        if interface.acl_in:
+            lines.append(f" ip access-group {interface.acl_in} in")
+        if interface.acl_out:
+            lines.append(f" ip access-group {interface.acl_out} out")
+        settings = (
+            device.ospf.interface_map().get(name) if device.ospf is not None else None
+        )
+        if settings is not None:
+            if settings.cost is not None:
+                lines.append(f" ip ospf cost {settings.cost}")
+            if settings.hello_interval != 10:
+                lines.append(f" ip ospf hello-interval {settings.hello_interval}")
+            if settings.dead_interval != 40:
+                lines.append(f" ip ospf dead-interval {settings.dead_interval}")
+            if settings.network_type != "broadcast":
+                lines.append(f" ip ospf network {settings.network_type}")
+        if interface.shutdown:
+            lines.append(" shutdown")
+        lines.append("!")
+
+
+def _render_prefix_lists(device: DeviceConfig, lines: List[str]) -> None:
+    for name in sorted(device.prefix_lists):
+        for entry in device.prefix_lists[name].entries:
+            parts = [f"ip prefix-list {name} {entry.action.value} {entry.range.prefix}"]
+            plen = entry.range.prefix.length
+            low, high = entry.range.low, entry.range.high
+            if low == plen and high == plen:
+                pass  # exact match: no modifiers
+            elif low == plen:
+                parts.append(f"le {high}")
+            elif high == 32:
+                parts.append(f"ge {low}")
+            else:
+                parts.append(f"ge {low} le {high}")
+            lines.append(" ".join(parts))
+        lines.append("!")
+
+
+def _render_community_lists(device: DeviceConfig, lines: List[str]) -> None:
+    for name in sorted(device.community_lists):
+        for entry in device.community_lists[name].entries:
+            if entry.regex is not None:
+                lines.append(
+                    f"ip community-list expanded {name} {entry.action.value} {entry.regex}"
+                )
+            else:
+                members = " ".join(str(c) for c in sorted(entry.communities))
+                lines.append(
+                    f"ip community-list standard {name} {entry.action.value} {members}"
+                )
+        lines.append("!")
+
+
+def _render_as_path_lists(device: DeviceConfig, lines: List[str]) -> None:
+    for name in sorted(device.as_path_lists):
+        for entry in device.as_path_lists[name].entries:
+            lines.append(
+                f"ip as-path access-list {name} {entry.action.value} {entry.regex}"
+            )
+        lines.append("!")
+
+
+def _render_acl_address(wildcard: IpWildcard) -> str:
+    if wildcard.is_any():
+        return "any"
+    if wildcard.wildcard == 0:
+        return f"host {int_to_ip(wildcard.address)}"
+    return f"{int_to_ip(wildcard.address)} {int_to_ip(wildcard.wildcard)}"
+
+
+def _render_ports(ports: Tuple[PortRange, ...]) -> str:
+    if not ports:
+        return ""
+    if len(ports) > 1:
+        raise RenderError("IOS expresses one port operator per rule")
+    port_range = ports[0]
+    if port_range.low == port_range.high:
+        return f" eq {port_range.low}"
+    if port_range.low == 0:
+        return f" lt {port_range.high + 1}"
+    if port_range.high == 0xFFFF:
+        return f" gt {port_range.low - 1}"
+    return f" range {port_range.low} {port_range.high}"
+
+
+def _render_acls(device: DeviceConfig, lines: List[str]) -> None:
+    for name in sorted(device.acls):
+        acl = device.acls[name]
+        if acl.default_action is not AclAction.DENY:
+            raise RenderError("IOS ACLs end in an implicit deny; permit default unsupported")
+        lines.append(f"ip access-list extended {name}")
+        for rule in acl.lines:
+            protocol = (
+                IP_PROTOCOL_NAMES.get(rule.protocol, str(rule.protocol))
+                if rule.protocol is not None
+                else "ip"
+            )
+            text = (
+                f" {rule.action.value} {protocol}"
+                f" {_render_acl_address(rule.src)}{_render_ports(rule.src_ports)}"
+                f" {_render_acl_address(rule.dst)}{_render_ports(rule.dst_ports)}"
+            )
+            if rule.icmp_type is not None:
+                text += f" {rule.icmp_type}"
+            lines.append(text)
+        lines.append("!")
+
+
+def _render_match(condition) -> str:
+    if isinstance(condition, MatchPrefixList):
+        return f" match ip address prefix-list {condition.prefix_list.name}"
+    if isinstance(condition, MatchCommunities):
+        return f" match community {condition.community_list.name}"
+    if isinstance(condition, MatchAsPath):
+        return f" match as-path {condition.as_path_list.name}"
+    if isinstance(condition, MatchTag):
+        return f" match tag {condition.tag}"
+    if isinstance(condition, MatchProtocol):
+        raise RenderError("IOS route-maps cannot match a source protocol directly")
+    raise RenderError(f"unsupported match condition {condition!r}")
+
+
+def _render_set(action) -> str:
+    if isinstance(action, SetLocalPref):
+        return f" set local-preference {action.value}"
+    if isinstance(action, SetMed):
+        return f" set metric {action.value}"
+    if isinstance(action, SetCommunities):
+        members = " ".join(str(c) for c in sorted(action.communities))
+        suffix = " additive" if action.additive else ""
+        return f" set community {members}{suffix}"
+    if isinstance(action, SetNextHop):
+        return f" set ip next-hop {int_to_ip(action.ip)}"
+    if isinstance(action, SetAsPathPrepend):
+        return " set as-path prepend " + " ".join(str(a) for a in action.asns)
+    if isinstance(action, SetTag):
+        return f" set tag {action.tag}"
+    raise RenderError(f"unsupported set action {action!r}")
+
+
+def _render_route_maps(device: DeviceConfig, lines: List[str]) -> None:
+    for name in sorted(device.route_maps):
+        route_map = device.route_maps[name]
+        sequence = 10
+        for clause in route_map.clauses:
+            lines.append(f"route-map {name} {clause.action.value} {sequence}")
+            for condition in clause.matches:
+                # Route maps referencing prefix lists by their list name;
+                # synthetic route-filter lists need materializing first.
+                lines.append(_render_match(condition))
+            for action in clause.sets:
+                lines.append(_render_set(action))
+            sequence += 10
+        if route_map.default_action is Action.PERMIT:
+            # IOS's implicit default is deny; make a permit explicit.
+            lines.append(f"route-map {name} permit {sequence}")
+        lines.append("!")
+
+
+def _materialize_synthetic_lists(device: DeviceConfig) -> DeviceConfig:
+    """Hoist route-filter-style synthetic prefix lists (created by the
+    JunOS parser) into named prefix lists so IOS can reference them."""
+    import copy
+    import re
+
+    device = copy.copy(device)
+    device.prefix_lists = dict(device.prefix_lists)
+    device.route_maps = dict(device.route_maps)
+    counter = 0
+    for map_name, route_map in list(device.route_maps.items()):
+        new_clauses = []
+        changed = False
+        for clause in route_map.clauses:
+            new_matches = []
+            for condition in clause.matches:
+                if (
+                    isinstance(condition, MatchPrefixList)
+                    and (
+                        condition.prefix_list.name not in device.prefix_lists
+                        or not re.match(r"^[A-Za-z0-9_.:-]+$", condition.prefix_list.name)
+                    )
+                ):
+                    counter += 1
+                    fresh = f"PL-{map_name}-{counter}"
+                    device.prefix_lists[fresh] = PrefixList(
+                        fresh, condition.prefix_list.entries
+                    )
+                    new_matches.append(
+                        MatchPrefixList(device.prefix_lists[fresh], condition.source)
+                    )
+                    changed = True
+                else:
+                    new_matches.append(condition)
+            new_clauses.append(
+                type(clause)(
+                    name=clause.name,
+                    action=clause.action,
+                    matches=tuple(new_matches),
+                    sets=clause.sets,
+                    source=clause.source,
+                )
+            )
+        if changed:
+            device.route_maps[map_name] = RouteMap(
+                name=route_map.name,
+                clauses=tuple(new_clauses),
+                default_action=route_map.default_action,
+                source=route_map.source,
+            )
+    return device
+
+
+def _render_static_routes(device: DeviceConfig, lines: List[str]) -> None:
+    for route in sorted(device.static_routes):
+        target = (
+            int_to_ip(route.next_hop)
+            if route.next_hop is not None
+            else ("Null0" if route.interface == "discard" else route.interface or "Null0")
+        )
+        parts = [
+            f"ip route {int_to_ip(route.prefix.network)} {_mask(route.prefix.length)} {target}"
+        ]
+        if route.admin_distance != 1:
+            parts.append(str(route.admin_distance))
+        if route.tag is not None:
+            parts.append(f"tag {route.tag}")
+        lines.append(" ".join(parts))
+    if device.static_routes:
+        lines.append("!")
+
+
+def _render_bgp(device: DeviceConfig, lines: List[str], warnings: List[str]) -> None:
+    bgp = device.bgp
+    if bgp is None:
+        return
+    lines.append(f"router bgp {bgp.asn}")
+    if bgp.router_id is not None:
+        lines.append(f" bgp router-id {int_to_ip(bgp.router_id)}")
+    if bgp.default_local_pref != 100:
+        lines.append(f" bgp default local-preference {bgp.default_local_pref}")
+    for neighbor in bgp.neighbors:
+        peer = int_to_ip(neighbor.peer_ip)
+        lines.append(f" neighbor {peer} remote-as {neighbor.remote_as}")
+        if neighbor.description:
+            lines.append(f" neighbor {peer} description {neighbor.description}")
+        if neighbor.import_policy:
+            lines.append(f" neighbor {peer} route-map {neighbor.import_policy} in")
+        if neighbor.export_policy:
+            lines.append(f" neighbor {peer} route-map {neighbor.export_policy} out")
+        if neighbor.route_reflector_client:
+            lines.append(f" neighbor {peer} route-reflector-client")
+        if neighbor.send_community:
+            lines.append(f" neighbor {peer} send-community")
+        if neighbor.next_hop_self:
+            lines.append(f" neighbor {peer} next-hop-self")
+        if neighbor.update_source:
+            lines.append(f" neighbor {peer} update-source {neighbor.update_source}")
+        if neighbor.ebgp_multihop:
+            lines.append(f" neighbor {peer} ebgp-multihop")
+    for redistribution in bgp.redistributions:
+        parts = [f" redistribute {redistribution.from_protocol}"]
+        if redistribution.route_map:
+            parts.append(f"route-map {redistribution.route_map}")
+        if redistribution.metric is not None:
+            parts.append(f"metric {redistribution.metric}")
+        lines.append(" ".join(parts))
+    ebgp = device.admin_distances.get("ebgp", DEFAULT_ADMIN_DISTANCES["ebgp"])
+    ibgp = device.admin_distances.get("ibgp", DEFAULT_ADMIN_DISTANCES["ibgp"])
+    if (ebgp, ibgp) != (
+        DEFAULT_ADMIN_DISTANCES["ebgp"],
+        DEFAULT_ADMIN_DISTANCES["ibgp"],
+    ):
+        lines.append(f" distance bgp {ebgp} {ibgp} {ibgp}")
+    lines.append("!")
+
+
+def _render_ospf(device: DeviceConfig, lines: List[str], warnings: List[str]) -> None:
+    ospf = device.ospf
+    if ospf is None:
+        return
+    lines.append(f"router ospf {ospf.process_id}")
+    if ospf.router_id is not None:
+        lines.append(f" router-id {int_to_ip(ospf.router_id)}")
+    for settings in ospf.interfaces:
+        interface = device.interfaces.get(settings.interface)
+        if interface is None or interface.subnet() is None:
+            warnings.append(
+                f"ospf interface {settings.interface} has no subnet; "
+                "cannot emit a network statement"
+            )
+            continue
+        subnet = interface.subnet()
+        lines.append(
+            f" network {int_to_ip(subnet.network)} {_wildcard_of(subnet.length)} "
+            f"area {settings.area}"
+        )
+        if settings.passive:
+            lines.append(f" passive-interface {settings.interface}")
+    for redistribution in ospf.redistributions:
+        parts = [f" redistribute {redistribution.from_protocol} subnets"]
+        if redistribution.route_map:
+            parts.append(f"route-map {redistribution.route_map}")
+        if redistribution.metric is not None:
+            parts.append(f"metric {redistribution.metric}")
+        if redistribution.metric_type != 2:
+            parts.append(f"metric-type {redistribution.metric_type}")
+        lines.append(" ".join(parts))
+    if ospf.reference_bandwidth != 100_000_000:
+        lines.append(
+            f" auto-cost reference-bandwidth {ospf.reference_bandwidth // 1_000_000}"
+        )
+    distance = device.admin_distances.get("ospf", DEFAULT_ADMIN_DISTANCES["ospf"])
+    if distance != DEFAULT_ADMIN_DISTANCES["ospf"]:
+        lines.append(f" distance {distance}")
+    lines.append("!")
+
+
+def render_cisco_device(device: DeviceConfig) -> Tuple[str, List[str]]:
+    """Render ``device`` as IOS text.  Returns (text, warnings)."""
+    warnings: List[str] = []
+    device = _materialize_synthetic_lists(device)
+    lines: List[str] = [f"hostname {device.hostname}", "!"]
+    _render_interfaces(device, lines)
+    _render_prefix_lists(device, lines)
+    _render_community_lists(device, lines)
+    _render_as_path_lists(device, lines)
+    _render_acls(device, lines)
+    _render_route_maps(device, lines)
+    _render_static_routes(device, lines)
+    _render_bgp(device, lines, warnings)
+    _render_ospf(device, lines, warnings)
+    return "\n".join(lines) + "\n", warnings

@@ -1,0 +1,9 @@
+"""Renderer errors."""
+
+__all__ = ["RenderError"]
+
+
+class RenderError(ValueError):
+    """The model uses a construct the target dialect cannot express
+    (e.g. a discontiguous wildcard in JunOS, or a deny entry inside a
+    prefix list being expanded into JunOS terms)."""

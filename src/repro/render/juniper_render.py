@@ -1,0 +1,544 @@
+"""Render a DeviceConfig as Juniper JunOS text.
+
+Cross-vendor semantics are preserved by *expansion* where JunOS's
+primitives differ from the model's:
+
+* a prefix list whose entries are permit-only renders as ``route-filter``
+  conditions ORed inside one ``from`` block (exactly our parser's merged
+  semantics); deny entries cannot be expanded linearly and raise
+  :class:`~repro.render.errors.RenderError`;
+* a community list with several disjunctive entries expands into one
+  JunOS term per entry, each carrying the same ``then`` block —
+  first-match over the copies equals Cisco's any-of semantics;
+* the model's explicit fall-through action becomes an explicit final
+  catch-all term, so IOS's implicit deny survives translation (the §5.2
+  fall-through bug class is about forgetting precisely this).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from ..model import (
+    Acl,
+    AclAction,
+    AclLine,
+    Action,
+    CommunityList,
+    CommunityListEntry,
+    DEFAULT_ADMIN_DISTANCES,
+    DeviceConfig,
+    MatchAsPath,
+    MatchCommunities,
+    MatchCondition,
+    MatchPrefixList,
+    MatchProtocol,
+    MatchTag,
+    PrefixList,
+    RouteMap,
+    RouteMapClause,
+    SetAsPathPrepend,
+    SetCommunities,
+    SetLocalPref,
+    SetMed,
+    SetNextHop,
+    SetTag,
+    int_to_ip,
+)
+from ..model.acl import IP_PROTOCOL_NAMES
+from .errors import RenderError
+
+__all__ = ["render_juniper_device"]
+
+_INDENT = "    "
+
+
+class _Block:
+    """Tiny indented-block writer for the curly-brace format."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.depth = 0
+
+    def open(self, header: str) -> None:
+        self.lines.append(f"{_INDENT * self.depth}{header} {{")
+        self.depth += 1
+
+    def close(self) -> None:
+        self.depth -= 1
+        self.lines.append(f"{_INDENT * self.depth}}}")
+
+    def stmt(self, text: str) -> None:
+        self.lines.append(f"{_INDENT * self.depth}{text};")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _route_filter(entry_range) -> str:
+    prefix = entry_range.prefix
+    low, high = entry_range.low, entry_range.high
+    if low == prefix.length and high == prefix.length:
+        return f"route-filter {prefix} exact"
+    if low == prefix.length and high == 32:
+        return f"route-filter {prefix} orlonger"
+    if low == prefix.length:
+        return f"route-filter {prefix} upto /{high}"
+    return f"route-filter {prefix} prefix-length-range /{low}-/{high}"
+
+
+def _community_name(base: str, index: int, total: int) -> str:
+    return base if total == 1 else f"{base}-{index}"
+
+
+def _plan_communities(device: DeviceConfig) -> Tuple[dict, dict, dict]:
+    """Assign JunOS community names: one per disjunctive entry, plus
+    synthesized definitions for ``set community`` values that no named
+    list covers.
+
+    Returns (definitions, expansion, set_names): ``definitions`` maps a
+    JunOS name to its entry, ``expansion`` maps a model list name to the
+    ordered JunOS names of its entries, and ``set_names`` maps a
+    frozenset of communities (a SetCommunities payload) to the JunOS
+    name to reference in ``community set/add``.
+    """
+    from ..model import CommunityListEntry as _Entry
+
+    definitions: dict = {}
+    expansion: dict = {}
+    for name in sorted(device.community_lists):
+        community_list = device.community_lists[name]
+        for entry in community_list.entries:
+            if entry.action is not Action.PERMIT:
+                raise RenderError(
+                    f"community list {name} has deny entries; JunOS term "
+                    "expansion cannot express them"
+                )
+        names = []
+        for index, entry in enumerate(community_list.entries):
+            junos_name = _community_name(name, index, len(community_list.entries))
+            definitions[junos_name] = entry
+            names.append(junos_name)
+        expansion[name] = names
+
+    set_names: dict = {}
+    synthetic = 0
+    for map_name in sorted(device.route_maps):
+        for clause in device.route_maps[map_name].clauses:
+            for action in clause.sets:
+                if not isinstance(action, SetCommunities):
+                    continue
+                if action.communities in set_names:
+                    continue
+                existing = _set_community_name(device, action)
+                if existing is not None:
+                    # A single-entry literal definition already covers it.
+                    set_names[action.communities] = existing
+                    continue
+                synthetic += 1
+                junos_name = f"SETCOMM-{synthetic}"
+                set_names[action.communities] = junos_name
+                definitions[junos_name] = _Entry(
+                    action=Action.PERMIT, communities=action.communities
+                )
+    return definitions, expansion, set_names
+
+
+def _render_policy_options(
+    device: DeviceConfig, block: _Block, warnings: List[str]
+) -> None:
+    definitions, community_expansion, set_names = _plan_communities(device)
+    if not (
+        device.prefix_lists
+        or definitions
+        or device.as_path_lists
+        or device.route_maps
+    ):
+        return
+    block.open("policy-options")
+    # Prefix lists with exact-only semantics can render natively; all
+    # others are inlined as route-filters at use sites.
+    for junos_name in sorted(definitions):
+        entry = definitions[junos_name]
+        if entry.regex is not None:
+            block.stmt(f'community {junos_name} members "{entry.regex}"')
+        else:
+            members = " ".join(str(c) for c in sorted(entry.communities))
+            block.stmt(f"community {junos_name} members [ {members} ]")
+    for name in sorted(device.as_path_lists):
+        as_path_list = device.as_path_lists[name]
+        for entry in as_path_list.entries:
+            if entry.action is not Action.PERMIT:
+                raise RenderError(
+                    f"as-path list {name} has deny entries; unsupported in JunOS rendering"
+                )
+        if len(as_path_list.entries) == 1:
+            block.stmt(f'as-path {name} "{as_path_list.entries[0].regex}"')
+        else:
+            for index, entry in enumerate(as_path_list.entries):
+                block.stmt(f'as-path {name}-{index} "{entry.regex}"')
+    for name in sorted(device.route_maps):
+        _render_policy_statement(
+            device,
+            device.route_maps[name],
+            block,
+            community_expansion,
+            set_names,
+            warnings,
+        )
+    block.close()
+
+
+def _clause_variants(
+    clause: RouteMapClause, community_expansion: dict
+) -> List[List[MatchCondition]]:
+    """Expand disjunctive community/as-path lists into per-term variants."""
+    dimensions: List[List[object]] = []
+    for condition in clause.matches:
+        if isinstance(condition, MatchCommunities):
+            names = community_expansion[condition.community_list.name]
+            dimensions.append([("community", name) for name in names])
+        elif isinstance(condition, MatchAsPath):
+            entries = condition.as_path_list.entries
+            if len(entries) == 1:
+                dimensions.append([("as-path", condition.as_path_list.name)])
+            else:
+                dimensions.append(
+                    [
+                        ("as-path", f"{condition.as_path_list.name}-{index}")
+                        for index in range(len(entries))
+                    ]
+                )
+        else:
+            dimensions.append([condition])
+    if not dimensions:
+        return [[]]
+    return [list(combo) for combo in itertools.product(*dimensions)]
+
+
+def _render_policy_statement(
+    device: DeviceConfig,
+    route_map: RouteMap,
+    block: _Block,
+    community_expansion: dict,
+    set_names: dict,
+    warnings: List[str],
+) -> None:
+    block.open(f"policy-statement {route_map.name}")
+    term_index = 0
+    for clause in route_map.clauses:
+        for variant in _clause_variants(clause, community_expansion):
+            term_index += 1
+            block.open(f"term t{term_index}")
+            conditions: List[str] = []
+            for condition in variant:
+                if isinstance(condition, tuple):
+                    kind, name = condition
+                    conditions.append(f"{kind} {name}")
+                elif isinstance(condition, MatchPrefixList):
+                    for entry in condition.prefix_list.entries:
+                        if entry.action is not Action.PERMIT:
+                            raise RenderError(
+                                f"prefix list {condition.prefix_list.name} has deny "
+                                "entries; JunOS route-filter expansion unsupported"
+                            )
+                        conditions.append(_route_filter(entry.range))
+                elif isinstance(condition, MatchTag):
+                    conditions.append(f"tag {condition.tag}")
+                elif isinstance(condition, MatchProtocol):
+                    conditions.append(f"protocol {condition.protocol}")
+                else:
+                    raise RenderError(f"unsupported match condition {condition!r}")
+            if conditions:
+                block.open("from")
+                for text in conditions:
+                    block.stmt(text)
+                block.close()
+            block.open("then")
+            _render_then(device, clause, block, set_names, warnings)
+            block.close()
+            block.close()
+    # Explicit catch-all carrying the model's fall-through action.
+    term_index += 1
+    block.open(f"term t{term_index}")
+    block.open("then")
+    block.stmt("accept" if route_map.default_action is Action.PERMIT else "reject")
+    block.close()
+    block.close()
+    block.close()
+
+
+def _render_then(
+    device: DeviceConfig,
+    clause: RouteMapClause,
+    block: _Block,
+    set_names: dict,
+    warnings: List[str],
+) -> None:
+    for action in clause.sets:
+        if isinstance(action, SetLocalPref):
+            block.stmt(f"local-preference {action.value}")
+        elif isinstance(action, SetMed):
+            block.stmt(f"metric {action.value}")
+        elif isinstance(action, SetCommunities):
+            # ``community set/add`` references a named definition; the
+            # planner pre-registered one for every SetCommunities payload.
+            name = set_names[action.communities]
+            block.stmt(f"community {'add' if action.additive else 'set'} {name}")
+        elif isinstance(action, SetNextHop):
+            block.stmt(f"next-hop {int_to_ip(action.ip)}")
+        elif isinstance(action, SetAsPathPrepend):
+            block.stmt(
+                "as-path-prepend " + " ".join(str(a) for a in action.asns)
+            )
+        elif isinstance(action, SetTag):
+            block.stmt(f"tag {action.tag}")
+        else:
+            raise RenderError(f"unsupported set action {action!r}")
+    block.stmt("accept" if clause.action is Action.PERMIT else "reject")
+
+
+def _set_community_name(device: DeviceConfig, action: SetCommunities) -> Optional[str]:
+    for name in sorted(device.community_lists):
+        entries = device.community_lists[name].entries
+        if (
+            len(entries) == 1
+            and entries[0].regex is None
+            and entries[0].communities == action.communities
+        ):
+            return name
+    return None
+
+
+def _render_interfaces(device: DeviceConfig, block: _Block) -> None:
+    if not device.interfaces:
+        return
+    block.open("interfaces")
+    for name in sorted(device.interfaces):
+        interface = device.interfaces[name]
+        physical, _, unit = name.partition(".")
+        block.open(physical)
+        if interface.description:
+            block.stmt(f'description "{interface.description}"')
+        if interface.shutdown:
+            block.stmt("disable")
+        block.open(f"unit {unit or '0'}")
+        block.open("family inet")
+        if interface.address is not None:
+            block.stmt(
+                f"address {int_to_ip(interface.address.network)}/{interface.address.length}"
+            )
+        if interface.acl_in or interface.acl_out:
+            block.open("filter")
+            if interface.acl_in:
+                block.stmt(f"input {interface.acl_in}")
+            if interface.acl_out:
+                block.stmt(f"output {interface.acl_out}")
+            block.close()
+        block.close()
+        block.close()
+        block.close()
+    block.close()
+
+
+def _render_routing_options(device: DeviceConfig, block: _Block) -> None:
+    has_asn = device.bgp is not None
+    has_rid = (device.bgp and device.bgp.router_id) or (
+        device.ospf and device.ospf.router_id
+    )
+    if not (device.static_routes or has_asn or has_rid):
+        return
+    block.open("routing-options")
+    if device.static_routes:
+        block.open("static")
+        for route in sorted(device.static_routes):
+            block.open(f"route {route.prefix}")
+            if route.next_hop is not None:
+                block.stmt(f"next-hop {int_to_ip(route.next_hop)}")
+            elif route.interface == "discard":
+                block.stmt("discard")
+            elif route.interface:
+                block.stmt(f"next-hop {route.interface}")
+            block.stmt(f"preference {route.admin_distance}")
+            if route.tag is not None:
+                block.stmt(f"tag {route.tag}")
+            block.close()
+        block.close()
+    router_id = None
+    if device.bgp is not None and device.bgp.router_id is not None:
+        router_id = device.bgp.router_id
+    elif device.ospf is not None and device.ospf.router_id is not None:
+        router_id = device.ospf.router_id
+    if router_id is not None:
+        block.stmt(f"router-id {int_to_ip(router_id)}")
+    if device.bgp is not None:
+        block.stmt(f"autonomous-system {device.bgp.asn}")
+    block.close()
+
+
+def _render_protocols(device: DeviceConfig, block: _Block, warnings: List[str]) -> None:
+    if device.bgp is None and device.ospf is None:
+        return
+    block.open("protocols")
+    if device.bgp is not None:
+        bgp = device.bgp
+        block.open("bgp")
+        external = [n for n in bgp.neighbors if n.remote_as != bgp.asn]
+        internal = [n for n in bgp.neighbors if n.remote_as == bgp.asn]
+        clients = [n for n in internal if n.route_reflector_client]
+        plain_internal = [n for n in internal if not n.route_reflector_client]
+        for group_name, group_type, members in (
+            ("EXTERNAL", "external", external),
+            ("INTERNAL", "internal", plain_internal),
+            ("CLIENTS", "internal", clients),
+        ):
+            if not members:
+                continue
+            block.open(f"group {group_name}")
+            block.stmt(f"type {group_type}")
+            if group_name == "CLIENTS":
+                cluster = bgp.router_id if bgp.router_id is not None else 0
+                block.stmt(f"cluster {int_to_ip(cluster)}")
+            for neighbor in members:
+                if not neighbor.send_community:
+                    warnings.append(
+                        f"neighbor {int_to_ip(neighbor.peer_ip)}: JunOS always "
+                        "sends communities; send-community=false is not expressible"
+                    )
+                header = f"neighbor {int_to_ip(neighbor.peer_ip)}"
+                block.open(header)
+                if neighbor.remote_as != bgp.asn:
+                    block.stmt(f"peer-as {neighbor.remote_as}")
+                if neighbor.description:
+                    block.stmt(f'description "{neighbor.description}"')
+                if neighbor.import_policy:
+                    block.stmt(f"import {neighbor.import_policy}")
+                if neighbor.export_policy:
+                    block.stmt(f"export {neighbor.export_policy}")
+                block.close()
+            block.close()  # group
+        block.close()  # bgp
+    if device.ospf is not None:
+        ospf = device.ospf
+        block.open("ospf")
+        if ospf.reference_bandwidth != 100_000_000:
+            block.stmt(f"reference-bandwidth {ospf.reference_bandwidth}")
+        for export in sorted({r.route_map for r in ospf.redistributions if r.route_map}):
+            block.stmt(f"export {export}")
+        areas = sorted({settings.area for settings in ospf.interfaces})
+        for area in areas:
+            block.open(f"area {int_to_ip(area)}")
+            for settings in ospf.interfaces:
+                if settings.area != area:
+                    continue
+                # JunOS interfaces are unit-qualified; the interfaces
+                # stanza renders unqualified model names as unit 0.
+                reference = (
+                    settings.interface
+                    if "." in settings.interface
+                    else f"{settings.interface}.0"
+                )
+                settings = type(settings)(
+                    interface=reference,
+                    area=settings.area,
+                    cost=settings.cost,
+                    passive=settings.passive,
+                    hello_interval=settings.hello_interval,
+                    dead_interval=settings.dead_interval,
+                    network_type=settings.network_type,
+                    source=settings.source,
+                )
+                needs_block = (
+                    settings.cost is not None
+                    or settings.passive
+                    or settings.hello_interval != 10
+                    or settings.dead_interval != 40
+                    or settings.network_type != "broadcast"
+                )
+                if not needs_block:
+                    block.stmt(f"interface {settings.interface}")
+                    continue
+                block.open(f"interface {settings.interface}")
+                if settings.cost is not None:
+                    block.stmt(f"metric {settings.cost}")
+                if settings.passive:
+                    block.stmt("passive")
+                if settings.hello_interval != 10:
+                    block.stmt(f"hello-interval {settings.hello_interval}")
+                if settings.dead_interval != 40:
+                    block.stmt(f"dead-interval {settings.dead_interval}")
+                if settings.network_type != "broadcast":
+                    block.stmt(f"interface-type {settings.network_type}")
+                block.close()
+            block.close()
+        block.close()
+    block.close()
+
+
+def _render_firewall(device: DeviceConfig, block: _Block, warnings: List[str]) -> None:
+    if not device.acls:
+        return
+    block.open("firewall")
+    block.open("family inet")
+    for name in sorted(device.acls):
+        acl = device.acls[name]
+        if acl.default_action is not AclAction.DENY:
+            raise RenderError("JunOS filters end in implicit discard; permit default unsupported")
+        block.open(f"filter {name}")
+        for index, rule in enumerate(acl.lines):
+            block.open(f"term t{index}")
+            conditions: List[str] = []
+            for label, wildcard in (("source-address", rule.src), ("destination-address", rule.dst)):
+                if wildcard.is_any():
+                    continue
+                prefix = wildcard.as_prefix()
+                if prefix is None:
+                    raise RenderError(
+                        f"ACL {name} rule {index}: discontiguous wildcard "
+                        "has no JunOS equivalent"
+                    )
+                conditions.append(f"{label} {{ {prefix}; }}")
+            if rule.protocol is not None:
+                protocol = IP_PROTOCOL_NAMES.get(rule.protocol, str(rule.protocol))
+                conditions.append(f"protocol {protocol};")
+            for label, ports in (("source-port", rule.src_ports), ("destination-port", rule.dst_ports)):
+                if not ports:
+                    continue
+                rendered = " ".join(
+                    str(p.low) if p.low == p.high else f"{p.low}-{p.high}"
+                    for p in ports
+                )
+                conditions.append(f"{label} {rendered};")
+            if rule.icmp_type is not None:
+                conditions.append(f"icmp-type {rule.icmp_type};")
+            if conditions:
+                block.open("from")
+                for condition in conditions:
+                    if condition.endswith(";"):
+                        block.stmt(condition[:-1])
+                    else:
+                        block.lines.append(f"{_INDENT * block.depth}{condition}")
+                block.close()
+            block.stmt(
+                "then accept" if rule.action is AclAction.PERMIT else "then discard"
+            )
+            block.close()
+        block.close()
+    block.close()
+    block.close()
+
+
+def render_juniper_device(device: DeviceConfig) -> Tuple[str, List[str]]:
+    """Render ``device`` as JunOS text.  Returns (text, warnings)."""
+    warnings: List[str] = []
+    block = _Block()
+    block.open("system")
+    block.stmt(f"host-name {device.hostname}")
+    block.close()
+    _render_interfaces(device, block)
+    _render_routing_options(device, block)
+    _render_policy_options(device, block, warnings)
+    _render_protocols(device, block, warnings)
+    _render_firewall(device, block, warnings)
+    return block.text(), warnings

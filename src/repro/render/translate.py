@@ -1,0 +1,65 @@
+"""Assisted cross-vendor translation with built-in verification.
+
+The §5.1 Scenario 2 workflow, automated: parse the source
+configuration, render it in the target dialect, re-parse the rendering,
+and run Campion on (source, translation).  The returned
+:class:`TranslationResult` carries the text, the renderer's
+expressibility warnings, and the verification report — a translation is
+only trustworthy when ``result.verified`` holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.config_diff import config_diff
+from ..core.results import CampionReport
+from ..model.device import DeviceConfig
+from ..parsers import parse_cisco, parse_juniper
+from .cisco_render import render_cisco_device
+from .errors import RenderError
+from .juniper_render import render_juniper_device
+
+__all__ = ["TranslationResult", "translate"]
+
+
+@dataclass
+class TranslationResult:
+    """A rendered translation plus its Campion verification."""
+
+    source: DeviceConfig
+    target_dialect: str
+    text: str
+    translated: DeviceConfig
+    warnings: List[str] = field(default_factory=list)
+    report: Optional[CampionReport] = None
+
+    @property
+    def verified(self) -> bool:
+        """True when Campion found no difference between source and
+        translation (Theorem 3.3: behavior is then guaranteed equal)."""
+        return self.report is not None and self.report.is_equivalent()
+
+
+def translate(device: DeviceConfig, target_dialect: str, verify: bool = True) -> TranslationResult:
+    """Render ``device`` in ``target_dialect`` and verify the result."""
+    if target_dialect == "cisco":
+        text, warnings = render_cisco_device(device)
+        translated = parse_cisco(text, f"{device.hostname}-translated.cfg")
+    elif target_dialect == "juniper":
+        text, warnings = render_juniper_device(device)
+        translated = parse_juniper(text, f"{device.hostname}-translated.cfg")
+    else:
+        raise RenderError(f"unknown target dialect {target_dialect!r}")
+
+    result = TranslationResult(
+        source=device,
+        target_dialect=target_dialect,
+        text=text,
+        translated=translated,
+        warnings=warnings,
+    )
+    if verify:
+        result.report = config_diff(device, translated)
+    return result

@@ -1,0 +1,31 @@
+"""Stable Routing Problem simulator — the Theorem 3.3 substrate."""
+
+from .equivalence import (
+    LocalDifference,
+    check_local_equivalence,
+    same_routing_solutions,
+    sample_routes,
+)
+from .network import BgpEdgeConfig, OspfEdgeConfig, SrpNetwork, Topology
+from .protocols import bgp_prefer, bgp_transfer, best_route, ospf_prefer, ospf_transfer
+from .solver import RoutingSolution, SolverError, solve_network, solve_protocol
+
+__all__ = [
+    "BgpEdgeConfig",
+    "LocalDifference",
+    "OspfEdgeConfig",
+    "RoutingSolution",
+    "SolverError",
+    "SrpNetwork",
+    "Topology",
+    "best_route",
+    "bgp_prefer",
+    "bgp_transfer",
+    "check_local_equivalence",
+    "ospf_prefer",
+    "ospf_transfer",
+    "same_routing_solutions",
+    "sample_routes",
+    "solve_network",
+    "solve_protocol",
+]

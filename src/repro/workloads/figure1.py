@@ -1,0 +1,135 @@
+"""The paper's running example: Figure 1's Cisco and Juniper route maps.
+
+These configurations are transcribed from Figure 1 (with the Juniper
+snippet's formatting repaired — the paper's two-column layout mangled its
+line breaks).  They drive the Table 2, Table 3 and Figure 2 benchmarks
+plus the quickstart example.
+
+The two seeded (real!) bugs:
+
+1. the Cisco ``NETS`` entries carry ``le 32`` (lengths 16-32) while the
+   Juniper prefix-list matches exactly /16, and
+2. the Cisco ``COMM`` matches routes carrying *either* community while
+   the Juniper ``COMM`` requires *both*.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..model.device import DeviceConfig
+from ..parsers import parse_cisco, parse_juniper
+
+__all__ = [
+    "CISCO_FIGURE1",
+    "JUNIPER_FIGURE1",
+    "figure1_devices",
+    "CISCO_STATIC_SECTION2",
+    "JUNIPER_STATIC_SECTION2",
+    "section2_static_devices",
+]
+
+CISCO_FIGURE1 = """\
+hostname cisco_router
+!
+ip prefix-list NETS permit 10.9.0.0/16 le 32
+ip prefix-list NETS permit 10.100.0.0/16 le 32
+!
+ip community-list standard COMM permit 10:10
+ip community-list standard COMM permit 10:11
+!
+route-map POL deny 10
+ match ip address NETS
+route-map POL deny 20
+ match community COMM
+route-map POL permit 30
+ set local-preference 30
+!
+router bgp 65000
+ neighbor 10.255.0.1 remote-as 65001
+ neighbor 10.255.0.1 route-map POL out
+!
+"""
+
+JUNIPER_FIGURE1 = """\
+system {
+    host-name juniper_router;
+}
+policy-options {
+    prefix-list NETS {
+        10.9.0.0/16;
+        10.100.0.0/16;
+    }
+    community COMM members [ 10:10 10:11 ];
+    policy-statement POL {
+        term rule1 {
+            from {
+                prefix-list NETS;
+            }
+            then reject;
+        }
+        term rule2 {
+            from community COMM;
+            then reject;
+        }
+        term rule3 {
+            then {
+                local-preference 30;
+                accept;
+            }
+        }
+    }
+}
+routing-options {
+    autonomous-system 65000;
+}
+protocols {
+    bgp {
+        group PEERS {
+            neighbor 10.255.0.1 {
+                peer-as 65001;
+                export POL;
+            }
+        }
+    }
+}
+"""
+
+
+def figure1_devices() -> Tuple[DeviceConfig, DeviceConfig]:
+    """Parse both Figure 1 configurations."""
+    cisco = parse_cisco(CISCO_FIGURE1, "cisco_router.cfg")
+    juniper = parse_juniper(JUNIPER_FIGURE1, "juniper_router.cfg")
+    return cisco, juniper
+
+
+# §2.2's static-route example: the Cisco router has a static route absent
+# from the Juniper router (Table 4).
+CISCO_STATIC_SECTION2 = """\
+hostname cisco_router
+!
+ip route 10.1.1.2 255.255.255.254 10.2.2.2
+ip route 10.3.0.0 255.255.0.0 10.2.2.6
+!
+"""
+
+JUNIPER_STATIC_SECTION2 = """\
+system {
+    host-name juniper_router;
+}
+routing-options {
+    static {
+        route 10.3.0.0/16 {
+            next-hop 10.2.2.6;
+            preference 1;
+        }
+    }
+}
+"""
+
+
+def section2_static_devices() -> Tuple[DeviceConfig, DeviceConfig]:
+    """Parse the §2.2 static-route example pair."""
+    cisco = parse_cisco(CISCO_STATIC_SECTION2, "cisco_static.cfg")
+    juniper = parse_juniper(JUNIPER_STATIC_SECTION2, "juniper_static.cfg")
+    return cisco, juniper

@@ -1,0 +1,174 @@
+"""Text-level bug injection operators.
+
+Each operator rewrites a configuration *text* to introduce one of the
+bug classes from the paper's evaluation and reports what it did.  They
+drive failure-injection tests (every operator's output must be flagged
+by ConfigDiff against the original) and the ablation benchmarks.
+
+Operators work on both dialects where the underlying syntax allows;
+each returns ``None`` when the pattern does not occur, so callers can
+probe applicability.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+__all__ = ["Mutation", "MUTATION_OPERATORS", "apply_random_mutation"]
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One applied mutation: new text plus a description of the change."""
+
+    text: str
+    description: str
+    operator: str
+
+
+def change_local_pref(text: str, rng: random.Random) -> Optional[Mutation]:
+    """Perturb one local-preference value (Scenario 2's bug class)."""
+    pattern = re.compile(r"(set local-preference |local-preference )(\d+)")
+    matches = list(pattern.finditer(text))
+    if not matches:
+        return None
+    match = rng.choice(matches)
+    old = int(match.group(2))
+    new = old + 10
+    mutated = text[: match.start(2)] + str(new) + text[match.end(2) :]
+    return Mutation(mutated, f"local-preference {old} -> {new}", "change_local_pref")
+
+
+def change_community(text: str, rng: random.Random) -> Optional[Mutation]:
+    """Perturb one community constant (Scenario 2's other bug class)."""
+    pattern = re.compile(r"(\d+):(\d+)")
+    matches = list(pattern.finditer(text))
+    if not matches:
+        return None
+    match = rng.choice(matches)
+    old_value = int(match.group(2))
+    new_value = (old_value + 1) % 65536
+    mutated = text[: match.start(2)] + str(new_value) + text[match.end(2) :]
+    return Mutation(
+        mutated,
+        f"community {match.group(0)} -> {match.group(1)}:{new_value}",
+        "change_community",
+    )
+
+
+def drop_prefix_list_entry(text: str, rng: random.Random) -> Optional[Mutation]:
+    """Remove one prefix-list line (Scenario 1's missing-fragment class)."""
+    cisco_lines = [
+        line for line in text.splitlines() if line.startswith("ip prefix-list ")
+    ]
+    junos_lines = re.findall(r"^\s+\d+\.\d+\.\d+\.\d+/\d+;\s*$", text, re.MULTILINE)
+    candidates = cisco_lines + junos_lines
+    if not candidates:
+        return None
+    victim = rng.choice(candidates)
+    mutated = text.replace(victim + "\n", "", 1)
+    if mutated == text:
+        mutated = text.replace(victim, "", 1)
+    return Mutation(
+        mutated, f"removed prefix entry {victim.strip()!r}", "drop_prefix_list_entry"
+    )
+
+
+def change_static_next_hop(text: str, rng: random.Random) -> Optional[Mutation]:
+    """Point one static route at a different next hop (§5.1 static bug)."""
+    cisco = re.compile(
+        r"(ip route \d+\.\d+\.\d+\.\d+ \d+\.\d+\.\d+\.\d+ \d+\.\d+\.\d+\.)(\d+)"
+    )
+    junos = re.compile(r"(next-hop \d+\.\d+\.\d+\.)(\d+)")
+    matches = list(cisco.finditer(text)) + list(junos.finditer(text))
+    if not matches:
+        return None
+    match = rng.choice(matches)
+    old = int(match.group(2))
+    new = (old % 250) + 2
+    if new == old:
+        new = old + 1
+    mutated = text[: match.start(2)] + str(new) + text[match.end(2) :]
+    return Mutation(
+        mutated, f"static next hop .{old} -> .{new}", "change_static_next_hop"
+    )
+
+
+def change_static_tag(text: str, rng: random.Random) -> Optional[Mutation]:
+    """Perturb a static route tag (the synthetic outage case of §5.1)."""
+    pattern = re.compile(r"(tag )(\d+)")
+    matches = list(pattern.finditer(text))
+    if not matches:
+        return None
+    match = rng.choice(matches)
+    old = int(match.group(2))
+    mutated = text[: match.start(2)] + str(old + 1) + text[match.end(2) :]
+    return Mutation(mutated, f"static tag {old} -> {old + 1}", "change_static_tag")
+
+
+def remove_send_community(text: str, rng: random.Random) -> Optional[Mutation]:
+    """Drop one ``send-community`` line (the §5.2 latent difference)."""
+    pattern = re.compile(r"^.*neighbor \S+ send-community\s*$", re.MULTILINE)
+    matches = list(pattern.finditer(text))
+    if not matches:
+        return None
+    match = rng.choice(matches)
+    mutated = text[: match.start()] + text[match.end() + 1 :]
+    return Mutation(mutated, "removed a send-community line", "remove_send_community")
+
+
+def flip_acl_action(text: str, rng: random.Random) -> Optional[Mutation]:
+    """Flip one filter action (Scenario 3's ACL difference class)."""
+    cisco = re.compile(r"^( *)(permit|deny)( (?:ip|ipv4|tcp|udp|icmp) .*)$", re.MULTILINE)
+    junos = re.compile(r"then (accept|discard);")
+    matches = [("cisco", m) for m in cisco.finditer(text)]
+    matches += [("junos", m) for m in junos.finditer(text)]
+    if not matches:
+        return None
+    dialect, match = rng.choice(matches)
+    if dialect == "cisco":
+        flipped = "deny" if match.group(2) == "permit" else "permit"
+        mutated = text[: match.start(2)] + flipped + text[match.end(2) :]
+        return Mutation(mutated, f"ACL action -> {flipped}", "flip_acl_action")
+    flipped = "discard" if match.group(1) == "accept" else "accept"
+    mutated = text[: match.start(1)] + flipped + text[match.end(1) :]
+    return Mutation(mutated, f"filter action -> {flipped}", "flip_acl_action")
+
+
+def change_ospf_cost(text: str, rng: random.Random) -> Optional[Mutation]:
+    """Perturb an OSPF interface cost (a StructuralDiff OSPF class)."""
+    pattern = re.compile(r"(ip ospf cost |metric )(\d+)")
+    matches = list(pattern.finditer(text))
+    if not matches:
+        return None
+    match = rng.choice(matches)
+    old = int(match.group(2))
+    mutated = text[: match.start(2)] + str(old + 5) + text[match.end(2) :]
+    return Mutation(mutated, f"ospf cost {old} -> {old + 5}", "change_ospf_cost")
+
+
+MUTATION_OPERATORS: List[Callable[[str, random.Random], Optional[Mutation]]] = [
+    change_local_pref,
+    change_community,
+    drop_prefix_list_entry,
+    change_static_next_hop,
+    change_static_tag,
+    remove_send_community,
+    flip_acl_action,
+    change_ospf_cost,
+]
+
+
+def apply_random_mutation(text: str, seed: int = 0) -> Optional[Mutation]:
+    """Apply one applicable operator chosen at random."""
+    rng = random.Random(seed)
+    operators = list(MUTATION_OPERATORS)
+    rng.shuffle(operators)
+    for operator in operators:
+        mutation = operator(text, rng)
+        if mutation is not None:
+            return mutation
+    return None

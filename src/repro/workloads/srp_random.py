@@ -1,0 +1,105 @@
+"""Randomized SRP networks for the Theorem 3.3 harness.
+
+Generates connected topologies with randomized BGP policies and OSPF
+costs, plus isomorphic renamed copies — the inputs to the theorem's
+empirical validation (tests/srp/test_theorem.py and
+benchmarks/bench_theorem33_srp.py).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from ..model import (
+    Action,
+    ConcreteRoute,
+    MatchPrefixList,
+    Prefix,
+    PrefixList,
+    PrefixListEntry,
+    PrefixRange,
+    RouteMap,
+    RouteMapClause,
+    SetLocalPref,
+)
+from ..srp import BgpEdgeConfig, OspfEdgeConfig, SrpNetwork, Topology
+
+__all__ = ["random_policy", "random_network", "renamed_copy"]
+
+
+def random_policy(rng: random.Random, name: str) -> Optional[RouteMap]:
+    """A one-clause policy over a random prefix range, or None (identity)."""
+    if rng.random() < 0.4:
+        return None
+    length = rng.choice([8, 12, 16])
+    network = rng.getrandbits(32) & ((0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF)
+    prefix_list = PrefixList(
+        f"{name}-PL",
+        (
+            PrefixListEntry(
+                Action.PERMIT, PrefixRange(Prefix(network, length), length, 32)
+            ),
+        ),
+    )
+    action = Action.DENY if rng.random() < 0.5 else Action.PERMIT
+    sets = (SetLocalPref(rng.choice([50, 150])),) if action is Action.PERMIT else ()
+    return RouteMap(
+        name,
+        (RouteMapClause("c0", action, (MatchPrefixList(prefix_list),), sets),),
+        default_action=Action.PERMIT,
+    )
+
+
+def random_network(seed: int, size: int = 5) -> SrpNetwork:
+    """A connected random network with BGP + OSPF on every edge."""
+    rng = random.Random(seed)
+    nodes = [f"r{i}" for i in range(size)]
+    topology = Topology(nodes=list(nodes))
+    for a, b in zip(nodes, nodes[1:]):
+        topology.add_bidirectional(a, b)
+    for _ in range(size // 2):
+        a, b = rng.sample(nodes, 2)
+        topology.add_bidirectional(a, b)
+    network = SrpNetwork(topology=topology)
+    for u, v in topology.edges:
+        network.bgp_edges[(u, v)] = BgpEdgeConfig(
+            sender_asn=nodes.index(u) + 64512,
+            next_hop=nodes.index(u) + 1,
+            export_map=random_policy(rng, f"EXP-{u}-{v}"),
+            import_map=random_policy(rng, f"IMP-{u}-{v}"),
+        )
+        network.ospf_edges[(u, v)] = OspfEdgeConfig(cost=rng.randint(1, 10))
+    origin = rng.choice(nodes)
+    for _ in range(rng.randint(1, 3)):
+        length = rng.choice([16, 24])
+        prefix_network = rng.getrandbits(32) & (
+            (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+        )
+        network.originate(
+            origin,
+            ConcreteRoute(prefix=Prefix(prefix_network, length), protocol="bgp"),
+        )
+    network.originate(
+        origin,
+        ConcreteRoute(prefix=Prefix.parse("192.168.0.0/24"), protocol="ospf", med=0),
+    )
+    return network
+
+
+def renamed_copy(network: SrpNetwork) -> Tuple[SrpNetwork, Dict[str, str]]:
+    """An isomorphic copy under node renaming (the paper's isomorphism I)."""
+    iso = {node: f"x-{node}" for node in network.topology.nodes}
+    topology = Topology(
+        nodes=[iso[n] for n in network.topology.nodes],
+        edges=[(iso[u], iso[v]) for u, v in network.topology.edges],
+    )
+    copy = SrpNetwork(topology=topology)
+    for (u, v), config in network.bgp_edges.items():
+        copy.bgp_edges[(iso[u], iso[v])] = config
+    for (u, v), config in network.ospf_edges.items():
+        copy.ospf_edges[(iso[u], iso[v])] = config
+    for node, routes in network.originations.items():
+        for route in routes:
+            copy.originate(iso[node], route)
+    return copy, iso

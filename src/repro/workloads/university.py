@@ -1,0 +1,368 @@
+"""Synthetic university network for the §5.2 evaluation (Table 8).
+
+The paper compares one Cisco/Juniper *core* router pair and one *border*
+pair from a large campus network.  The real configurations are private;
+this module rebuilds the pairs with the same policy structure and the
+same confirmed issue classes, seeded so the Table 8 counts reproduce:
+
+Route maps (Table 8a, SemanticDiff):
+
+* **Export 1** (core) — the Figure 1 policy plus the two further §5.2
+  issues: a third clause matching a community only on the Juniper side,
+  and differing fall-through behaviors (JunOS accept vs IOS deny).
+  5 outputted differences.
+* **Export 2** (core) — reuses the buggy NETS prefix list: 1 difference.
+* **Export 3 / Export 4** (border) — community-regex discrepancies where
+  the Juniper regex accepts a strict subset: 1 difference each.
+* **Export 5** (border) — one prefix missing from the Juniper list,
+  which splits across two Juniper terms: 2 outputted, 1 underlying.
+* **Import** (border) — identical on both: 0 differences.
+
+Structural (Table 8b, core pair):
+
+* **Static routes** — two classes: same-prefix routes with different
+  next hops *and* administrative distances (deemed intentional), and two
+  routes present on the Cisco router only (the BGP workaround).
+* **BGP properties** — Cisco iBGP neighbors missing ``send-community``
+  while JunOS sends communities by default (a latent, spurious
+  difference — §5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..model.device import DeviceConfig
+from ..parsers import parse_cisco, parse_juniper
+
+__all__ = ["UniversityPair", "UniversityNetwork", "university_network"]
+
+
+@dataclass
+class UniversityPair:
+    name: str
+    cisco: DeviceConfig
+    juniper: DeviceConfig
+    # route-map name -> (cisco policy, juniper policy) for Table 8a rows
+    export_maps: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    import_maps: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+
+@dataclass
+class UniversityNetwork:
+    core: UniversityPair
+    border: UniversityPair
+
+    def pairs(self) -> List[UniversityPair]:
+        """Both router pairs, core first."""
+        return [self.core, self.border]
+
+
+_CISCO_CORE = """\
+hostname core-cisco
+!
+interface TenGigE0/0
+ ip address 192.168.10.1 255.255.255.0
+!
+interface TenGigE0/1
+ ip address 192.168.11.1 255.255.255.0
+!
+ip prefix-list NETS permit 10.9.0.0/16 le 32
+ip prefix-list NETS permit 10.100.0.0/16 le 32
+!
+ip prefix-list CAMPUS permit 10.9.0.0/16 le 24
+ip prefix-list CAMPUS permit 131.179.0.0/16 le 24
+!
+ip community-list standard COMM permit 10:10
+ip community-list standard COMM permit 10:11
+!
+route-map EXPORT-1 deny 10
+ match ip address NETS
+route-map EXPORT-1 deny 20
+ match community COMM
+route-map EXPORT-1 permit 30
+ set local-preference 30
+!
+route-map EXPORT-2 deny 10
+ match ip address NETS
+route-map EXPORT-2 permit 20
+!
+ip route 192.0.2.0 255.255.255.0 10.0.0.10 200
+ip route 198.51.100.0 255.255.255.0 10.0.0.20
+ip route 198.51.101.0 255.255.255.0 10.0.0.20
+!
+router bgp 52
+ bgp router-id 10.255.0.1
+ neighbor 10.255.0.2 remote-as 52
+ neighbor 10.255.0.2 update-source Loopback0
+ neighbor 10.255.0.3 remote-as 52
+ neighbor 10.255.0.3 update-source Loopback0
+ neighbor 128.32.0.1 remote-as 25
+ neighbor 128.32.0.1 route-map EXPORT-1 out
+ neighbor 128.32.0.1 send-community
+ neighbor 137.164.0.1 remote-as 2152
+ neighbor 137.164.0.1 route-map EXPORT-2 out
+ neighbor 137.164.0.1 send-community
+!
+router ospf 1
+ router-id 10.255.0.1
+ network 192.168.10.0 0.0.0.255 area 0
+ network 192.168.11.0 0.0.0.255 area 0
+!
+"""
+
+_JUNIPER_CORE = """\
+system {
+    host-name core-juniper;
+}
+interfaces {
+    xe-0/0/0 {
+        unit 0 {
+            family inet {
+                address 192.168.10.2/24;
+            }
+        }
+    }
+    xe-0/0/1 {
+        unit 0 {
+            family inet {
+                address 192.168.11.2/24;
+            }
+        }
+    }
+}
+routing-options {
+    autonomous-system 52;
+    router-id 10.255.0.4;
+    static {
+        route 192.0.2.0/24 {
+            next-hop 10.0.1.10;
+            preference 210;
+        }
+    }
+}
+policy-options {
+    prefix-list NETS {
+        10.9.0.0/16;
+        10.100.0.0/16;
+    }
+    community COMM members [ 10:10 10:11 ];
+    community EDUCOMM members 10:30;
+    policy-statement EXPORT-1 {
+        term rule1 {
+            from {
+                prefix-list NETS;
+            }
+            then reject;
+        }
+        term rule2 {
+            from community COMM;
+            then reject;
+        }
+        term rule3 {
+            from community EDUCOMM;
+            then {
+                local-preference 30;
+                accept;
+            }
+        }
+    }
+    policy-statement EXPORT-2 {
+        term rule1 {
+            from {
+                prefix-list NETS;
+            }
+            then reject;
+        }
+        term rule2 {
+            then accept;
+        }
+    }
+}
+protocols {
+    bgp {
+        group IBGP {
+            type internal;
+            neighbor 10.255.0.2;
+            neighbor 10.255.0.3;
+        }
+        group EXTERN {
+            type external;
+            neighbor 128.32.0.1 {
+                peer-as 25;
+                export EXPORT-1;
+            }
+            neighbor 137.164.0.1 {
+                peer-as 2152;
+                export EXPORT-2;
+            }
+        }
+    }
+    ospf {
+        area 0.0.0.0 {
+            interface xe-0/0/0.0;
+            interface xe-0/0/1.0;
+        }
+    }
+}
+"""
+
+_CISCO_BORDER = """\
+hostname border-cisco
+!
+ip prefix-list PFX5 permit 10.9.0.0/16
+ip prefix-list PFX5 permit 10.100.0.0/16
+ip prefix-list PFX5 permit 131.179.0.0/16
+!
+ip prefix-list ANY permit 0.0.0.0/0 le 32
+!
+ip community-list expanded CRE3 permit _52:1[0-9]_
+ip community-list expanded CRE4 permit _52:2[0-9]_
+ip community-list standard NOEXPORT permit 52:999
+!
+route-map EXPORT-3 permit 10
+ match community CRE3
+route-map EXPORT-3 deny 20
+!
+route-map EXPORT-4 permit 10
+ match community CRE4
+route-map EXPORT-4 deny 20
+!
+route-map EXPORT-5 permit 10
+ match ip address PFX5
+ set community 52:100
+route-map EXPORT-5 deny 20
+ match community NOEXPORT
+route-map EXPORT-5 deny 30
+!
+route-map IMPORT-ISP permit 10
+ match ip address ANY
+ set local-preference 200
+!
+router bgp 52
+ bgp router-id 10.255.1.1
+ neighbor 192.0.3.1 remote-as 11537
+ neighbor 192.0.3.1 route-map EXPORT-3 out
+ neighbor 192.0.3.1 route-map IMPORT-ISP in
+ neighbor 192.0.3.1 send-community
+ neighbor 192.0.3.5 remote-as 2152
+ neighbor 192.0.3.5 route-map EXPORT-4 out
+ neighbor 192.0.3.5 send-community
+ neighbor 192.0.3.9 remote-as 7018
+ neighbor 192.0.3.9 route-map EXPORT-5 out
+ neighbor 192.0.3.9 send-community
+!
+"""
+
+_JUNIPER_BORDER = """\
+system {
+    host-name border-juniper;
+}
+routing-options {
+    autonomous-system 52;
+    router-id 10.255.1.2;
+}
+policy-options {
+    prefix-list PFX5 {
+        10.9.0.0/16;
+        131.179.0.0/16;
+    }
+    community CRE3 members "^52:1[0-5]$";
+    community CRE4 members "^52:2[0-4]$";
+    community NOEXPORT members 52:999;
+    community EXPORTTAG members 52:100;
+    policy-statement EXPORT-3 {
+        term allowed {
+            from community CRE3;
+            then accept;
+        }
+        term final {
+            then reject;
+        }
+    }
+    policy-statement EXPORT-4 {
+        term allowed {
+            from community CRE4;
+            then accept;
+        }
+        term final {
+            then reject;
+        }
+    }
+    policy-statement EXPORT-5 {
+        term nets {
+            from {
+                prefix-list PFX5;
+            }
+            then {
+                community set EXPORTTAG;
+                accept;
+            }
+        }
+        term noexport {
+            from community NOEXPORT;
+            then reject;
+        }
+        term final {
+            then reject;
+        }
+    }
+    policy-statement IMPORT-ISP {
+        term all {
+            from {
+                route-filter 0.0.0.0/0 prefix-length-range /0-/32;
+            }
+            then {
+                local-preference 200;
+                accept;
+            }
+        }
+    }
+}
+protocols {
+    bgp {
+        group EXTERN {
+            type external;
+            neighbor 192.0.3.1 {
+                peer-as 11537;
+                export EXPORT-3;
+                import IMPORT-ISP;
+            }
+            neighbor 192.0.3.5 {
+                peer-as 2152;
+                export EXPORT-4;
+            }
+            neighbor 192.0.3.9 {
+                peer-as 7018;
+                export EXPORT-5;
+            }
+        }
+    }
+}
+"""
+
+
+def university_network() -> UniversityNetwork:
+    """Build and parse the core and border pairs."""
+    core = UniversityPair(
+        name="Core Routers",
+        cisco=parse_cisco(_CISCO_CORE, "core-cisco.cfg"),
+        juniper=parse_juniper(_JUNIPER_CORE, "core-juniper.cfg"),
+        export_maps={
+            "Export 1": ("EXPORT-1", "EXPORT-1"),
+            "Export 2": ("EXPORT-2", "EXPORT-2"),
+        },
+    )
+    border = UniversityPair(
+        name="Border Routers",
+        cisco=parse_cisco(_CISCO_BORDER, "border-cisco.cfg"),
+        juniper=parse_juniper(_JUNIPER_BORDER, "border-juniper.cfg"),
+        export_maps={
+            "Export 3": ("EXPORT-3", "EXPORT-3"),
+            "Export 4": ("EXPORT-4", "EXPORT-4"),
+            "Export 5": ("EXPORT-5", "EXPORT-5"),
+        },
+        import_maps={"Import": ("IMPORT-ISP", "IMPORT-ISP")},
+    )
+    return UniversityNetwork(core=core, border=border)

@@ -1,0 +1,146 @@
+"""Tests for the Minesweeper-style monolithic baseline (Tables 3 and 5)."""
+
+import pytest
+
+from repro.baseline import (
+    monolithic_acl_check,
+    monolithic_route_map_check,
+    monolithic_static_route_check,
+    route_map_difference_set,
+)
+from repro.encoding import RouteSpace
+from repro.model import Acl, AclAction, AclLine, DeviceConfig, Prefix, StaticRoute, ip_to_int
+from repro.workloads.figure1 import figure1_devices, section2_static_devices
+
+
+@pytest.fixture(scope="module")
+def figure1_maps():
+    cisco, juniper = figure1_devices()
+    return cisco.route_maps["POL"], juniper.route_maps["POL"]
+
+
+class TestRouteMapCheck:
+    def test_single_counterexample_for_figure1(self, figure1_maps):
+        counterexample = monolithic_route_map_check(
+            *figure1_maps, router1="cisco_router", router2="juniper_router"
+        )
+        assert counterexample is not None
+        # Table 3: the witness is a sub-prefix of a NETS network that the
+        # Juniper map accepts and the Cisco map rejects.
+        prefix = counterexample.route.prefix
+        assert 16 < prefix.length <= 32
+        assert Prefix.parse("10.9.0.0/16").contains_prefix(prefix) or Prefix.parse(
+            "10.100.0.0/16"
+        ).contains_prefix(prefix)
+
+    def test_table3_rendering(self, figure1_maps):
+        counterexample = monolithic_route_map_check(
+            *figure1_maps, router1="cisco_router", router2="juniper_router"
+        )
+        rendered = counterexample.render()
+        assert "Route received (cisco_router)" in rendered
+        assert "Packet" in rendered and "dstIp" in rendered
+        assert "juniper_router forwards (BGP)" in rendered
+        assert "cisco_router does not forward" in rendered
+
+    def test_equivalent_maps_return_none(self, figure1_maps):
+        map1, _ = figure1_maps
+        assert monolithic_route_map_check(map1, map1) is None
+
+    def test_deterministic(self, figure1_maps):
+        first = monolithic_route_map_check(*figure1_maps)
+        second = monolithic_route_map_check(*figure1_maps)
+        assert first.route == second.route
+
+    def test_difference_set_union_nonempty(self, figure1_maps):
+        space = RouteSpace(list(figure1_maps))
+        pieces = route_map_difference_set(space, *figure1_maps)
+        assert pieces
+        assert all(not piece.is_false() for piece, _, _ in pieces)
+        assert all(action1 != action2 for _, action1, action2 in pieces)
+
+
+class TestStaticRouteCheck:
+    def test_table5_output(self):
+        cisco, juniper = section2_static_devices()
+        counterexample = monolithic_static_route_check(cisco, juniper)
+        assert counterexample is not None
+        assert counterexample.forwards1 != counterexample.forwards2
+        rendered = counterexample.render()
+        assert "dstIp: 10.1.1.2" in rendered
+        assert "cisco_router forwards (static)" in rendered
+        assert "juniper_router does not forward" in rendered
+
+    def test_equal_static_sets(self):
+        route = StaticRoute(prefix=Prefix.parse("10.0.0.0/24"), next_hop=1)
+        d1 = DeviceConfig(hostname="a", static_routes=[route])
+        d2 = DeviceConfig(hostname="b", static_routes=[route])
+        assert monolithic_static_route_check(d1, d2) is None
+
+    def test_next_hop_difference_same_coverage(self):
+        d1 = DeviceConfig(
+            hostname="a",
+            static_routes=[
+                StaticRoute(prefix=Prefix.parse("10.0.0.0/24"), next_hop=ip_to_int("1.1.1.1"))
+            ],
+        )
+        d2 = DeviceConfig(
+            hostname="b",
+            static_routes=[
+                StaticRoute(prefix=Prefix.parse("10.0.0.0/24"), next_hop=ip_to_int("2.2.2.2"))
+            ],
+        )
+        counterexample = monolithic_static_route_check(d1, d2)
+        assert counterexample is not None
+        assert counterexample.forwards1 and counterexample.forwards2
+        assert "different next hops" in counterexample.render()
+
+    def test_lpm_respected(self):
+        """A more-specific covering route hides a next-hop difference on
+        the less-specific one only where it overlaps."""
+        shared_specific = StaticRoute(
+            prefix=Prefix.parse("10.0.0.0/24"), next_hop=ip_to_int("9.9.9.9")
+        )
+        d1 = DeviceConfig(
+            hostname="a",
+            static_routes=[
+                shared_specific,
+                StaticRoute(prefix=Prefix.parse("10.0.0.0/8"), next_hop=ip_to_int("1.1.1.1")),
+            ],
+        )
+        d2 = DeviceConfig(
+            hostname="b",
+            static_routes=[
+                shared_specific,
+                StaticRoute(prefix=Prefix.parse("10.0.0.0/8"), next_hop=ip_to_int("2.2.2.2")),
+            ],
+        )
+        counterexample = monolithic_static_route_check(d1, d2)
+        assert counterexample is not None
+        # the witness must fall outside the shared /24
+        assert not Prefix.parse("10.0.0.0/24").contains_address(counterexample.dst_ip)
+
+
+class TestAclCheck:
+    def test_difference_found(self):
+        acl1 = Acl(name="F", lines=(AclLine(action=AclAction.PERMIT, protocol=6),))
+        acl2 = Acl(name="F", lines=())
+        counterexample = monolithic_acl_check(acl1, acl2, "r1", "r2")
+        assert counterexample is not None
+        assert counterexample.packet["protocol"] == "tcp"
+        assert counterexample.action1 == "ACCEPT"
+        assert counterexample.action2 == "REJECT"
+        assert "r1: ACCEPT" in counterexample.render()
+
+    def test_equivalent_acls(self):
+        acl = Acl(name="F", lines=(AclLine(action=AclAction.PERMIT, protocol=6),))
+        assert monolithic_acl_check(acl, acl) is None
+
+    def test_structurally_different_but_equivalent(self):
+        """The monolithic check is semantic: reordered disjoint rules
+        compare equal."""
+        line_a = AclLine(action=AclAction.PERMIT, protocol=6)
+        line_b = AclLine(action=AclAction.PERMIT, protocol=17)
+        acl1 = Acl(name="F", lines=(line_a, line_b))
+        acl2 = Acl(name="F", lines=(line_b, line_a))
+        assert monolithic_acl_check(acl1, acl2) is None

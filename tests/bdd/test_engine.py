@@ -1,0 +1,285 @@
+"""Unit tests for the ROBDD engine core."""
+
+import pytest
+
+from repro.bdd import BddManager
+
+
+@pytest.fixture
+def manager():
+    return BddManager()
+
+
+class TestTerminals:
+    def test_true_false_distinct(self, manager):
+        assert manager.true != manager.false
+
+    def test_truthiness(self, manager):
+        assert manager.true
+        assert not manager.false
+
+    def test_predicates(self, manager):
+        assert manager.true.is_true()
+        assert not manager.true.is_false()
+        assert manager.false.is_false()
+        assert not manager.false.is_true()
+
+    def test_constant(self, manager):
+        assert manager.constant(True) == manager.true
+        assert manager.constant(False) == manager.false
+
+
+class TestVariables:
+    def test_new_var_allocates_in_order(self, manager):
+        x = manager.new_var()
+        y = manager.new_var()
+        assert x.support() == [0]
+        assert y.support() == [1]
+        assert manager.num_vars == 2
+
+    def test_new_vars_bulk(self, manager):
+        variables = manager.new_vars(5)
+        assert [v.support()[0] for v in variables] == [0, 1, 2, 3, 4]
+
+    def test_new_vars_negative_rejected(self, manager):
+        with pytest.raises(ValueError):
+            manager.new_vars(-1)
+
+    def test_var_literal_is_shared(self, manager):
+        x = manager.new_var()
+        assert manager.var(0) == x
+
+    def test_nvar_is_negation(self, manager):
+        x = manager.new_var()
+        assert manager.nvar(0) == ~x
+
+    def test_unallocated_var_rejected(self, manager):
+        with pytest.raises(IndexError):
+            manager.var(0)
+        manager.new_var()
+        with pytest.raises(IndexError):
+            manager.nvar(3)
+
+
+class TestConnectives:
+    def test_and_truth_table(self, manager):
+        x, y = manager.new_vars(2)
+        conjunction = x & y
+        assert manager.restrict(conjunction, {0: True, 1: True}).is_true()
+        assert manager.restrict(conjunction, {0: True, 1: False}).is_false()
+        assert manager.restrict(conjunction, {0: False, 1: True}).is_false()
+        assert manager.restrict(conjunction, {0: False, 1: False}).is_false()
+
+    def test_or_truth_table(self, manager):
+        x, y = manager.new_vars(2)
+        disjunction = x | y
+        assert manager.restrict(disjunction, {0: False, 1: False}).is_false()
+        assert manager.restrict(disjunction, {0: True, 1: False}).is_true()
+
+    def test_xor(self, manager):
+        x, y = manager.new_vars(2)
+        exclusive = x ^ y
+        assert manager.restrict(exclusive, {0: True, 1: True}).is_false()
+        assert manager.restrict(exclusive, {0: True, 1: False}).is_true()
+
+    def test_not_involution(self, manager):
+        x = manager.new_var()
+        assert ~~x == x
+
+    def test_difference(self, manager):
+        x, y = manager.new_vars(2)
+        assert (x - y) == (x & ~y)
+
+    def test_de_morgan(self, manager):
+        x, y = manager.new_vars(2)
+        assert ~(x & y) == (~x | ~y)
+        assert ~(x | y) == (~x & ~y)
+
+    def test_absorption(self, manager):
+        x, y = manager.new_vars(2)
+        assert (x & (x | y)) == x
+        assert (x | (x & y)) == x
+
+    def test_excluded_middle(self, manager):
+        x = manager.new_var()
+        assert (x | ~x).is_true()
+        assert (x & ~x).is_false()
+
+    def test_ite(self, manager):
+        x, y, z = manager.new_vars(3)
+        result = manager.ite(x, y, z)
+        assert manager.restrict(result, {0: True}) == y
+        assert manager.restrict(result, {0: False}) == z
+
+    def test_conjoin_disjoin(self, manager):
+        variables = manager.new_vars(4)
+        conjunction = manager.conjoin(variables)
+        assert conjunction.satcount() == 1
+        disjunction = manager.disjoin(variables)
+        assert disjunction.satcount() == 15
+
+    def test_conjoin_empty_is_true(self, manager):
+        assert manager.conjoin([]).is_true()
+
+    def test_disjoin_empty_is_false(self, manager):
+        assert manager.disjoin([]).is_false()
+
+    def test_cross_manager_rejected(self, manager):
+        other = BddManager()
+        x = manager.new_var()
+        y = other.new_var()
+        with pytest.raises(ValueError):
+            x & y  # noqa: B018 - exercised for the exception
+
+
+class TestHashConsing:
+    def test_equal_functions_share_nodes(self, manager):
+        x, y = manager.new_vars(2)
+        first = (x & y) | (x & ~y)
+        assert first == x
+
+    def test_node_count_grows_monotonically(self, manager):
+        before = manager.node_count
+        x, y = manager.new_vars(2)
+        _ = x & y
+        assert manager.node_count > before
+
+    def test_repeated_op_adds_no_nodes(self, manager):
+        x, y = manager.new_vars(2)
+        _ = x & y
+        count = manager.node_count
+        _ = x & y
+        assert manager.node_count == count
+
+
+class TestRestrict:
+    def test_restrict_to_constant(self, manager):
+        x, y = manager.new_vars(2)
+        f = x & y
+        assert manager.restrict(f, {0: True, 1: True}).is_true()
+
+    def test_restrict_partial(self, manager):
+        x, y = manager.new_vars(2)
+        f = x & y
+        assert manager.restrict(f, {0: True}) == y
+
+    def test_restrict_empty_is_identity(self, manager):
+        x = manager.new_var()
+        assert manager.restrict(x, {}) == x
+
+    def test_restrict_irrelevant_var(self, manager):
+        x, y = manager.new_vars(2)
+        assert manager.restrict(x, {1: True}) == x
+
+
+class TestQuantification:
+    def test_exists_removes_var(self, manager):
+        x, y = manager.new_vars(2)
+        f = x & y
+        assert manager.exists(f, [0]) == y
+
+    def test_exists_totally(self, manager):
+        x, y = manager.new_vars(2)
+        f = x & y
+        assert manager.exists(f, [0, 1]).is_true()
+
+    def test_exists_of_false(self, manager):
+        manager.new_vars(2)
+        assert manager.exists(manager.false, [0]).is_false()
+
+    def test_forall(self, manager):
+        x, y = manager.new_vars(2)
+        f = x | y
+        assert manager.forall(f, [0]) == y
+        assert manager.forall(x | ~x, [0]).is_true()
+
+    def test_exists_forall_duality(self, manager):
+        x, y, z = manager.new_vars(3)
+        f = (x & y) | z
+        assert manager.exists(f, [1]) == ~manager.forall(~f, [1])
+
+    def test_quantify_no_vars_is_identity(self, manager):
+        x = manager.new_var()
+        assert manager.exists(x, []) == x
+
+
+class TestSatCount:
+    def test_terminal_counts(self, manager):
+        manager.new_vars(3)
+        assert manager.true.satcount() == 8
+        assert manager.false.satcount() == 0
+
+    def test_single_var(self, manager):
+        x = manager.new_var()
+        assert x.satcount() == 1
+        manager.new_var()
+        assert x.satcount() == 2  # free second variable doubles the count
+
+    def test_xor_half(self, manager):
+        x, y = manager.new_vars(2)
+        assert (x ^ y).satcount() == 2
+
+    def test_explicit_nvars(self, manager):
+        x = manager.new_var()
+        assert x.satcount(nvars=4) == 8
+
+    def test_negative_nvars_rejected(self, manager):
+        with pytest.raises(ValueError):
+            manager.true.satcount(-1)
+
+
+class TestQueries:
+    def test_support(self, manager):
+        x, y, z = manager.new_vars(3)
+        assert (x & z).support() == [0, 2]
+        assert manager.true.support() == []
+
+    def test_any_model_satisfies(self, manager):
+        x, y = manager.new_vars(2)
+        f = x & ~y
+        model = f.any_model()
+        assert model is not None
+        assert manager.restrict(f, model).is_true()
+
+    def test_any_model_unsat(self, manager):
+        assert manager.false.any_model() is None
+
+    def test_any_model_deterministic(self, manager):
+        x, y = manager.new_vars(2)
+        f = x | y
+        assert f.any_model() == f.any_model()
+
+    def test_implies(self, manager):
+        x, y = manager.new_vars(2)
+        assert (x & y).implies(x)
+        assert not x.implies(x & y)
+
+    def test_intersects(self, manager):
+        x, y = manager.new_vars(2)
+        assert x.intersects(y)
+        assert not x.intersects(~x)
+
+    def test_iter_cubes_disjoint_cover(self, manager):
+        x, y, z = manager.new_vars(3)
+        f = (x & y) | (~x & z)
+        cubes = list(manager.iter_cubes(f))
+        union = manager.false
+        for index, cube in enumerate(cubes):
+            as_bdd = manager.conjoin(
+                (manager.var(v) if value else manager.nvar(v))
+                for v, value in cube.items()
+            )
+            for other in cubes[index + 1 :]:
+                other_bdd = manager.conjoin(
+                    (manager.var(v) if value else manager.nvar(v))
+                    for v, value in other.items()
+                )
+                assert not as_bdd.intersects(other_bdd)
+            union = union | as_bdd
+        assert union == f
+
+    def test_dag_size(self, manager):
+        x, y = manager.new_vars(2)
+        assert manager.dag_size(manager.true) == 0
+        assert manager.dag_size(x) == 1
+        assert manager.dag_size(x & y) == 2

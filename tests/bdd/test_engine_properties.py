@@ -1,0 +1,153 @@
+"""Property-based tests: the BDD engine against brute-force semantics."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BddManager
+
+NUM_VARS = 5
+
+
+# A recursive strategy for boolean expression trees over NUM_VARS variables.
+def expressions():
+    leaves = st.integers(min_value=0, max_value=NUM_VARS - 1).map(lambda i: ("var", i))
+    leaves = leaves | st.sampled_from([("const", True), ("const", False)])
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            st.tuples(st.just("not"), children),
+            st.tuples(st.just("and"), children, children),
+            st.tuples(st.just("or"), children, children),
+            st.tuples(st.just("xor"), children, children),
+        ),
+        max_leaves=12,
+    )
+
+
+def build_bdd(manager, variables, expression):
+    kind = expression[0]
+    if kind == "var":
+        return variables[expression[1]]
+    if kind == "const":
+        return manager.constant(expression[1])
+    if kind == "not":
+        return ~build_bdd(manager, variables, expression[1])
+    left = build_bdd(manager, variables, expression[1])
+    right = build_bdd(manager, variables, expression[2])
+    if kind == "and":
+        return left & right
+    if kind == "or":
+        return left | right
+    return left ^ right
+
+
+def evaluate(expression, assignment):
+    kind = expression[0]
+    if kind == "var":
+        return assignment[expression[1]]
+    if kind == "const":
+        return expression[1]
+    if kind == "not":
+        return not evaluate(expression[1], assignment)
+    left = evaluate(expression[1], assignment)
+    right = evaluate(expression[2], assignment)
+    if kind == "and":
+        return left and right
+    if kind == "or":
+        return left or right
+    return left != right
+
+
+def all_assignments():
+    for bits in itertools.product([False, True], repeat=NUM_VARS):
+        yield dict(enumerate(bits))
+
+
+@given(expressions())
+@settings(max_examples=200, deadline=None)
+def test_bdd_matches_brute_force_semantics(expression):
+    manager = BddManager()
+    variables = manager.new_vars(NUM_VARS)
+    bdd = build_bdd(manager, variables, expression)
+    for assignment in all_assignments():
+        expected = evaluate(expression, assignment)
+        assert manager.restrict(bdd, assignment).is_true() == expected
+
+
+@given(expressions())
+@settings(max_examples=150, deadline=None)
+def test_satcount_matches_brute_force(expression):
+    manager = BddManager()
+    variables = manager.new_vars(NUM_VARS)
+    bdd = build_bdd(manager, variables, expression)
+    expected = sum(
+        1 for assignment in all_assignments() if evaluate(expression, assignment)
+    )
+    assert bdd.satcount() == expected
+
+
+@given(expressions(), expressions())
+@settings(max_examples=100, deadline=None)
+def test_semantic_equality_iff_node_equality(first, second):
+    manager = BddManager()
+    variables = manager.new_vars(NUM_VARS)
+    bdd1 = build_bdd(manager, variables, first)
+    bdd2 = build_bdd(manager, variables, second)
+    semantically_equal = all(
+        evaluate(first, assignment) == evaluate(second, assignment)
+        for assignment in all_assignments()
+    )
+    assert (bdd1 == bdd2) == semantically_equal
+
+
+@given(expressions(), st.integers(min_value=0, max_value=NUM_VARS - 1))
+@settings(max_examples=100, deadline=None)
+def test_exists_matches_brute_force(expression, variable):
+    manager = BddManager()
+    variables = manager.new_vars(NUM_VARS)
+    bdd = manager.exists(build_bdd(manager, variables, expression), [variable])
+    for assignment in all_assignments():
+        low = dict(assignment)
+        low[variable] = False
+        high = dict(assignment)
+        high[variable] = True
+        expected = evaluate(expression, low) or evaluate(expression, high)
+        assert manager.restrict(bdd, assignment).is_true() == expected
+
+
+@given(expressions())
+@settings(max_examples=100, deadline=None)
+def test_any_model_is_a_model(expression):
+    manager = BddManager()
+    variables = manager.new_vars(NUM_VARS)
+    bdd = build_bdd(manager, variables, expression)
+    model = bdd.any_model()
+    if model is None:
+        assert bdd.is_false()
+    else:
+        assert manager.restrict(bdd, model).is_true()
+
+
+@given(expressions())
+@settings(max_examples=75, deadline=None)
+def test_cubes_partition_the_function(expression):
+    manager = BddManager()
+    variables = manager.new_vars(NUM_VARS)
+    bdd = build_bdd(manager, variables, expression)
+    covered = set()
+    for cube in manager.iter_cubes(bdd):
+        free = [v for v in range(NUM_VARS) if v not in cube]
+        for bits in itertools.product([False, True], repeat=len(free)):
+            assignment = dict(cube)
+            assignment.update(zip(free, bits))
+            point = tuple(assignment[v] for v in range(NUM_VARS))
+            assert point not in covered, "cubes must be disjoint"
+            covered.add(point)
+    expected = {
+        tuple(assignment[v] for v in range(NUM_VARS))
+        for assignment in all_assignments()
+        if evaluate(expression, assignment)
+    }
+    assert covered == expected

@@ -1,0 +1,145 @@
+"""Tests for witness extraction: complete/uniform/cube models, blocking."""
+
+import random
+
+import pytest
+
+from repro.bdd import (
+    BddManager,
+    BitVector,
+    blocking_clause,
+    complete_model,
+    cube_count,
+    extract_field_values,
+)
+
+
+@pytest.fixture
+def manager():
+    return BddManager()
+
+
+class TestCompleteModel:
+    def test_totality(self, manager):
+        x, y, z = manager.new_vars(3)
+        model = complete_model(x & ~z)
+        assert set(model) == {0, 1, 2}
+        assert model[0] is True
+        assert model[2] is False
+
+    def test_unsat_returns_none(self, manager):
+        manager.new_vars(2)
+        assert complete_model(manager.false) is None
+
+    def test_unconstrained_defaults_false(self, manager):
+        x, y = manager.new_vars(2)
+        model = complete_model(x)
+        assert model[1] is False
+
+    def test_explicit_total_vars(self, manager):
+        x = manager.new_var()
+        model = complete_model(x, total_vars=5)
+        assert set(model) == set(range(5))
+
+
+class TestExtractFieldValues:
+    def test_decode_two_fields(self, manager):
+        a = BitVector.allocate(manager, "a", 4)
+        b = BitVector.allocate(manager, "b", 4)
+        model = complete_model(a.eq_const(9) & b.eq_const(3))
+        assert extract_field_values(model, [a, b]) == {"a": 9, "b": 3}
+
+
+class TestCubeCount:
+    def test_counts_paths(self, manager):
+        x, y = manager.new_vars(2)
+        assert cube_count(x) == 1
+        assert cube_count(x ^ y) == 2
+        assert cube_count(manager.false) == 0
+
+    def test_limit_stops_early(self, manager):
+        variables = manager.new_vars(6)
+        parity = variables[0]
+        for v in variables[1:]:
+            parity = parity ^ v
+        assert cube_count(parity, limit=5) == 5
+
+
+class TestBlockingClause:
+    def test_excludes_exactly_that_model(self, manager):
+        x, y = manager.new_vars(2)
+        f = x | y
+        model = complete_model(f)
+        blocked = f & blocking_clause(manager, model, [0, 1])
+        assert blocked.satcount() == f.satcount() - 1
+        assert manager.restrict(blocked, model).is_false()
+
+    def test_exhaustion(self, manager):
+        x, y = manager.new_vars(2)
+        remaining = x | y
+        seen = []
+        while remaining:
+            model = complete_model(remaining)
+            seen.append(tuple(sorted(model.items())))
+            remaining = remaining & blocking_clause(manager, model, [0, 1])
+        assert len(seen) == 3
+        assert len(set(seen)) == 3
+
+    def test_requires_assigned_vars(self, manager):
+        manager.new_vars(2)
+        with pytest.raises(KeyError):
+            blocking_clause(manager, {0: True}, [0, 1])
+
+    def test_requires_some_vars(self, manager):
+        with pytest.raises(ValueError):
+            blocking_clause(manager, {}, [])
+
+
+class TestRandomModels:
+    def test_uniform_model_is_a_model(self, manager):
+        x, y, z = manager.new_vars(3)
+        f = (x & y) | z
+        rng = random.Random(7)
+        for _ in range(50):
+            model = manager.uniform_model(f, rng)
+            assert manager.restrict(f, model).is_true()
+            assert set(model) == {0, 1, 2}
+
+    def test_uniform_model_unsat(self, manager):
+        assert manager.uniform_model(manager.false, random.Random(0)) is None
+
+    def test_uniform_model_distribution(self, manager):
+        """Over many draws every satisfying point should appear with
+        roughly equal frequency (chi-square-free sanity bound)."""
+        x, y = manager.new_vars(2)
+        f = x | y  # three satisfying points
+        rng = random.Random(42)
+        counts = {}
+        draws = 3000
+        for _ in range(draws):
+            model = manager.uniform_model(f, rng)
+            key = (model[0], model[1])
+            counts[key] = counts.get(key, 0) + 1
+        assert set(counts) == {(True, True), (True, False), (False, True)}
+        for count in counts.values():
+            assert abs(count - draws / 3) < draws * 0.08
+
+    def test_random_cube_is_consistent(self, manager):
+        x, y, z = manager.new_vars(3)
+        f = (x & y) | (~x & z)
+        rng = random.Random(3)
+        for _ in range(30):
+            cube = manager.random_cube(f, rng)
+            restricted = manager.restrict(f, cube)
+            assert restricted.is_true()
+
+    def test_random_cube_unsat(self, manager):
+        assert manager.random_cube(manager.false, random.Random(0)) is None
+
+    def test_random_cube_model_totality(self, manager):
+        x, y, z = manager.new_vars(3)
+        f = x
+        rng = random.Random(5)
+        model = manager.random_cube_model(f, rng)
+        assert set(model) == {0, 1, 2}
+        assert model[0] is True

@@ -1,0 +1,154 @@
+"""Unit + property tests for BitVector predicates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BddManager, BitVector
+
+WIDTH = 8
+
+
+@pytest.fixture
+def field():
+    return BitVector.allocate(BddManager(), "f", WIDTH)
+
+
+def value_set(field, predicate):
+    """Brute-force decode: the set of field values satisfying predicate."""
+    manager = field.manager
+    result = set()
+    for value in range(1 << WIDTH):
+        assignment = {
+            field.var_indices[i]: bool((value >> (WIDTH - 1 - i)) & 1)
+            for i in range(WIDTH)
+        }
+        if manager.restrict(predicate, assignment).is_true():
+            result.add(value)
+    return result
+
+
+class TestConstruction:
+    def test_allocate_width(self, field):
+        assert field.width == WIDTH
+        assert field.max_value == 255
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector.allocate(BddManager(), "bad", 0)
+
+    def test_empty_variables_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(BddManager(), "bad", [])
+
+
+class TestEqConst:
+    def test_single_value(self, field):
+        assert value_set(field, field.eq_const(37)) == {37}
+
+    def test_extremes(self, field):
+        assert value_set(field, field.eq_const(0)) == {0}
+        assert value_set(field, field.eq_const(255)) == {255}
+
+    def test_out_of_range_rejected(self, field):
+        with pytest.raises(ValueError):
+            field.eq_const(256)
+        with pytest.raises(ValueError):
+            field.eq_const(-1)
+
+    def test_neq(self, field):
+        assert value_set(field, field.neq_const(7)) == set(range(256)) - {7}
+
+
+class TestComparisons:
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=30, deadline=None)
+    def test_le_const(self, bound):
+        field = BitVector.allocate(BddManager(), "f", WIDTH)
+        assert value_set(field, field.le_const(bound)) == set(range(bound + 1))
+
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=30, deadline=None)
+    def test_ge_const(self, bound):
+        field = BitVector.allocate(BddManager(), "f", WIDTH)
+        assert value_set(field, field.ge_const(bound)) == set(range(bound, 256))
+
+    @given(
+        st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_interval(self, a, b):
+        low, high = min(a, b), max(a, b)
+        field = BitVector.allocate(BddManager(), "f", WIDTH)
+        assert value_set(field, field.interval(low, high)) == set(range(low, high + 1))
+
+    def test_empty_interval_rejected(self, field):
+        with pytest.raises(ValueError):
+            field.interval(5, 4)
+
+
+class TestPrefixMatch:
+    def test_full_width_is_equality(self, field):
+        assert field.prefix_match(42, WIDTH) == field.eq_const(42)
+
+    def test_zero_width_matches_all(self, field):
+        assert field.prefix_match(0, 0).is_true()
+
+    @given(
+        st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=8)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_prefix_match_semantics(self, value, bits):
+        field = BitVector.allocate(BddManager(), "f", WIDTH)
+        expected = {
+            candidate
+            for candidate in range(256)
+            if bits == 0 or (candidate >> (WIDTH - bits)) == (value >> (WIDTH - bits))
+        }
+        assert value_set(field, field.prefix_match(value, bits)) == expected
+
+    def test_bits_out_of_range_rejected(self, field):
+        with pytest.raises(ValueError):
+            field.prefix_match(0, 9)
+
+
+class TestVectorEquality:
+    def test_eq_same_width(self):
+        manager = BddManager()
+        a = BitVector.allocate(manager, "a", 3)
+        b = BitVector.allocate(manager, "b", 3)
+        equal = a.eq(b)
+        for value in range(8):
+            restricted = manager.restrict(
+                equal,
+                {
+                    **{a.var_indices[i]: bool((value >> (2 - i)) & 1) for i in range(3)},
+                    **{b.var_indices[i]: bool((value >> (2 - i)) & 1) for i in range(3)},
+                },
+            )
+            assert restricted.is_true()
+        assert equal.satcount(6) == 8
+
+    def test_eq_width_mismatch_rejected(self):
+        manager = BddManager()
+        a = BitVector.allocate(manager, "a", 3)
+        b = BitVector.allocate(manager, "b", 4)
+        with pytest.raises(ValueError):
+            a.eq(b)
+
+
+class TestModelDecoding:
+    def test_value_of_roundtrip(self, field):
+        predicate = field.eq_const(172)
+        model = predicate.any_model()
+        assert field.value_of(model) == 172
+
+    def test_value_of_defaults(self, field):
+        assert field.value_of({}, default_bit=False) == 0
+        assert field.value_of({}, default_bit=True) == 255
+
+    def test_free_bits(self, field):
+        predicate = field.prefix_match(0b10100000, 3)
+        model = predicate.any_model()
+        free = field.free_bits(model)
+        assert set(free) == set(range(3, WIDTH))

@@ -1,0 +1,148 @@
+"""Tests for exhaustive community-dimension localization (the §4
+future-work extension)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import config_diff, localize_communities
+from repro.core.community_localize import CommunityCondition, CommunityLocalization
+from repro.encoding import RouteSpace
+from repro.model import (
+    Action,
+    Community,
+    CommunityList,
+    CommunityListEntry,
+    MatchCommunities,
+    RouteMap,
+    RouteMapClause,
+)
+from repro.workloads.figure1 import figure1_devices
+
+C_10_10 = Community.parse("10:10")
+C_10_11 = Community.parse("10:11")
+
+
+def _space_with(*communities):
+    entries = tuple(
+        CommunityListEntry(Action.PERMIT, frozenset({c})) for c in communities
+    )
+    community_list = CommunityList("C", entries)
+    route_map = RouteMap(
+        "P", (RouteMapClause("c", Action.PERMIT, (MatchCommunities(community_list),)),)
+    )
+    return RouteSpace([route_map])
+
+
+class TestCondition:
+    def test_render(self):
+        condition = CommunityCondition(
+            required=frozenset({C_10_10}), forbidden=frozenset({C_10_11})
+        )
+        assert condition.render() == "10:10 and not 10:11"
+
+    def test_empty_condition_is_any(self):
+        assert CommunityCondition().render() == "(any communities)"
+
+    def test_matches(self):
+        condition = CommunityCondition(
+            required=frozenset({C_10_10}), forbidden=frozenset({C_10_11})
+        )
+        assert condition.matches(frozenset({C_10_10}))
+        assert not condition.matches(frozenset({C_10_10, C_10_11}))
+        assert not condition.matches(frozenset())
+
+
+class TestLocalizeCommunities:
+    def test_universal_when_independent(self):
+        space = _space_with(C_10_10)
+        localization = localize_communities(space, space.universe)
+        assert localization.universal
+        assert localization.render() == "(any communities)"
+
+    def test_single_atom(self):
+        space = _space_with(C_10_10)
+        affected = space.community_pred(C_10_10)
+        localization = localize_communities(space, affected)
+        assert not localization.universal
+        assert localization.conditions == (
+            CommunityCondition(required=frozenset({C_10_10})),
+        )
+
+    def test_exactly_one_of_two(self):
+        """The Figure 1 Difference 2 shape: XOR of the two tags."""
+        space = _space_with(C_10_10, C_10_11)
+        affected = space.community_pred(C_10_10) ^ space.community_pred(C_10_11)
+        localization = localize_communities(space, affected)
+        assert len(localization.conditions) == 2
+        # Oracle: the DNF matches exactly the XOR sets.
+        for carried in [
+            frozenset(),
+            frozenset({C_10_10}),
+            frozenset({C_10_11}),
+            frozenset({C_10_10, C_10_11}),
+        ]:
+            assert localization.matches(carried) == (len(carried) == 1)
+
+    def test_unsatisfiable(self):
+        space = _space_with(C_10_10)
+        localization = localize_communities(space, space.manager.false)
+        assert localization.conditions == ()
+        assert not localization.universal
+        assert "unsatisfiable" in localization.render()
+
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=40, deadline=None)
+    def test_dnf_is_exact(self, truth_table):
+        """For every boolean function over 3 atoms (encoded as an 8-bit
+        truth table), the DNF matches exactly that function."""
+        atoms = [Community(1, 1), Community(2, 2), Community(3, 3)]
+        space = _space_with(*atoms)
+        function = space.manager.false
+        for row in range(8):
+            if not (truth_table >> row) & 1:
+                continue
+            cube = space.manager.true
+            for bit, atom in enumerate(atoms):
+                literal = space.community_pred(atom)
+                cube = cube & (literal if (row >> bit) & 1 else ~literal)
+            function = function | cube
+        localization = localize_communities(space, function)
+        for row in range(8):
+            carried = frozenset(
+                atom for bit, atom in enumerate(atoms) if (row >> bit) & 1
+            )
+            expected = bool((truth_table >> row) & 1)
+            assert localization.matches(carried) == expected
+
+
+class TestIntegration:
+    def test_figure1_difference2_characterized(self):
+        report = config_diff(*figure1_devices(), exhaustive_communities=True)
+        second = report.semantic[1]
+        localization = second.extra_localizations["communities"]
+        assert isinstance(localization, CommunityLocalization)
+        # Exactly one of the two tags.
+        for carried in [
+            frozenset(),
+            frozenset({C_10_10}),
+            frozenset({C_10_11}),
+            frozenset({C_10_10, C_10_11}),
+        ]:
+            assert localization.matches(carried) == (len(carried) == 1)
+
+    def test_default_mode_keeps_single_example(self):
+        report = config_diff(*figure1_devices())
+        second = report.semantic[1]
+        assert "communities" not in second.extra_localizations
+        assert "Community" in second.example
+
+    def test_rendered_report_has_communities_row(self):
+        from repro.core import render_semantic_difference
+
+        report = config_diff(*figure1_devices(), exhaustive_communities=True)
+        rendered = render_semantic_difference(report.semantic[1])
+        assert "Communities" in rendered
+        assert "10:11 and not 10:10" in rendered or "10:10 and not 10:11" in rendered

@@ -1,0 +1,254 @@
+"""End-to-end ConfigDiff tests, including failure injection: every
+mutation operator applied to a config must be detected against the
+original (and identical configs must compare clean)."""
+
+import pytest
+
+from repro.core import COMPONENT_CHECKS, ComponentKind, config_diff
+from repro.core.match_policies import PolicyPairing, RouteMapPair
+from repro.parsers import parse_cisco, parse_config, parse_juniper
+from repro.workloads.datacenter import _cisco_tor, _juniper_tor
+from repro.workloads.figure1 import (
+    CISCO_FIGURE1,
+    figure1_devices,
+    section2_static_devices,
+)
+from repro.workloads.mutation import MUTATION_OPERATORS
+
+
+class TestFigure1EndToEnd:
+    def test_two_semantic_differences(self):
+        report = config_diff(*figure1_devices())
+        assert len(report.semantic) == 2
+        assert all(d.kind is ComponentKind.ROUTE_MAP for d in report.semantic)
+
+    def test_localizations_attached(self):
+        report = config_diff(*figure1_devices())
+        first = report.semantic[0]
+        included = [str(r) for r in first.localization.included]
+        excluded = [str(r) for r in first.localization.excluded]
+        assert included == ["10.9.0.0/16 : 16-32", "10.100.0.0/16 : 16-32"]
+        assert excluded == ["10.9.0.0/16 : 16-16", "10.100.0.0/16 : 16-16"]
+        second = report.semantic[1]
+        assert [str(r) for r in second.localization.included] == ["0.0.0.0/0 : 0-32"]
+
+    def test_community_example_on_difference2(self):
+        report = config_diff(*figure1_devices())
+        second = report.semantic[1]
+        assert "Community" in second.example
+        assert second.example["Community"] in ("10:10", "10:11")
+
+    def test_send_community_structural_diff(self):
+        report = config_diff(*figure1_devices())
+        assert any(
+            d.attribute == "send-community" for d in report.structural
+        ), "JunOS sends communities by default; IOS config lacks send-community"
+
+
+class TestSection2Static:
+    def test_table4_presence_difference(self):
+        report = config_diff(*section2_static_devices())
+        static = [d for d in report.structural if d.kind is ComponentKind.STATIC_ROUTE]
+        presence = [d for d in static if d.attribute == "presence"]
+        assert len(presence) == 1
+        assert "10.1.1.2/31" in presence[0].component
+        assert presence[0].value2 is None
+        assert "ip route 10.1.1.2" in presence[0].source1.render()
+
+
+class TestEquivalence:
+    def test_identical_cisco_configs(self):
+        d1 = parse_cisco(CISCO_FIGURE1, "a.cfg")
+        d2 = parse_cisco(CISCO_FIGURE1, "b.cfg")
+        report = config_diff(d1, d2)
+        assert report.is_equivalent(), [
+            (d.class1.step_name, d.class2.step_name) for d in report.semantic
+        ]
+
+    def test_clean_tor_pair(self):
+        d1 = parse_cisco(_cisco_tor(3, 2), "c.cfg")
+        d2 = parse_juniper(_juniper_tor(3, 2), "j.cfg")
+        report = config_diff(d1, d2)
+        assert report.is_equivalent(), (
+            [(d.class1.step_name, d.class2.step_name) for d in report.semantic],
+            [(d.component, d.attribute, d.value1, d.value2) for d in report.structural],
+        )
+
+
+# Feature-rich bases so every mutation operator has something to bite on.
+_CISCO_RICH = _cisco_tor(5, 2) + (
+    "ip route 172.31.0.0 255.255.0.0 10.200.6.1 tag 42\n"
+    "interface Ethernet9\n"
+    " ip address 10.222.0.1 255.255.255.0\n"
+    " ip ospf cost 17\n"
+    "!\n"
+    "router ospf 1\n"
+    " network 10.222.0.0 0.0.0.255 area 0\n"
+    "!\n"
+    "ip access-list extended EDGE\n"
+    " permit tcp any host 10.222.0.9 eq 443\n"
+    " deny ip any any\n"
+    "!\n"
+)
+
+_JUNIPER_RICH = _juniper_tor(5, 2) + (
+    "routing-options {\n"
+    "    static {\n"
+    "        route 172.31.0.0/16 {\n"
+    "            next-hop 10.200.6.1;\n"
+    "            tag 42;\n"
+    "        }\n"
+    "    }\n"
+    "}\n"
+    "protocols {\n"
+    "    ospf {\n"
+    "        area 0.0.0.0 {\n"
+    "            interface xe-0/0/9.0 {\n"
+    "                metric 17;\n"
+    "            }\n"
+    "        }\n"
+    "    }\n"
+    "}\n"
+    "firewall {\n"
+    "    family inet {\n"
+    "        filter EDGE {\n"
+    "            term t0 {\n"
+    "                from {\n"
+    "                    destination-address { 10.222.0.9/32; }\n"
+    "                    protocol tcp;\n"
+    "                    destination-port 443;\n"
+    "                }\n"
+    "                then accept;\n"
+    "            }\n"
+    "            term t1 {\n"
+    "                then discard;\n"
+    "            }\n"
+    "        }\n"
+    "    }\n"
+    "}\n"
+)
+
+
+class TestFailureInjection:
+    """Every mutation operator's output must be flagged by ConfigDiff."""
+
+    @pytest.mark.parametrize(
+        "operator", MUTATION_OPERATORS, ids=lambda op: op.__name__
+    )
+    @pytest.mark.parametrize("dialect", ["cisco", "juniper"])
+    def test_mutation_detected(self, operator, dialect):
+        import random
+
+        base_text = _CISCO_RICH if dialect == "cisco" else _JUNIPER_RICH
+        mutation = None
+        for seed in range(10):
+            mutation = operator(base_text, random.Random(seed))
+            if mutation is not None and mutation.text != base_text:
+                break
+        if mutation is None:
+            pytest.skip(f"{operator.__name__} not applicable to {dialect} template")
+        original = parse_config(base_text, "orig.cfg", dialect=dialect)
+        mutated = parse_config(mutation.text, "mut.cfg", dialect=dialect)
+        report = config_diff(original, mutated)
+        assert not report.is_equivalent(), (
+            f"{operator.__name__} ({mutation.description}) went undetected"
+        )
+
+
+class TestPairingOverride:
+    def test_explicit_pairing_respected(self):
+        cisco, juniper = figure1_devices()
+        pairing = PolicyPairing(
+            route_map_pairs=[RouteMapPair("POL", "POL", "manual pairing")]
+        )
+        report = config_diff(cisco, juniper, pairing=pairing)
+        assert len(report.semantic) == 2
+        assert all(d.context == "manual pairing" for d in report.semantic)
+
+    def test_missing_policy_reported_unmatched(self):
+        cisco, juniper = figure1_devices()
+        pairing = PolicyPairing(
+            route_map_pairs=[RouteMapPair("NO-SUCH", "POL", "bad pair")]
+        )
+        report = config_diff(cisco, juniper, pairing=pairing)
+        assert any(u.name == "NO-SUCH" for u in report.unmatched)
+
+
+class TestTable1:
+    def test_component_checks(self):
+        assert COMPONENT_CHECKS[ComponentKind.ACL] == "SemanticDiff"
+        assert COMPONENT_CHECKS[ComponentKind.ROUTE_MAP] == "SemanticDiff"
+        for kind in (
+            ComponentKind.STATIC_ROUTE,
+            ComponentKind.CONNECTED_ROUTE,
+            ComponentKind.BGP_PROPERTY,
+            ComponentKind.OSPF_PROPERTY,
+            ComponentKind.ADMIN_DISTANCE,
+        ):
+            assert COMPONENT_CHECKS[kind] == "StructuralDiff"
+
+
+class TestReportApi:
+    def test_counts_and_by_kind(self):
+        report = config_diff(*figure1_devices())
+        assert report.total_differences() == len(report.semantic) + len(
+            report.structural
+        ) + len(report.unmatched)
+        route_map_differences = report.by_kind(ComponentKind.ROUTE_MAP)
+        assert len(route_map_differences) == 2
+
+
+class TestAsPathIntegration:
+    """End-to-end as-path policy comparison through the full pipeline."""
+
+    CISCO = (
+        "hostname r1\n"
+        "ip as-path access-list 10 permit _100_\n"
+        "route-map P deny 10\n"
+        " match as-path 10\n"
+        "route-map P permit 20\n"
+        "router bgp 65000\n"
+        " neighbor 10.0.0.1 remote-as 65001\n"
+        " neighbor 10.0.0.1 route-map P out\n"
+        " neighbor 10.0.0.1 send-community\n"
+        "!\n"
+    )
+
+    def test_same_regex_equivalent(self):
+        juniper = (
+            "system { host-name r2; }\n"
+            "routing-options { autonomous-system 65000; }\n"
+            'policy-options {\n'
+            '    as-path BAD "_100_";\n'
+            "    policy-statement P {\n"
+            "        term t1 { from as-path BAD; then reject; }\n"
+            "        term t2 { then accept; }\n"
+            "    }\n"
+            "}\n"
+            "protocols { bgp { group E { type external;\n"
+            "    neighbor 10.0.0.1 { peer-as 65001; export P; } } } }\n"
+        )
+        report = config_diff(
+            parse_cisco(self.CISCO, "c.cfg"), parse_config(juniper, "j.cfg")
+        )
+        route_maps = [d for d in report.semantic]
+        assert route_maps == []
+
+    def test_different_regex_flagged(self):
+        juniper = (
+            "system { host-name r2; }\n"
+            "routing-options { autonomous-system 65000; }\n"
+            'policy-options {\n'
+            '    as-path BAD "_200_";\n'
+            "    policy-statement P {\n"
+            "        term t1 { from as-path BAD; then reject; }\n"
+            "        term t2 { then accept; }\n"
+            "    }\n"
+            "}\n"
+            "protocols { bgp { group E { type external;\n"
+            "    neighbor 10.0.0.1 { peer-as 65001; export P; } } } }\n"
+        )
+        report = config_diff(
+            parse_cisco(self.CISCO, "c.cfg"), parse_config(juniper, "j.cfg")
+        )
+        assert report.semantic, "syntactically different as-path regexes flag"

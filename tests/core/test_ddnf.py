@@ -1,0 +1,164 @@
+"""Tests for the prefix-range containment DAG (§3.2, Figure 3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    address_prefix_algebra,
+    build_dag,
+    close_under_intersection,
+    prefix_range_algebra,
+)
+from repro.model import Prefix, PrefixRange
+
+
+def _range(text):
+    return PrefixRange.parse(text)
+
+
+# Seven ranges shaped like the paper's Figure 3 example: a root U with two
+# incomparable children A-ish regions, nested descendants, and a node (D)
+# reachable through two parents.
+FIGURE3_RANGES = [
+    _range("10.0.0.0/8 : 8-32"),      # A
+    _range("10.0.0.0/9 : 9-32"),      # B  (inside A)
+    _range("10.128.0.0/9 : 9-32"),    # C  (inside A, disjoint from B)
+    _range("10.0.0.0/9 : 16-24"),     # D  (inside B)
+    _range("10.64.0.0/10 : 10-32"),   # E  (inside B)
+    _range("10.128.0.0/10 : 10-28"),  # F  (inside C)
+    _range("10.128.0.0/12 : 12-20"),  # G  (inside F)
+]
+
+
+class TestClosure:
+    def test_universe_added(self):
+        closed = close_under_intersection([_range("10.0.0.0/8 : 8-32")], prefix_range_algebra())
+        assert PrefixRange.universe() in closed
+
+    def test_contains_inputs(self):
+        closed = close_under_intersection(FIGURE3_RANGES, prefix_range_algebra())
+        for prefix_range in FIGURE3_RANGES:
+            assert prefix_range in closed
+
+    def test_closed_under_intersection(self):
+        algebra = prefix_range_algebra()
+        closed = close_under_intersection(FIGURE3_RANGES, algebra)
+        for a in closed:
+            for b in closed:
+                meet = algebra.intersect(a, b)
+                if meet is not None:
+                    assert meet in closed
+
+    def test_new_intersections_materialize(self):
+        # Two overlapping ranges whose meet is neither input.
+        a = _range("10.0.0.0/8 : 8-20")
+        b = _range("10.9.0.0/16 : 16-32")
+        closed = close_under_intersection([a, b], prefix_range_algebra())
+        assert _range("10.9.0.0/16 : 16-20") in closed
+
+
+class TestDagInvariants:
+    @pytest.fixture(scope="class")
+    def dag(self):
+        return build_dag(FIGURE3_RANGES, prefix_range_algebra())
+
+    def test_root_is_universe(self, dag):
+        assert dag.root.label == PrefixRange.universe()
+
+    def test_all_nodes_reachable(self, dag):
+        assert len(dag.topological()) == len(dag)
+
+    def test_unique_labels(self, dag):
+        labels = [node.label for node in dag.topological()]
+        assert len(labels) == len(set(labels))
+
+    def test_edges_are_strict_containments(self, dag):
+        algebra = prefix_range_algebra()
+        for node in dag.topological():
+            for child in node.children:
+                assert algebra.contains(node.label, child.label)
+                assert node.label != child.label
+
+    def test_edges_are_immediate(self, dag):
+        algebra = prefix_range_algebra()
+        labels = [node.label for node in dag.topological()]
+        for node in dag.topological():
+            for child in node.children:
+                for middle in labels:
+                    if middle in (node.label, child.label):
+                        continue
+                    strictly_between = (
+                        algebra.contains(node.label, middle)
+                        and algebra.contains(middle, child.label)
+                        and middle != node.label
+                        and middle != child.label
+                    )
+                    assert not strictly_between, (
+                        f"edge {node.label} -> {child.label} skips {middle}"
+                    )
+
+    def test_nested_chain(self, dag):
+        b = dag.node(_range("10.0.0.0/9 : 9-32"))
+        child_labels = {child.label for child in b.children}
+        assert _range("10.0.0.0/9 : 16-24") in child_labels
+        assert _range("10.64.0.0/10 : 10-32") in child_labels
+
+
+class TestAddressAlgebra:
+    def test_prefix_as_address_sets(self):
+        algebra = address_prefix_algebra()
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.9.0.0/16")
+        assert algebra.contains(outer, inner)
+        assert algebra.intersect(outer, inner) == inner
+        assert algebra.intersect(inner, Prefix.parse("11.0.0.0/8")) is None
+        assert algebra.universe == Prefix(0, 0)
+
+    def test_dag_over_addresses(self):
+        prefixes = [
+            Prefix.parse("10.0.0.0/8"),
+            Prefix.parse("10.9.0.0/16"),
+            Prefix.parse("9.140.0.0/23"),
+        ]
+        dag = build_dag(prefixes, address_prefix_algebra())
+        assert dag.root.label == Prefix(0, 0)
+        assert len(dag) == 4
+
+
+@st.composite
+def random_ranges(draw):
+    count = draw(st.integers(min_value=1, max_value=8))
+    ranges = []
+    for _ in range(count):
+        length = draw(st.integers(min_value=4, max_value=24))
+        network = draw(st.integers(min_value=0, max_value=0xFFFFFFFF)) & (
+            (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+        )
+        low = draw(st.integers(min_value=length, max_value=32))
+        high = draw(st.integers(min_value=low, max_value=32))
+        ranges.append(PrefixRange(Prefix(network, length), low, high))
+    return ranges
+
+
+class TestDagProperties:
+    @given(random_ranges())
+    @settings(max_examples=50, deadline=None)
+    def test_invariants_on_random_inputs(self, ranges):
+        algebra = prefix_range_algebra()
+        dag = build_dag(ranges, algebra)
+        nodes = dag.topological()
+        # reachability covers all nodes, labels unique
+        assert len(nodes) == len(dag)
+        labels = [node.label for node in nodes]
+        assert len(set(labels)) == len(labels)
+        # every input present; closure holds
+        for prefix_range in ranges:
+            assert prefix_range in dag.nodes
+        # edges strict + immediate (spot-check containment property)
+        for node in nodes:
+            for child in node.children:
+                assert algebra.contains(node.label, child.label)
+                assert child.label != node.label

@@ -1,0 +1,99 @@
+"""Tests for n-way fleet comparison and outlier detection."""
+
+import pytest
+
+from repro.core import compare_fleet
+from repro.parsers import parse_cisco
+from repro.workloads.datacenter import gateway_fleet
+from repro.workloads.figure1 import CISCO_FIGURE1
+
+
+def _named(text, hostname):
+    return parse_cisco(text.replace("hostname cisco_router", f"hostname {hostname}"), f"{hostname}.cfg")
+
+
+class TestValidation:
+    def test_needs_two_devices(self):
+        with pytest.raises(ValueError):
+            compare_fleet([_named(CISCO_FIGURE1, "a")])
+
+    def test_unique_hostnames_required(self):
+        with pytest.raises(ValueError):
+            compare_fleet([_named(CISCO_FIGURE1, "a"), _named(CISCO_FIGURE1, "a")])
+
+    def test_unknown_reference_rejected(self):
+        fleet = [_named(CISCO_FIGURE1, "a"), _named(CISCO_FIGURE1, "b")]
+        with pytest.raises(ValueError):
+            compare_fleet(fleet, reference="zz")
+
+
+class TestIdenticalFleet:
+    def test_no_outliers(self):
+        fleet = [_named(CISCO_FIGURE1, name) for name in ("a", "b", "c")]
+        report = compare_fleet(fleet)
+        assert report.outliers == []
+        assert set(report.conforming) == {"b", "c"} or set(report.conforming) == set(
+            report.hostnames
+        ) - {report.reference}
+
+    def test_matrix_all_zero(self):
+        fleet = [_named(CISCO_FIGURE1, name) for name in ("a", "b", "c")]
+        report = compare_fleet(fleet)
+        assert all(count == 0 for count in report.matrix.values())
+
+
+class TestOutlierDetection:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_seeded_outliers_found_exactly(self, seed):
+        devices, expected = gateway_fleet(count=6, outliers=2, seed=seed)
+        report = compare_fleet(devices)
+        assert report.outliers == expected
+
+    def test_medoid_is_a_conforming_device(self):
+        devices, expected = gateway_fleet(count=6, outliers=2, seed=0)
+        report = compare_fleet(devices)
+        assert report.reference not in expected
+
+    def test_cross_vendor_fleet_clean_when_equivalent(self):
+        devices, _ = gateway_fleet(count=4, outliers=0, seed=5)
+        report = compare_fleet(devices)
+        assert report.outliers == []
+
+    def test_explicit_reference(self):
+        devices, expected = gateway_fleet(count=5, outliers=1, seed=1)
+        conforming = next(d.hostname for d in devices if d.hostname not in expected)
+        report = compare_fleet(devices, reference=conforming)
+        assert report.reference == conforming
+        assert report.outliers == expected
+
+    def test_outlier_reports_carry_localization(self):
+        devices, expected = gateway_fleet(count=4, outliers=1, seed=2)
+        report = compare_fleet(devices)
+        outlier_report = report.reports[expected[0]]
+        assert outlier_report.semantic
+        difference = outlier_report.semantic[0]
+        # The deviation is the appended 192.0.2.x permit rule.
+        # compare_fleet runs the full ConfigDiff pipeline, so Present's
+        # ACL header localizations are attached.
+        dst = difference.extra_localizations.get("dstIp")
+        assert dst is not None
+
+    def test_pair_count_symmetry(self):
+        devices, _ = gateway_fleet(count=4, outliers=1, seed=3)
+        report = compare_fleet(devices)
+        for first in report.hostnames:
+            for second in report.hostnames:
+                if first == second:
+                    continue
+                key = (min(first, second), max(first, second))
+                if key in report.matrix:
+                    assert report.pair_count(first, second) == report.pair_count(
+                        second, first
+                    )
+
+    def test_render_summary(self):
+        devices, expected = gateway_fleet(count=4, outliers=1, seed=0)
+        report = compare_fleet(devices)
+        summary = report.render_summary()
+        assert "fleet of 4" in summary
+        assert expected[0] in summary

@@ -1,0 +1,81 @@
+"""Tests for outputted-vs-reported issue grouping (Table 8's columns)."""
+
+import pytest
+
+from repro.core import diff_route_maps, group_differences
+from repro.workloads.figure1 import figure1_devices
+from repro.workloads.university import university_network
+
+
+@pytest.fixture(scope="module")
+def network():
+    return university_network()
+
+
+def _diffs(pair, label):
+    maps = {**pair.export_maps, **pair.import_maps}
+    cisco_name, juniper_name = maps[label]
+    _, differences = diff_route_maps(
+        pair.cisco.route_maps[cisco_name], pair.juniper.route_maps[juniper_name]
+    )
+    return differences
+
+
+class TestTable8Columns:
+    """The reproduction of both Table 8(a) columns."""
+
+    @pytest.mark.parametrize(
+        "pair_name,label,outputted,reported",
+        [
+            ("core", "Export 1", 5, 5),
+            ("core", "Export 2", 1, 1),
+            ("border", "Export 3", 1, 1),
+            ("border", "Export 4", 1, 1),
+            ("border", "Export 5", 2, 1),
+            ("border", "Import", 0, 0),
+        ],
+    )
+    def test_outputted_and_reported(self, network, pair_name, label, outputted, reported):
+        pair = getattr(network, pair_name)
+        differences = _diffs(pair, label)
+        groups = group_differences(differences)
+        assert len(differences) == outputted
+        assert len(groups) == reported
+
+    def test_export5_group_holds_both_outputs(self, network):
+        differences = _diffs(network.border, "Export 5")
+        groups = group_differences(differences)
+        assert groups[0].outputted == 2
+        assert groups[0].differences == list(differences)
+
+    def test_groups_partition_the_differences(self, network):
+        differences = _diffs(network.core, "Export 1")
+        groups = group_differences(differences)
+        regrouped = [d for g in groups for d in g.differences]
+        assert sorted(map(id, regrouped)) == sorted(map(id, differences))
+
+
+class TestAnchoring:
+    def test_specific_clause_beats_default(self):
+        cisco, juniper = figure1_devices()
+        _, differences = diff_route_maps(
+            cisco.route_maps["POL"], juniper.route_maps["POL"]
+        )
+        groups = group_differences(differences)
+        # Figure 1: two distinct issues, each anchored at a Cisco deny clause.
+        assert len(groups) == 2
+        anchors = {g.key[1] for g in groups}
+        assert anchors == {"route-map POL deny 10", "route-map POL deny 20"}
+
+    def test_describe_mentions_clause_and_actions(self):
+        cisco, juniper = figure1_devices()
+        _, differences = diff_route_maps(
+            cisco.route_maps["POL"], juniper.route_maps["POL"]
+        )
+        group = group_differences(differences)[0]
+        text = group.describe()
+        assert "deny 10" in text
+        assert "REJECT" in text
+
+    def test_empty_input(self):
+        assert group_differences([]) == []

@@ -1,0 +1,164 @@
+"""Tests for the MatchPolicies pairing heuristics (§4)."""
+
+import pytest
+
+from repro.core import ComponentKind, match_policies
+from repro.core.match_policies import match_ospf_interfaces
+from repro.model import (
+    Acl,
+    BgpNeighbor,
+    BgpProcess,
+    DeviceConfig,
+    Interface,
+    OspfRedistribution,
+    OspfProcess,
+    Prefix,
+    Redistribution,
+    ip_to_int,
+)
+
+
+def _device(hostname="r"):
+    return DeviceConfig(hostname=hostname)
+
+
+def _neighbor(ip, **kwargs):
+    defaults = dict(peer_ip=ip_to_int(ip), remote_as=65001)
+    defaults.update(kwargs)
+    return BgpNeighbor(**defaults)
+
+
+class TestBgpRouteMapPairing:
+    def test_same_neighbor_policies_paired(self):
+        d1 = _device("a")
+        d1.bgp = BgpProcess(
+            asn=1,
+            neighbors=(
+                _neighbor("10.0.0.1", export_policy="OUT-C", import_policy="IN-C"),
+            ),
+        )
+        d2 = _device("b")
+        d2.bgp = BgpProcess(
+            asn=1,
+            neighbors=(
+                _neighbor("10.0.0.1", export_policy="OUT-J", import_policy="IN-J"),
+            ),
+        )
+        pairing = match_policies(d1, d2)
+        contexts = {(p.name1, p.name2, p.context) for p in pairing.route_map_pairs}
+        assert ("OUT-C", "OUT-J", "export for neighbor 10.0.0.1") in contexts
+        assert ("IN-C", "IN-J", "import for neighbor 10.0.0.1") in contexts
+
+    def test_missing_neighbor_reported(self):
+        d1 = _device("a")
+        d1.bgp = BgpProcess(asn=1, neighbors=(_neighbor("10.0.0.1"), _neighbor("10.0.0.9")))
+        d2 = _device("b")
+        d2.bgp = BgpProcess(asn=1, neighbors=(_neighbor("10.0.0.1"),))
+        pairing = match_policies(d1, d2)
+        unmatched = [u for u in pairing.unmatched if "10.0.0.9" in u.name]
+        assert len(unmatched) == 1
+        assert unmatched[0].present_on == "a"
+        assert unmatched[0].missing_on == "b"
+
+    def test_one_sided_policy_not_paired(self):
+        """Policy presence asymmetry surfaces via StructuralDiff instead."""
+        d1 = _device("a")
+        d1.bgp = BgpProcess(asn=1, neighbors=(_neighbor("10.0.0.1", export_policy="X"),))
+        d2 = _device("b")
+        d2.bgp = BgpProcess(asn=1, neighbors=(_neighbor("10.0.0.1"),))
+        pairing = match_policies(d1, d2)
+        assert pairing.route_map_pairs == []
+
+    def test_no_bgp_no_pairs(self):
+        pairing = match_policies(_device("a"), _device("b"))
+        assert pairing.route_map_pairs == []
+        assert pairing.unmatched == []
+
+
+class TestRedistributionPairing:
+    def test_bgp_redistribution_pairs_by_protocol(self):
+        d1 = _device("a")
+        d1.bgp = BgpProcess(
+            asn=1, redistributions=(Redistribution("static", route_map="RC"),)
+        )
+        d2 = _device("b")
+        d2.bgp = BgpProcess(
+            asn=1, redistributions=(Redistribution("static", route_map="RJ"),)
+        )
+        pairing = match_policies(d1, d2)
+        assert any(
+            p.name1 == "RC" and p.name2 == "RJ" and "redistribute static" in p.context
+            for p in pairing.route_map_pairs
+        )
+
+    def test_ospf_redistribution_pairs(self):
+        d1 = _device("a")
+        d1.ospf = OspfProcess(
+            redistributions=(OspfRedistribution("bgp", route_map="RC"),)
+        )
+        d2 = _device("b")
+        d2.ospf = OspfProcess(
+            redistributions=(OspfRedistribution("bgp", route_map="RJ"),)
+        )
+        pairing = match_policies(d1, d2)
+        assert any("into ospf" in p.context for p in pairing.route_map_pairs)
+
+
+class TestAclPairing:
+    def test_same_name_paired(self):
+        d1 = _device("a")
+        d1.acls["F"] = Acl(name="F")
+        d2 = _device("b")
+        d2.acls["F"] = Acl(name="F")
+        pairing = match_policies(d1, d2)
+        assert [(p.name1, p.name2) for p in pairing.acl_pairs] == [("F", "F")]
+
+    def test_one_sided_name_unmatched(self):
+        d1 = _device("a")
+        d1.acls["ONLY1"] = Acl(name="ONLY1")
+        d2 = _device("b")
+        pairing = match_policies(d1, d2)
+        assert pairing.acl_pairs == []
+        unmatched = pairing.unmatched[0]
+        assert unmatched.kind is ComponentKind.ACL
+        assert unmatched.name == "ONLY1"
+        assert unmatched.present_on == "a"
+
+
+class TestOspfInterfacePairing:
+    def test_shared_names_first(self):
+        d1 = _device("a")
+        d1.interfaces["e0"] = Interface("e0", address=Prefix.parse("10.0.0.1/24"))
+        d2 = _device("b")
+        d2.interfaces["e0"] = Interface("e0", address=Prefix.parse("10.9.0.1/24"))
+        assert match_ospf_interfaces(d1, d2) == {"e0": "e0"}
+
+    def test_subnet_heuristic_for_different_names(self):
+        d1 = _device("a")
+        d1.interfaces["Ethernet1"] = Interface(
+            "Ethernet1", address=Prefix.parse("10.0.0.1/24")
+        )
+        d2 = _device("b")
+        d2.interfaces["xe-0/0/0.0"] = Interface(
+            "xe-0/0/0.0", address=Prefix.parse("10.0.0.2/24")
+        )
+        assert match_ospf_interfaces(d1, d2) == {"Ethernet1": "xe-0/0/0.0"}
+
+    def test_no_subnet_no_pairing(self):
+        d1 = _device("a")
+        d1.interfaces["Ethernet1"] = Interface("Ethernet1")
+        d2 = _device("b")
+        d2.interfaces["xe-0/0/0.0"] = Interface(
+            "xe-0/0/0.0", address=Prefix.parse("10.0.0.2/24")
+        )
+        assert match_ospf_interfaces(d1, d2) == {}
+
+    def test_each_interface_claimed_once(self):
+        d1 = _device("a")
+        d1.interfaces["e1"] = Interface("e1", address=Prefix.parse("10.0.0.1/24"))
+        d1.interfaces["e2"] = Interface("e2", address=Prefix.parse("10.0.0.3/24"))
+        d2 = _device("b")
+        d2.interfaces["x1"] = Interface("x1", address=Prefix.parse("10.0.0.2/24"))
+        pairing = match_ospf_interfaces(d1, d2)
+        assert len(pairing) == 1
+        assert list(pairing.values()) == ["x1"]

@@ -1,0 +1,333 @@
+"""Tests for StructuralDiff across every Table 1 component."""
+
+import pytest
+
+from repro.core import (
+    ComponentKind,
+    diff_admin_distances,
+    diff_bgp_properties,
+    diff_connected_routes,
+    diff_ospf_properties,
+    diff_static_routes,
+    structural_diff_all,
+)
+from repro.model import (
+    BgpNeighbor,
+    BgpProcess,
+    DeviceConfig,
+    Interface,
+    OspfInterfaceSettings,
+    OspfProcess,
+    OspfRedistribution,
+    Prefix,
+    Redistribution,
+    StaticRoute,
+    ip_to_int,
+)
+
+
+def _device(hostname="r", **kwargs):
+    device = DeviceConfig(hostname=hostname)
+    for key, value in kwargs.items():
+        setattr(device, key, value)
+    return device
+
+
+def _route(prefix, next_hop="1.1.1.1", distance=1, tag=None, interface=None):
+    return StaticRoute(
+        prefix=Prefix.parse(prefix),
+        next_hop=ip_to_int(next_hop) if next_hop else None,
+        interface=interface,
+        admin_distance=distance,
+        tag=tag,
+    )
+
+
+class TestStaticRoutes:
+    def test_identical_sets_no_differences(self):
+        routes = [_route("10.0.0.0/24"), _route("10.1.0.0/24", "2.2.2.2")]
+        assert (
+            diff_static_routes(
+                _device("a", static_routes=list(routes)),
+                _device("b", static_routes=list(routes)),
+            )
+            == []
+        )
+
+    def test_missing_route_is_presence_difference(self):
+        """The §2.2 / Table 4 case."""
+        d1 = _device("cisco", static_routes=[_route("10.1.1.2/31", "10.2.2.2")])
+        d2 = _device("juniper", static_routes=[])
+        differences = diff_static_routes(d1, d2)
+        assert len(differences) == 1
+        diff = differences[0]
+        assert diff.kind is ComponentKind.STATIC_ROUTE
+        assert diff.attribute == "presence"
+        assert diff.value2 is None
+        assert "10.1.1.2/31" in diff.component
+        assert diff.is_presence_diff()
+
+    def test_next_hop_difference(self):
+        d1 = _device("a", static_routes=[_route("10.0.0.0/24", "1.1.1.1")])
+        d2 = _device("b", static_routes=[_route("10.0.0.0/24", "9.9.9.9")])
+        differences = diff_static_routes(d1, d2)
+        assert [d.attribute for d in differences] == ["next-hop"]
+        assert differences[0].value1 == "1.1.1.1"
+        assert differences[0].value2 == "9.9.9.9"
+
+    def test_distance_and_tag_differences(self):
+        d1 = _device("a", static_routes=[_route("10.0.0.0/24", distance=1, tag=5)])
+        d2 = _device("b", static_routes=[_route("10.0.0.0/24", distance=200, tag=6)])
+        attributes = {d.attribute for d in diff_static_routes(d1, d2)}
+        assert attributes == {"admin-distance", "tag"}
+
+    def test_multipath_same_set_no_difference(self):
+        routes = [
+            _route("10.0.0.0/24", "1.1.1.1"),
+            _route("10.0.0.0/24", "2.2.2.2"),
+        ]
+        assert (
+            diff_static_routes(
+                _device("a", static_routes=list(routes)),
+                _device("b", static_routes=list(reversed(routes))),
+            )
+            == []
+        )
+
+    def test_multipath_differing_hop_sets(self):
+        d1 = _device(
+            "a",
+            static_routes=[_route("10.0.0.0/24", "1.1.1.1"), _route("10.0.0.0/24", "2.2.2.2")],
+        )
+        d2 = _device(
+            "b",
+            static_routes=[_route("10.0.0.0/24", "1.1.1.1"), _route("10.0.0.0/24", "3.3.3.3")],
+        )
+        differences = diff_static_routes(d1, d2)
+        assert any(d.attribute == "next-hop" for d in differences)
+
+
+class TestConnectedRoutes:
+    def _with_interface(self, hostname, *subnets):
+        device = _device(hostname)
+        for index, subnet in enumerate(subnets):
+            device.interfaces[f"e{index}"] = Interface(
+                name=f"e{index}", address=Prefix.parse(subnet)
+            )
+        return device
+
+    def test_same_subnets_different_names_ok(self):
+        d1 = self._with_interface("a", "10.0.0.1/24")
+        d2 = _device("b")
+        d2.interfaces["xe-0/0/0.0"] = Interface(
+            name="xe-0/0/0.0", address=Prefix.parse("10.0.0.2/24")
+        )
+        assert diff_connected_routes(d1, d2) == []
+
+    def test_missing_subnet_reported(self):
+        d1 = self._with_interface("a", "10.0.0.1/24", "10.1.0.1/24")
+        d2 = self._with_interface("b", "10.0.0.2/24")
+        differences = diff_connected_routes(d1, d2)
+        assert len(differences) == 1
+        assert differences[0].kind is ComponentKind.CONNECTED_ROUTE
+        assert "10.1.0.0/24" in differences[0].component
+        assert differences[0].value2 is None
+
+
+class TestBgpProperties:
+    def _bgp(self, **neighbor_kwargs):
+        defaults = dict(peer_ip=ip_to_int("10.0.0.1"), remote_as=65001)
+        defaults.update(neighbor_kwargs)
+        return BgpProcess(asn=65000, neighbors=(BgpNeighbor(**defaults),))
+
+    def test_equal_processes(self):
+        assert (
+            diff_bgp_properties(_device("a", bgp=self._bgp()), _device("b", bgp=self._bgp()))
+            == []
+        )
+
+    def test_both_absent(self):
+        assert diff_bgp_properties(_device("a"), _device("b")) == []
+
+    def test_one_absent(self):
+        differences = diff_bgp_properties(_device("a", bgp=self._bgp()), _device("b"))
+        assert len(differences) == 1
+        assert differences[0].component == "bgp process"
+        assert differences[0].is_presence_diff()
+
+    def test_asn_mismatch(self):
+        other = BgpProcess(asn=65999, neighbors=self._bgp().neighbors)
+        differences = diff_bgp_properties(
+            _device("a", bgp=self._bgp()), _device("b", bgp=other)
+        )
+        assert any(d.attribute == "asn" for d in differences)
+
+    def test_missing_neighbor(self):
+        two = BgpProcess(
+            asn=65000,
+            neighbors=(
+                BgpNeighbor(peer_ip=ip_to_int("10.0.0.1"), remote_as=65001),
+                BgpNeighbor(peer_ip=ip_to_int("10.0.0.2"), remote_as=65002),
+            ),
+        )
+        differences = diff_bgp_properties(
+            _device("a", bgp=two), _device("b", bgp=self._bgp())
+        )
+        assert any(
+            d.attribute == "presence" and "10.0.0.2" in d.component
+            for d in differences
+        )
+
+    def test_send_community_difference(self):
+        """The university network's §5.2 finding."""
+        differences = diff_bgp_properties(
+            _device("a", bgp=self._bgp(send_community=False)),
+            _device("b", bgp=self._bgp(send_community=True)),
+        )
+        assert [d.attribute for d in differences] == ["send-community"]
+        assert differences[0].value1 == "false"
+        assert differences[0].value2 == "true"
+
+    def test_reflector_client_difference(self):
+        differences = diff_bgp_properties(
+            _device("a", bgp=self._bgp(route_reflector_client=True)),
+            _device("b", bgp=self._bgp()),
+        )
+        assert [d.attribute for d in differences] == ["route-reflector-client"]
+
+    def test_policy_presence_compared_not_names(self):
+        same = diff_bgp_properties(
+            _device("a", bgp=self._bgp(export_policy="CISCO-NAME")),
+            _device("b", bgp=self._bgp(export_policy="JUNOS-NAME")),
+        )
+        assert same == []
+        differ = diff_bgp_properties(
+            _device("a", bgp=self._bgp(export_policy="X")),
+            _device("b", bgp=self._bgp()),
+        )
+        assert [d.attribute for d in differ] == ["has-export-policy"]
+
+    def test_redistribution_differences(self):
+        with_redist = BgpProcess(
+            asn=65000,
+            redistributions=(Redistribution(from_protocol="static", metric=5),),
+        )
+        without = BgpProcess(asn=65000)
+        differences = diff_bgp_properties(
+            _device("a", bgp=with_redist), _device("b", bgp=without)
+        )
+        assert any("redistribute static" in d.component for d in differences)
+        metric_differ = diff_bgp_properties(
+            _device("a", bgp=with_redist),
+            _device(
+                "b",
+                bgp=BgpProcess(
+                    asn=65000,
+                    redistributions=(Redistribution(from_protocol="static", metric=9),),
+                ),
+            ),
+        )
+        assert any(d.attribute == "metric" for d in metric_differ)
+
+
+class TestOspfProperties:
+    def _ospf(self, cost=10, area=0, passive=False, interface="e0"):
+        return OspfProcess(
+            interfaces=(
+                OspfInterfaceSettings(
+                    interface=interface, area=area, cost=cost, passive=passive
+                ),
+            )
+        )
+
+    def test_equal(self):
+        assert (
+            diff_ospf_properties(
+                _device("a", ospf=self._ospf()), _device("b", ospf=self._ospf())
+            )
+            == []
+        )
+
+    def test_cost_difference(self):
+        differences = diff_ospf_properties(
+            _device("a", ospf=self._ospf(cost=10)),
+            _device("b", ospf=self._ospf(cost=20)),
+        )
+        assert [d.attribute for d in differences] == ["cost"]
+
+    def test_area_and_passive(self):
+        differences = diff_ospf_properties(
+            _device("a", ospf=self._ospf(area=0, passive=False)),
+            _device("b", ospf=self._ospf(area=1, passive=True)),
+        )
+        assert {d.attribute for d in differences} == {"area", "passive"}
+
+    def test_interface_pairing_used(self):
+        """Cross-vendor names match via the supplied pairing (§4)."""
+        d1 = _device("a", ospf=self._ospf(interface="Ethernet1"))
+        d2 = _device("b", ospf=self._ospf(interface="xe-0/0/0.0"))
+        without_pairing = diff_ospf_properties(d1, d2)
+        assert any(d.attribute == "presence" for d in without_pairing)
+        with_pairing = diff_ospf_properties(
+            d1, d2, interface_pairing={"Ethernet1": "xe-0/0/0.0"}
+        )
+        assert with_pairing == []
+
+    def test_one_sided_interface(self):
+        d1 = _device("a", ospf=self._ospf())
+        d2 = _device("b", ospf=OspfProcess())
+        differences = diff_ospf_properties(d1, d2)
+        assert len(differences) == 1
+        assert differences[0].value2 is None
+
+    def test_process_presence(self):
+        differences = diff_ospf_properties(_device("a", ospf=self._ospf()), _device("b"))
+        assert len(differences) == 1
+        assert differences[0].component == "ospf process"
+
+    def test_redistribution(self):
+        with_redist = OspfProcess(
+            redistributions=(OspfRedistribution(from_protocol="static", metric_type=1),)
+        )
+        differences = diff_ospf_properties(
+            _device("a", ospf=with_redist),
+            _device(
+                "b",
+                ospf=OspfProcess(
+                    redistributions=(
+                        OspfRedistribution(from_protocol="static", metric_type=2),
+                    )
+                ),
+            ),
+        )
+        assert any(d.attribute == "metric-type" for d in differences)
+
+
+class TestAdminDistances:
+    def test_equal_defaults(self):
+        assert diff_admin_distances(_device("a"), _device("b")) == []
+
+    def test_configured_difference(self):
+        d1 = _device("a")
+        d1.admin_distances["ospf"] = 115
+        differences = diff_admin_distances(d1, _device("b"))
+        assert len(differences) == 1
+        assert differences[0].kind is ComponentKind.ADMIN_DISTANCE
+        assert differences[0].value1 == "115"
+        assert differences[0].value2 == "110"
+
+
+class TestAll:
+    def test_structural_diff_all_aggregates(self):
+        d1 = _device("a", static_routes=[_route("10.0.0.0/24")])
+        d1.admin_distances["static"] = 7
+        d2 = _device("b")
+        differences = structural_diff_all(d1, d2)
+        kinds = {d.kind for d in differences}
+        assert ComponentKind.STATIC_ROUTE in kinds
+        assert ComponentKind.ADMIN_DISTANCE in kinds
+
+    def test_identical_devices_clean(self):
+        d1 = _device("a", static_routes=[_route("10.0.0.0/24")])
+        d2 = _device("b", static_routes=[_route("10.0.0.0/24")])
+        assert structural_diff_all(d1, d2) == []

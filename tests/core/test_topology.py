@@ -1,0 +1,118 @@
+"""Tests for topology inference and backup-pair discovery."""
+
+import pytest
+
+from repro.core import (
+    audit_backup_pairs,
+    discover_backup_pairs,
+    infer_adjacencies,
+)
+from repro.model import DeviceConfig, Interface, Prefix
+from repro.workloads.datacenter import scenario1_redundant_pairs
+
+
+def _device(hostname, *subnets, host_offset=1):
+    device = DeviceConfig(hostname=hostname)
+    for index, subnet_text in enumerate(subnets):
+        subnet = Prefix.parse(subnet_text)
+        host = subnet.network + host_offset
+
+        class _Host(Prefix):
+            def __post_init__(self):
+                """Keep host bits (interface-address semantics)."""
+
+        device.interfaces[f"e{index}"] = Interface(
+            name=f"e{index}", address=_Host(host, subnet.length)
+        )
+    return device
+
+
+class TestAdjacencies:
+    def test_shared_subnet_is_adjacency(self):
+        a = _device("a", "10.0.0.0/24")
+        b = _device("b", "10.0.0.0/24", host_offset=2)
+        adjacencies = infer_adjacencies([a, b])
+        assert len(adjacencies) == 1
+        assert adjacencies[0].device1 == "a"
+        assert adjacencies[0].device2 == "b"
+        assert str(adjacencies[0].subnet) == "10.0.0.0/24"
+
+    def test_disjoint_subnets_no_adjacency(self):
+        a = _device("a", "10.0.0.0/24")
+        b = _device("b", "10.1.0.0/24")
+        assert infer_adjacencies([a, b]) == []
+
+    def test_loopbacks_excluded(self):
+        a = _device("a", "10.255.0.1/32")
+        b = _device("b", "10.255.0.1/32", host_offset=0)
+        assert infer_adjacencies([a, b]) == []
+
+    def test_three_devices_on_one_lan(self):
+        devices = [
+            _device(name, "192.168.0.0/24", host_offset=offset)
+            for name, offset in (("a", 1), ("b", 2), ("c", 3))
+        ]
+        adjacencies = infer_adjacencies(devices)
+        assert len(adjacencies) == 3  # all pairs
+
+    def test_shutdown_interfaces_ignored(self):
+        a = _device("a", "10.0.0.0/24")
+        b = DeviceConfig(hostname="b")
+        b.interfaces["e0"] = Interface(
+            name="e0", address=Prefix.parse("10.0.0.2/24"), shutdown=True
+        )
+        assert infer_adjacencies([a, b]) == []
+
+
+class TestBackupDiscovery:
+    def test_full_overlap_pairs(self):
+        a = _device("a", "10.0.0.0/24", "10.1.0.0/24")
+        b = _device("b", "10.0.0.0/24", "10.1.0.0/24", host_offset=2)
+        pairs = discover_backup_pairs([a, b])
+        assert len(pairs) == 1
+        assert pairs[0].jaccard == 1.0
+
+    def test_low_overlap_rejected(self):
+        a = _device("a", "10.0.0.0/24", "10.1.0.0/24", "10.2.0.0/24")
+        b = _device("b", "10.0.0.0/24", "10.9.0.0/24", "10.8.0.0/24", host_offset=2)
+        assert discover_backup_pairs([a, b], min_overlap=0.8) == []
+        assert len(discover_backup_pairs([a, b], min_overlap=0.1)) == 1
+
+    def test_each_device_pairs_once(self):
+        shared = ("10.0.0.0/24", "10.1.0.0/24")
+        devices = [
+            _device(name, *shared, host_offset=offset)
+            for name, offset in (("a", 1), ("b", 2), ("c", 3))
+        ]
+        pairs = discover_backup_pairs(devices)
+        assert len(pairs) == 1  # greedy one-to-one matching
+        names = {pairs[0].device1, pairs[0].device2}
+        assert len(names) == 2
+
+    def test_datacenter_pairs_rediscovered(self):
+        scenario = scenario1_redundant_pairs(pair_count=5, seed=2)
+        devices = []
+        for pair in scenario.pairs:
+            devices.extend([pair.primary, pair.backup])
+        candidates = discover_backup_pairs(devices)
+        assert len(candidates) == 5
+        for candidate in candidates:
+            # each discovered pair is a (torN-cisco, torN-juniper) twin
+            prefix1 = candidate.device1.split("-")[0]
+            prefix2 = candidate.device2.split("-")[0]
+            assert prefix1 == prefix2
+
+
+class TestAuditPipeline:
+    def test_reports_populated_and_bugs_found(self):
+        scenario = scenario1_redundant_pairs(pair_count=5, seed=2)
+        devices = []
+        seeded = {}
+        for pair in scenario.pairs:
+            devices.extend([pair.primary, pair.backup])
+            seeded[pair.primary.hostname.split("-")[0]] = bool(pair.seeded_bugs)
+        candidates = audit_backup_pairs(devices)
+        for candidate in candidates:
+            assert candidate.report is not None
+            rack = candidate.device1.split("-")[0]
+            assert (not candidate.report.is_equivalent()) == seeded[rack]

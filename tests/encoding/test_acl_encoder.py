@@ -1,0 +1,137 @@
+"""Tests for ACL path equivalence classes: the §3.1 partition invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding import PacketSpace, acl_equivalence_classes, shadowed_lines
+from repro.model import Acl, AclAction, AclLine, IpWildcard, Prefix
+from repro.workloads.acl_gen import random_rules
+
+
+def _random_acl(seed, size):
+    generator = random.Random(seed)
+    return Acl(name="T", lines=tuple(random_rules(size, generator)))
+
+
+class TestPartitionInvariants:
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=1, max_value=25))
+    @settings(max_examples=20, deadline=None)
+    def test_disjoint_and_covering(self, seed, size):
+        """The class predicates partition the whole packet space (§3.1)."""
+        space = PacketSpace()
+        classes = acl_equivalence_classes(space, _random_acl(seed, size))
+        union = space.manager.false
+        for index, cls in enumerate(classes):
+            assert not cls.predicate.is_false()
+            for other in classes[index + 1 :]:
+                assert not cls.predicate.intersects(other.predicate)
+            union = union | cls.predicate
+        assert union.is_true()
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_class_action_matches_oracle(self, seed):
+        """Any packet in a class gets exactly that class's action from the
+        concrete first-match evaluation."""
+        space = PacketSpace()
+        acl = _random_acl(seed, 15)
+        classes = acl_equivalence_classes(space, acl)
+        for cls in classes:
+            model = cls.predicate.any_model()
+            total = {
+                index: model.get(index, False)
+                for index in range(space.manager.num_vars)
+            }
+            packet = space.decode(total)
+            expected = acl.evaluate_concrete(
+                packet.src_ip,
+                packet.dst_ip,
+                packet.protocol,
+                packet.src_port,
+                packet.dst_port,
+                packet.icmp_type,
+            )
+            assert cls.action is expected
+
+
+class TestClassStructure:
+    def test_one_class_per_reachable_line_plus_default(self):
+        space = PacketSpace()
+        acl = Acl(
+            name="T",
+            lines=(
+                AclLine(
+                    action=AclAction.DENY,
+                    src=IpWildcard.from_prefix(Prefix.parse("10.0.0.0/8")),
+                ),
+                AclLine(action=AclAction.PERMIT, protocol=6),
+            ),
+        )
+        classes = acl_equivalence_classes(space, acl)
+        assert len(classes) == 3
+        assert [c.index for c in classes] == [0, 1, 2]
+        assert classes[2].is_default
+
+    def test_shadowed_line_produces_no_class(self):
+        space = PacketSpace()
+        acl = Acl(
+            name="T",
+            lines=(
+                AclLine(action=AclAction.PERMIT),  # matches everything
+                AclLine(action=AclAction.DENY, protocol=6),  # unreachable
+            ),
+        )
+        classes = acl_equivalence_classes(space, acl)
+        assert len(classes) == 1
+        assert classes[0].action is AclAction.PERMIT
+
+    def test_no_default_class_when_lines_cover(self):
+        space = PacketSpace()
+        acl = Acl(name="T", lines=(AclLine(action=AclAction.PERMIT),))
+        classes = acl_equivalence_classes(space, acl)
+        assert not any(c.is_default for c in classes)
+
+    def test_empty_acl_is_one_default_class(self):
+        space = PacketSpace()
+        classes = acl_equivalence_classes(space, Acl(name="T"))
+        assert len(classes) == 1
+        assert classes[0].is_default
+        assert classes[0].predicate.is_true()
+
+    def test_classes_carry_policy_and_source(self):
+        from repro.model import SourceSpan
+
+        space = PacketSpace()
+        line = AclLine(
+            action=AclAction.DENY,
+            protocol=6,
+            source=SourceSpan("f.cfg", 7, 7, ("deny tcp any any",)),
+        )
+        classes = acl_equivalence_classes(space, Acl(name="FILTER", lines=(line,)))
+        assert classes[0].policy_name == "FILTER"
+        assert classes[0].source.start_line == 7
+
+
+class TestShadowedLines:
+    def test_reports_shadowed(self):
+        space = PacketSpace()
+        acl = Acl(
+            name="T",
+            lines=(
+                AclLine(action=AclAction.PERMIT, protocol=6),
+                AclLine(action=AclAction.DENY, protocol=6),  # shadowed
+                AclLine(action=AclAction.DENY, protocol=17),  # reachable
+            ),
+        )
+        shadowed = shadowed_lines(space, acl)
+        assert len(shadowed) == 1
+        assert shadowed[0].protocol == 6
+        assert shadowed[0].action is AclAction.DENY
+
+    def test_none_shadowed(self):
+        space = PacketSpace()
+        acl = Acl(name="T", lines=(AclLine(action=AclAction.PERMIT, protocol=6),))
+        assert shadowed_lines(space, acl) == []

@@ -1,0 +1,71 @@
+"""Tests for equivalence-class value types."""
+
+from repro.bdd import BddManager
+from repro.encoding import EquivalenceClass, RouteMapAction
+from repro.model import Action, SetCommunities, SetLocalPref, SetMed, SourceSpan
+from repro.model import Community
+
+
+class TestRouteMapAction:
+    def test_deny_discards_sets(self):
+        action = RouteMapAction(Action.DENY, (SetLocalPref(30),))
+        assert action.sets == ()
+        assert action.describe() == "REJECT"
+
+    def test_permit_keeps_sets(self):
+        action = RouteMapAction(Action.PERMIT, (SetLocalPref(30),))
+        assert action.describe() == "SET LOCAL PREF 30\nACCEPT"
+
+    def test_set_order_is_canonicalized(self):
+        first = RouteMapAction(Action.PERMIT, (SetLocalPref(30), SetMed(5)))
+        second = RouteMapAction(Action.PERMIT, (SetMed(5), SetLocalPref(30)))
+        assert first == second
+
+    def test_different_values_differ(self):
+        assert RouteMapAction(Action.PERMIT, (SetLocalPref(30),)) != RouteMapAction(
+            Action.PERMIT, (SetLocalPref(31),)
+        )
+
+    def test_deny_actions_equal_regardless_of_sets(self):
+        assert RouteMapAction(Action.DENY, (SetLocalPref(1),)) == RouteMapAction(
+            Action.DENY, (SetMed(9),)
+        )
+
+    def test_permit_vs_deny_differ(self):
+        assert RouteMapAction(Action.PERMIT) != RouteMapAction(Action.DENY)
+
+    def test_community_sets_compare_by_value(self):
+        one = RouteMapAction(
+            Action.PERMIT,
+            (SetCommunities(frozenset({Community.parse("1:1")})),),
+        )
+        other = RouteMapAction(
+            Action.PERMIT,
+            (SetCommunities(frozenset({Community.parse("1:1")})),),
+        )
+        assert one == other
+
+
+class TestEquivalenceClassText:
+    def _class(self, **kwargs):
+        manager = BddManager()
+        defaults = dict(
+            predicate=manager.true,
+            action=RouteMapAction(Action.PERMIT),
+            policy_name="POL",
+            step_name="clause 10",
+        )
+        defaults.update(kwargs)
+        return EquivalenceClass(**defaults)
+
+    def test_text_prefers_source(self):
+        span = SourceSpan("f.cfg", 1, 2, ("line one", "line two"))
+        cls = self._class(source=span)
+        assert cls.text() == "line one\nline two"
+
+    def test_text_falls_back_to_step_name(self):
+        assert self._class().text() == "clause 10"
+
+    def test_default_class_text(self):
+        cls = self._class(is_default=True, step_name="default deny")
+        assert "POL" in cls.text()

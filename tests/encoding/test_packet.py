@@ -1,0 +1,153 @@
+"""Tests for the packet-space encoding, validated against the concrete
+ACL evaluation oracle."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding import PacketSpace
+from repro.model import (
+    Acl,
+    AclAction,
+    AclLine,
+    IpWildcard,
+    PortRange,
+    Prefix,
+    ip_to_int,
+)
+from repro.workloads.acl_gen import random_rules
+
+
+@pytest.fixture
+def space():
+    return PacketSpace()
+
+
+def _contains(space, predicate, packet):
+    return bool(space.encode_concrete(*packet) & predicate)
+
+
+class TestWildcardPred:
+    def test_any(self, space):
+        assert space.wildcard_pred(space.src_ip, IpWildcard.any()).is_true()
+
+    def test_host(self, space):
+        predicate = space.wildcard_pred(
+            space.dst_ip, IpWildcard.host(ip_to_int("1.2.3.4"))
+        )
+        assert _contains(space, predicate, (0, ip_to_int("1.2.3.4"), 6))
+        assert not _contains(space, predicate, (0, ip_to_int("1.2.3.5"), 6))
+
+    def test_prefix(self, space):
+        predicate = space.wildcard_pred(
+            space.src_ip, IpWildcard.from_prefix(Prefix.parse("10.9.0.0/16"))
+        )
+        assert _contains(space, predicate, (ip_to_int("10.9.200.1"), 0, 6))
+        assert not _contains(space, predicate, (ip_to_int("10.10.0.1"), 0, 6))
+
+    def test_discontiguous(self, space):
+        wildcard = IpWildcard(ip_to_int("10.0.3.0"), 0x00FF0000)
+        predicate = space.wildcard_pred(space.src_ip, wildcard)
+        assert _contains(space, predicate, (ip_to_int("10.200.3.0"), 0, 6))
+        assert not _contains(space, predicate, (ip_to_int("10.200.4.0"), 0, 6))
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF), st.randoms())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_oracle(self, wildcard_bits, rng):
+        space = PacketSpace()
+        address = rng.getrandbits(32) & ~wildcard_bits & 0xFFFFFFFF
+        wildcard = IpWildcard(address, wildcard_bits)
+        predicate = space.wildcard_pred(space.src_ip, wildcard)
+        for _ in range(10):
+            candidate = rng.getrandbits(32)
+            expected = wildcard.matches(candidate)
+            assert _contains(space, predicate, (candidate, 0, 6)) == expected
+
+
+class TestPortsPred:
+    def test_empty_matches_all(self, space):
+        assert space.ports_pred(space.dst_port, ()).is_true()
+
+    def test_single_and_range(self, space):
+        predicate = space.ports_pred(
+            space.dst_port, (PortRange.single(80), PortRange(1000, 1010))
+        )
+        assert _contains(space, predicate, (0, 0, 6, 0, 80))
+        assert _contains(space, predicate, (0, 0, 6, 0, 1005))
+        assert not _contains(space, predicate, (0, 0, 6, 0, 81))
+
+
+class TestLinePred:
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.randoms())
+    @settings(max_examples=25, deadline=None)
+    def test_line_pred_matches_oracle(self, seed, rng):
+        space = PacketSpace()
+        generator = random.Random(seed)
+        line = random_rules(1, generator)[0]
+        predicate = space.line_pred(line)
+        for _ in range(15):
+            packet = (
+                rng.getrandbits(32),
+                rng.getrandbits(32),
+                rng.choice([1, 6, 17, 47]),
+                rng.randrange(65536),
+                rng.choice([22, 53, 80, 443, 8080, rng.randrange(65536)]),
+                0,
+            )
+            assert _contains(space, predicate, packet) == line.matches_concrete(*packet)
+
+
+class TestAclPermitPred:
+    def test_differential_vs_oracle(self):
+        """The composed permit set equals first-match evaluation."""
+        space = PacketSpace()
+        generator = random.Random(1234)
+        acl = Acl(name="T", lines=tuple(random_rules(60, generator)))
+        permit = space.acl_permit_pred(acl)
+        rng = random.Random(99)
+        for _ in range(300):
+            packet = (
+                rng.getrandbits(32),
+                rng.getrandbits(32),
+                rng.choice([1, 6, 17]),
+                rng.randrange(65536),
+                rng.choice([22, 53, 80, 443, 8080]),
+                0,
+            )
+            expected = acl.evaluate_concrete(*packet) is AclAction.PERMIT
+            assert _contains(space, permit, packet) == expected
+
+    def test_default_permit(self):
+        space = PacketSpace()
+        acl = Acl(name="open", lines=(), default_action=AclAction.PERMIT)
+        assert space.acl_permit_pred(acl).is_true()
+
+    def test_default_deny(self):
+        space = PacketSpace()
+        acl = Acl(name="closed", lines=())
+        assert space.acl_permit_pred(acl).is_false()
+
+
+class TestDecode:
+    def test_roundtrip(self, space):
+        packet = (ip_to_int("1.2.3.4"), ip_to_int("5.6.7.8"), 6, 1234, 80, 0)
+        encoded = space.encode_concrete(*packet)
+        model = encoded.any_model()
+        total = {index: model.get(index, False) for index in range(space.manager.num_vars)}
+        decoded = space.decode(total)
+        assert (
+            decoded.src_ip,
+            decoded.dst_ip,
+            decoded.protocol,
+            decoded.src_port,
+            decoded.dst_port,
+            decoded.icmp_type,
+        ) == packet
+
+    def test_describe(self, space):
+        packet = space.decode({index: False for index in range(space.manager.num_vars)})
+        described = packet.describe()
+        assert described["srcIp"] == "0.0.0.0"
+        assert described["protocol"] == "0"

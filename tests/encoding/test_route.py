@@ -1,0 +1,245 @@
+"""Tests for the route-advertisement encoding, against concrete oracles."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding import ROUTE_PROTOCOLS, RouteSpace, community_universe
+from repro.model import (
+    Action,
+    AsPathList,
+    AsPathListEntry,
+    Community,
+    CommunityList,
+    CommunityListEntry,
+    MatchAsPath,
+    Prefix,
+    PrefixList,
+    PrefixListEntry,
+    PrefixRange,
+    RouteMap,
+    RouteMapClause,
+    community_regex_matches,
+)
+
+
+def _empty_space(extra_maps=()):
+    return RouteSpace(list(extra_maps))
+
+
+def _map_with_communities(*communities, regexes=()):
+    entries = tuple(
+        CommunityListEntry(Action.PERMIT, frozenset({c})) for c in communities
+    ) + tuple(CommunityListEntry(Action.PERMIT, regex=r) for r in regexes)
+    community_list = CommunityList("C", entries)
+    from repro.model import MatchCommunities
+
+    return RouteMap(
+        "P", (RouteMapClause("c", Action.PERMIT, (MatchCommunities(community_list),)),)
+    )
+
+
+class TestCommunityUniverse:
+    def test_literals_included(self):
+        route_map = _map_with_communities(Community.parse("1:1"), Community.parse("2:2"))
+        universe = community_universe([route_map])
+        assert Community.parse("1:1") in universe
+        assert Community.parse("2:2") in universe
+
+    def test_regex_witnesses_generated(self):
+        route_map = _map_with_communities(regexes=["^52:1[0-9]$"])
+        universe = community_universe([route_map])
+        matching = [c for c in universe if community_regex_matches("^52:1[0-9]$", c)]
+        assert matching, "regex must contribute at least one witness"
+
+    def test_three_digit_completion_witnesses(self):
+        route_map = _map_with_communities(regexes=["_52:2[0-9][0-9]_"])
+        universe = community_universe([route_map])
+        matching = [
+            c for c in universe if community_regex_matches("_52:2[0-9][0-9]_", c)
+        ]
+        assert matching
+
+    def test_differing_regexes_distinguished(self):
+        """Two regexes with different accepted sets must differ on some atom."""
+        map1 = _map_with_communities(regexes=["_52:1[0-9]_"])
+        map2 = _map_with_communities(regexes=["_52:1[0-5]_"])
+        universe = community_universe([map1, map2])
+        differs = [
+            c
+            for c in universe
+            if community_regex_matches("_52:1[0-9]_", c)
+            != community_regex_matches("_52:1[0-5]_", c)
+        ]
+        assert differs
+
+    def test_empty_maps(self):
+        assert community_universe([]) == []
+
+
+class TestRangePred:
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_oracle(self, network, length):
+        space = _empty_space()
+        prefix_range = PrefixRange.parse("10.0.0.0/8 : 12-24")
+        candidate = Prefix(network, length)
+        encoded = space.encode_concrete(candidate)
+        expected = prefix_range.contains_prefix(candidate)
+        assert bool(encoded & space.range_pred(prefix_range)) == expected
+
+    def test_universe_range_covers_universe(self):
+        space = _empty_space()
+        assert space.universe.implies(space.range_pred(PrefixRange.universe()))
+        assert space.range_pred(PrefixRange.universe()) & space.universe == space.universe
+
+    def test_exact_prefix(self):
+        space = _empty_space()
+        pred = space.exact_prefix_pred(Prefix.parse("10.9.0.0/16"))
+        assert bool(space.encode_concrete(Prefix.parse("10.9.0.0/16")) & pred)
+        assert not bool(space.encode_concrete(Prefix.parse("10.9.0.0/17")) & pred)
+
+
+class TestPrefixListPred:
+    @given(st.integers(min_value=0, max_value=2**31), st.randoms())
+    @settings(max_examples=25, deadline=None)
+    def test_first_match_oracle(self, seed, rng):
+        generator = random.Random(seed)
+        entries = []
+        for _ in range(generator.randint(1, 6)):
+            length = generator.randint(8, 28)
+            network = generator.getrandbits(32) & (
+                (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+            )
+            low = generator.randint(length, 32)
+            high = generator.randint(low, 32)
+            action = Action.PERMIT if generator.random() < 0.7 else Action.DENY
+            entries.append(
+                PrefixListEntry(action, PrefixRange(Prefix(network, length), low, high))
+            )
+        prefix_list = PrefixList("L", tuple(entries))
+        space = _empty_space()
+        predicate = space.prefix_list_pred(prefix_list)
+        for _ in range(20):
+            length = rng.randint(0, 32)
+            network = rng.getrandbits(32) & (
+                0 if length == 0 else (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+            )
+            candidate = Prefix(network, length)
+            symbolic = bool(space.encode_concrete(candidate) & predicate)
+            assert symbolic == prefix_list.permits(candidate)
+
+
+class TestCommunityPreds:
+    def test_conjunction_entry(self):
+        both = frozenset({Community.parse("1:1"), Community.parse("2:2")})
+        route_map = _map_with_communities(Community.parse("1:1"), Community.parse("2:2"))
+        space = RouteSpace([route_map])
+        entry = CommunityListEntry(Action.PERMIT, both)
+        predicate = space.community_entry_pred(entry)
+        carrying_both = space.encode_concrete(Prefix.parse("9.9.9.0/24"), both)
+        carrying_one = space.encode_concrete(
+            Prefix.parse("9.9.9.0/24"), {Community.parse("1:1")}
+        )
+        assert bool(carrying_both & predicate)
+        assert not bool(carrying_one & predicate)
+
+    def test_regex_entry_is_disjunction_over_atoms(self):
+        route_map = _map_with_communities(regexes=["_52:1[0-9]_"])
+        space = RouteSpace([route_map])
+        entry = CommunityListEntry(Action.PERMIT, regex="_52:1[0-9]_")
+        predicate = space.community_entry_pred(entry)
+        witness = next(
+            c for c in space.communities if community_regex_matches("_52:1[0-9]_", c)
+        )
+        carrying = space.encode_concrete(Prefix.parse("9.9.9.0/24"), {witness})
+        empty = space.encode_concrete(Prefix.parse("9.9.9.0/24"), ())
+        assert bool(carrying & predicate)
+        assert not bool(empty & predicate)
+
+    def test_unknown_community_rejected(self):
+        space = _empty_space()
+        with pytest.raises(KeyError):
+            space.community_pred(Community.parse("9:9"))
+
+    def test_list_first_match(self):
+        community = Community.parse("1:1")
+        entries = (
+            CommunityListEntry(Action.DENY, frozenset({community})),
+            CommunityListEntry(Action.PERMIT, frozenset({community})),
+        )
+        route_map = _map_with_communities(community)
+        space = RouteSpace([route_map])
+        predicate = space.community_list_pred(CommunityList("C", entries))
+        carrying = space.encode_concrete(Prefix.parse("9.9.9.0/24"), {community})
+        assert not bool(carrying & predicate)
+
+
+class TestAsPathPred:
+    def test_same_regex_shares_variable(self):
+        as_path_list = AsPathList("A", (AsPathListEntry(Action.PERMIT, "_100_"),))
+        route_map = RouteMap(
+            "P", (RouteMapClause("c", Action.PERMIT, (MatchAsPath(as_path_list),)),)
+        )
+        space = RouteSpace([route_map, route_map])
+        assert len(space.as_path_vars) == 1
+        predicate = space.as_path_list_pred(as_path_list)
+        assert predicate == space.as_path_vars["_100_"]
+
+
+class TestProtocolAndTag:
+    def test_protocol_pred(self):
+        space = _empty_space()
+        static = space.protocol_pred("static")
+        bgp = space.protocol_pred("bgp")
+        assert not static.intersects(bgp)
+        with pytest.raises(KeyError):
+            space.protocol_pred("rip")
+
+    def test_tag_pred(self):
+        space = _empty_space()
+        assert not space.tag_pred(7).intersects(space.tag_pred(8))
+        assert space.tag_pred(7).intersects(space.universe)
+
+
+class TestProjection:
+    def test_project_to_prefix_drops_other_dims(self):
+        community = Community.parse("1:1")
+        route_map = _map_with_communities(community)
+        space = RouteSpace([route_map])
+        mixed = space.range_pred(PrefixRange.parse("10.0.0.0/8 : 8-32")) & space.community_pred(
+            community
+        )
+        projected = space.project_to_prefix(mixed)
+        assert projected == space.range_pred(PrefixRange.parse("10.0.0.0/8 : 8-32"))
+
+    def test_prefix_vars_partition(self):
+        space = _empty_space()
+        prefix_vars = set(space.prefix_var_indices())
+        other_vars = set(space.non_prefix_var_indices())
+        assert prefix_vars.isdisjoint(other_vars)
+        assert prefix_vars | other_vars == set(range(space.manager.num_vars))
+
+
+class TestDecode:
+    def test_masks_bits_beyond_length(self):
+        route_map = _map_with_communities(Community.parse("1:1"))
+        space = RouteSpace([route_map])
+        model = {index: True for index in range(space.manager.num_vars)}
+        # force length to 8: length bits 001000
+        for position, bit in zip(space.length.var_indices, [0, 0, 1, 0, 0, 0]):
+            model[position] = bool(bit)
+        decoded = space.decode(model)
+        assert decoded.prefix.length == 8
+        assert decoded.prefix.network == 0xFF000000
+        assert decoded.communities == frozenset({Community.parse("1:1")})
+
+    def test_protocol_decode(self):
+        space = _empty_space()
+        model = {index: False for index in range(space.manager.num_vars)}
+        assert space.decode(model).protocol == ROUTE_PROTOCOLS[0]

@@ -1,0 +1,170 @@
+"""Tests for route-map path equivalence classes, including the Figure 2
+partition of the paper's running example."""
+
+import pytest
+
+from repro.encoding import (
+    RouteMapAction,
+    RouteSpace,
+    clause_match_pred,
+    route_map_equivalence_classes,
+)
+from repro.model import (
+    Action,
+    Community,
+    CommunityList,
+    CommunityListEntry,
+    ConcreteRoute,
+    MatchCommunities,
+    MatchPrefixList,
+    MatchProtocol,
+    MatchTag,
+    Prefix,
+    PrefixList,
+    PrefixListEntry,
+    PrefixRange,
+    RouteMap,
+    RouteMapClause,
+    SetLocalPref,
+    evaluate_route_map,
+)
+from repro.workloads.figure1 import figure1_devices
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    cisco, juniper = figure1_devices()
+    map1 = cisco.route_maps["POL"]
+    map2 = juniper.route_maps["POL"]
+    space = RouteSpace([map1, map2])
+    return space, map1, map2
+
+
+class TestFigure2Partition:
+    def test_three_classes_for_cisco_map(self, figure1):
+        space, map1, _ = figure1
+        classes = route_map_equivalence_classes(space, map1)
+        # Figure 2: NETS / ¬NETS∧COMM / remaining — the catch-all clause
+        # covers everything, so no default class appears.
+        assert len(classes) == 3
+        assert not any(c.is_default for c in classes)
+
+    def test_class_predicates_are_figure2_regions(self, figure1):
+        space, map1, _ = figure1
+        classes = route_map_equivalence_classes(space, map1)
+        nets = space.prefix_list_pred(map1.clauses[0].matches[0].prefix_list)
+        comm = space.community_list_pred(map1.clauses[1].matches[0].community_list)
+        universe = space.universe
+        assert classes[0].predicate == nets & universe
+        assert classes[1].predicate == ~nets & comm & universe
+        assert classes[2].predicate == ~nets & ~comm & universe
+
+    def test_actions(self, figure1):
+        space, map1, _ = figure1
+        classes = route_map_equivalence_classes(space, map1)
+        assert classes[0].action == RouteMapAction(Action.DENY)
+        assert classes[2].action == RouteMapAction(Action.PERMIT, (SetLocalPref(30),))
+
+
+class TestPartitionInvariants:
+    def test_disjoint_and_cover_universe(self, figure1):
+        space, map1, map2 = figure1
+        for route_map in (map1, map2):
+            classes = route_map_equivalence_classes(space, route_map)
+            union = space.manager.false
+            for index, cls in enumerate(classes):
+                for other in classes[index + 1 :]:
+                    assert not cls.predicate.intersects(other.predicate)
+                union = union | cls.predicate
+            assert union == space.universe
+
+    def test_class_action_matches_concrete_oracle(self, figure1):
+        space, map1, _ = figure1
+        classes = route_map_equivalence_classes(space, map1)
+        for cls in classes:
+            model = cls.predicate.any_model()
+            total = {
+                index: model.get(index, False)
+                for index in range(space.manager.num_vars)
+            }
+            example = space.decode(total)
+            route = ConcreteRoute(
+                prefix=example.prefix, communities=example.communities
+            )
+            result = evaluate_route_map(map1, route)
+            expected_accept = cls.action.action is Action.PERMIT
+            assert result.accepted == expected_accept
+            if result.accepted:
+                assert result.clause.name == cls.step_name
+
+
+class TestDefaultClass:
+    def test_fall_through_class_present_when_reachable(self):
+        nets = PrefixList(
+            "N",
+            (PrefixListEntry(Action.PERMIT, PrefixRange.parse("10.0.0.0/8 : 8-32")),),
+        )
+        route_map = RouteMap(
+            "P",
+            (RouteMapClause("c", Action.DENY, (MatchPrefixList(nets),)),),
+            default_action=Action.PERMIT,
+        )
+        space = RouteSpace([route_map])
+        classes = route_map_equivalence_classes(space, route_map)
+        assert len(classes) == 2
+        default = classes[-1]
+        assert default.is_default
+        assert default.action == RouteMapAction(Action.PERMIT)
+
+    def test_empty_map_is_single_default_class(self):
+        route_map = RouteMap("P", ())
+        space = RouteSpace([route_map])
+        classes = route_map_equivalence_classes(space, route_map)
+        assert len(classes) == 1
+        assert classes[0].is_default
+        assert classes[0].predicate == space.universe
+
+
+class TestClauseMatchPred:
+    def test_empty_clause_matches_everything(self):
+        route_map = RouteMap("P", (RouteMapClause("c", Action.PERMIT),))
+        space = RouteSpace([route_map])
+        assert clause_match_pred(space, route_map.clauses[0]).is_true()
+
+    def test_conditions_conjoin(self):
+        community = Community.parse("1:1")
+        comm_list = CommunityList(
+            "C", (CommunityListEntry(Action.PERMIT, frozenset({community})),)
+        )
+        nets = PrefixList(
+            "N",
+            (PrefixListEntry(Action.PERMIT, PrefixRange.parse("10.0.0.0/8 : 8-32")),),
+        )
+        clause = RouteMapClause(
+            "c", Action.PERMIT, (MatchPrefixList(nets), MatchCommunities(comm_list))
+        )
+        route_map = RouteMap("P", (clause,))
+        space = RouteSpace([route_map])
+        predicate = clause_match_pred(space, clause)
+        inside_with = space.encode_concrete(Prefix.parse("10.1.0.0/16"), {community})
+        inside_without = space.encode_concrete(Prefix.parse("10.1.0.0/16"), ())
+        outside_with = space.encode_concrete(Prefix.parse("11.1.0.0/16"), {community})
+        assert bool(inside_with & predicate)
+        assert not bool(inside_without & predicate)
+        assert not bool(outside_with & predicate)
+
+    def test_tag_and_protocol_conditions(self):
+        clause = RouteMapClause(
+            "c", Action.PERMIT, (MatchTag(9), MatchProtocol("static"))
+        )
+        route_map = RouteMap("P", (clause,))
+        space = RouteSpace([route_map])
+        predicate = clause_match_pred(space, clause)
+        matching = space.encode_concrete(
+            Prefix.parse("10.0.0.0/8"), tag=9, protocol="static"
+        )
+        wrong_tag = space.encode_concrete(
+            Prefix.parse("10.0.0.0/8"), tag=8, protocol="static"
+        )
+        assert bool(matching & predicate)
+        assert not bool(wrong_tag & predicate)

@@ -1,0 +1,173 @@
+"""Tests for the ACL model: wildcards, port ranges, first-match semantics."""
+
+import pytest
+
+from repro.model import (
+    Acl,
+    AclAction,
+    AclLine,
+    ConfigError,
+    IpWildcard,
+    PortRange,
+    Prefix,
+    ip_to_int,
+)
+
+
+class TestIpWildcard:
+    def test_any_matches_everything(self):
+        assert IpWildcard.any().matches(0)
+        assert IpWildcard.any().matches(0xFFFFFFFF)
+        assert IpWildcard.any().is_any()
+
+    def test_host_matches_exactly(self):
+        host = IpWildcard.host(ip_to_int("1.2.3.4"))
+        assert host.matches(ip_to_int("1.2.3.4"))
+        assert not host.matches(ip_to_int("1.2.3.5"))
+
+    def test_from_prefix(self):
+        wildcard = IpWildcard.from_prefix(Prefix.parse("10.9.0.0/16"))
+        assert wildcard.matches(ip_to_int("10.9.7.7"))
+        assert not wildcard.matches(ip_to_int("10.10.0.0"))
+
+    def test_canonicalizes_dont_care_bits(self):
+        wildcard = IpWildcard(ip_to_int("10.9.3.7"), 0x0000FFFF)
+        assert wildcard.address == ip_to_int("10.9.0.0")
+
+    def test_discontiguous_wildcard(self):
+        # match addresses whose second octet is anything: 10.*.3.0
+        wildcard = IpWildcard(ip_to_int("10.0.3.0"), 0x00FF0000)
+        assert wildcard.matches(ip_to_int("10.77.3.0"))
+        assert not wildcard.matches(ip_to_int("10.77.4.0"))
+        assert wildcard.as_prefix() is None
+
+    def test_as_prefix_contiguous(self):
+        wildcard = IpWildcard(ip_to_int("10.9.0.0"), 0x0000FFFF)
+        assert str(wildcard.as_prefix()) == "10.9.0.0/16"
+
+    def test_str_forms(self):
+        assert str(IpWildcard.from_prefix(Prefix.parse("10.0.0.0/8"))) == "10.0.0.0/8"
+        assert "wildcard" in str(IpWildcard(0, 0x00FF00FF))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            IpWildcard(-1, 0)
+
+
+class TestPortRange:
+    def test_contains(self):
+        assert PortRange(10, 20).contains(10)
+        assert PortRange(10, 20).contains(20)
+        assert not PortRange(10, 20).contains(21)
+
+    def test_single(self):
+        assert PortRange.single(80) == PortRange(80, 80)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigError):
+            PortRange(20, 10)
+        with pytest.raises(ConfigError):
+            PortRange(0, 70000)
+
+    def test_str(self):
+        assert str(PortRange.single(80)) == "80"
+        assert str(PortRange(10, 20)) == "10-20"
+
+
+class TestAclLineMatching:
+    def test_protocol_none_matches_any(self):
+        line = AclLine(action=AclAction.PERMIT)
+        assert line.matches_concrete(0, 0, 6)
+        assert line.matches_concrete(0, 0, 17)
+
+    def test_protocol_specific(self):
+        line = AclLine(action=AclAction.PERMIT, protocol=6)
+        assert line.matches_concrete(0, 0, 6)
+        assert not line.matches_concrete(0, 0, 17)
+
+    def test_ports_empty_matches_any(self):
+        line = AclLine(action=AclAction.PERMIT, protocol=6)
+        assert line.matches_concrete(0, 0, 6, dst_port=4242)
+
+    def test_dst_ports(self):
+        line = AclLine(
+            action=AclAction.PERMIT, protocol=6, dst_ports=(PortRange.single(80),)
+        )
+        assert line.matches_concrete(0, 0, 6, dst_port=80)
+        assert not line.matches_concrete(0, 0, 6, dst_port=81)
+
+    def test_multiple_port_ranges_disjoin(self):
+        line = AclLine(
+            action=AclAction.PERMIT,
+            protocol=6,
+            dst_ports=(PortRange.single(80), PortRange.single(443)),
+        )
+        assert line.matches_concrete(0, 0, 6, dst_port=443)
+        assert not line.matches_concrete(0, 0, 6, dst_port=8080)
+
+    def test_addresses(self):
+        line = AclLine(
+            action=AclAction.DENY,
+            src=IpWildcard.from_prefix(Prefix.parse("10.0.0.0/8")),
+            dst=IpWildcard.host(ip_to_int("1.1.1.1")),
+        )
+        assert line.matches_concrete(ip_to_int("10.5.5.5"), ip_to_int("1.1.1.1"), 6)
+        assert not line.matches_concrete(ip_to_int("11.5.5.5"), ip_to_int("1.1.1.1"), 6)
+        assert not line.matches_concrete(ip_to_int("10.5.5.5"), ip_to_int("1.1.1.2"), 6)
+
+    def test_icmp_type(self):
+        line = AclLine(action=AclAction.PERMIT, protocol=1, icmp_type=8)
+        assert line.matches_concrete(0, 0, 1, icmp_type=8)
+        assert not line.matches_concrete(0, 0, 1, icmp_type=0)
+
+    def test_describe_mentions_fields(self):
+        line = AclLine(
+            action=AclAction.DENY, protocol=6, dst_ports=(PortRange.single(22),)
+        )
+        text = line.describe()
+        assert "deny" in text and "tcp" in text and "22" in text
+
+
+class TestAclEvaluation:
+    def _acl(self):
+        return Acl(
+            name="T",
+            lines=(
+                AclLine(
+                    action=AclAction.DENY,
+                    src=IpWildcard.from_prefix(Prefix.parse("10.0.0.0/8")),
+                ),
+                AclLine(
+                    action=AclAction.PERMIT,
+                    protocol=6,
+                    dst_ports=(PortRange.single(80),),
+                ),
+            ),
+            default_action=AclAction.DENY,
+        )
+
+    def test_first_match_wins(self):
+        acl = self._acl()
+        # 10/8 source hits the deny even though it is also tcp/80.
+        assert (
+            acl.evaluate_concrete(ip_to_int("10.1.1.1"), 0, 6, dst_port=80)
+            is AclAction.DENY
+        )
+
+    def test_second_line(self):
+        acl = self._acl()
+        assert (
+            acl.evaluate_concrete(ip_to_int("11.1.1.1"), 0, 6, dst_port=80)
+            is AclAction.PERMIT
+        )
+
+    def test_default_action(self):
+        acl = self._acl()
+        assert acl.evaluate_concrete(ip_to_int("11.1.1.1"), 0, 17) is AclAction.DENY
+
+    def test_default_permit(self):
+        acl = Acl(name="open", lines=(), default_action=AclAction.PERMIT)
+        assert acl.evaluate_concrete(0, 0, 6) is AclAction.PERMIT
+
+    def test_len(self):
+        assert len(self._acl()) == 2

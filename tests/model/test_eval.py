@@ -1,0 +1,166 @@
+"""Tests for concrete route-map evaluation (the oracle semantics)."""
+
+import pytest
+
+from repro.model import (
+    Action,
+    Community,
+    CommunityList,
+    CommunityListEntry,
+    ConcreteRoute,
+    MatchCommunities,
+    MatchPrefixList,
+    MatchProtocol,
+    MatchTag,
+    Prefix,
+    PrefixList,
+    PrefixListEntry,
+    PrefixRange,
+    RouteMap,
+    RouteMapClause,
+    SetAsPathPrepend,
+    SetCommunities,
+    SetLocalPref,
+    SetMed,
+    SetNextHop,
+    SetTag,
+    evaluate_route_map,
+)
+
+
+def _nets():
+    return PrefixList(
+        "NETS",
+        (
+            PrefixListEntry(
+                Action.PERMIT, PrefixRange(Prefix.parse("10.9.0.0/16"), 16, 32)
+            ),
+        ),
+    )
+
+
+def _route(prefix="10.9.1.0/24", **kwargs):
+    return ConcreteRoute(prefix=Prefix.parse(prefix), **kwargs)
+
+
+class TestFirstMatch:
+    def test_first_matching_clause_decides(self):
+        route_map = RouteMap(
+            "P",
+            (
+                RouteMapClause("deny-nets", Action.DENY, (MatchPrefixList(_nets()),)),
+                RouteMapClause("allow", Action.PERMIT),
+            ),
+        )
+        assert not evaluate_route_map(route_map, _route()).accepted
+        assert evaluate_route_map(route_map, _route("11.0.0.0/8")).accepted
+
+    def test_default_deny(self):
+        route_map = RouteMap(
+            "P", (RouteMapClause("c", Action.PERMIT, (MatchPrefixList(_nets()),)),)
+        )
+        result = evaluate_route_map(route_map, _route("11.0.0.0/8"))
+        assert not result.accepted
+        assert result.clause is None
+
+    def test_default_permit(self):
+        route_map = RouteMap("P", (), default_action=Action.PERMIT)
+        result = evaluate_route_map(route_map, _route())
+        assert result.accepted
+        assert result.route == _route()
+
+    def test_result_names_the_clause(self):
+        route_map = RouteMap(
+            "P", (RouteMapClause("only", Action.DENY, (MatchPrefixList(_nets()),)),)
+        )
+        result = evaluate_route_map(route_map, _route())
+        assert result.clause.name == "only"
+        assert "only" in result.describe()
+
+
+class TestConditionConjunction:
+    def test_all_conditions_must_hold(self):
+        comm = CommunityList(
+            "C",
+            (CommunityListEntry(Action.PERMIT, frozenset({Community.parse("1:1")})),),
+        )
+        clause = RouteMapClause(
+            "c", Action.PERMIT, (MatchPrefixList(_nets()), MatchCommunities(comm))
+        )
+        route_map = RouteMap("P", (clause,))
+        with_comm = _route(communities=frozenset({Community.parse("1:1")}))
+        without = _route()
+        assert evaluate_route_map(route_map, with_comm).accepted
+        assert not evaluate_route_map(route_map, without).accepted
+
+    def test_tag_and_protocol(self):
+        clause = RouteMapClause(
+            "c", Action.PERMIT, (MatchTag(7), MatchProtocol("static"))
+        )
+        route_map = RouteMap("P", (clause,))
+        assert evaluate_route_map(
+            route_map, _route(tag=7, protocol="static")
+        ).accepted
+        assert not evaluate_route_map(route_map, _route(tag=7)).accepted
+        assert not evaluate_route_map(
+            route_map, _route(tag=8, protocol="static")
+        ).accepted
+
+
+class TestSetActions:
+    def _accepting(self, *sets):
+        return RouteMap("P", (RouteMapClause("c", Action.PERMIT, (), tuple(sets)),))
+
+    def test_local_pref(self):
+        result = evaluate_route_map(self._accepting(SetLocalPref(200)), _route())
+        assert result.route.local_pref == 200
+
+    def test_med(self):
+        result = evaluate_route_map(self._accepting(SetMed(55)), _route())
+        assert result.route.med == 55
+
+    def test_tag_and_next_hop(self):
+        result = evaluate_route_map(
+            self._accepting(SetTag(9), SetNextHop(0x01020304)), _route()
+        )
+        assert result.route.tag == 9
+        assert result.route.next_hop == 0x01020304
+
+    def test_community_replace(self):
+        new = frozenset({Community.parse("5:5")})
+        result = evaluate_route_map(
+            self._accepting(SetCommunities(new)),
+            _route(communities=frozenset({Community.parse("1:1")})),
+        )
+        assert result.route.communities == new
+
+    def test_community_additive(self):
+        extra = frozenset({Community.parse("5:5")})
+        original = frozenset({Community.parse("1:1")})
+        result = evaluate_route_map(
+            self._accepting(SetCommunities(extra, additive=True)),
+            _route(communities=original),
+        )
+        assert result.route.communities == original | extra
+
+    def test_as_path_prepend(self):
+        result = evaluate_route_map(
+            self._accepting(SetAsPathPrepend((100, 100))), _route(as_path=(7,))
+        )
+        assert result.route.as_path == (100, 100, 7)
+
+    def test_sets_ignored_on_deny(self):
+        route_map = RouteMap(
+            "P", (RouteMapClause("c", Action.DENY, (), (SetLocalPref(999),)),)
+        )
+        result = evaluate_route_map(route_map, _route())
+        assert not result.accepted
+        assert result.route is None
+
+
+class TestRouteImmutability:
+    def test_with_updates_copies(self):
+        route = _route()
+        updated = route.with_updates(local_pref=7)
+        assert route.local_pref == 100
+        assert updated.local_pref == 7

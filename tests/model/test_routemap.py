@@ -1,0 +1,215 @@
+"""Tests for routing-policy model types: lists, matches, sets, route maps."""
+
+import pytest
+
+from repro.model import (
+    Action,
+    AsPathList,
+    AsPathListEntry,
+    Community,
+    CommunityList,
+    CommunityListEntry,
+    ConfigError,
+    MatchCommunities,
+    MatchPrefixList,
+    Prefix,
+    PrefixList,
+    PrefixListEntry,
+    PrefixRange,
+    RouteMap,
+    RouteMapClause,
+    SetCommunities,
+    SetLocalPref,
+    community_regex_matches,
+)
+
+
+def _range(text):
+    return PrefixRange.parse(text)
+
+
+class TestPrefixList:
+    def test_first_match_permit(self):
+        prefix_list = PrefixList(
+            "L",
+            (
+                PrefixListEntry(Action.DENY, _range("10.9.0.0/16 : 16-24")),
+                PrefixListEntry(Action.PERMIT, _range("10.0.0.0/8 : 8-32")),
+            ),
+        )
+        assert not prefix_list.permits(Prefix.parse("10.9.1.0/24"))  # deny first
+        assert prefix_list.permits(Prefix.parse("10.8.0.0/16"))
+
+    def test_default_deny(self):
+        prefix_list = PrefixList("L", ())
+        assert not prefix_list.permits(Prefix.parse("10.0.0.0/8"))
+
+    def test_ranges_extraction(self):
+        prefix_list = PrefixList(
+            "L", (PrefixListEntry(Action.PERMIT, _range("10.9.0.0/16 : 16-32")),)
+        )
+        assert prefix_list.ranges() == [_range("10.9.0.0/16 : 16-32")]
+
+
+class TestCommunityList:
+    def test_single_community_any_semantics(self):
+        """Cisco style: two entries, either community matches."""
+        community_list = CommunityList(
+            "C",
+            (
+                CommunityListEntry(Action.PERMIT, frozenset({Community.parse("10:10")})),
+                CommunityListEntry(Action.PERMIT, frozenset({Community.parse("10:11")})),
+            ),
+        )
+        assert community_list.matches(frozenset({Community.parse("10:10")}))
+        assert community_list.matches(frozenset({Community.parse("10:11")}))
+        assert not community_list.matches(frozenset({Community.parse("10:12")}))
+
+    def test_conjunction_all_semantics(self):
+        """Juniper style: one entry with two members requires both."""
+        both = frozenset({Community.parse("10:10"), Community.parse("10:11")})
+        community_list = CommunityList(
+            "C", (CommunityListEntry(Action.PERMIT, both),)
+        )
+        assert community_list.matches(both)
+        assert not community_list.matches(frozenset({Community.parse("10:10")}))
+
+    def test_deny_entry_shadows(self):
+        community_list = CommunityList(
+            "C",
+            (
+                CommunityListEntry(Action.DENY, frozenset({Community.parse("1:1")})),
+                CommunityListEntry(Action.PERMIT, frozenset({Community.parse("1:1")})),
+            ),
+        )
+        assert not community_list.matches(frozenset({Community.parse("1:1")}))
+
+    def test_regex_entry(self):
+        community_list = CommunityList(
+            "C", (CommunityListEntry(Action.PERMIT, regex="_52:1[0-9]_"),)
+        )
+        assert community_list.matches(frozenset({Community.parse("52:15")}))
+        assert not community_list.matches(frozenset({Community.parse("52:25")}))
+
+    def test_entry_needs_exactly_one_kind(self):
+        with pytest.raises(ConfigError):
+            CommunityListEntry(Action.PERMIT)  # neither members nor regex
+        with pytest.raises(ConfigError):
+            CommunityListEntry(
+                Action.PERMIT,
+                communities=frozenset({Community.parse("1:1")}),
+                regex="x",
+            )
+
+    def test_mentioned_communities(self):
+        community_list = CommunityList(
+            "C",
+            (
+                CommunityListEntry(Action.PERMIT, frozenset({Community.parse("1:1")})),
+                CommunityListEntry(Action.PERMIT, regex="_2:2_"),
+            ),
+        )
+        assert community_list.mentioned_communities() == frozenset(
+            {Community.parse("1:1")}
+        )
+
+
+class TestCommunityRegex:
+    def test_underscore_delimits(self):
+        assert community_regex_matches("_10:10_", Community.parse("10:10"))
+        assert not community_regex_matches("_0:10_", Community.parse("10:10"))
+
+    def test_anchored(self):
+        assert community_regex_matches("^52:1[0-5]$", Community.parse("52:13"))
+        assert not community_regex_matches("^52:1[0-5]$", Community.parse("52:16"))
+
+    def test_unanchored_substring(self):
+        assert community_regex_matches("2:1", Community.parse("52:13"))
+
+    def test_bad_regex_raises(self):
+        with pytest.raises(ConfigError):
+            community_regex_matches("[", Community.parse("1:1"))
+
+
+class TestAsPathList:
+    def test_permit_regex(self):
+        as_path_list = AsPathList(
+            "A", (AsPathListEntry(Action.PERMIT, "_100_"),)
+        )
+        assert as_path_list.permits((200, 100, 300))
+        assert not as_path_list.permits((200, 1001))
+
+    def test_default_deny(self):
+        assert not AsPathList("A", ()).permits((1, 2))
+
+    def test_first_match(self):
+        as_path_list = AsPathList(
+            "A",
+            (
+                AsPathListEntry(Action.DENY, "^100"),
+                AsPathListEntry(Action.PERMIT, "_100_"),
+            ),
+        )
+        assert not as_path_list.permits((100, 200))
+        assert as_path_list.permits((200, 100))
+
+    def test_bad_regex_raises(self):
+        entry = AsPathListEntry(Action.PERMIT, "[")
+        with pytest.raises(ConfigError):
+            entry.matches((1,))
+
+
+class TestRouteMapStructure:
+    def _map(self):
+        nets = PrefixList(
+            "NETS", (PrefixListEntry(Action.PERMIT, _range("10.9.0.0/16 : 16-32")),)
+        )
+        comm = CommunityList(
+            "COMM",
+            (CommunityListEntry(Action.PERMIT, frozenset({Community.parse("1:1")})),),
+        )
+        return RouteMap(
+            "POL",
+            (
+                RouteMapClause("c1", Action.DENY, (MatchPrefixList(nets),)),
+                RouteMapClause(
+                    "c2",
+                    Action.PERMIT,
+                    (MatchCommunities(comm),),
+                    (SetCommunities(frozenset({Community.parse("2:2")})),),
+                ),
+            ),
+        )
+
+    def test_prefix_ranges(self):
+        assert self._map().prefix_ranges() == [_range("10.9.0.0/16 : 16-32")]
+
+    def test_mentioned_communities_includes_sets(self):
+        communities = self._map().mentioned_communities()
+        assert Community.parse("1:1") in communities
+        assert Community.parse("2:2") in communities
+
+    def test_community_regexes(self):
+        regex_list = CommunityList(
+            "R", (CommunityListEntry(Action.PERMIT, regex="_5:5_"),)
+        )
+        route_map = RouteMap(
+            "P",
+            (RouteMapClause("c", Action.PERMIT, (MatchCommunities(regex_list),)),),
+        )
+        assert route_map.community_regexes() == ["_5:5_"]
+
+    def test_clause_action_summary(self):
+        clause = RouteMapClause(
+            "c", Action.PERMIT, (), (SetLocalPref(30),)
+        )
+        assert clause.action_summary() == "SET LOCAL PREF 30\nACCEPT"
+        deny = RouteMapClause("d", Action.DENY, (), (SetLocalPref(30),))
+        assert deny.action_summary() == "REJECT"
+
+    def test_set_action_equality_ignores_source(self):
+        from repro.model import SourceSpan
+
+        first = SetLocalPref(30, SourceSpan("a.cfg", 1, 1, ("x",)))
+        second = SetLocalPref(30, SourceSpan("b.cfg", 9, 9, ("y",)))
+        assert first == second

@@ -1,0 +1,216 @@
+"""Tests for core value types: IPs, prefixes, ranges, communities, spans."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import (
+    Community,
+    ConfigError,
+    Prefix,
+    PrefixRange,
+    SourceSpan,
+    int_to_ip,
+    ip_to_int,
+    wildcard_to_prefix_len,
+)
+
+
+class TestIpConversion:
+    def test_roundtrip_known(self):
+        assert ip_to_int("10.9.0.0") == 0x0A090000
+        assert int_to_ip(0x0A090000) == "10.9.0.0"
+
+    def test_extremes(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+    @pytest.mark.parametrize(
+        "bad", ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3"]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            ip_to_int(bad)
+
+    def test_int_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 32)
+
+
+class TestWildcardConversion:
+    def test_contiguous(self):
+        assert wildcard_to_prefix_len(0x000000FF) == 24
+        assert wildcard_to_prefix_len(0) == 32
+        assert wildcard_to_prefix_len(0xFFFFFFFF) == 0
+
+    def test_discontiguous_returns_none(self):
+        assert wildcard_to_prefix_len(0x00FF00FF) is None
+
+
+class TestPrefix:
+    def test_parse_and_str(self):
+        assert str(Prefix.parse("10.9.0.0/16")) == "10.9.0.0/16"
+
+    def test_canonicalizes_host_bits(self):
+        assert str(Prefix.parse("10.9.1.1/16")) == "10.9.0.0/16"
+
+    def test_bare_address_is_host(self):
+        assert Prefix.parse("1.2.3.4").length == 32
+
+    def test_from_address_mask(self):
+        prefix = Prefix.from_address_mask("10.1.1.2", "255.255.255.254")
+        assert str(prefix) == "10.1.1.2/31"
+
+    def test_discontiguous_mask_rejected(self):
+        with pytest.raises(ConfigError):
+            Prefix.from_address_mask("10.0.0.0", "255.0.255.0")
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ConfigError):
+            Prefix(0, 33)
+
+    def test_containment(self):
+        outer = Prefix.parse("10.9.0.0/16")
+        inner = Prefix.parse("10.9.1.0/24")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+        assert outer.contains_prefix(outer)
+
+    def test_disjoint_not_contained(self):
+        assert not Prefix.parse("10.9.0.0/16").contains_prefix(
+            Prefix.parse("10.8.0.0/16")
+        )
+
+    def test_contains_address(self):
+        prefix = Prefix.parse("10.9.0.0/16")
+        assert prefix.contains_address(ip_to_int("10.9.200.7"))
+        assert not prefix.contains_address(ip_to_int("10.10.0.0"))
+
+    def test_zero_prefix_contains_everything(self):
+        universe = Prefix(0, 0)
+        assert universe.contains_address(0xFFFFFFFF)
+        assert universe.contains_prefix(Prefix.parse("1.2.3.4/32"))
+
+    def test_mask_int(self):
+        assert Prefix(0, 0).mask_int() == 0
+        assert Prefix.parse("10.0.0.0/8").mask_int() == 0xFF000000
+        assert Prefix.parse("1.2.3.4/32").mask_int() == 0xFFFFFFFF
+
+    def test_ordering_is_total(self):
+        prefixes = [Prefix.parse(p) for p in ["10.0.0.0/8", "9.0.0.0/8", "10.0.0.0/16"]]
+        assert sorted(prefixes) == sorted(prefixes, key=lambda p: (p.network, p.length))
+
+
+class TestPrefixRange:
+    def test_parse_display_form(self):
+        prefix_range = PrefixRange.parse("10.9.0.0/16 : 16-32")
+        assert prefix_range.low == 16 and prefix_range.high == 32
+
+    def test_parse_without_range_is_exact(self):
+        prefix_range = PrefixRange.parse("10.9.0.0/16")
+        assert prefix_range.low == prefix_range.high == 16
+
+    def test_universe(self):
+        universe = PrefixRange.universe()
+        assert universe.is_universe()
+        assert universe.contains_prefix(Prefix.parse("1.2.3.4/32"))
+        assert universe.contains_prefix(Prefix(0, 0))
+
+    def test_membership_requires_length_and_address(self):
+        prefix_range = PrefixRange.parse("10.9.0.0/16 : 16-24")
+        assert prefix_range.contains_prefix(Prefix.parse("10.9.1.0/24"))
+        assert not prefix_range.contains_prefix(Prefix.parse("10.9.1.0/25"))
+        assert not prefix_range.contains_prefix(Prefix.parse("10.8.0.0/16"))
+        assert not prefix_range.contains_prefix(Prefix.parse("10.0.0.0/8"))
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ConfigError):
+            PrefixRange(Prefix.parse("10.0.0.0/16"), 8, 32)  # low < prefix length
+        with pytest.raises(ConfigError):
+            PrefixRange(Prefix.parse("10.0.0.0/16"), 24, 20)  # low > high
+
+    def test_containment(self):
+        outer = PrefixRange.parse("10.0.0.0/8 : 8-32")
+        inner = PrefixRange.parse("10.9.0.0/16 : 16-24")
+        assert outer.contains_range(inner)
+        assert not inner.contains_range(outer)
+
+    def test_intersect_nested(self):
+        outer = PrefixRange.parse("10.0.0.0/8 : 8-32")
+        inner = PrefixRange.parse("10.9.0.0/16 : 16-24")
+        assert outer.intersect(inner) == inner
+
+    def test_intersect_disjoint_addresses(self):
+        a = PrefixRange.parse("10.0.0.0/8 : 8-32")
+        b = PrefixRange.parse("11.0.0.0/8 : 8-32")
+        assert a.intersect(b) is None
+
+    def test_intersect_disjoint_lengths(self):
+        a = PrefixRange.parse("10.0.0.0/8 : 8-15")
+        b = PrefixRange.parse("10.9.0.0/16 : 16-24")
+        assert a.intersect(b) is None
+
+    def test_intersect_partial_lengths(self):
+        a = PrefixRange.parse("10.0.0.0/8 : 8-20")
+        b = PrefixRange.parse("10.9.0.0/16 : 16-32")
+        meet = a.intersect(b)
+        assert meet == PrefixRange.parse("10.9.0.0/16 : 16-20")
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=32),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_intersection_is_exact(self, network, length):
+        """A prefix is in the intersection iff it is in both ranges."""
+        candidate = Prefix(network, length)
+        a = PrefixRange.parse("10.0.0.0/8 : 10-28")
+        b = PrefixRange.parse("10.64.0.0/10 : 12-32")
+        meet = a.intersect(b)
+        in_both = a.contains_prefix(candidate) and b.contains_prefix(candidate)
+        in_meet = meet is not None and meet.contains_prefix(candidate)
+        assert in_both == in_meet
+
+
+class TestCommunity:
+    def test_parse_and_str(self):
+        community = Community.parse("10:10")
+        assert (community.asn, community.value) == (10, 10)
+        assert str(community) == "10:10"
+
+    @pytest.mark.parametrize("bad", ["10", "10:", ":10", "a:b", "70000:1", "1:70000"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            Community.parse(bad)
+
+    def test_ordering(self):
+        assert Community(1, 2) < Community(1, 3) < Community(2, 0)
+
+
+class TestSourceSpan:
+    def test_from_lines(self):
+        span = SourceSpan.from_lines("f.cfg", [(3, "a"), (5, "b")])
+        assert (span.start_line, span.end_line) == (3, 5)
+        assert span.render() == "a\nb"
+
+    def test_empty(self):
+        span = SourceSpan.from_lines("f.cfg", [])
+        assert span.is_empty()
+        assert span.render() == ""
+
+    def test_merge(self):
+        first = SourceSpan.from_lines("f.cfg", [(1, "a")])
+        second = SourceSpan.from_lines("f.cfg", [(9, "b")])
+        merged = first.merge(second)
+        assert (merged.start_line, merged.end_line) == (1, 9)
+        assert merged.text == ("a", "b")
+
+    def test_merge_with_empty(self):
+        span = SourceSpan.from_lines("f.cfg", [(1, "a")])
+        assert SourceSpan().merge(span) == span
+        assert span.merge(SourceSpan()) == span

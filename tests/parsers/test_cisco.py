@@ -1,0 +1,436 @@
+"""Tests for the Cisco IOS parser."""
+
+import pytest
+
+from repro.model import AclAction, Action, Community, Prefix, PrefixRange, ip_to_int
+from repro.parsers import parse_cisco
+
+
+class TestHostnameAndInterfaces:
+    def test_hostname(self):
+        device = parse_cisco("hostname r1\n")
+        assert device.hostname == "r1"
+        assert device.vendor == "cisco"
+
+    def test_interface_address_and_subnet(self):
+        device = parse_cisco(
+            "interface GigabitEthernet0/0\n"
+            " ip address 10.0.0.5 255.255.255.0\n"
+            "!\n"
+        )
+        interface = device.interfaces["GigabitEthernet0/0"]
+        assert interface.address.network == ip_to_int("10.0.0.5")  # host kept
+        assert str(interface.subnet()) == "10.0.0.0/24"  # subnet masked
+
+    def test_interface_options(self):
+        device = parse_cisco(
+            "interface Ethernet1\n"
+            " description uplink to spine\n"
+            " ip address 10.0.0.1 255.255.255.252\n"
+            " ip access-group FILTER in\n"
+            " ip access-group EGRESS out\n"
+            " shutdown\n"
+            "!\n"
+        )
+        interface = device.interfaces["Ethernet1"]
+        assert interface.description == "uplink to spine"
+        assert interface.acl_in == "FILTER"
+        assert interface.acl_out == "EGRESS"
+        assert interface.shutdown
+
+    def test_interface_source_span(self):
+        device = parse_cisco(
+            "hostname r1\n!\ninterface E1\n ip address 10.0.0.1 255.255.255.0\n!\n"
+        )
+        span = device.interfaces["E1"].source
+        assert span.start_line == 3
+        assert "interface E1" in span.render()
+
+
+class TestStaticRoutes:
+    def test_basic_route(self):
+        device = parse_cisco("ip route 10.1.1.2 255.255.255.254 10.2.2.2\n")
+        route = device.static_routes[0]
+        assert str(route.prefix) == "10.1.1.2/31"
+        assert route.next_hop == ip_to_int("10.2.2.2")
+        assert route.admin_distance == 1
+        assert route.tag is None
+
+    def test_distance_and_tag(self):
+        device = parse_cisco("ip route 10.0.0.0 255.0.0.0 1.2.3.4 200 tag 77\n")
+        route = device.static_routes[0]
+        assert route.admin_distance == 200
+        assert route.tag == 77
+
+    def test_null0_normalizes_to_discard(self):
+        device = parse_cisco("ip route 10.0.0.0 255.0.0.0 Null0\n")
+        route = device.static_routes[0]
+        assert route.next_hop is None
+        assert route.interface == "discard"
+
+    def test_source_span_is_the_line(self):
+        device = parse_cisco("hostname x\nip route 10.0.0.0 255.0.0.0 1.1.1.1\n")
+        assert device.static_routes[0].source.start_line == 2
+
+
+class TestPrefixLists:
+    def test_le_gives_range(self):
+        device = parse_cisco("ip prefix-list NETS permit 10.9.0.0/16 le 32\n")
+        entry = device.prefix_lists["NETS"].entries[0]
+        assert entry.range == PrefixRange(Prefix.parse("10.9.0.0/16"), 16, 32)
+
+    def test_exact_without_modifiers(self):
+        device = parse_cisco("ip prefix-list NETS permit 10.9.0.0/16\n")
+        entry = device.prefix_lists["NETS"].entries[0]
+        assert entry.range == PrefixRange(Prefix.parse("10.9.0.0/16"), 16, 16)
+
+    def test_ge_alone_extends_to_32(self):
+        device = parse_cisco("ip prefix-list NETS permit 10.0.0.0/8 ge 24\n")
+        entry = device.prefix_lists["NETS"].entries[0]
+        assert (entry.range.low, entry.range.high) == (24, 32)
+
+    def test_ge_and_le(self):
+        device = parse_cisco("ip prefix-list NETS permit 10.0.0.0/8 ge 16 le 24\n")
+        entry = device.prefix_lists["NETS"].entries[0]
+        assert (entry.range.low, entry.range.high) == (16, 24)
+
+    def test_seq_ignored(self):
+        device = parse_cisco("ip prefix-list NETS seq 5 permit 10.0.0.0/8\n")
+        assert len(device.prefix_lists["NETS"].entries) == 1
+
+    def test_deny_entries(self):
+        device = parse_cisco(
+            "ip prefix-list L deny 10.0.0.0/8 le 32\n"
+            "ip prefix-list L permit 0.0.0.0/0 le 32\n"
+        )
+        entries = device.prefix_lists["L"].entries
+        assert entries[0].action is Action.DENY
+        assert entries[1].action is Action.PERMIT
+
+    def test_entries_keep_definition_order(self):
+        device = parse_cisco(
+            "ip prefix-list L permit 10.0.0.0/8\nip prefix-list L permit 11.0.0.0/8\n"
+        )
+        networks = [e.range.prefix for e in device.prefix_lists["L"].entries]
+        assert networks == [Prefix.parse("10.0.0.0/8"), Prefix.parse("11.0.0.0/8")]
+
+
+class TestCommunityLists:
+    def test_standard_entries_disjoin(self):
+        device = parse_cisco(
+            "ip community-list standard COMM permit 10:10\n"
+            "ip community-list standard COMM permit 10:11\n"
+        )
+        entries = device.community_lists["COMM"].entries
+        assert len(entries) == 2
+        assert entries[0].communities == frozenset({Community.parse("10:10")})
+
+    def test_standard_multi_community_conjoins(self):
+        device = parse_cisco("ip community-list standard C permit 1:1 2:2\n")
+        entry = device.community_lists["C"].entries[0]
+        assert entry.communities == frozenset(
+            {Community.parse("1:1"), Community.parse("2:2")}
+        )
+
+    def test_expanded_is_regex(self):
+        device = parse_cisco("ip community-list expanded C permit _52:1[0-9]_\n")
+        entry = device.community_lists["C"].entries[0]
+        assert entry.regex == "_52:1[0-9]_"
+
+    def test_numbered_form(self):
+        device = parse_cisco("ip community-list 10 permit 1:1\n")
+        assert "10" in device.community_lists
+
+
+class TestAsPathLists:
+    def test_entry(self):
+        device = parse_cisco("ip as-path access-list 10 permit _100_\n")
+        entry = device.as_path_lists["10"].entries[0]
+        assert entry.action is Action.PERMIT
+        assert entry.regex == "_100_"
+
+
+class TestAcls:
+    def test_numbered_acl(self):
+        device = parse_cisco("access-list 100 permit tcp any host 1.2.3.4 eq 80\n")
+        acl = device.acls["100"]
+        line = acl.lines[0]
+        assert line.action is AclAction.PERMIT
+        assert line.protocol == 6
+        assert line.dst.matches(ip_to_int("1.2.3.4"))
+        assert not line.dst.matches(ip_to_int("1.2.3.5"))
+        assert line.dst_ports[0].low == 80
+
+    def test_named_extended_acl(self):
+        device = parse_cisco(
+            "ip access-list extended F\n"
+            " permit udp 10.0.0.0 0.0.255.255 any eq domain\n"
+            " deny ip any any\n"
+            "!\n"
+        )
+        acl = device.acls["F"]
+        assert len(acl.lines) == 2
+        assert acl.lines[0].protocol == 17
+        assert acl.lines[0].dst_ports[0].low == 53
+        assert acl.lines[1].action is AclAction.DENY
+
+    def test_sequence_numbers_and_ipv4_keyword(self):
+        device = parse_cisco(
+            "ip access-list extended F\n"
+            " 2299 deny ipv4 9.140.0.0 0.0.1.255 any\n"
+            "!\n"
+        )
+        line = device.acls["F"].lines[0]
+        assert line.action is AclAction.DENY
+        assert line.protocol is None
+        assert line.src.matches(ip_to_int("9.140.1.255"))
+        assert not line.src.matches(ip_to_int("9.140.2.0"))
+
+    def test_port_operators(self):
+        device = parse_cisco(
+            "ip access-list extended F\n"
+            " permit tcp any any range 1000 2000\n"
+            " permit tcp any any gt 1023\n"
+            " permit tcp any any lt 512\n"
+            " permit tcp any any neq 80\n"
+            "!\n"
+        )
+        lines = device.acls["F"].lines
+        assert (lines[0].dst_ports[0].low, lines[0].dst_ports[0].high) == (1000, 2000)
+        assert lines[1].dst_ports[0].low == 1024
+        assert lines[2].dst_ports[0].high == 511
+        assert len(lines[3].dst_ports) == 2  # below and above 80
+
+    def test_icmp_type(self):
+        device = parse_cisco(
+            "ip access-list extended F\n permit icmp any any echo\n!\n"
+        )
+        assert device.acls["F"].lines[0].icmp_type == 8
+
+    def test_remark_skipped(self):
+        device = parse_cisco(
+            "ip access-list extended F\n remark comment\n permit ip any any\n!\n"
+        )
+        assert len(device.acls["F"].lines) == 1
+
+
+class TestRouteMaps:
+    def test_clauses_sorted_by_sequence(self):
+        device = parse_cisco(
+            "route-map P permit 20\n"
+            "route-map P deny 10\n"
+        )
+        clauses = device.route_maps["P"].clauses
+        assert clauses[0].action is Action.DENY
+        assert clauses[1].action is Action.PERMIT
+
+    def test_default_action_is_deny(self):
+        device = parse_cisco("route-map P permit 10\n")
+        assert device.route_maps["P"].default_action is Action.DENY
+
+    def test_match_prefix_list_both_syntaxes(self):
+        text = (
+            "ip prefix-list NETS permit 10.0.0.0/8\n"
+            "route-map A deny 10\n"
+            " match ip address NETS\n"
+            "route-map B deny 10\n"
+            " match ip address prefix-list NETS\n"
+        )
+        device = parse_cisco(text)
+        for name in ("A", "B"):
+            match = device.route_maps[name].clauses[0].matches[0]
+            assert match.prefix_list.name == "NETS"
+            assert len(match.prefix_list.entries) == 1
+
+    def test_match_resolution_is_late(self):
+        """Lists defined after the route map still resolve."""
+        text = (
+            "route-map P deny 10\n"
+            " match ip address NETS\n"
+            "ip prefix-list NETS permit 10.0.0.0/8\n"
+        )
+        device = parse_cisco(text)
+        match = device.route_maps["P"].clauses[0].matches[0]
+        assert len(match.prefix_list.entries) == 1
+
+    def test_set_actions(self):
+        text = (
+            "route-map P permit 10\n"
+            " set local-preference 30\n"
+            " set metric 77\n"
+            " set community 1:1 2:2 additive\n"
+            " set ip next-hop 1.2.3.4\n"
+            " set as-path prepend 100 100\n"
+            " set tag 9\n"
+        )
+        device = parse_cisco(text)
+        sets = device.route_maps["P"].clauses[0].sets
+        kinds = {type(s).__name__ for s in sets}
+        assert kinds == {
+            "SetLocalPref",
+            "SetMed",
+            "SetCommunities",
+            "SetNextHop",
+            "SetAsPathPrepend",
+            "SetTag",
+        }
+        community_set = next(s for s in sets if type(s).__name__ == "SetCommunities")
+        assert community_set.additive
+
+    def test_match_community_and_as_path_and_tag(self):
+        text = (
+            "ip community-list standard C permit 1:1\n"
+            "ip as-path access-list 7 permit _100_\n"
+            "route-map P permit 10\n"
+            " match community C\n"
+            " match as-path 7\n"
+            " match tag 5\n"
+        )
+        device = parse_cisco(text)
+        matches = device.route_maps["P"].clauses[0].matches
+        assert len(matches) == 3
+
+
+class TestBgp:
+    CONFIG = (
+        "router bgp 65000\n"
+        " bgp router-id 1.1.1.1\n"
+        " bgp default local-preference 150\n"
+        " neighbor 10.0.0.1 remote-as 65001\n"
+        " neighbor 10.0.0.1 description spine one\n"
+        " neighbor 10.0.0.1 route-map IN in\n"
+        " neighbor 10.0.0.1 route-map OUT out\n"
+        " neighbor 10.0.0.1 send-community\n"
+        " neighbor 10.0.0.2 remote-as 65000\n"
+        " neighbor 10.0.0.2 route-reflector-client\n"
+        " neighbor 10.0.0.2 next-hop-self\n"
+        " neighbor 10.0.0.2 update-source Loopback0\n"
+        " redistribute static route-map REDIST metric 5\n"
+        " distance bgp 21 201 201\n"
+        "!\n"
+    )
+
+    def test_process(self):
+        device = parse_cisco(self.CONFIG)
+        assert device.bgp.asn == 65000
+        assert device.bgp.router_id == ip_to_int("1.1.1.1")
+        assert device.bgp.default_local_pref == 150
+
+    def test_neighbors(self):
+        device = parse_cisco(self.CONFIG)
+        neighbors = device.bgp.neighbor_map()
+        first = neighbors[ip_to_int("10.0.0.1")]
+        assert first.remote_as == 65001
+        assert first.description == "spine one"
+        assert first.import_policy == "IN"
+        assert first.export_policy == "OUT"
+        assert first.send_community
+        second = neighbors[ip_to_int("10.0.0.2")]
+        assert second.route_reflector_client
+        assert second.next_hop_self
+        assert second.update_source == "Loopback0"
+        assert not second.send_community
+
+    def test_redistribution(self):
+        device = parse_cisco(self.CONFIG)
+        redistribution = device.bgp.redistributions[0]
+        assert redistribution.from_protocol == "static"
+        assert redistribution.route_map == "REDIST"
+        assert redistribution.metric == 5
+
+    def test_distance(self):
+        device = parse_cisco(self.CONFIG)
+        assert device.admin_distances["ebgp"] == 21
+        assert device.admin_distances["ibgp"] == 201
+
+
+class TestOspf:
+    CONFIG = (
+        "interface Ethernet1\n"
+        " ip address 10.0.1.1 255.255.255.0\n"
+        " ip ospf cost 42\n"
+        " ip ospf hello-interval 5\n"
+        "!\n"
+        "interface Ethernet2\n"
+        " ip address 10.0.2.1 255.255.255.0\n"
+        "!\n"
+        "interface Ethernet3\n"
+        " ip address 172.16.0.1 255.255.255.0\n"
+        "!\n"
+        "router ospf 1\n"
+        " router-id 9.9.9.9\n"
+        " network 10.0.1.0 0.0.0.255 area 0\n"
+        " network 10.0.2.0 0.0.0.255 area 1\n"
+        " passive-interface Ethernet2\n"
+        " redistribute static subnets route-map R metric 10 metric-type 1\n"
+        " auto-cost reference-bandwidth 100000\n"
+        " distance 115\n"
+        "!\n"
+    )
+
+    def test_interface_membership_by_network_statement(self):
+        device = parse_cisco(self.CONFIG)
+        interfaces = device.ospf.interface_map()
+        assert set(interfaces) == {"Ethernet1", "Ethernet2"}
+        assert interfaces["Ethernet1"].area == 0
+        assert interfaces["Ethernet2"].area == 1
+
+    def test_interface_attributes(self):
+        device = parse_cisco(self.CONFIG)
+        first = device.ospf.interface_map()["Ethernet1"]
+        assert first.cost == 42
+        assert first.hello_interval == 5
+        second = device.ospf.interface_map()["Ethernet2"]
+        assert second.passive
+
+    def test_process_attributes(self):
+        device = parse_cisco(self.CONFIG)
+        assert device.ospf.router_id == ip_to_int("9.9.9.9")
+        assert device.ospf.reference_bandwidth == 100_000 * 1_000_000
+        assert device.admin_distances["ospf"] == 115
+
+    def test_redistribution(self):
+        device = parse_cisco(self.CONFIG)
+        redistribution = device.ospf.redistributions[0]
+        assert redistribution.from_protocol == "static"
+        assert redistribution.route_map == "R"
+        assert redistribution.metric == 10
+        assert redistribution.metric_type == 1
+
+
+class TestRobustness:
+    def test_unsupported_lines_warn_not_fail(self):
+        device = parse_cisco("banner motd hello\nntp server 1.2.3.4\n")
+        assert device.hostname == "cisco-router"
+
+    def test_raw_lines_preserved(self):
+        text = "hostname r1\nip route 10.0.0.0 255.0.0.0 1.1.1.1\n"
+        device = parse_cisco(text)
+        assert device.raw_lines == ("hostname r1", "ip route 10.0.0.0 255.0.0.0 1.1.1.1")
+
+    def test_malformed_line_skipped(self):
+        device = parse_cisco("ip route 10.0.0.0\nhostname ok\n")
+        assert device.hostname == "ok"
+        assert not device.static_routes
+
+
+class TestAddressFamilyIdiom:
+    """Modern IOS wraps neighbor activation in address-family blocks;
+    the flat-v4 subset must parse through it."""
+
+    CONFIG = (
+        "router bgp 65000\n"
+        " neighbor 10.0.0.1 remote-as 65001\n"
+        " address-family ipv4\n"
+        "  neighbor 10.0.0.1 activate\n"
+        "  neighbor 10.0.0.1 route-map OUT out\n"
+        " exit-address-family\n"
+        "!\n"
+        "route-map OUT permit 10\n"
+    )
+
+    def test_neighbor_options_inside_address_family(self):
+        device = parse_cisco(self.CONFIG)
+        neighbor = device.bgp.neighbor_map()[ip_to_int("10.0.0.1")]
+        assert neighbor.remote_as == 65001
+        assert neighbor.export_policy == "OUT"

@@ -1,0 +1,69 @@
+"""Tests for dialect detection and file loading."""
+
+import pytest
+
+from repro.model import ConfigError
+from repro.parsers import detect_dialect, load_config, parse_config
+from repro.workloads.figure1 import CISCO_FIGURE1, JUNIPER_FIGURE1
+
+
+class TestDetect:
+    def test_detects_cisco(self):
+        assert detect_dialect(CISCO_FIGURE1) == "cisco"
+
+    def test_detects_juniper(self):
+        assert detect_dialect(JUNIPER_FIGURE1) == "juniper"
+
+    def test_short_cisco_snippet(self):
+        assert detect_dialect("ip route 10.0.0.0 255.0.0.0 1.1.1.1\n") == "cisco"
+
+    def test_braces_imply_juniper(self):
+        assert detect_dialect("foo {\n bar;\n}\n") == "juniper"
+
+    def test_undetectable_raises(self):
+        with pytest.raises(ConfigError):
+            detect_dialect("just some words\n")
+
+
+class TestParseConfig:
+    def test_auto_dispatch(self):
+        device = parse_config(CISCO_FIGURE1)
+        assert device.vendor == "cisco"
+        device = parse_config(JUNIPER_FIGURE1)
+        assert device.vendor == "juniper"
+
+    def test_explicit_dialect(self):
+        device = parse_config(CISCO_FIGURE1, dialect="cisco")
+        assert device.vendor == "cisco"
+
+    def test_unknown_dialect_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_config("x", dialect="vyos")
+
+
+class TestLoadConfig:
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "router.cfg"
+        path.write_text(CISCO_FIGURE1)
+        device = load_config(path)
+        assert device.hostname == "cisco_router"
+        assert device.filename == str(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_config(tmp_path / "absent.cfg")
+
+
+class TestAristaAlias:
+    def test_arista_parses_via_ios_grammar(self):
+        device = parse_config(CISCO_FIGURE1, dialect="arista")
+        assert device.vendor == "arista"
+        assert "POL" in device.route_maps
+
+    def test_arista_pair_comparable_with_juniper(self):
+        from repro.core import config_diff
+
+        arista = parse_config(CISCO_FIGURE1, "a.cfg", dialect="arista")
+        juniper = parse_config(JUNIPER_FIGURE1, "j.cfg", dialect="juniper")
+        report = config_diff(arista, juniper)
+        assert len(report.semantic) == 2  # the Table 2 differences

@@ -1,0 +1,179 @@
+"""Property-based fuzzing of the render→parse round trip.
+
+For randomly generated devices (route maps over random prefix/community
+lists, static routes, BGP sessions), rendering to a dialect and parsing
+back must be ConfigDiff-equivalent.  This cross-validates parser,
+model, renderer, and the diff engine against each other: a bug in any
+one of them shows up as a spurious difference.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import config_diff
+from repro.model import (
+    Action,
+    BgpNeighbor,
+    BgpProcess,
+    Community,
+    CommunityList,
+    CommunityListEntry,
+    DeviceConfig,
+    MatchCommunities,
+    MatchPrefixList,
+    Prefix,
+    PrefixList,
+    PrefixListEntry,
+    PrefixRange,
+    RouteMap,
+    RouteMapClause,
+    SetCommunities,
+    SetLocalPref,
+    SetMed,
+    StaticRoute,
+)
+from repro.parsers import parse_cisco, parse_juniper
+from repro.render import render_cisco_device, render_juniper_device
+
+
+def _random_device(seed: int, permit_only: bool) -> DeviceConfig:
+    rng = random.Random(seed)
+    device = DeviceConfig(hostname=f"fuzz{seed}")
+
+    prefix_lists = []
+    for index in range(rng.randint(1, 3)):
+        entries = []
+        for _ in range(rng.randint(1, 4)):
+            length = rng.choice([8, 12, 16, 20, 24])
+            network = rng.getrandbits(32) & ((0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF)
+            low = rng.choice([length, min(length + 4, 32)])
+            high = rng.choice([low, 32])
+            action = (
+                Action.PERMIT
+                if permit_only or rng.random() < 0.8
+                else Action.DENY
+            )
+            entries.append(
+                PrefixListEntry(action, PrefixRange(Prefix(network, length), low, high))
+            )
+        name = f"PL{index}"
+        prefix_lists.append(PrefixList(name, tuple(entries)))
+        device.prefix_lists[name] = prefix_lists[-1]
+
+    communities = [Community(65000, v) for v in (10, 11, 20)]
+    community_lists = []
+    for index in range(rng.randint(0, 2)):
+        entries = tuple(
+            CommunityListEntry(
+                Action.PERMIT,
+                frozenset(rng.sample(communities, rng.randint(1, 2))),
+            )
+            for _ in range(rng.randint(1, 2))
+        )
+        name = f"CL{index}"
+        community_lists.append(CommunityList(name, entries))
+        device.community_lists[name] = community_lists[-1]
+
+    clauses = []
+    for index in range(rng.randint(1, 4)):
+        matches = []
+        if rng.random() < 0.8:
+            matches.append(MatchPrefixList(rng.choice(prefix_lists)))
+        if community_lists and rng.random() < 0.5:
+            matches.append(MatchCommunities(rng.choice(community_lists)))
+        action = Action.PERMIT if rng.random() < 0.6 else Action.DENY
+        sets = []
+        if action is Action.PERMIT:
+            if rng.random() < 0.5:
+                sets.append(SetLocalPref(rng.choice([50, 120, 200])))
+            if rng.random() < 0.3:
+                sets.append(SetMed(rng.randint(0, 50)))
+            if rng.random() < 0.3:
+                sets.append(
+                    SetCommunities(
+                        frozenset({rng.choice(communities)}),
+                        additive=rng.random() < 0.5,
+                    )
+                )
+        clauses.append(
+            RouteMapClause(f"c{index}", action, tuple(matches), tuple(sets))
+        )
+    default = Action.PERMIT if rng.random() < 0.5 else Action.DENY
+    device.route_maps["POLICY"] = RouteMap("POLICY", tuple(clauses), default_action=default)
+
+    for _ in range(rng.randint(0, 3)):
+        length = rng.choice([16, 24])
+        network = rng.getrandbits(32) & ((0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF)
+        device.static_routes.append(
+            StaticRoute(
+                prefix=Prefix(network, length),
+                next_hop=rng.getrandbits(32),
+                admin_distance=rng.choice([1, 5, 200]),
+                tag=rng.choice([None, 7]),
+            )
+        )
+
+    device.bgp = BgpProcess(
+        asn=65000,
+        neighbors=(
+            BgpNeighbor(
+                peer_ip=rng.getrandbits(32),
+                remote_as=65001,
+                export_policy="POLICY",
+                send_community=True,
+            ),
+        ),
+    )
+    return device
+
+
+class TestCiscoRoundTripFuzz:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_device_round_trips(self, seed):
+        device = _random_device(seed, permit_only=False)
+        text, _ = render_cisco_device(device)
+        reparsed = parse_cisco(text, "rt.cfg")
+        report = config_diff(device, reparsed)
+        assert report.is_equivalent(), (
+            seed,
+            [(d.class1.step_name, d.class2.step_name) for d in report.semantic],
+            [(d.component, d.attribute, d.value1, d.value2) for d in report.structural],
+        )
+
+
+class TestJuniperRoundTripFuzz:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_device_round_trips(self, seed):
+        device = _random_device(seed, permit_only=True)
+        text, _ = render_juniper_device(device)
+        reparsed = parse_juniper(text, "rt.cfg")
+        report = config_diff(device, reparsed)
+        assert report.is_equivalent(), (
+            seed,
+            [(d.class1.step_name, d.class2.step_name) for d in report.semantic],
+            [(d.component, d.attribute, d.value1, d.value2) for d in report.structural],
+        )
+
+
+class TestCrossDialectFuzz:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_translation_preserves_semantics(self, seed):
+        """cisco-rendered and juniper-rendered copies of one model must
+        be equivalent to each other."""
+        device = _random_device(seed, permit_only=True)
+        cisco_text, _ = render_cisco_device(device)
+        juniper_text, _ = render_juniper_device(device)
+        cisco_parsed = parse_cisco(cisco_text, "c.cfg")
+        juniper_parsed = parse_juniper(juniper_text, "j.cfg")
+        report = config_diff(cisco_parsed, juniper_parsed)
+        assert report.is_equivalent(), (
+            seed,
+            [(d.class1.step_name, d.class2.step_name) for d in report.semantic],
+            [(d.component, d.attribute, d.value1, d.value2) for d in report.structural],
+        )

@@ -1,0 +1,71 @@
+"""Integration test: the §5.1 Scenario 2 route-reflector outage,
+executable on the SRP simulator and caught by Campion statically."""
+
+import pytest
+
+from examples.route_reflector_outage import (
+    _CISCO_REFLECTOR,
+    _JUNIPER_REFLECTOR_BUGGY,
+    SERVICE_PREFIX,
+    _build_fabric,
+)
+from repro.core import config_diff
+from repro.parsers import parse_cisco, parse_juniper
+from repro.srp import solve_network
+
+
+class TestFabricBehavior:
+    def test_correct_reflector_prefers_primary(self):
+        solution = solve_network(_build_fabric(primary_pref=120, backup_pref=115))
+        for tor in ("tor1", "tor2"):
+            route = solution.routes_at(tor)[0]
+            assert route.next_hop == 1  # primary border
+            assert route.local_pref == 120
+
+    def test_mistranslated_reflector_flips_egress_fabric_wide(self):
+        solution = solve_network(_build_fabric(primary_pref=110, backup_pref=115))
+        for tor in ("tor1", "tor2"):
+            route = solution.routes_at(tor)[0]
+            assert route.next_hop == 2  # backup border: the outage
+            assert route.local_pref == 115
+
+    def test_prefix_reaches_all_clients_either_way(self):
+        for primary_pref in (120, 110):
+            solution = solve_network(
+                _build_fabric(primary_pref=primary_pref, backup_pref=115)
+            )
+            for tor in ("tor1", "tor2"):
+                routes = solution.routes_at(tor)
+                assert [r.prefix for r in routes] == [SERVICE_PREFIX], (
+                    "the outage is a silent egress flip, not a blackhole"
+                )
+
+
+class TestStaticDetection:
+    def test_campion_catches_the_translation_bug(self):
+        old = parse_cisco(_CISCO_REFLECTOR, "old.cfg")
+        new = parse_juniper(_JUNIPER_REFLECTOR_BUGGY, "new.cfg")
+        report = config_diff(old, new)
+        primary_diffs = [
+            d for d in report.semantic if d.class1.policy_name == "FROM-PRIMARY"
+        ]
+        assert len(primary_diffs) == 1
+        action1, action2 = primary_diffs[0].action_pair()
+        assert "120" in action1 and "110" in action2
+
+    def test_backup_session_policy_is_clean(self):
+        old = parse_cisco(_CISCO_REFLECTOR, "old.cfg")
+        new = parse_juniper(_JUNIPER_REFLECTOR_BUGGY, "new.cfg")
+        report = config_diff(old, new)
+        backup_diffs = [
+            d for d in report.semantic if d.class1.policy_name == "FROM-BACKUP"
+        ]
+        assert backup_diffs == []
+
+    def test_reflector_client_attribute_preserved(self):
+        old = parse_cisco(_CISCO_REFLECTOR, "old.cfg")
+        new = parse_juniper(_JUNIPER_REFLECTOR_BUGGY, "new.cfg")
+        report = config_diff(old, new)
+        assert not any(
+            d.attribute == "route-reflector-client" for d in report.structural
+        )

@@ -1,0 +1,246 @@
+"""Tests for the SRP stable-state solver: transfers, preference,
+fixpoints, RIB selection and forwarding."""
+
+import pytest
+
+from repro.model import (
+    Action,
+    ConcreteRoute,
+    Prefix,
+    RouteMap,
+    RouteMapClause,
+    SetLocalPref,
+    ip_to_int,
+)
+from repro.srp import (
+    BgpEdgeConfig,
+    OspfEdgeConfig,
+    SolverError,
+    SrpNetwork,
+    Topology,
+    bgp_prefer,
+    bgp_transfer,
+    ospf_prefer,
+    ospf_transfer,
+    solve_network,
+    solve_protocol,
+)
+
+
+def _line_network(length=3, protocol="bgp"):
+    nodes = [f"n{i}" for i in range(length)]
+    topology = Topology(nodes=list(nodes))
+    for a, b in zip(nodes, nodes[1:]):
+        topology.add_bidirectional(a, b)
+    network = SrpNetwork(topology=topology)
+    for u, v in topology.edges:
+        if protocol == "bgp":
+            network.bgp_edges[(u, v)] = BgpEdgeConfig(
+                sender_asn=int(u[1:]) + 100, next_hop=int(u[1:])
+            )
+        else:
+            network.ospf_edges[(u, v)] = OspfEdgeConfig(cost=1)
+    return network, nodes
+
+
+class TestTopology:
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(nodes=["a"], edges=[("a", "b")])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(nodes=["a", "b"], edges=[("a", "b"), ("a", "b")])
+
+    def test_in_edges(self):
+        topology = Topology(nodes=["a", "b", "c"], edges=[("a", "b"), ("c", "b")])
+        assert set(topology.in_edges("b")) == {("a", "b"), ("c", "b")}
+
+    def test_originate_unknown_node_rejected(self):
+        network = SrpNetwork(topology=Topology(nodes=["a"]))
+        with pytest.raises(ValueError):
+            network.originate("zz", ConcreteRoute(prefix=Prefix.parse("10.0.0.0/8")))
+
+
+class TestTransfers:
+    def test_bgp_prepends_and_resets_local_pref_on_ebgp(self):
+        config = BgpEdgeConfig(sender_asn=7, ebgp=True, receiver_local_pref=100)
+        route = ConcreteRoute(
+            prefix=Prefix.parse("10.0.0.0/8"), as_path=(1,), local_pref=500
+        )
+        transferred = bgp_transfer(config, route)
+        assert transferred.as_path == (7, 1)
+        assert transferred.local_pref == 100
+
+    def test_ibgp_preserves_local_pref_and_path(self):
+        config = BgpEdgeConfig(sender_asn=7, ebgp=False)
+        route = ConcreteRoute(
+            prefix=Prefix.parse("10.0.0.0/8"), as_path=(1,), local_pref=500
+        )
+        transferred = bgp_transfer(config, route)
+        assert transferred.as_path == (1,)
+        assert transferred.local_pref == 500
+
+    def test_export_policy_filters(self):
+        deny_all = RouteMap("D", (), default_action=Action.DENY)
+        config = BgpEdgeConfig(sender_asn=7, export_map=deny_all)
+        assert bgp_transfer(config, ConcreteRoute(prefix=Prefix.parse("10.0.0.0/8"))) is None
+
+    def test_import_policy_transforms(self):
+        lp200 = RouteMap(
+            "I",
+            (RouteMapClause("c", Action.PERMIT, (), (SetLocalPref(200),)),),
+        )
+        config = BgpEdgeConfig(sender_asn=7, import_map=lp200)
+        transferred = bgp_transfer(config, ConcreteRoute(prefix=Prefix.parse("10.0.0.0/8")))
+        assert transferred.local_pref == 200
+
+    def test_send_communities_false_strips(self):
+        from repro.model import Community
+
+        config = BgpEdgeConfig(sender_asn=7, send_communities=False)
+        route = ConcreteRoute(
+            prefix=Prefix.parse("10.0.0.0/8"),
+            communities=frozenset({Community.parse("1:1")}),
+        )
+        assert bgp_transfer(config, route).communities == frozenset()
+
+    def test_non_bgp_route_dropped(self):
+        config = BgpEdgeConfig(sender_asn=7)
+        assert (
+            bgp_transfer(config, ConcreteRoute(prefix=Prefix.parse("10.0.0.0/8"), protocol="ospf"))
+            is None
+        )
+
+    def test_ospf_adds_cost(self):
+        route = ConcreteRoute(prefix=Prefix.parse("10.0.0.0/8"), protocol="ospf", med=3)
+        assert ospf_transfer(OspfEdgeConfig(cost=4), route).med == 7
+
+    def test_ospf_disabled_edge_drops(self):
+        route = ConcreteRoute(prefix=Prefix.parse("10.0.0.0/8"), protocol="ospf")
+        assert ospf_transfer(OspfEdgeConfig(cost=1, enabled=False), route) is None
+
+
+class TestPreference:
+    def test_bgp_local_pref_dominates(self):
+        high = ConcreteRoute(prefix=Prefix.parse("10.0.0.0/8"), local_pref=200, as_path=(1, 2, 3))
+        low = ConcreteRoute(prefix=Prefix.parse("10.0.0.0/8"), local_pref=100, as_path=())
+        assert bgp_prefer(high, low) is high
+
+    def test_bgp_path_length_tiebreak(self):
+        short = ConcreteRoute(prefix=Prefix.parse("10.0.0.0/8"), as_path=(1,))
+        long = ConcreteRoute(prefix=Prefix.parse("10.0.0.0/8"), as_path=(1, 2))
+        assert bgp_prefer(short, long) is short
+
+    def test_bgp_med_tiebreak(self):
+        low_med = ConcreteRoute(prefix=Prefix.parse("10.0.0.0/8"), med=5)
+        high_med = ConcreteRoute(prefix=Prefix.parse("10.0.0.0/8"), med=9)
+        assert bgp_prefer(low_med, high_med) is low_med
+
+    def test_ospf_cost(self):
+        cheap = ConcreteRoute(prefix=Prefix.parse("10.0.0.0/8"), protocol="ospf", med=2)
+        dear = ConcreteRoute(prefix=Prefix.parse("10.0.0.0/8"), protocol="ospf", med=5)
+        assert ospf_prefer(cheap, dear) is cheap
+
+
+class TestSolver:
+    def test_bgp_propagation_along_line(self):
+        network, nodes = _line_network(4)
+        network.originate(
+            "n0", ConcreteRoute(prefix=Prefix.parse("10.0.0.0/24"), protocol="bgp")
+        )
+        stable = solve_protocol(network, "bgp")
+        assert ("n3", Prefix.parse("10.0.0.0/24")) in stable
+        assert len(stable[("n3", Prefix.parse("10.0.0.0/24"))].as_path) == 3
+
+    def test_shortest_as_path_wins_on_ring(self):
+        nodes = ["a", "b", "c", "d"]
+        topology = Topology(nodes=nodes)
+        for pair in [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")]:
+            topology.add_bidirectional(*pair)
+        network = SrpNetwork(topology=topology)
+        for index, (u, v) in enumerate(topology.edges):
+            network.bgp_edges[(u, v)] = BgpEdgeConfig(
+                sender_asn=nodes.index(u) + 1, next_hop=nodes.index(u) + 1
+            )
+        network.originate("a", ConcreteRoute(prefix=Prefix.parse("10.0.0.0/24")))
+        stable = solve_protocol(network, "bgp")
+        # b and d are one hop from a; c is two hops either way.
+        assert len(stable[("b", Prefix.parse("10.0.0.0/24"))].as_path) == 1
+        assert len(stable[("d", Prefix.parse("10.0.0.0/24"))].as_path) == 1
+        assert len(stable[("c", Prefix.parse("10.0.0.0/24"))].as_path) == 2
+
+    def test_ospf_shortest_cost_path(self):
+        nodes = ["a", "b", "c"]
+        topology = Topology(nodes=nodes)
+        topology.add_bidirectional("a", "b")
+        topology.add_bidirectional("b", "c")
+        topology.add_bidirectional("a", "c")
+        network = SrpNetwork(topology=topology)
+        costs = {("a", "b"): 1, ("b", "c"): 1, ("a", "c"): 10}
+        for (u, v), cost in costs.items():
+            network.ospf_edges[(u, v)] = OspfEdgeConfig(cost=cost)
+            network.ospf_edges[(v, u)] = OspfEdgeConfig(cost=cost)
+        network.originate(
+            "a", ConcreteRoute(prefix=Prefix.parse("10.0.0.0/24"), protocol="ospf", med=0)
+        )
+        stable = solve_protocol(network, "ospf")
+        # c should reach a via b (cost 2), not the direct cost-10 edge.
+        assert stable[("c", Prefix.parse("10.0.0.0/24"))].med == 2
+
+    def test_filtered_destination_unreachable(self):
+        network, nodes = _line_network(3)
+        deny = RouteMap("D", (), default_action=Action.DENY)
+        network.bgp_edges[("n1", "n2")] = BgpEdgeConfig(
+            sender_asn=101, export_map=deny
+        )
+        network.originate("n0", ConcreteRoute(prefix=Prefix.parse("10.0.0.0/24")))
+        stable = solve_protocol(network, "bgp")
+        assert ("n2", Prefix.parse("10.0.0.0/24")) not in stable
+
+    def test_unknown_protocol_rejected(self):
+        network, _ = _line_network(2)
+        with pytest.raises(ValueError):
+            solve_protocol(network, "rip")
+
+
+class TestRibAndForwarding:
+    def test_admin_distance_selects_rib_winner(self):
+        network, nodes = _line_network(2)
+        prefix = Prefix.parse("10.0.0.0/24")
+        network.originate("n1", ConcreteRoute(prefix=prefix, protocol="static", admin_distance=1))
+        network.originate("n0", ConcreteRoute(prefix=prefix, protocol="bgp", admin_distance=20))
+        solution = solve_network(network)
+        rib = solution.rib("n1")
+        assert rib[prefix].protocol == "static"
+
+    def test_forward_uses_longest_prefix_match(self):
+        network, nodes = _line_network(2)
+        broad = Prefix.parse("10.0.0.0/8")
+        narrow = Prefix.parse("10.9.0.0/16")
+        network.originate(
+            "n0",
+            ConcreteRoute(prefix=broad, protocol="static", next_hop=1, admin_distance=1),
+        )
+        network.originate(
+            "n0",
+            ConcreteRoute(prefix=narrow, protocol="static", next_hop=2, admin_distance=1),
+        )
+        solution = solve_network(network)
+        inside = solution.forward("n0", ip_to_int("10.9.1.1"))
+        outside = solution.forward("n0", ip_to_int("10.1.1.1"))
+        assert inside.next_hop == 2
+        assert outside.next_hop == 1
+        assert solution.forward("n0", ip_to_int("11.0.0.1")) is None
+
+    def test_routes_at_sorted(self):
+        network, nodes = _line_network(2)
+        network.originate(
+            "n0", ConcreteRoute(prefix=Prefix.parse("10.1.0.0/24"), protocol="static")
+        )
+        network.originate(
+            "n0", ConcreteRoute(prefix=Prefix.parse("10.0.0.0/24"), protocol="static")
+        )
+        solution = solve_network(network)
+        prefixes = [str(r.prefix) for r in solution.routes_at("n0")]
+        assert prefixes == ["10.0.0.0/24", "10.1.0.0/24"]

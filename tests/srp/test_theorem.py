@@ -1,0 +1,174 @@
+"""Empirical validation of Theorem 3.3 (soundness of modular checking).
+
+Randomized harness: build a network, copy it under a renaming
+isomorphism, check local equivalence (via Campion's own SemanticDiff on
+each edge's policies), solve both, and compare routing solutions.  Then
+mutate one edge and check that the violation is detected — and that the
+mutations which change behavior indeed change the solutions.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import (
+    Action,
+    Community,
+    ConcreteRoute,
+    MatchPrefixList,
+    Prefix,
+    PrefixList,
+    PrefixListEntry,
+    PrefixRange,
+    RouteMap,
+    RouteMapClause,
+    SetLocalPref,
+)
+from repro.srp import (
+    BgpEdgeConfig,
+    OspfEdgeConfig,
+    SrpNetwork,
+    Topology,
+    check_local_equivalence,
+    same_routing_solutions,
+    sample_routes,
+    solve_network,
+)
+
+
+from repro.workloads.srp_random import random_network as _random_network
+from repro.workloads.srp_random import renamed_copy as _renamed_copy
+
+
+class TestTheoremHolds:
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_locally_equivalent_networks_have_same_solutions(self, seed):
+        network = _random_network(seed)
+        copy, iso = _renamed_copy(network)
+        violations = check_local_equivalence(network, copy, iso)
+        assert violations == []
+        equal, explanation = same_routing_solutions(network, copy, iso)
+        assert equal, explanation
+
+    def test_identity_copy(self):
+        network = _random_network(7)
+        copy, iso = _renamed_copy(network)
+        assert check_local_equivalence(network, copy, iso) == []
+
+
+class TestViolationsDetected:
+    def test_policy_mutation_detected(self):
+        network = _random_network(11)
+        copy, iso = _renamed_copy(network)
+        edge = network.topology.edges[0]
+        mapped = (iso[edge[0]], iso[edge[1]])
+        old = copy.bgp_edges[mapped]
+        deny = RouteMap("DENY", (), default_action=Action.DENY)
+        copy.bgp_edges[mapped] = BgpEdgeConfig(
+            sender_asn=old.sender_asn,
+            next_hop=old.next_hop,
+            export_map=deny,
+            import_map=old.import_map,
+        )
+        violations = check_local_equivalence(network, copy, iso)
+        assert any(v.protocol == "bgp" and v.edge == edge for v in violations)
+
+    def test_cost_mutation_detected(self):
+        network = _random_network(13)
+        copy, iso = _renamed_copy(network)
+        edge = network.topology.edges[1]
+        mapped = (iso[edge[0]], iso[edge[1]])
+        old = copy.ospf_edges[mapped]
+        copy.ospf_edges[mapped] = OspfEdgeConfig(cost=old.cost + 5)
+        violations = check_local_equivalence(network, copy, iso)
+        assert any(v.protocol == "ospf" and v.edge == edge for v in violations)
+
+    def test_origination_mutation_detected(self):
+        network = _random_network(17)
+        copy, iso = _renamed_copy(network)
+        extra_node = copy.topology.nodes[0]
+        copy.originate(
+            extra_node, ConcreteRoute(prefix=Prefix.parse("203.0.113.0/24"))
+        )
+        violations = check_local_equivalence(network, copy, iso)
+        assert any(v.protocol == "origination" for v in violations)
+
+    def test_behavioral_mutation_changes_solutions(self):
+        """The contrapositive direction on a concrete example: a deny-all
+        export on the destination's only outbound edges empties everyone
+        else's routes."""
+        nodes = ["a", "b", "c"]
+        topology = Topology(nodes=nodes)
+        topology.add_bidirectional("a", "b")
+        topology.add_bidirectional("b", "c")
+        network = SrpNetwork(topology=topology)
+        for u, v in topology.edges:
+            network.bgp_edges[(u, v)] = BgpEdgeConfig(sender_asn=nodes.index(u) + 1)
+        network.originate("a", ConcreteRoute(prefix=Prefix.parse("10.0.0.0/24")))
+        copy, iso = _renamed_copy(network)
+        deny = RouteMap("DENY", (), default_action=Action.DENY)
+        copy.bgp_edges[("x-a", "x-b")] = BgpEdgeConfig(sender_asn=1, export_map=deny)
+        equal, _ = same_routing_solutions(network, copy, iso)
+        assert not equal
+
+    def test_bad_isomorphism_rejected(self):
+        network = _random_network(19)
+        copy, iso = _renamed_copy(network)
+        bad_iso = dict(iso)
+        nodes = network.topology.nodes
+        bad_iso[nodes[0]], bad_iso[nodes[1]] = bad_iso[nodes[1]], bad_iso[nodes[0]]
+        with pytest.raises(ValueError):
+            check_local_equivalence(network, copy, bad_iso)
+
+
+class TestSampleRoutes:
+    def test_sampled_routes_are_valid(self):
+        rng = random.Random(0)
+        routes = sample_routes(rng, 20, communities=[Community.parse("1:1")])
+        assert len(routes) == 20
+        for route in routes:
+            assert 8 <= route.prefix.length <= 32
+            assert route.protocol == "bgp"
+
+
+class TestUnstableInstances:
+    def test_dispute_wheel_oscillates_symmetrically(self):
+        """Seed 426 builds a dispute wheel (no stable solution).  The
+        theorem's hypothesis excludes such instances, but local
+        equivalence still forces identical dynamics: both isomorphic
+        copies oscillate, which same_routing_solutions reports as equal
+        behavior."""
+        network = _random_network(426)
+        copy, iso = _renamed_copy(network)
+        assert check_local_equivalence(network, copy, iso) == []
+        equal, explanation = same_routing_solutions(network, copy, iso)
+        assert equal
+        assert "oscillate" in explanation
+
+    def test_oscillation_vs_stable_is_a_difference(self):
+        """Breaking the wheel on one side only must read as inequality."""
+        from repro.srp.solver import SolverError, solve_network
+
+        network = _random_network(426)
+        with pytest.raises(SolverError):
+            solve_network(network)
+        copy, iso = _renamed_copy(network)
+        # Sever the wheel in the copy: drop the lp-150 import policy.
+        for edge, config in list(copy.bgp_edges.items()):
+            if config.import_map is not None:
+                copy.bgp_edges[edge] = BgpEdgeConfig(
+                    sender_asn=config.sender_asn,
+                    next_hop=config.next_hop,
+                    export_map=config.export_map,
+                    import_map=None,
+                )
+        try:
+            solve_network(copy)
+        except SolverError:
+            pytest.skip("copy still oscillates; gadget not severed by this edit")
+        equal, explanation = same_routing_solutions(network, copy, iso)
+        assert not equal
+        assert "oscillates" in explanation

@@ -1,0 +1,104 @@
+"""Documentation coverage: every public item carries a docstring.
+
+Deliverable (e) of the reproduction requires doc comments on every
+public item; this test enforces it mechanically so the guarantee cannot
+rot.  "Public" means: exported via ``__all__`` (or not underscore-
+prefixed) in any module under ``repro``, plus the public methods of
+public classes.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+# Dataclass-generated members and dunder noise that need no docstrings.
+_EXEMPT_METHODS = {
+    "__init__",
+    "__repr__",
+    "__eq__",
+    "__hash__",
+    "__lt__",
+    "__le__",
+    "__gt__",
+    "__ge__",
+    "__post_init__",
+    "__bool__",
+    "__len__",
+    "__str__",
+    "__and__",
+    "__or__",
+    "__xor__",
+    "__invert__",
+    "__sub__",
+}
+
+
+def _iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+def _public_items(module):
+    names = getattr(module, "__all__", None)
+    if names is None:
+        names = [name for name in vars(module) if not name.startswith("_")]
+    for name in names:
+        item = getattr(module, name, None)
+        if item is None:
+            continue
+        # Only report items defined in this package (not re-exports of
+        # stdlib objects).
+        defined_in = getattr(item, "__module__", "") or ""
+        if not defined_in.startswith("repro"):
+            continue
+        yield name, item
+
+
+def test_every_module_has_a_docstring():
+    undocumented = [
+        module.__name__ for module in _iter_modules() if not inspect.getdoc(module)
+    ]
+    assert undocumented == []
+
+
+def test_every_public_function_and_class_has_a_docstring():
+    undocumented = []
+    for module in _iter_modules():
+        for name, item in _public_items(module):
+            if inspect.isfunction(item) or inspect.isclass(item):
+                if not inspect.getdoc(item):
+                    undocumented.append(f"{module.__name__}.{name}")
+    assert sorted(set(undocumented)) == []
+
+
+def test_public_methods_have_docstrings():
+    undocumented = []
+    seen = set()
+    for module in _iter_modules():
+        for name, item in _public_items(module):
+            if not inspect.isclass(item) or item in seen:
+                continue
+            seen.add(item)
+            for method_name, method in vars(item).items():
+                if method_name.startswith("_") and method_name not in _EXEMPT_METHODS:
+                    continue
+                if method_name in _EXEMPT_METHODS:
+                    continue
+                if not (inspect.isfunction(method) or isinstance(method, (classmethod, staticmethod, property))):
+                    continue
+                target = (
+                    method.__func__
+                    if isinstance(method, (classmethod, staticmethod))
+                    else method.fget
+                    if isinstance(method, property)
+                    else method
+                )
+                if target is None or inspect.getdoc(target):
+                    continue
+                undocumented.append(f"{module.__name__}.{name}.{method_name}")
+    assert sorted(set(undocumented)) == []

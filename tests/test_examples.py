@@ -1,0 +1,58 @@
+"""Every example script must run and produce its expected output.
+
+Examples are a first-class deliverable; running them as subprocesses
+keeps them honest against API drift.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+# (script, expected exit code, snippets that must appear on stdout)
+CASES = [
+    ("quickstart.py", 1, ["Included Prefixes", "10.9.0.0/16 : 16-32", "semantic"]),
+    (
+        "backup_router_audit.py",
+        1,
+        ["Auditing", "behaviorally equivalent", "difference(s)"],
+    ),
+    ("router_replacement.py", 1, ["approved:", "BLOCKED", "route-reflector"]),
+    ("acl_gateway_check.py", 1, ["Campion (all differences", "Minesweeper-style"]),
+    ("theorem_validation.py", 0, ["Theorem 3.3", "flagged=True"]),
+    ("gateway_fleet_outliers.py", 1, ["fleet:", "outliers"]),
+    ("translate_and_verify.py", 0, ["EQUIVALENT", "DIFFERS", "send"]),
+    (
+        "route_reflector_outage.py",
+        0,
+        ["via primary border", "via backup border", "caught before deployment: True"],
+    ),
+]
+
+
+@pytest.mark.parametrize("script,expected_code,snippets", CASES, ids=lambda c: str(c))
+def test_example_runs(script, expected_code, snippets):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == expected_code, result.stderr[-2000:]
+    for snippet in snippets:
+        assert snippet in result.stdout, (
+            f"{script}: expected {snippet!r} in output;\n{result.stdout[:1500]}"
+        )
+
+
+def test_all_examples_are_covered():
+    """New example scripts must be added to CASES."""
+    scripts = {
+        path.name
+        for path in EXAMPLES.glob("*.py")
+        if path.name != "__init__.py"
+    }
+    assert scripts == {case[0] for case in CASES}

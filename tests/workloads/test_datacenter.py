@@ -1,0 +1,120 @@
+"""Tests that the data-center workload reproduces Table 6's counts."""
+
+import pytest
+
+from repro.core import ComponentKind, config_diff
+from repro.workloads.datacenter import (
+    scenario1_redundant_pairs,
+    scenario2_router_replacement,
+    scenario3_gateway_acls,
+)
+
+
+def _counts(scenario):
+    route_map = acl = static = other = 0
+    noisy_clean_pairs = []
+    for pair in scenario.pairs:
+        report = config_diff(pair.primary, pair.backup)
+        rm = [d for d in report.semantic if d.kind is ComponentKind.ROUTE_MAP]
+        ac = [d for d in report.semantic if d.kind is ComponentKind.ACL]
+        st = [d for d in report.structural if d.kind is ComponentKind.STATIC_ROUTE]
+        ot = [
+            d for d in report.structural if d.kind is not ComponentKind.STATIC_ROUTE
+        ] + report.unmatched
+        route_map += len(rm)
+        acl += len(ac)
+        static += len(st)
+        other += len(ot)
+        if not pair.seeded_bugs and (rm or ac or st or ot):
+            noisy_clean_pairs.append(pair.name)
+    return route_map, acl, static, other, noisy_clean_pairs
+
+
+@pytest.fixture(scope="module")
+def scenario1():
+    return scenario1_redundant_pairs(seed=0)
+
+
+@pytest.fixture(scope="module")
+def scenario2():
+    return scenario2_router_replacement(seed=1)
+
+
+@pytest.fixture(scope="module")
+def scenario3():
+    return scenario3_gateway_acls()
+
+
+class TestScenario1:
+    def test_table6_counts(self, scenario1):
+        route_map, acl, static, other, noise = _counts(scenario1)
+        assert route_map == 5  # Table 6: BGP Semantic = 5
+        assert static == 2  # Table 6: Static Routes Structural = 2
+        assert acl == 0
+        assert other == 0
+        assert noise == []
+
+    def test_every_seeded_bug_detected(self, scenario1):
+        for pair in scenario1.pairs:
+            if not pair.seeded_bugs:
+                continue
+            report = config_diff(pair.primary, pair.backup)
+            assert not report.is_equivalent(), f"{pair.name} bug missed"
+
+    def test_pair_count_parameter(self):
+        scenario = scenario1_redundant_pairs(pair_count=8, seed=3)
+        assert len(scenario.pairs) == 8
+
+
+class TestScenario2:
+    def test_table6_counts(self, scenario2):
+        route_map, acl, static, other, noise = _counts(scenario2)
+        assert route_map == 4  # Table 6: BGP Semantic = 4
+        assert static == 0 and acl == 0 and other == 0
+        assert noise == []
+
+    def test_thirty_replacements(self, scenario2):
+        assert len(scenario2.pairs) == 30
+
+    def test_reflector_bug_present(self, scenario2):
+        reflector = scenario2.pairs[0]
+        assert "reflector" in reflector.name
+        assert reflector.seeded_bugs
+        report = config_diff(reflector.primary, reflector.backup)
+        assert any(
+            "LOCAL PREF" in d.action_pair()[0] or "LOCAL PREF" in d.action_pair()[1]
+            for d in report.semantic
+        )
+
+    def test_community_bug_localized(self, scenario2):
+        community_pairs = [
+            p for p in scenario2.pairs if any("community" in b for b in p.seeded_bugs)
+        ]
+        assert len(community_pairs) == 1
+        report = config_diff(community_pairs[0].primary, community_pairs[0].backup)
+        actions = " ".join(a for d in report.semantic for a in d.action_pair())
+        assert "65000:100" in actions and "65000:101" in actions
+
+
+class TestScenario3:
+    def test_table6_counts(self, scenario3):
+        route_map, acl, static, other, noise = _counts(scenario3)
+        assert acl == 3  # Table 6: ACLs Semantic = 3
+        assert route_map == 0 and static == 0 and other == 0
+
+    def test_table7_case_present(self, scenario3):
+        """The whitelist-vs-blacklist ICMP difference, with header
+        localization to the 9.140.0.0/23 source range."""
+        pair = scenario3.pairs[0]
+        report = config_diff(pair.primary, pair.backup)
+        whitelist = [
+            d
+            for d in report.semantic
+            if "permit_whitelist" in d.class2.step_name
+        ]
+        assert len(whitelist) == 1
+        difference = whitelist[0]
+        src_localization = difference.extra_localizations["srcIp"]
+        assert [str(p) for p in src_localization.included] == ["9.140.0.0/23"]
+        action1, action2 = difference.action_pair()
+        assert action1 == "REJECT" and action2 == "ACCEPT"

@@ -1,0 +1,69 @@
+"""Tests that the Figure 1 workload parses to the paper's exact policies."""
+
+from repro.model import Action, Community, Prefix, PrefixRange
+from repro.workloads.figure1 import figure1_devices, section2_static_devices
+
+
+class TestFigure1Parse:
+    def test_hostnames(self):
+        cisco, juniper = figure1_devices()
+        assert cisco.hostname == "cisco_router"
+        assert juniper.hostname == "juniper_router"
+
+    def test_cisco_nets_matches_16_to_32(self):
+        cisco, _ = figure1_devices()
+        ranges = [entry.range for entry in cisco.prefix_lists["NETS"].entries]
+        assert ranges == [
+            PrefixRange(Prefix.parse("10.9.0.0/16"), 16, 32),
+            PrefixRange(Prefix.parse("10.100.0.0/16"), 16, 32),
+        ]
+
+    def test_juniper_nets_matches_exactly_16(self):
+        _, juniper = figure1_devices()
+        ranges = [entry.range for entry in juniper.prefix_lists["NETS"].entries]
+        assert ranges == [
+            PrefixRange(Prefix.parse("10.9.0.0/16"), 16, 16),
+            PrefixRange(Prefix.parse("10.100.0.0/16"), 16, 16),
+        ]
+
+    def test_cisco_comm_is_disjunction(self):
+        cisco, _ = figure1_devices()
+        entries = cisco.community_lists["COMM"].entries
+        assert len(entries) == 2
+        assert all(len(entry.communities) == 1 for entry in entries)
+
+    def test_juniper_comm_is_conjunction(self):
+        _, juniper = figure1_devices()
+        entries = juniper.community_lists["COMM"].entries
+        assert len(entries) == 1
+        assert entries[0].communities == frozenset(
+            {Community.parse("10:10"), Community.parse("10:11")}
+        )
+
+    def test_both_policies_have_three_clauses(self):
+        cisco, juniper = figure1_devices()
+        assert len(cisco.route_maps["POL"].clauses) == 3
+        assert len(juniper.route_maps["POL"].clauses) == 3
+
+    def test_policies_applied_to_same_neighbor(self):
+        cisco, juniper = figure1_devices()
+        cisco_neighbor = next(iter(cisco.bgp.neighbors))
+        juniper_neighbor = next(iter(juniper.bgp.neighbors))
+        assert cisco_neighbor.peer_ip == juniper_neighbor.peer_ip
+        assert cisco_neighbor.export_policy == "POL"
+        assert juniper_neighbor.export_policy == "POL"
+
+
+class TestSection2Parse:
+    def test_cisco_has_two_routes_juniper_one(self):
+        cisco, juniper = section2_static_devices()
+        assert len(cisco.static_routes) == 2
+        assert len(juniper.static_routes) == 1
+
+    def test_shared_route_identical(self):
+        cisco, juniper = section2_static_devices()
+        shared_cisco = next(
+            r for r in cisco.static_routes if str(r.prefix) == "10.3.0.0/16"
+        )
+        shared_juniper = juniper.static_routes[0]
+        assert shared_cisco.attributes() == shared_juniper.attributes()

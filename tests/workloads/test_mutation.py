@@ -1,0 +1,119 @@
+"""Tests for the text-level mutation operators."""
+
+import random
+
+import pytest
+
+from repro.workloads.datacenter import _cisco_tor, _juniper_tor
+from repro.workloads.mutation import (
+    MUTATION_OPERATORS,
+    apply_random_mutation,
+    change_community,
+    change_local_pref,
+    change_ospf_cost,
+    change_static_next_hop,
+    change_static_tag,
+    drop_prefix_list_entry,
+    flip_acl_action,
+    remove_send_community,
+)
+
+
+CISCO = _cisco_tor(1, 2)
+JUNIPER = _juniper_tor(1, 2)
+
+
+class TestIndividualOperators:
+    def test_change_local_pref(self):
+        mutation = change_local_pref(CISCO, random.Random(0))
+        assert mutation is not None
+        assert mutation.text != CISCO
+        assert "local-preference" in mutation.description
+
+    def test_change_community(self):
+        mutation = change_community(JUNIPER, random.Random(0))
+        assert mutation is not None
+        assert "community" in mutation.description
+
+    def test_drop_prefix_list_entry_cisco(self):
+        mutation = drop_prefix_list_entry(CISCO, random.Random(0))
+        assert mutation is not None
+        assert mutation.text.count("ip prefix-list") == CISCO.count("ip prefix-list") - 1
+
+    def test_drop_prefix_list_entry_juniper(self):
+        mutation = drop_prefix_list_entry(JUNIPER, random.Random(0))
+        assert mutation is not None
+        assert mutation.text != JUNIPER
+
+    def test_change_static_next_hop(self):
+        for text in (CISCO, JUNIPER):
+            mutation = change_static_next_hop(text, random.Random(0))
+            assert mutation is not None
+            assert mutation.text != text
+
+    def test_change_static_tag_requires_tags(self):
+        assert change_static_tag(CISCO, random.Random(0)) is None
+        tagged = CISCO + "ip route 1.0.0.0 255.0.0.0 2.2.2.2 tag 5\n"
+        mutation = change_static_tag(tagged, random.Random(0))
+        assert mutation is not None
+        assert "tag 6" in mutation.text
+
+    def test_remove_send_community(self):
+        mutation = remove_send_community(CISCO, random.Random(0))
+        assert mutation is not None
+        assert mutation.text.count("send-community") == CISCO.count("send-community") - 1
+
+    def test_remove_send_community_inapplicable_on_junos(self):
+        assert remove_send_community(JUNIPER, random.Random(0)) is None
+
+    def test_flip_acl_action(self):
+        acl_text = (
+            "ip access-list extended F\n permit tcp any any eq 80\n!\n"
+        )
+        mutation = flip_acl_action(acl_text, random.Random(0))
+        assert mutation is not None
+        assert "deny" in mutation.text
+
+    def test_flip_acl_action_junos(self):
+        filter_text = (
+            "firewall { family inet { filter F { term t { then accept; } } } }\n"
+        )
+        mutation = flip_acl_action(filter_text, random.Random(0))
+        assert mutation is not None
+        assert "discard" in mutation.text
+
+    def test_change_ospf_cost(self):
+        text = "interface E1\n ip ospf cost 10\n!\n"
+        mutation = change_ospf_cost(text, random.Random(0))
+        assert mutation is not None
+        assert "cost 15" in mutation.text
+
+    def test_inapplicable_returns_none(self):
+        assert change_local_pref("hostname only\n", random.Random(0)) is None
+        assert flip_acl_action("hostname only\n", random.Random(0)) is None
+
+
+class TestApplyRandom:
+    def test_applies_some_operator(self):
+        mutation = apply_random_mutation(CISCO, seed=1)
+        assert mutation is not None
+        assert mutation.text != CISCO
+        assert mutation.operator in {op.__name__ for op in MUTATION_OPERATORS}
+
+    def test_deterministic_by_seed(self):
+        first = apply_random_mutation(CISCO, seed=42)
+        second = apply_random_mutation(CISCO, seed=42)
+        assert first.text == second.text
+        assert first.description == second.description
+
+    def test_none_when_nothing_applies(self):
+        assert apply_random_mutation("hostname r\n", seed=0) is None
+
+    def test_mutated_text_still_parses(self):
+        from repro.parsers import parse_cisco, parse_juniper
+
+        for seed in range(5):
+            cisco_mutation = apply_random_mutation(CISCO, seed=seed)
+            parse_cisco(cisco_mutation.text)
+            juniper_mutation = apply_random_mutation(JUNIPER, seed=seed)
+            parse_juniper(juniper_mutation.text)

@@ -1,0 +1,96 @@
+"""Tests that the university workload reproduces Table 8's counts."""
+
+import pytest
+
+from repro.core import ComponentKind, config_diff, diff_route_maps
+from repro.workloads.university import university_network
+
+
+@pytest.fixture(scope="module")
+def network():
+    return university_network()
+
+
+def _outputted(pair, label):
+    maps = {**pair.export_maps, **pair.import_maps}
+    cisco_name, juniper_name = maps[label]
+    _, differences = diff_route_maps(
+        pair.cisco.route_maps[cisco_name], pair.juniper.route_maps[juniper_name]
+    )
+    return differences
+
+
+class TestTable8a:
+    """Outputted Differences column of Table 8(a)."""
+
+    def test_export1_has_five(self, network):
+        assert len(_outputted(network.core, "Export 1")) == 5
+
+    def test_export2_has_one(self, network):
+        assert len(_outputted(network.core, "Export 2")) == 1
+
+    def test_export3_has_one(self, network):
+        assert len(_outputted(network.border, "Export 3")) == 1
+
+    def test_export4_has_one(self, network):
+        assert len(_outputted(network.border, "Export 4")) == 1
+
+    def test_export5_has_two(self, network):
+        assert len(_outputted(network.border, "Export 5")) == 2
+
+    def test_import_is_clean(self, network):
+        assert _outputted(network.border, "Import") == []
+
+    def test_export3_direction_matches_paper(self, network):
+        """'accepted in the Cisco router but not the Juniper router'"""
+        differences = _outputted(network.border, "Export 3")
+        action1, action2 = differences[0].action_pair()
+        assert action1 == "ACCEPT"
+        assert action2 == "REJECT"
+
+    def test_export5_two_outputs_one_underlying_bug(self, network):
+        """One missing prefix splits across two Juniper terms."""
+        differences = _outputted(network.border, "Export 5")
+        cisco_steps = {d.class1.step_name for d in differences}
+        assert len(cisco_steps) == 1, "both outputs stem from the same Cisco clause"
+
+
+class TestTable8b:
+    def test_static_routes_two_classes(self, network):
+        report = config_diff(network.core.cisco, network.core.juniper)
+        static = [d for d in report.structural if d.kind is ComponentKind.STATIC_ROUTE]
+        attribute_class = [d for d in static if not d.is_presence_diff()]
+        presence_class = [d for d in static if d.is_presence_diff()]
+        # Class 1: same prefix, different next hops + admin distances.
+        assert {d.attribute for d in attribute_class} == {"next-hop", "admin-distance"}
+        # Class 2: two routes present only on the Cisco router.
+        assert len(presence_class) == 2
+        assert all(d.value2 is None for d in presence_class)
+
+    def test_bgp_properties_send_community_class(self, network):
+        report = config_diff(network.core.cisco, network.core.juniper)
+        bgp = [d for d in report.structural if d.kind is ComponentKind.BGP_PROPERTY]
+        assert bgp, "the send-community latent difference must be reported"
+        assert {d.attribute for d in bgp} == {"send-community"}
+        assert all(d.value1 == "false" and d.value2 == "true" for d in bgp)
+
+    def test_border_pair_structurally_clean(self, network):
+        report = config_diff(network.border.cisco, network.border.juniper)
+        assert [d for d in report.structural] == []
+
+
+class TestFullPairReports:
+    def test_core_report_totals(self, network):
+        report = config_diff(network.core.cisco, network.core.juniper)
+        route_maps = [d for d in report.semantic if d.kind is ComponentKind.ROUTE_MAP]
+        assert len(route_maps) == 6  # Export 1 (5) + Export 2 (1)
+
+    def test_border_report_totals(self, network):
+        report = config_diff(network.border.cisco, network.border.juniper)
+        route_maps = [d for d in report.semantic if d.kind is ComponentKind.ROUTE_MAP]
+        assert len(route_maps) == 4  # Export 3 (1) + Export 4 (1) + Export 5 (2)
+
+    def test_no_unmatched_policies(self, network):
+        for pair in network.pairs():
+            report = config_diff(pair.cisco, pair.juniper)
+            assert report.unmatched == []
