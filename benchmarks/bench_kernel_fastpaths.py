@@ -1,0 +1,168 @@
+"""Kernel fast paths and parallel fleet comparison — BENCH_kernels.json.
+
+Two microbenchmarks behind one JSON artifact:
+
+1. **ACL SemanticDiff, fast kernels vs generic ite.**  The same parsed
+   near-equivalent ACL pair is diffed twice, each time in a fresh
+   manager: once with ``fast_kernels=False`` (every connective routed
+   through the generic ite core — the historical engine) and once with
+   the specialized kernels.  References from one mode are dropped and
+   the heap collected before timing the other, so neither run pays GC
+   scans over the other's caches.
+
+2. **Fleet comparison, serial vs workers.**  The 16-device datacenter
+   gateway workload through ``compare_fleet`` with ``workers=1`` and
+   ``workers=N``, asserting the reports serialize identically.  The
+   speedup scales with *physical cores* (the matrix fan-out is
+   CPU-bound); ``cpu_count`` is recorded so single-core CI numbers read
+   honestly.
+
+Workload sizes honour environment knobs so the CI smoke job can run a
+tiny version: ``CAMPION_BENCH_RULES`` (ACL rules, default 10000),
+``CAMPION_BENCH_FLEET`` (devices, default 16),
+``CAMPION_BENCH_FLEET_RULES`` (rules per gateway, default 40) and
+``CAMPION_BENCH_WORKERS`` (default 4).
+
+Runs under pytest-benchmark or standalone:
+``PYTHONPATH=src python benchmarks/bench_kernel_fastpaths.py``.
+"""
+
+import gc
+import json
+import os
+import pathlib
+import time
+
+from repro import perf
+from repro.bdd import BddManager
+from repro.core import compare_fleet, diff_acls, report_to_json
+from repro.encoding import PacketSpace
+from repro.workloads.acl_gen import generate_acl_pair
+from repro.workloads.datacenter import gateway_fleet
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+RULES = int(os.environ.get("CAMPION_BENCH_RULES", "10000"))
+FLEET_SIZE = int(os.environ.get("CAMPION_BENCH_FLEET", "16"))
+FLEET_RULES = int(os.environ.get("CAMPION_BENCH_FLEET_RULES", "40"))
+WORKERS = int(os.environ.get("CAMPION_BENCH_WORKERS", "4"))
+DIFFERENCES = 10
+
+
+def _acl_microbench() -> dict:
+    pair = generate_acl_pair(RULES, differences=DIFFERENCES, seed=7)
+    result = {"rules": RULES, "injected_differences": DIFFERENCES}
+    for label, fast in (("generic_ite", False), ("fast_kernels", True)):
+        gc.collect()
+        space = PacketSpace(manager=BddManager(fast_kernels=fast))
+        start = time.perf_counter()
+        differences = diff_acls(pair.cisco_acl, pair.juniper_acl, space=space)[1]
+        elapsed = time.perf_counter() - start
+        result[label] = {
+            "seconds": elapsed,
+            "differences": len(differences),
+            "manager_stats": space.manager.stats(),
+        }
+        # Drop every handle into this mode's manager before the next
+        # mode is timed; otherwise its caches inflate the other run's
+        # garbage-collection pauses.
+        del space, differences
+        gc.collect()
+    result["speedup"] = (
+        result["generic_ite"]["seconds"] / result["fast_kernels"]["seconds"]
+    )
+    return result
+
+
+def _fleet_microbench() -> dict:
+    devices, expected_outliers = gateway_fleet(
+        count=FLEET_SIZE, outliers=3, rule_count=FLEET_RULES, seed=3
+    )
+    result = {
+        "devices": FLEET_SIZE,
+        "rules_per_device": FLEET_RULES,
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count(),
+    }
+    gc.collect()
+    start = time.perf_counter()
+    serial = compare_fleet(devices, workers=1)
+    result["serial_seconds"] = time.perf_counter() - start
+    gc.collect()
+    start = time.perf_counter()
+    parallel = compare_fleet(devices, workers=WORKERS)
+    result["parallel_seconds"] = time.perf_counter() - start
+    result["speedup"] = result["serial_seconds"] / result["parallel_seconds"]
+    result["outliers"] = parallel.outliers
+    serial_json = {h: report_to_json(r) for h, r in serial.reports.items()}
+    parallel_json = {h: report_to_json(r) for h, r in parallel.reports.items()}
+    result["byte_identical"] = (
+        serial_json == parallel_json
+        and serial.matrix == parallel.matrix
+        and serial.reference == parallel.reference
+    )
+    assert result["byte_identical"], "parallel fleet report diverged from serial"
+    assert set(parallel.outliers) == set(expected_outliers)
+    return result
+
+
+def _run_all() -> dict:
+    perf.reset()
+    payload = {
+        "acl_semantic_diff": _acl_microbench(),
+        "fleet_comparison": _fleet_microbench(),
+        "perf": perf.snapshot(),
+    }
+    return payload
+
+
+def _write(payload: dict) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_kernels.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _render(payload: dict) -> str:
+    acl = payload["acl_semantic_diff"]
+    fleet = payload["fleet_comparison"]
+    lines = [
+        "BDD kernel fast paths and parallel fleet comparison",
+        "",
+        f"ACL SemanticDiff, {acl['rules']} rules, {acl['injected_differences']} injected diffs:",
+        f"  generic ite   {acl['generic_ite']['seconds']:.2f}s",
+        f"  fast kernels  {acl['fast_kernels']['seconds']:.2f}s"
+        f"  ({acl['speedup']:.2f}x)",
+        "",
+        f"Fleet of {fleet['devices']} gateways ({fleet['rules_per_device']} rules each),"
+        f" {fleet['cpu_count']} CPU(s):",
+        f"  serial        {fleet['serial_seconds']:.2f}s",
+        f"  workers={fleet['workers']}     {fleet['parallel_seconds']:.2f}s"
+        f"  ({fleet['speedup']:.2f}x, byte-identical: {fleet['byte_identical']})",
+    ]
+    return "\n".join(lines)
+
+
+def test_kernel_fastpaths(benchmark, results_dir):
+    from conftest import emit
+
+    payload = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    _write(payload)
+    emit(results_dir, "BENCH_kernels", _render(payload))
+
+    acl = payload["acl_semantic_diff"]
+    assert (
+        acl["generic_ite"]["differences"] == acl["fast_kernels"]["differences"]
+    ), "kernel modes disagree on the number of differences"
+    # The speedup bar only applies at full scale; smoke runs with tiny
+    # workloads spend their time outside the kernels.
+    if RULES >= 5000:
+        assert acl["speedup"] >= 1.3, f"fast kernels only {acl['speedup']:.2f}x"
+    assert payload["fleet_comparison"]["byte_identical"]
+
+
+if __name__ == "__main__":
+    payload = _run_all()
+    path = _write(payload)
+    print(_render(payload))
+    print(f"\nwrote {path}")

@@ -2,9 +2,9 @@
 
 This module is a from-scratch substitute for the JavaBDD library used by
 Campion.  It implements hash-consed ROBDD nodes with an if-then-else (ite)
-core, the standard boolean connectives, restriction, existential and
-universal quantification, satisfiability counting, and variable support
-computation.
+core, operation-specialized binary apply kernels, the standard boolean
+connectives, restriction, existential and universal quantification,
+satisfiability counting, and variable support computation.
 
 Design notes
 ------------
@@ -17,10 +17,24 @@ Design notes
   so that structurally equal subgraphs share one node; BDD equality is then
   id equality, which is what makes the pairwise intersection tests in
   SemanticDiff cheap.
-* Operation results are memoized in ``_ite_cache`` keyed on the operand ids.
-  The cache is never invalidated because nodes are immortal for the life of
+* Every traversal — the ite core, the binary apply kernels, quantification,
+  restriction, counting, and cube enumeration — runs on an explicit stack
+  rather than Python recursion, so BDDs over thousands of variables (deep
+  chain conjunctions, 10,000-rule ACL encodings) cannot hit
+  ``RecursionError`` regardless of ``sys.getrecursionlimit()``.
+* The hot connectives (AND/OR/XOR/DIFF/NOT) have *specialized* kernels with
+  their own operand caches and terminal short-circuits.  Commutative
+  operations normalize their cache key (``a&b`` and ``b&a`` share one
+  entry), DIFF runs in a single pass instead of materializing the negation,
+  and NOT keeps a bidirectional complement cache (negation is an
+  involution).  Pass ``fast_kernels=False`` to route every connective
+  through the generic ite core instead — the compatibility mode the kernel
+  benchmarks use as their baseline.
+* Caches are never invalidated because nodes are immortal for the life of
   the manager; Campion's workloads are one-shot comparisons so this is the
-  right trade-off.
+  right trade-off.  Cache effectiveness is observable through
+  :meth:`BddManager.stats`, which reports per-operation hit/miss counters
+  and node/cache population snapshots.
 * Variable order is the order of :meth:`BddManager.new_var` calls.  Callers
   that care about ordering (see ``benchmarks/bench_ablation_var_order.py``)
   allocate variables accordingly.
@@ -44,6 +58,9 @@ _TRUE = 1
 # Sentinel variable index for terminals: larger than any real variable so
 # that terminals sort below all decision nodes in the variable order.
 _TERMINAL_LEVEL = 1 << 30
+
+# Names of the operation caches surfaced by BddManager.stats().
+_OP_NAMES = ("ite", "and", "or", "xor", "diff", "not", "intersect")
 
 
 class Bdd:
@@ -113,7 +130,7 @@ class Bdd:
 
     def intersects(self, other: "Bdd") -> bool:
         """Decide whether the two sets share any element."""
-        return not self.manager.apply_and(self, other).is_false()
+        return self.manager.intersects(self, other)
 
     # -- queries ------------------------------------------------------------
     def satcount(self, nvars: Optional[int] = None) -> int:
@@ -133,17 +150,34 @@ class Bdd:
 
 
 class BddManager:
-    """Owner of all BDD nodes, the unique table, and operation caches."""
+    """Owner of all BDD nodes, the unique table, and operation caches.
 
-    def __init__(self) -> None:
+    ``fast_kernels`` selects between the specialized apply kernels
+    (default) and the generic ite core for every connective; the latter
+    exists so benchmarks can measure the kernels against a one-cache
+    baseline inside a single process.
+    """
+
+    def __init__(self, fast_kernels: bool = True) -> None:
         # Parallel node arrays.  Slots 0/1 are the FALSE/TRUE terminals.
         self._var: List[int] = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
         self._low: List[int] = [0, 1]
         self._high: List[int] = [0, 1]
         self._unique: Dict[Tuple[int, int, int], int] = {}
         self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._and_cache: Dict[Tuple[int, int], int] = {}
+        self._or_cache: Dict[Tuple[int, int], int] = {}
+        self._xor_cache: Dict[Tuple[int, int], int] = {}
+        self._diff_cache: Dict[Tuple[int, int], int] = {}
+        self._not_cache: Dict[int, int] = {}
+        # Unordered operand pairs proven to have empty intersection by the
+        # short-circuit intersection kernel (no result node to store).
+        self._disjoint_cache: set = set()
         self._satcount_cache: Dict[Tuple[int, int], int] = {}
+        self._hits: Dict[str, int] = {name: 0 for name in _OP_NAMES}
+        self._misses: Dict[str, int] = {name: 0 for name in _OP_NAMES}
         self._num_vars = 0
+        self.fast_kernels = bool(fast_kernels)
         self.false = Bdd(self, _FALSE)
         self.true = Bdd(self, _TRUE)
 
@@ -186,6 +220,45 @@ class BddManager:
         """Total number of allocated nodes, including the two terminals."""
         return len(self._var)
 
+    # -- statistics ----------------------------------------------------------
+    def stats(self) -> Dict:
+        """Cache-effectiveness and population counters, JSON-compatible.
+
+        ``caches`` maps each operation to its hit/miss counters (misses
+        are memoized subproblem expansions, so ``misses`` also bounds the
+        work each kernel actually performed) and current entry count.
+        """
+        cache_tables = {
+            "ite": self._ite_cache,
+            "and": self._and_cache,
+            "or": self._or_cache,
+            "xor": self._xor_cache,
+            "diff": self._diff_cache,
+            "not": self._not_cache,
+            "intersect": self._disjoint_cache,
+        }
+        return {
+            "fast_kernels": self.fast_kernels,
+            "num_vars": self._num_vars,
+            "node_count": self.node_count,
+            "unique_entries": len(self._unique),
+            "satcount_entries": len(self._satcount_cache),
+            "caches": {
+                name: {
+                    "hits": self._hits[name],
+                    "misses": self._misses[name],
+                    "entries": len(cache_tables[name]),
+                }
+                for name in _OP_NAMES
+            },
+        }
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters (cache contents are untouched)."""
+        for name in _OP_NAMES:
+            self._hits[name] = 0
+            self._misses[name] = 0
+
     # -- node construction ----------------------------------------------------
     def _mk(self, var: int, low: int, high: int) -> int:
         """Find-or-create the node ``(var, low, high)`` with reduction."""
@@ -201,45 +274,761 @@ class BddManager:
             self._unique[key] = node
         return node
 
+    def cube(self, literals) -> Bdd:
+        """Conjunction of single-variable literals, built directly.
+
+        ``literals`` is a mapping (or iterable of pairs) from variable
+        index to phase — ``True`` for the positive literal.  The chain is
+        constructed bottom-up straight against the unique table, one
+        ``_mk`` per literal, with no apply traffic or cache pollution;
+        the encoders lean on this for address/port bit patterns, which
+        dominate node construction on large ACLs.  Conflicting phases for
+        one variable yield FALSE.  In compatibility mode
+        (``fast_kernels=False``) the same cube is built through the
+        generic ite core, matching the historical per-bit conjunctions.
+        """
+        pairs = literals.items() if hasattr(literals, "items") else literals
+        items: Dict[int, bool] = {}
+        for var, value in pairs:
+            if not 0 <= var < self._num_vars:
+                raise IndexError(
+                    f"variable {var} not allocated (have {self._num_vars})"
+                )
+            value = bool(value)
+            previous = items.get(var)
+            if previous is None:
+                items[var] = value
+            elif previous != value:
+                return self.false  # x & ~x
+        node = _TRUE
+        if self.fast_kernels:
+            for var in sorted(items, reverse=True):
+                if items[var]:
+                    node = self._mk(var, _FALSE, node)
+                else:
+                    node = self._mk(var, node, _FALSE)
+            return Bdd(self, node)
+        for var in sorted(items, reverse=True):
+            literal = (
+                self._mk(var, _FALSE, _TRUE)
+                if items[var]
+                else self._mk(var, _TRUE, _FALSE)
+            )
+            node = self._ite(literal, node, _FALSE)
+        return Bdd(self, node)
+
+    def threshold(self, var_indices: Sequence[int], bound: int, at_least: bool) -> Bdd:
+        """Comparison of an MSB-first variable chain against a constant.
+
+        Builds the predicate ``value >= bound`` (``at_least=True``) or
+        ``value <= bound`` over the unsigned integer laid out across
+        ``var_indices`` (most significant bit first, indices strictly
+        increasing so the chain respects the global order).  Constructed
+        bottom-up with one ``_mk`` per bit — a threshold function is a
+        single chain in the diagram, so no apply traffic is needed.
+        """
+        width = len(var_indices)
+        if not 0 <= bound < (1 << width):
+            raise ValueError(f"bound {bound} out of range for {width}-bit chain")
+        for position in range(width):
+            var = var_indices[position]
+            if not 0 <= var < self._num_vars:
+                raise IndexError(
+                    f"variable {var} not allocated (have {self._num_vars})"
+                )
+            if position and var <= var_indices[position - 1]:
+                raise ValueError("var_indices must be strictly increasing")
+        # Suffix invariant, LSB upward: node == "remaining bits satisfy the
+        # comparison given the prefix so far is exactly equal to bound's".
+        node = _TRUE
+        for position in range(width - 1, -1, -1):
+            bit_set = (bound >> (width - 1 - position)) & 1
+            var = var_indices[position]
+            if at_least:
+                if bit_set:
+                    node = self._mk(var, _FALSE, node)
+                else:
+                    node = self._mk(var, node, _TRUE)
+            else:
+                if bit_set:
+                    node = self._mk(var, _TRUE, node)
+                else:
+                    node = self._mk(var, node, _FALSE)
+        return Bdd(self, node)
+
     # -- ite core ---------------------------------------------------------------
     def _ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else on raw node ids; every connective reduces to this."""
-        # Terminal short-circuits.
+        """If-then-else on raw node ids, on an explicit stack.
+
+        Work items are 4-tuples: ``(0, f, g, h)`` expands a subproblem,
+        ``(1, key, top, 0)`` folds the two child results (sitting on the
+        value stack) into a node and memoizes it under ``key``.
+        """
+        var_arr, low_arr, high_arr = self._var, self._low, self._high
+        cache = self._ite_cache
+        hits = misses = 0
+        values: List[int] = []
+        tasks: List[Tuple] = [(0, f, g, h)]
+        while tasks:
+            task = tasks.pop()
+            if task[0] == 0:
+                _, f, g, h = task
+                # Terminal short-circuits.
+                if f == _TRUE:
+                    values.append(g)
+                    continue
+                if f == _FALSE:
+                    values.append(h)
+                    continue
+                if g == h:
+                    values.append(g)
+                    continue
+                if g == _TRUE and h == _FALSE:
+                    values.append(f)
+                    continue
+                key = (f, g, h)
+                cached = cache.get(key)
+                if cached is not None:
+                    hits += 1
+                    values.append(cached)
+                    continue
+                misses += 1
+                fv, gv, hv = var_arr[f], var_arr[g], var_arr[h]
+                top = fv if fv < gv else gv
+                if hv < top:
+                    top = hv
+                if fv == top:
+                    f0, f1 = low_arr[f], high_arr[f]
+                else:
+                    f0 = f1 = f
+                if gv == top:
+                    g0, g1 = low_arr[g], high_arr[g]
+                else:
+                    g0 = g1 = g
+                if hv == top:
+                    h0, h1 = low_arr[h], high_arr[h]
+                else:
+                    h0 = h1 = h
+                tasks.append((1, key, top, 0))
+                tasks.append((0, f1, g1, h1))
+                tasks.append((0, f0, g0, h0))
+            else:
+                _, key, top, _ = task
+                high = values.pop()
+                low = values.pop()
+                result = self._mk(top, low, high)
+                cache[key] = result
+                values.append(result)
+        self._hits["ite"] += hits
+        self._misses["ite"] += misses
+        return values[-1]
+
+    # -- specialized binary kernels ---------------------------------------------
+    # Each kernel is the apply algorithm for one connective with inlined
+    # terminal cases, its own memo table, and (for commutative operations)
+    # operand-sorted cache keys.  Terminal and cache-hit resolutions return
+    # before any stack setup; only genuine cache misses enter the loop.
+    # Work items mirror the ite core: ``(0, f, g)`` expands a subproblem,
+    # ``(1, key, top)`` folds the two child results from the value stack
+    # into a node and memoizes it under the already-built ``key`` (reusing
+    # the key tuple keeps the combine phase allocation-free on hits in the
+    # unique table).
+
+    def _and(self, f: int, g: int) -> int:
+        if f == g or g == _TRUE:
+            return f
+        if f == _FALSE or g == _FALSE:
+            return _FALSE
         if f == _TRUE:
             return g
-        if f == _FALSE:
-            return h
-        if g == h:
-            return g
-        if g == _TRUE and h == _FALSE:
-            return f
-
-        key = (f, g, h)
-        cached = self._ite_cache.get(key)
-        if cached is not None:
-            return cached
-
+        if g < f:  # commutative: one cache entry per unordered pair
+            f, g = g, f
+        cache = self._and_cache
+        result = cache.get((f, g))
+        if result is not None:
+            self._hits["and"] += 1
+            return result
         var_arr, low_arr, high_arr = self._var, self._low, self._high
-        top = min(var_arr[f], var_arr[g], var_arr[h])
+        unique = self._unique
+        hits = misses = 0
+        values: List[int] = []
+        # Work items: (0, f, g) expand; (1, key, top) fold two child
+        # results from the value stack; (2, key, top, high) fold when the
+        # high child resolved inline before the low child was scheduled.
+        tasks: List[Tuple] = [(0, f, g)]
+        while tasks:
+            task = tasks.pop()
+            tag = task[0]
+            if tag == 0:
+                _, f, g = task
+                if f == g or g == _TRUE:
+                    values.append(f)
+                    continue
+                if f == _FALSE or g == _FALSE:
+                    values.append(_FALSE)
+                    continue
+                if f == _TRUE:
+                    values.append(g)
+                    continue
+                if g < f:
+                    f, g = g, f
+                key = (f, g)
+                cached = cache.get(key)
+                if cached is not None:
+                    hits += 1
+                    values.append(cached)
+                    continue
+                misses += 1
+                fv, gv = var_arr[f], var_arr[g]
+                if fv <= gv:
+                    top, f0, f1 = fv, low_arr[f], high_arr[f]
+                else:
+                    top, f0, f1 = gv, f, f
+                if gv <= fv:
+                    g0, g1 = low_arr[g], high_arr[g]
+                else:
+                    g0 = g1 = g
+                # Resolve children inline when a terminal rule or a cache
+                # hit answers them — skips a push/pop round-trip each.
+                if f0 == g0 or g0 == _TRUE:
+                    r0 = f0
+                elif f0 == _FALSE or g0 == _FALSE:
+                    r0 = _FALSE
+                elif f0 == _TRUE:
+                    r0 = g0
+                else:
+                    if g0 < f0:
+                        f0, g0 = g0, f0
+                    r0 = cache.get((f0, g0), -1)
+                    if r0 >= 0:
+                        hits += 1
+                if f1 == g1 or g1 == _TRUE:
+                    r1 = f1
+                elif f1 == _FALSE or g1 == _FALSE:
+                    r1 = _FALSE
+                elif f1 == _TRUE:
+                    r1 = g1
+                else:
+                    if g1 < f1:
+                        f1, g1 = g1, f1
+                    r1 = cache.get((f1, g1), -1)
+                    if r1 >= 0:
+                        hits += 1
+                if r0 >= 0:
+                    if r1 >= 0:
+                        if r0 == r1:
+                            result = r0
+                        else:
+                            ukey = (top, r0, r1)
+                            result = unique.get(ukey)
+                            if result is None:
+                                result = len(var_arr)
+                                var_arr.append(top)
+                                low_arr.append(r0)
+                                high_arr.append(r1)
+                                unique[ukey] = result
+                        cache[key] = result
+                        values.append(result)
+                    else:
+                        values.append(r0)
+                        tasks.append((1, key, top))
+                        tasks.append((0, f1, g1))
+                elif r1 >= 0:
+                    tasks.append((2, key, top, r1))
+                    tasks.append((0, f0, g0))
+                else:
+                    tasks.append((1, key, top))
+                    tasks.append((0, f1, g1))
+                    tasks.append((0, f0, g0))
+            else:
+                if tag == 1:
+                    _, key, top = task
+                    high = values.pop()
+                else:
+                    _, key, top, high = task
+                low = values.pop()
+                if low == high:
+                    result = low
+                else:
+                    ukey = (top, low, high)
+                    result = unique.get(ukey)
+                    if result is None:
+                        result = len(var_arr)
+                        var_arr.append(top)
+                        low_arr.append(low)
+                        high_arr.append(high)
+                        unique[ukey] = result
+                cache[key] = result
+                values.append(result)
+        self._hits["and"] += hits
+        self._misses["and"] += misses
+        return values[-1]
 
-        if var_arr[f] == top:
-            f0, f1 = low_arr[f], high_arr[f]
-        else:
-            f0 = f1 = f
-        if var_arr[g] == top:
-            g0, g1 = low_arr[g], high_arr[g]
-        else:
-            g0 = g1 = g
-        if var_arr[h] == top:
-            h0, h1 = low_arr[h], high_arr[h]
-        else:
-            h0 = h1 = h
+    def _or(self, f: int, g: int) -> int:
+        if f == g or g == _FALSE:
+            return f
+        if f == _TRUE or g == _TRUE:
+            return _TRUE
+        if f == _FALSE:
+            return g
+        if g < f:  # commutative
+            f, g = g, f
+        cache = self._or_cache
+        result = cache.get((f, g))
+        if result is not None:
+            self._hits["or"] += 1
+            return result
+        var_arr, low_arr, high_arr = self._var, self._low, self._high
+        unique = self._unique
+        hits = misses = 0
+        values: List[int] = []
+        tasks: List[Tuple] = [(0, f, g)]
+        while tasks:
+            task = tasks.pop()
+            if task[0] == 0:
+                _, f, g = task
+                if f == g or g == _FALSE:
+                    values.append(f)
+                    continue
+                if f == _TRUE or g == _TRUE:
+                    values.append(_TRUE)
+                    continue
+                if f == _FALSE:
+                    values.append(g)
+                    continue
+                if g < f:
+                    f, g = g, f
+                key = (f, g)
+                cached = cache.get(key)
+                if cached is not None:
+                    hits += 1
+                    values.append(cached)
+                    continue
+                misses += 1
+                fv, gv = var_arr[f], var_arr[g]
+                if fv <= gv:
+                    top, f0, f1 = fv, low_arr[f], high_arr[f]
+                else:
+                    top, f0, f1 = gv, f, f
+                if gv <= fv:
+                    g0, g1 = low_arr[g], high_arr[g]
+                else:
+                    g0 = g1 = g
+                # Resolve children inline when a terminal rule or a cache
+                # hit answers them — skips a push/pop round-trip each.
+                if f0 == g0 or g0 == _FALSE:
+                    r0 = f0
+                elif f0 == _TRUE or g0 == _TRUE:
+                    r0 = _TRUE
+                elif f0 == _FALSE:
+                    r0 = g0
+                else:
+                    if g0 < f0:
+                        f0, g0 = g0, f0
+                    r0 = cache.get((f0, g0), -1)
+                    if r0 >= 0:
+                        hits += 1
+                if f1 == g1 or g1 == _FALSE:
+                    r1 = f1
+                elif f1 == _TRUE or g1 == _TRUE:
+                    r1 = _TRUE
+                elif f1 == _FALSE:
+                    r1 = g1
+                else:
+                    if g1 < f1:
+                        f1, g1 = g1, f1
+                    r1 = cache.get((f1, g1), -1)
+                    if r1 >= 0:
+                        hits += 1
+                if r0 >= 0:
+                    if r1 >= 0:
+                        if r0 == r1:
+                            result = r0
+                        else:
+                            ukey = (top, r0, r1)
+                            result = unique.get(ukey)
+                            if result is None:
+                                result = len(var_arr)
+                                var_arr.append(top)
+                                low_arr.append(r0)
+                                high_arr.append(r1)
+                                unique[ukey] = result
+                        cache[key] = result
+                        values.append(result)
+                    else:
+                        values.append(r0)
+                        tasks.append((1, key, top))
+                        tasks.append((0, f1, g1))
+                elif r1 >= 0:
+                    tasks.append((2, key, top, r1))
+                    tasks.append((0, f0, g0))
+                else:
+                    tasks.append((1, key, top))
+                    tasks.append((0, f1, g1))
+                    tasks.append((0, f0, g0))
+            else:
+                if task[0] == 1:
+                    _, key, top = task
+                    high = values.pop()
+                else:
+                    _, key, top, high = task
+                low = values.pop()
+                if low == high:
+                    result = low
+                else:
+                    ukey = (top, low, high)
+                    result = unique.get(ukey)
+                    if result is None:
+                        result = len(var_arr)
+                        var_arr.append(top)
+                        low_arr.append(low)
+                        high_arr.append(high)
+                        unique[ukey] = result
+                cache[key] = result
+                values.append(result)
+        self._hits["or"] += hits
+        self._misses["or"] += misses
+        return values[-1]
 
-        low = self._ite(f0, g0, h0)
-        high = self._ite(f1, g1, h1)
-        result = self._mk(top, low, high)
-        self._ite_cache[key] = result
-        return result
+    def _xor(self, f: int, g: int) -> int:
+        if f == g:
+            return _FALSE
+        if f == _FALSE:
+            return g
+        if g == _FALSE:
+            return f
+        if f == _TRUE:
+            return self._not(g)
+        if g == _TRUE:
+            return self._not(f)
+        if g < f:  # commutative
+            f, g = g, f
+        cache = self._xor_cache
+        result = cache.get((f, g))
+        if result is not None:
+            self._hits["xor"] += 1
+            return result
+        var_arr, low_arr, high_arr = self._var, self._low, self._high
+        unique = self._unique
+        hits = misses = 0
+        values: List[int] = []
+        tasks: List[Tuple] = [(0, f, g)]
+        while tasks:
+            task = tasks.pop()
+            if task[0] == 0:
+                _, f, g = task
+                if f == g:
+                    values.append(_FALSE)
+                    continue
+                if f == _FALSE:
+                    values.append(g)
+                    continue
+                if g == _FALSE:
+                    values.append(f)
+                    continue
+                if f == _TRUE:
+                    values.append(self._not(g))
+                    continue
+                if g == _TRUE:
+                    values.append(self._not(f))
+                    continue
+                if g < f:
+                    f, g = g, f
+                key = (f, g)
+                cached = cache.get(key)
+                if cached is not None:
+                    hits += 1
+                    values.append(cached)
+                    continue
+                misses += 1
+                fv, gv = var_arr[f], var_arr[g]
+                if fv <= gv:
+                    top, f0, f1 = fv, low_arr[f], high_arr[f]
+                else:
+                    top, f0, f1 = gv, f, f
+                if gv <= fv:
+                    g0, g1 = low_arr[g], high_arr[g]
+                else:
+                    g0 = g1 = g
+                tasks.append((1, key, top))
+                tasks.append((0, f1, g1))
+                tasks.append((0, f0, g0))
+            else:
+                _, key, top = task
+                high = values.pop()
+                low = values.pop()
+                if low == high:
+                    result = low
+                else:
+                    ukey = (top, low, high)
+                    result = unique.get(ukey)
+                    if result is None:
+                        result = len(var_arr)
+                        var_arr.append(top)
+                        low_arr.append(low)
+                        high_arr.append(high)
+                        unique[ukey] = result
+                cache[key] = result
+                values.append(result)
+        self._hits["xor"] += hits
+        self._misses["xor"] += misses
+        return values[-1]
+
+    def _diff(self, f: int, g: int) -> int:
+        """``f & ~g`` in one pass (no intermediate negation graph)."""
+        if f == _FALSE or g == _TRUE or f == g:
+            return _FALSE
+        if g == _FALSE:
+            return f
+        if f == _TRUE:
+            return self._not(g)
+        cache = self._diff_cache
+        result = cache.get((f, g))
+        if result is not None:
+            self._hits["diff"] += 1
+            return result
+        var_arr, low_arr, high_arr = self._var, self._low, self._high
+        unique = self._unique
+        hits = misses = 0
+        values: List[int] = []
+        tasks: List[Tuple] = [(0, f, g)]
+        while tasks:
+            task = tasks.pop()
+            if task[0] == 0:
+                _, f, g = task
+                if f == _FALSE or g == _TRUE or f == g:
+                    values.append(_FALSE)
+                    continue
+                if g == _FALSE:
+                    values.append(f)
+                    continue
+                if f == _TRUE:
+                    values.append(self._not(g))
+                    continue
+                key = (f, g)
+                cached = cache.get(key)
+                if cached is not None:
+                    hits += 1
+                    values.append(cached)
+                    continue
+                misses += 1
+                fv, gv = var_arr[f], var_arr[g]
+                if fv <= gv:
+                    top, f0, f1 = fv, low_arr[f], high_arr[f]
+                else:
+                    top, f0, f1 = gv, f, f
+                if gv <= fv:
+                    g0, g1 = low_arr[g], high_arr[g]
+                else:
+                    g0 = g1 = g
+                # Resolve children inline when a terminal rule or a cache
+                # hit answers them — skips a push/pop round-trip each.
+                if f0 == _FALSE or g0 == _TRUE or f0 == g0:
+                    r0 = _FALSE
+                elif g0 == _FALSE:
+                    r0 = f0
+                elif f0 == _TRUE:
+                    r0 = self._not(g0)
+                else:
+                    r0 = cache.get((f0, g0), -1)
+                    if r0 >= 0:
+                        hits += 1
+                if f1 == _FALSE or g1 == _TRUE or f1 == g1:
+                    r1 = _FALSE
+                elif g1 == _FALSE:
+                    r1 = f1
+                elif f1 == _TRUE:
+                    r1 = self._not(g1)
+                else:
+                    r1 = cache.get((f1, g1), -1)
+                    if r1 >= 0:
+                        hits += 1
+                if r0 >= 0:
+                    if r1 >= 0:
+                        if r0 == r1:
+                            result = r0
+                        else:
+                            ukey = (top, r0, r1)
+                            result = unique.get(ukey)
+                            if result is None:
+                                result = len(var_arr)
+                                var_arr.append(top)
+                                low_arr.append(r0)
+                                high_arr.append(r1)
+                                unique[ukey] = result
+                        cache[key] = result
+                        values.append(result)
+                    else:
+                        values.append(r0)
+                        tasks.append((1, key, top))
+                        tasks.append((0, f1, g1))
+                elif r1 >= 0:
+                    tasks.append((2, key, top, r1))
+                    tasks.append((0, f0, g0))
+                else:
+                    tasks.append((1, key, top))
+                    tasks.append((0, f1, g1))
+                    tasks.append((0, f0, g0))
+            else:
+                if task[0] == 1:
+                    _, key, top = task
+                    high = values.pop()
+                else:
+                    _, key, top, high = task
+                low = values.pop()
+                if low == high:
+                    result = low
+                else:
+                    ukey = (top, low, high)
+                    result = unique.get(ukey)
+                    if result is None:
+                        result = len(var_arr)
+                        var_arr.append(top)
+                        low_arr.append(low)
+                        high_arr.append(high)
+                        unique[ukey] = result
+                cache[key] = result
+                values.append(result)
+        self._hits["diff"] += hits
+        self._misses["diff"] += misses
+        return values[-1]
+
+    def _not(self, f: int) -> int:
+        """Negation with a bidirectional complement cache.
+
+        Negation is an involution on ROBDDs with both terminals, so every
+        computed pair is cached in both directions: ``~~x`` is a lookup.
+        """
+        if f <= _TRUE:
+            return f ^ 1
+        cache = self._not_cache
+        result = cache.get(f)
+        if result is not None:
+            self._hits["not"] += 1
+            return result
+        var_arr, low_arr, high_arr = self._var, self._low, self._high
+        unique = self._unique
+        hits = misses = 0
+        values: List[int] = []
+        tasks: List[Tuple] = [(0, f)]
+        while tasks:
+            task = tasks.pop()
+            if task[0] == 0:
+                f = task[1]
+                if f <= _TRUE:
+                    values.append(f ^ 1)
+                    continue
+                cached = cache.get(f)
+                if cached is not None:
+                    hits += 1
+                    values.append(cached)
+                    continue
+                misses += 1
+                tasks.append((1, f, var_arr[f]))
+                tasks.append((0, high_arr[f]))
+                tasks.append((0, low_arr[f]))
+            else:
+                _, f, top = task
+                high = values.pop()
+                low = values.pop()
+                if low == high:
+                    result = low
+                else:
+                    ukey = (top, low, high)
+                    result = unique.get(ukey)
+                    if result is None:
+                        result = len(var_arr)
+                        var_arr.append(top)
+                        low_arr.append(low)
+                        high_arr.append(high)
+                        unique[ukey] = result
+                cache[f] = result
+                cache[result] = f
+                values.append(result)
+        self._hits["not"] += hits
+        self._misses["not"] += misses
+        return values[-1]
+
+    def _intersects(self, f: int, g: int) -> bool:
+        """Decide ``f & g != FALSE`` without building the product BDD.
+
+        Depth-first search over operand pairs: any branch reaching a pair
+        with a shared satisfying path returns True immediately, so
+        non-empty intersections usually resolve after one root-to-terminal
+        walk.  When the search exhausts (the sets are disjoint) every pair
+        it visited is recorded in ``_disjoint_cache`` — across a
+        SemanticDiff run the big operand (the disagreement region) is
+        fixed, so later classes resolve mostly from cache.  Results in
+        ``_and_cache`` are consulted too: a cached conjunction answers the
+        emptiness question for free.
+        """
+        if f == _FALSE or g == _FALSE:
+            return False
+        if f == g or f == _TRUE or g == _TRUE:
+            return True
+        var_arr, low_arr, high_arr = self._var, self._low, self._high
+        disjoint = self._disjoint_cache
+        and_cache = self._and_cache
+        hits = 0
+        visited: set = set()
+        stack: List[Tuple[int, int]] = [(f, g)]
+        while stack:
+            f, g = stack.pop()
+            if f == _FALSE or g == _FALSE:
+                continue
+            if f == g or f == _TRUE or g == _TRUE:
+                self._hits["intersect"] += hits
+                self._misses["intersect"] += len(visited)
+                return True
+            if g < f:
+                f, g = g, f
+            pair = (f, g)
+            if pair in visited:
+                continue
+            if pair in disjoint:
+                hits += 1
+                continue
+            cached = and_cache.get(pair)
+            if cached is not None:
+                hits += 1
+                if cached == _FALSE:
+                    continue
+                self._hits["intersect"] += hits
+                self._misses["intersect"] += len(visited)
+                return True
+            visited.add(pair)
+            fv, gv = var_arr[f], var_arr[g]
+            if fv <= gv:
+                f0, f1 = low_arr[f], high_arr[f]
+            else:
+                f0 = f1 = f
+            if gv <= fv:
+                g0, g1 = low_arr[g], high_arr[g]
+            else:
+                g0 = g1 = g
+            stack.append((f1, g1))
+            stack.append((f0, g0))
+        # Exhausted without finding a common path: every visited pair is
+        # a proven-empty intersection.
+        disjoint.update(visited)
+        self._hits["intersect"] += hits
+        self._misses["intersect"] += len(visited)
+        return False
+
+    # -- raw-id dispatch helpers -------------------------------------------------
+    # Internal algorithms (quantification, conjoin/disjoin) call these so
+    # they use the specialized kernels when enabled and fall back to the
+    # generic ite core in compatibility mode.
+
+    def _land(self, a: int, b: int) -> int:
+        if self.fast_kernels:
+            return self._and(a, b)
+        return self._ite(a, b, _FALSE)
+
+    def _lor(self, a: int, b: int) -> int:
+        if self.fast_kernels:
+            return self._or(a, b)
+        return self._ite(a, _TRUE, b)
 
     # -- connectives ------------------------------------------------------------
     def _check(self, *operands: Bdd) -> None:
@@ -254,37 +1043,60 @@ class BddManager:
 
     def apply_and(self, a: Bdd, b: Bdd) -> Bdd:
         """Conjunction of two functions."""
-        self._check(a, b)
+        if a.manager is not self or b.manager is not self:
+            raise ValueError("operands belong to different BddManagers")
+        if self.fast_kernels:
+            return Bdd(self, self._and(a.node, b.node))
         return Bdd(self, self._ite(a.node, b.node, _FALSE))
 
     def apply_or(self, a: Bdd, b: Bdd) -> Bdd:
         """Disjunction of two functions."""
-        self._check(a, b)
+        if a.manager is not self or b.manager is not self:
+            raise ValueError("operands belong to different BddManagers")
+        if self.fast_kernels:
+            return Bdd(self, self._or(a.node, b.node))
         return Bdd(self, self._ite(a.node, _TRUE, b.node))
 
     def apply_xor(self, a: Bdd, b: Bdd) -> Bdd:
         """Exclusive-or of two functions."""
-        self._check(a, b)
+        if a.manager is not self or b.manager is not self:
+            raise ValueError("operands belong to different BddManagers")
+        if self.fast_kernels:
+            return Bdd(self, self._xor(a.node, b.node))
         not_b = self._ite(b.node, _FALSE, _TRUE)
         return Bdd(self, self._ite(a.node, not_b, b.node))
 
     def apply_not(self, a: Bdd) -> Bdd:
         """Negation of a function."""
-        self._check(a)
+        if a.manager is not self:
+            raise ValueError("operands belong to different BddManagers")
+        if self.fast_kernels:
+            return Bdd(self, self._not(a.node))
         return Bdd(self, self._ite(a.node, _FALSE, _TRUE))
 
     def apply_diff(self, a: Bdd, b: Bdd) -> Bdd:
         """``a & ~b`` without materializing ``~b`` separately."""
-        self._check(a, b)
+        if a.manager is not self or b.manager is not self:
+            raise ValueError("operands belong to different BddManagers")
+        if self.fast_kernels:
+            return Bdd(self, self._diff(a.node, b.node))
         not_b = self._ite(b.node, _FALSE, _TRUE)
         return Bdd(self, self._ite(a.node, not_b, _FALSE))
+
+    def intersects(self, a: Bdd, b: Bdd) -> bool:
+        """Decide whether ``a & b`` is satisfiable (no result BDD built)."""
+        if a.manager is not self or b.manager is not self:
+            raise ValueError("operands belong to different BddManagers")
+        if self.fast_kernels:
+            return self._intersects(a.node, b.node)
+        return self._ite(a.node, b.node, _FALSE) != _FALSE
 
     def conjoin(self, operands: Iterable[Bdd]) -> Bdd:
         """AND of an iterable (TRUE for the empty iterable)."""
         acc = _TRUE
         for operand in operands:
             self._check(operand)
-            acc = self._ite(acc, operand.node, _FALSE)
+            acc = self._land(acc, operand.node)
             if acc == _FALSE:
                 break
         return Bdd(self, acc)
@@ -294,7 +1106,7 @@ class BddManager:
         acc = _FALSE
         for operand in operands:
             self._check(operand)
-            acc = self._ite(acc, _TRUE, operand.node)
+            acc = self._lor(acc, operand.node)
             if acc == _TRUE:
                 break
         return Bdd(self, acc)
@@ -305,23 +1117,38 @@ class BddManager:
         self._check(f)
         if not assignment:
             return f
+        var_arr, low_arr, high_arr = self._var, self._low, self._high
         cache: Dict[int, int] = {}
-
-        def walk(node: int) -> int:
-            if node <= _TRUE:
-                return node
-            hit = cache.get(node)
-            if hit is not None:
-                return hit
-            var = self._var[node]
+        stack = [f.node]
+        while stack:
+            node = stack[-1]
+            if node <= _TRUE or node in cache:
+                stack.pop()
+                continue
+            var = var_arr[node]
             if var in assignment:
-                result = walk(self._high[node] if assignment[var] else self._low[node])
+                child = high_arr[node] if assignment[var] else low_arr[node]
+                if child <= _TRUE or child in cache:
+                    stack.pop()
+                    cache[node] = child if child <= _TRUE else cache[child]
+                else:
+                    stack.append(child)
+                continue
+            low, high = low_arr[node], high_arr[node]
+            low_ready = low <= _TRUE or low in cache
+            high_ready = high <= _TRUE or high in cache
+            if low_ready and high_ready:
+                stack.pop()
+                low_res = low if low <= _TRUE else cache[low]
+                high_res = high if high <= _TRUE else cache[high]
+                cache[node] = self._mk(var, low_res, high_res)
             else:
-                result = self._mk(var, walk(self._low[node]), walk(self._high[node]))
-            cache[node] = result
-            return result
-
-        return Bdd(self, walk(f.node))
+                if not high_ready:
+                    stack.append(high)
+                if not low_ready:
+                    stack.append(low)
+        node = f.node
+        return Bdd(self, node if node <= _TRUE else cache[node])
 
     def exists(self, f: Bdd, variables: Sequence[int]) -> Bdd:
         """Existential quantification over ``variables``."""
@@ -335,30 +1162,81 @@ class BddManager:
         self._check(f)
         if not variables:
             return f
+        var_arr, low_arr, high_arr = self._var, self._low, self._high
+        combine = self._lor if is_exists else self._land
         cache: Dict[int, int] = {}
-
-        def walk(node: int) -> int:
-            if node <= _TRUE:
-                return node
-            hit = cache.get(node)
-            if hit is not None:
-                return hit
-            var = self._var[node]
-            low = walk(self._low[node])
-            high = walk(self._high[node])
-            if var in variables:
-                if is_exists:
-                    result = self._ite(low, _TRUE, high)  # low | high
+        stack = [f.node]
+        while stack:
+            node = stack[-1]
+            if node <= _TRUE or node in cache:
+                stack.pop()
+                continue
+            low, high = low_arr[node], high_arr[node]
+            low_ready = low <= _TRUE or low in cache
+            high_ready = high <= _TRUE or high in cache
+            if low_ready and high_ready:
+                stack.pop()
+                low_res = low if low <= _TRUE else cache[low]
+                high_res = high if high <= _TRUE else cache[high]
+                var = var_arr[node]
+                if var in variables:
+                    cache[node] = combine(low_res, high_res)
                 else:
-                    result = self._ite(low, high, _FALSE)  # low & high
+                    cache[node] = self._mk(var, low_res, high_res)
             else:
-                result = self._mk(var, low, high)
-            cache[node] = result
-            return result
-
-        return Bdd(self, walk(f.node))
+                if not high_ready:
+                    stack.append(high)
+                if not low_ready:
+                    stack.append(low)
+        node = f.node
+        return Bdd(self, node if node <= _TRUE else cache[node])
 
     # -- queries ---------------------------------------------------------------
+    def _count_below(self, root: int, nvars: int) -> int:
+        """Model count of ``root`` over variables strictly below its level.
+
+        Memoized in ``_satcount_cache`` keyed ``(node, nvars)``; shared by
+        :meth:`satcount` and :meth:`uniform_model`.
+        """
+        if root == _FALSE:
+            return 0
+        if root == _TRUE:
+            return 1
+        var_arr, low_arr, high_arr = self._var, self._low, self._high
+        cache = self._satcount_cache
+
+        def level(node: int) -> int:
+            return var_arr[node] if node > _TRUE else nvars
+
+        def resolved(node: int) -> Optional[int]:
+            if node == _FALSE:
+                return 0
+            if node == _TRUE:
+                return 1
+            return cache.get((node, nvars))
+
+        stack = [root]
+        while stack:
+            node = stack[-1]
+            if node <= _TRUE or (node, nvars) in cache:
+                stack.pop()
+                continue
+            low, high = low_arr[node], high_arr[node]
+            low_res = resolved(low)
+            high_res = resolved(high)
+            if low_res is not None and high_res is not None:
+                stack.pop()
+                var = var_arr[node]
+                cache[(node, nvars)] = low_res * (
+                    1 << (level(low) - var - 1)
+                ) + high_res * (1 << (level(high) - var - 1))
+            else:
+                if high_res is None:
+                    stack.append(high)
+                if low_res is None:
+                    stack.append(low)
+        return cache[(root, nvars)]
+
     def satcount(self, f: Bdd, nvars: Optional[int] = None) -> int:
         """Count satisfying assignments of ``f`` over ``nvars`` variables."""
         self._check(f)
@@ -366,28 +1244,9 @@ class BddManager:
             nvars = self._num_vars
         if nvars < 0:
             raise ValueError(f"nvars must be non-negative, got {nvars}")
-
-        def count(node: int) -> Tuple[int, int]:
-            """Return (count, level) where count is over vars below level."""
-            if node == _FALSE:
-                return 0, nvars
-            if node == _TRUE:
-                return 1, nvars
-            key = (node, nvars)
-            hit = self._satcount_cache.get(key)
-            if hit is not None:
-                return hit, self._var[node]
-            var = self._var[node]
-            low_count, low_level = count(self._low[node])
-            high_count, high_level = count(self._high[node])
-            total = low_count * (1 << (low_level - var - 1)) + high_count * (
-                1 << (high_level - var - 1)
-            )
-            self._satcount_cache[key] = total
-            return total, var
-
-        top_count, top_level = count(f.node)
-        return top_count * (1 << top_level)
+        node = f.node
+        top_level = self._var[node] if node > _TRUE else nvars
+        return self._count_below(node, nvars) * (1 << top_level)
 
     def support(self, f: Bdd) -> List[int]:
         """Sorted variable indices appearing in ``f``."""
@@ -442,26 +1301,6 @@ class BddManager:
         if nvars is None:
             nvars = self._num_vars
 
-        def count(node: int) -> int:
-            # Models over variables strictly below the node's level.
-            if node == _FALSE:
-                return 0
-            if node == _TRUE:
-                return 1
-            key = (node, nvars)
-            hit = self._satcount_cache.get(key)
-            if hit is not None:
-                return hit
-            var = self._var[node]
-            low, high = self._low[node], self._high[node]
-            low_level = self._var[low] if low > _TRUE else nvars
-            high_level = self._var[high] if high > _TRUE else nvars
-            total = count(low) * (1 << (low_level - var - 1)) + count(high) * (
-                1 << (high_level - var - 1)
-            )
-            self._satcount_cache[key] = total
-            return total
-
         model: Dict[int, bool] = {}
         node = f.node
         level = 0
@@ -476,8 +1315,8 @@ class BddManager:
             low, high = self._low[node], self._high[node]
             low_level = self._var[low] if low > _TRUE else nvars
             high_level = self._var[high] if high > _TRUE else nvars
-            low_weight = count(low) * (1 << (low_level - var - 1))
-            high_weight = count(high) * (1 << (high_level - var - 1))
+            low_weight = self._count_below(low, nvars) * (1 << (low_level - var - 1))
+            high_weight = self._count_below(high, nvars) * (1 << (high_level - var - 1))
             pick_high = rng.randrange(low_weight + high_weight) < high_weight
             model[var] = pick_high
             node = high if pick_high else low
@@ -512,26 +1351,36 @@ class BddManager:
         self._check(f)
         if f.node == _FALSE:
             return None
+        low_arr, high_arr = self._low, self._high
 
         path_counts: Dict[int, int] = {_FALSE: 0, _TRUE: 1}
-
-        def paths(node: int) -> int:
-            hit = path_counts.get(node)
-            if hit is not None:
-                return hit
-            total = paths(self._low[node]) + paths(self._high[node])
-            path_counts[node] = total
-            return total
+        stack = [f.node]
+        while stack:
+            node = stack[-1]
+            if node in path_counts:
+                stack.pop()
+                continue
+            low, high = low_arr[node], high_arr[node]
+            low_res = path_counts.get(low)
+            high_res = path_counts.get(high)
+            if low_res is not None and high_res is not None:
+                stack.pop()
+                path_counts[node] = low_res + high_res
+            else:
+                if high_res is None:
+                    stack.append(high)
+                if low_res is None:
+                    stack.append(low)
 
         cube: Dict[int, bool] = {}
         node = f.node
         while node > _TRUE:
             var = self._var[node]
-            low_paths = paths(self._low[node])
-            high_paths = paths(self._high[node])
+            low_paths = path_counts[low_arr[node]]
+            high_paths = path_counts[high_arr[node]]
             pick_high = rng.randrange(low_paths + high_paths) < high_paths
             cube[var] = pick_high
-            node = self._high[node] if pick_high else self._low[node]
+            node = high_arr[node] if pick_high else low_arr[node]
         return cube
 
     def iter_cubes(self, f: Bdd) -> Iterator[Dict[int, bool]]:
@@ -539,24 +1388,32 @@ class BddManager:
 
         Each cube assigns only the variables on its BDD path; absent
         variables are don't-cares.  The cubes are disjoint and their union
-        is exactly ``f``.
+        is exactly ``f``.  The traversal is an explicit-stack DFS (low
+        branch first, matching the historical recursive order) with the
+        partial assignment kept as a parent-linked chain, so arbitrarily
+        deep BDDs enumerate without recursion.
         """
         self._check(f)
-
-        def walk(node: int, acc: Dict[int, bool]) -> Iterator[Dict[int, bool]]:
+        low_arr, high_arr, var_arr = self._low, self._high, self._var
+        # Stack entries: (node, chain) where chain is (var, value, parent).
+        stack: List[Tuple[int, Optional[Tuple[int, bool, Optional[tuple]]]]] = [
+            (f.node, None)
+        ]
+        while stack:
+            node, chain = stack.pop()
             if node == _FALSE:
-                return
+                continue
             if node == _TRUE:
-                yield dict(acc)
-                return
-            var = self._var[node]
-            acc[var] = False
-            yield from walk(self._low[node], acc)
-            acc[var] = True
-            yield from walk(self._high[node], acc)
-            del acc[var]
-
-        yield from walk(f.node, {})
+                assignments = []
+                link = chain
+                while link is not None:
+                    var, value, link = link
+                    assignments.append((var, value))
+                yield dict(reversed(assignments))
+                continue
+            var = var_arr[node]
+            stack.append((high_arr[node], (var, True, chain)))
+            stack.append((low_arr[node], (var, False, chain)))
 
     def dag_size(self, f: Bdd) -> int:
         """Number of decision nodes reachable from ``f`` (terminals excluded)."""

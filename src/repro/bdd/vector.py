@@ -68,14 +68,14 @@ class BitVector:
     def eq_const(self, value: int) -> Bdd:
         """Predicate: the field equals ``value``."""
         self._check_value(value)
-        acc = self.manager.true
-        # Build bottom-up (LSB first) so the conjunction respects variable
-        # order and stays linear-sized.
-        for position in range(self.width - 1, -1, -1):
-            bit_set = (value >> (self.width - 1 - position)) & 1
-            literal = self.variables[position] if bit_set else ~self.variables[position]
-            acc = literal & acc
-        return acc
+        return self.manager.cube(
+            {
+                self.var_indices[position]: bool(
+                    (value >> (self.width - 1 - position)) & 1
+                )
+                for position in range(self.width)
+            }
+        )
 
     def neq_const(self, value: int) -> Bdd:
         """Predicate: the field differs from ``value``."""
@@ -92,17 +92,21 @@ class BitVector:
                 f"prefix width {bits} out of range for {self.width}-bit field"
             )
         self._check_value(value)
-        acc = self.manager.true
-        for position in range(bits - 1, -1, -1):
-            bit_set = (value >> (self.width - 1 - position)) & 1
-            literal = self.variables[position] if bit_set else ~self.variables[position]
-            acc = literal & acc
-        return acc
+        return self.manager.cube(
+            {
+                self.var_indices[position]: bool(
+                    (value >> (self.width - 1 - position)) & 1
+                )
+                for position in range(bits)
+            }
+        )
 
     # -- interval predicates ---------------------------------------------------
     def le_const(self, bound: int) -> Bdd:
         """Predicate: field <= bound."""
         self._check_value(bound)
+        if self.manager.fast_kernels:
+            return self.manager.threshold(self.var_indices, bound, at_least=False)
         # Walk MSB->LSB.  At each 1-bit of the bound, taking 0 there makes
         # the rest unconstrained; at each 0-bit we are forced to take 0.
         acc = self.manager.true  # equality path so far satisfied
@@ -120,6 +124,8 @@ class BitVector:
     def ge_const(self, bound: int) -> Bdd:
         """Predicate: field >= bound."""
         self._check_value(bound)
+        if self.manager.fast_kernels:
+            return self.manager.threshold(self.var_indices, bound, at_least=True)
         acc = self.manager.true
         result = self.manager.false
         for position in range(self.width):

@@ -123,7 +123,7 @@ def _cmd_translate(args: argparse.Namespace) -> int:
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
     devices = [load_config(path, dialect=args.dialect) for path in args.configs]
-    report = compare_fleet(devices, reference=args.reference)
+    report = compare_fleet(devices, reference=args.reference, workers=args.workers)
     print(report.render_summary())
     for hostname in report.outliers:
         print(f"\n--- {hostname} vs {report.reference} " + "-" * 40)
@@ -179,6 +179,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--reference",
         default=None,
         help="known-good hostname (default: elect the medoid)",
+    )
+    fleet_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="processes for the pairwise matrix (default: $CAMPION_WORKERS or 1)",
     )
     fleet_parser.set_defaults(func=_cmd_fleet)
 

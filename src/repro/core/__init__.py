@@ -35,6 +35,7 @@ from .header_localize import (
     header_localize,
 )
 from .match_policies import AclPair, PolicyPairing, RouteMapPair, match_policies
+from .parallel import WORKERS_ENV, diff_pairs, pairwise_counts, resolve_workers
 from .present import (
     localize_acl_difference,
     localize_route_map_difference,
@@ -84,6 +85,7 @@ __all__ = [
     "SemanticDifference",
     "StructuralDifference",
     "UnmatchedPolicy",
+    "WORKERS_ENV",
     "address_prefix_algebra",
     "audit_backup_pairs",
     "build_dag",
@@ -91,6 +93,7 @@ __all__ = [
     "compare_fleet",
     "config_diff",
     "diff_acls",
+    "diff_pairs",
     "discover_backup_pairs",
     "diff_admin_distances",
     "diff_bgp_properties",
@@ -107,7 +110,9 @@ __all__ = [
     "localize_communities",
     "localize_route_map_difference",
     "match_policies",
+    "pairwise_counts",
     "prefix_range_algebra",
+    "resolve_workers",
     "render_report",
     "report_to_dict",
     "report_to_json",

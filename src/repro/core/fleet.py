@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..model.device import DeviceConfig
 from .config_diff import config_diff
+from .parallel import pairwise_counts, resolve_workers
 from .results import CampionReport
 
 __all__ = ["FleetReport", "compare_fleet"]
@@ -77,12 +78,20 @@ def compare_fleet(
     devices: Sequence[DeviceConfig],
     reference: Optional[str] = None,
     exhaustive_communities: bool = False,
+    workers: Optional[int] = None,
 ) -> FleetReport:
     """Compare a fleet of configurations intended to be identical.
 
     With ``reference=None`` the medoid is elected from the pairwise
     difference matrix; ties break toward the lexicographically-smallest
     hostname for determinism.
+
+    ``workers`` fans the O(n²) matrix phase over that many processes
+    (``None`` consults the ``CAMPION_WORKERS`` environment variable,
+    defaulting to serial).  Workers return only difference counts; the
+    n-1 reference reports are always computed in this process, so the
+    resulting :class:`FleetReport` — and its serialized form — is
+    identical whatever the worker count.
     """
     if len(devices) < 2:
         raise ValueError("a fleet comparison needs at least two devices")
@@ -90,13 +99,26 @@ def compare_fleet(
     if len(by_name) != len(devices):
         raise ValueError("fleet hostnames must be unique")
     hostnames = sorted(by_name)
+    workers = resolve_workers(workers)
 
     matrix: Dict[Tuple[str, str], int] = {}
     pair_reports: Dict[Tuple[str, str], CampionReport] = {}
 
     if reference is None:
-        for index, first in enumerate(hostnames):
-            for second in hostnames[index + 1 :]:
+        pair_keys = [
+            (first, second)
+            for index, first in enumerate(hostnames)
+            for second in hostnames[index + 1 :]
+        ]
+        if workers > 1:
+            counts = pairwise_counts(
+                [(by_name[a], by_name[b]) for a, b in pair_keys],
+                workers=workers,
+                exhaustive_communities=exhaustive_communities,
+            )
+            matrix.update(zip(pair_keys, counts))
+        else:
+            for first, second in pair_keys:
                 report = config_diff(
                     by_name[first],
                     by_name[second],

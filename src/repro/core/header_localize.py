@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Generic, List, Optional, Sequence, Tuple, TypeVar
 
+from .. import perf
 from ..bdd import Bdd
 from .ddnf import DdnfDag, DdnfNode, RangeAlgebra, build_dag
 
@@ -268,7 +269,11 @@ def header_localize(
     to_pred: Callable[[ElementT], Bdd],
 ) -> Localization[ElementT]:
     """End-to-end HeaderLocalize: DAG build, GetMatch, flattening."""
-    stats = GetMatchStats()
-    dag = build_dag(ranges, algebra)
-    terms = get_match(affected, dag, to_pred, stats)
-    return Localization(terms=tuple(flatten_terms(terms)), stats=stats)
+    with perf.timer("header_localize"):
+        stats = GetMatchStats()
+        dag = build_dag(ranges, algebra)
+        terms = get_match(affected, dag, to_pred, stats)
+        localization = Localization(terms=tuple(flatten_terms(terms)), stats=stats)
+    perf.add("header_localize.ranges", len(ranges))
+    perf.add("header_localize.terms", len(localization.terms))
+    return localization

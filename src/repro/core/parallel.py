@@ -1,0 +1,142 @@
+"""Process-parallel fan-out for fleet and multi-pair comparisons.
+
+BDD managers are process-local by design: nodes are integer ids into a
+manager's private arrays, so handles cannot cross process boundaries.
+The fan-out therefore ships *configurations* out and brings *picklable
+results* back — difference counts for the fleet matrix, or full report
+dictionaries produced by :mod:`repro.core.serialize` for batch pairwise
+comparison.  Each worker runs :func:`repro.core.config_diff.config_diff`
+with its own fresh managers (``config_diff`` allocates its spaces
+internally), so no shared state is needed.
+
+Worker resolution: an explicit ``workers=N`` argument wins; ``None``
+falls back to the ``CAMPION_WORKERS`` environment variable, then to 1
+(serial).  ``workers=1`` never touches :mod:`multiprocessing` — callers
+on constrained platforms keep the exact serial code path.
+
+The ``fork`` start method is preferred (cheap, inherits the parsed
+configs' module state); platforms without it fall back to the default
+context, which is why the worker entry points are module-level
+functions.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import perf
+from ..model.device import DeviceConfig
+from .config_diff import config_diff
+from .serialize import report_to_dict
+
+__all__ = [
+    "WORKERS_ENV",
+    "resolve_workers",
+    "pairwise_counts",
+    "diff_pairs",
+]
+
+WORKERS_ENV = "CAMPION_WORKERS"
+
+_Pair = Tuple[DeviceConfig, DeviceConfig]
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve a worker count: argument, else ``CAMPION_WORKERS``, else 1."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def _count_pair(task: Tuple[DeviceConfig, DeviceConfig, bool]) -> int:
+    device1, device2, exhaustive = task
+    report = config_diff(device1, device2, exhaustive_communities=exhaustive)
+    return report.total_differences()
+
+
+def _diff_pair(task: Tuple[DeviceConfig, DeviceConfig, bool]) -> Dict:
+    device1, device2, exhaustive = task
+    report = config_diff(device1, device2, exhaustive_communities=exhaustive)
+    return report_to_dict(report)
+
+
+# The shared task list is shipped to each worker once (inherited for
+# free under ``fork``, pickled once per worker otherwise) and tasks are
+# dispatched by index, so per-task IPC is a couple of integers instead
+# of two full device configurations.
+_WORKER_TASKS: Optional[List] = None
+
+
+def _init_worker(tasks: List) -> None:
+    global _WORKER_TASKS
+    _WORKER_TASKS = tasks
+
+
+def _count_at(index: int) -> int:
+    return _count_pair(_WORKER_TASKS[index])
+
+
+def _diff_at(index: int) -> Dict:
+    return _diff_pair(_WORKER_TASKS[index])
+
+
+def _map(function, indexed, tasks: List, workers: int) -> List:
+    """Run over ``tasks`` on a worker pool (serial when ``workers`` is 1)."""
+    if workers == 1 or len(tasks) <= 1:
+        return [function(task) for task in tasks]
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        context = multiprocessing.get_context()
+    processes = min(workers, len(tasks))
+    chunksize = max(1, len(tasks) // (processes * 4))
+    perf.add("parallel.tasks", len(tasks))
+    with perf.timer("parallel.map"):
+        with context.Pool(
+            processes=processes, initializer=_init_worker, initargs=(tasks,)
+        ) as pool:
+            return pool.map(indexed, range(len(tasks)), chunksize=chunksize)
+
+
+def pairwise_counts(
+    pairs: Sequence[_Pair],
+    workers: Optional[int] = None,
+    exhaustive_communities: bool = False,
+) -> List[int]:
+    """Difference counts for each device pair, fanned over workers.
+
+    Results are in input order and identical to running ``config_diff``
+    serially on each pair (``config_diff`` is deterministic); only the
+    wall-clock differs.
+    """
+    workers = resolve_workers(workers)
+    tasks = [(d1, d2, exhaustive_communities) for d1, d2 in pairs]
+    return _map(_count_pair, _count_at, tasks, workers)
+
+
+def diff_pairs(
+    pairs: Sequence[_Pair],
+    workers: Optional[int] = None,
+    exhaustive_communities: bool = False,
+) -> List[Dict]:
+    """Full ConfigDiff report dictionaries for each pair, fanned out.
+
+    Returns :func:`repro.core.serialize.report_to_dict` output (the BDD
+    handles inside a :class:`CampionReport` cannot cross processes, the
+    serialized form can).  Order matches the input pairs.
+    """
+    workers = resolve_workers(workers)
+    tasks = [(d1, d2, exhaustive_communities) for d1, d2 in pairs]
+    return _map(_diff_pair, _diff_at, tasks, workers)

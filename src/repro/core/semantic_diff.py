@@ -17,8 +17,10 @@ first-match oracle).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+import weakref
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import perf
 from ..bdd import Bdd, BddManager
 from ..encoding import (
     PacketSpace,
@@ -38,6 +40,49 @@ __all__ = [
 ]
 
 
+# Per-manager memo of per-action unions, keyed by the identity of the
+# class list handed to SemanticDiff: fleet comparisons and repeated
+# pairings diff the *same* partition against many peers, and the unions
+# only depend on one side.  The outer WeakKeyDictionary lets a manager
+# (and every BDD in it) be collected once its comparison is done — to
+# keep that true, the memo stores raw node ids, never Bdd handles: a
+# handle's ``.manager`` attribute would strongly reference the weak key
+# through the value and pin the manager (and its caches) forever.
+_union_cache: "weakref.WeakKeyDictionary[BddManager, Dict]" = weakref.WeakKeyDictionary()
+
+
+def _action_key(cls: EquivalenceClass):
+    action = cls.action
+    return action.describe() if hasattr(action, "describe") else action
+
+
+def _action_unions(classes: Sequence[EquivalenceClass]) -> Dict:
+    """Map each action to the union of its classes' predicates, memoized.
+
+    The memo key is the (node id, action) sequence of the class list, so
+    two calls over the same partition — however the caller rebuilt the
+    list object — share one set of ``disjoin`` results.
+    """
+    manager = classes[0].predicate.manager
+    per_manager = _union_cache.get(manager)
+    if per_manager is None:
+        per_manager = _union_cache.setdefault(manager, {})
+    key = tuple((cls.predicate.node, _action_key(cls)) for cls in classes)
+    union_nodes = per_manager.get(key)
+    if union_nodes is not None:
+        perf.add("semantic_diff.union_cache_hits")
+    else:
+        by_action: Dict = {}
+        for cls in classes:
+            by_action.setdefault(_action_key(cls), []).append(cls.predicate)
+        union_nodes = {
+            action: manager.disjoin(predicates).node
+            for action, predicates in by_action.items()
+        }
+        per_manager[key] = union_nodes
+    return {action: Bdd(manager, node) for action, node in union_nodes.items()}
+
+
 def _disagreement_region(
     classes1: Sequence[EquivalenceClass], classes2: Sequence[EquivalenceClass]
 ) -> Bdd:
@@ -52,20 +97,12 @@ def _disagreement_region(
     """
     manager = classes1[0].predicate.manager
     agree = manager.false
-    by_action1 = {}
-    by_action2 = {}
-    for cls in classes1:
-        key = cls.action if not hasattr(cls.action, "describe") else cls.action.describe()
-        by_action1.setdefault(key, []).append(cls.predicate)
-    for cls in classes2:
-        key = cls.action if not hasattr(cls.action, "describe") else cls.action.describe()
-        by_action2.setdefault(key, []).append(cls.predicate)
-    for key, preds1 in by_action1.items():
-        preds2 = by_action2.get(key)
-        if not preds2:
+    unions1 = _action_unions(classes1)
+    unions2 = _action_unions(classes2)
+    for key, union1 in unions1.items():
+        union2 = unions2.get(key)
+        if union2 is None:
             continue
-        union1 = manager.disjoin(preds1)
-        union2 = manager.disjoin(preds2)
         agree = agree | (union1 & union2)
     return ~agree
 
@@ -82,31 +119,37 @@ def semantic_diff_classes(
     differences: List[SemanticDifference] = []
     if not classes1 or not classes2:
         return differences
-    disagree = _disagreement_region(classes1, classes2)
-    if disagree.is_false():
-        return differences
-    candidates2 = [cls for cls in classes2 if cls.predicate.intersects(disagree)]
-    for class1 in classes1:
-        narrowed1 = class1.predicate & disagree
-        if narrowed1.is_false():
-            continue
-        for class2 in candidates2:
-            if class1.action == class2.action:
+    with perf.timer("semantic_diff"):
+        pairs_compared = 0
+        disagree = _disagreement_region(classes1, classes2)
+        if disagree.is_false():
+            perf.add("semantic_diff.classes", len(classes1) + len(classes2))
+            return differences
+        candidates2 = [cls for cls in classes2 if cls.predicate.intersects(disagree)]
+        for class1 in classes1:
+            if not class1.predicate.intersects(disagree):
                 continue
-            overlap = class1.predicate & class2.predicate
-            if overlap.is_false():
-                continue
-            differences.append(
-                SemanticDifference(
-                    kind=kind,
-                    input_set=overlap,
-                    class1=class1,
-                    class2=class2,
-                    router1=router1,
-                    router2=router2,
-                    context=context,
+            for class2 in candidates2:
+                if class1.action == class2.action:
+                    continue
+                pairs_compared += 1
+                overlap = class1.predicate & class2.predicate
+                if overlap.is_false():
+                    continue
+                differences.append(
+                    SemanticDifference(
+                        kind=kind,
+                        input_set=overlap,
+                        class1=class1,
+                        class2=class2,
+                        router1=router1,
+                        router2=router2,
+                        context=context,
+                    )
                 )
-            )
+        perf.add("semantic_diff.classes", len(classes1) + len(classes2))
+        perf.add("semantic_diff.pairs_compared", pairs_compared)
+        perf.add("semantic_diff.differences", len(differences))
     return differences
 
 

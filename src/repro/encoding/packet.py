@@ -72,15 +72,14 @@ class PacketSpace:
         """Address-with-don't-care-bits match on ``field``."""
         if wildcard.is_any():
             return self.manager.true
-        acc = self.manager.true
+        literals = {}
         for position in range(31, -1, -1):
             bit_index = 31 - position  # position 0 == MSB
             if (wildcard.wildcard >> position) & 1:
                 continue  # don't-care bit
             expected = (wildcard.address >> position) & 1
-            literal = field.bit(bit_index) if expected else ~field.bit(bit_index)
-            acc = literal & acc
-        return acc
+            literals[field.var_indices[bit_index]] = bool(expected)
+        return self.manager.cube(literals)
 
     def ports_pred(self, field: BitVector, ranges: Tuple[PortRange, ...]) -> Bdd:
         """Disjunction of port intervals; empty tuple means any."""

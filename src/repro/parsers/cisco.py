@@ -67,6 +67,7 @@ from ..model import (
     StaticRoute,
     ip_to_int,
 )
+from .. import perf
 from ..model.acl import IP_PROTOCOL_NUMBERS
 from ..model.types import ConfigError
 from .common import NumberedLine, ParseContext, number_lines
@@ -76,8 +77,11 @@ __all__ = ["parse_cisco"]
 
 def parse_cisco(text: str, filename: str = "<cisco-config>") -> DeviceConfig:
     """Parse a Cisco IOS configuration into a DeviceConfig."""
-    parser = _CiscoParser(text, filename)
-    return parser.parse()
+    with perf.timer("parse.cisco"):
+        parser = _CiscoParser(text, filename)
+        device = parser.parse()
+    perf.add("parse.cisco.lines", len(parser.lines))
+    return device
 
 
 class _CiscoParser:

@@ -81,6 +81,7 @@ from ..model import (
     StaticRoute,
     ip_to_int,
 )
+from .. import perf
 from ..model.acl import IP_PROTOCOL_NUMBERS
 from ..model.types import ConfigError
 from .common import NumberedLine, ParseContext, number_lines
@@ -245,10 +246,13 @@ def parse_junos_tree(text: str, context: ParseContext) -> JunosStatement:
 
 def parse_juniper(text: str, filename: str = "<junos-config>") -> DeviceConfig:
     """Parse a JunOS configuration into a DeviceConfig."""
-    context = ParseContext(filename)
-    tree = parse_junos_tree(text, context)
-    interpreter = _JunosInterpreter(text, filename, tree, context)
-    return interpreter.interpret()
+    with perf.timer("parse.juniper"):
+        context = ParseContext(filename)
+        tree = parse_junos_tree(text, context)
+        interpreter = _JunosInterpreter(text, filename, tree, context)
+        device = interpreter.interpret()
+    perf.add("parse.juniper.lines", len(interpreter.raw_lines))
+    return device
 
 
 class _JunosInterpreter:

@@ -1,0 +1,109 @@
+"""Tests for the process-parallel comparison fan-out.
+
+The load-bearing property is *bit-for-bit determinism*: a fleet report
+computed with workers must serialize identically to the serial one, on
+both the university and datacenter workloads.
+"""
+
+import pytest
+
+from repro.core import (
+    WORKERS_ENV,
+    compare_fleet,
+    config_diff,
+    diff_pairs,
+    pairwise_counts,
+    report_to_dict,
+    report_to_json,
+    resolve_workers,
+)
+from repro.workloads.datacenter import gateway_fleet
+from repro.workloads.university import university_network
+
+
+def fleet_as_json(report):
+    return {
+        "reference": report.reference,
+        "matrix": sorted(report.matrix.items()),
+        "reports": {
+            hostname: report_to_json(pair_report)
+            for hostname, pair_report in report.reports.items()
+        },
+    }
+
+
+class TestResolveWorkers:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "5")
+        assert resolve_workers(None) == 5
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_invalid_values_rejected(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+        monkeypatch.setenv(WORKERS_ENV, "banana")
+        with pytest.raises(ValueError):
+            resolve_workers(None)
+
+
+class TestParallelFleet:
+    def test_datacenter_fleet_byte_identical(self):
+        devices, expected_outliers = gateway_fleet(
+            count=6, outliers=2, rule_count=12, seed=5
+        )
+        serial = compare_fleet(devices, workers=1)
+        parallel = compare_fleet(devices, workers=2)
+        assert fleet_as_json(serial) == fleet_as_json(parallel)
+        assert set(parallel.outliers) == set(expected_outliers)
+
+    def test_university_fleet_byte_identical(self):
+        network = university_network()
+        devices = [
+            network.core.cisco,
+            network.core.juniper,
+            network.border.cisco,
+            network.border.juniper,
+        ]
+        serial = compare_fleet(devices, workers=1)
+        parallel = compare_fleet(devices, workers=2)
+        assert fleet_as_json(serial) == fleet_as_json(parallel)
+
+    def test_explicit_reference_with_workers(self):
+        devices, _ = gateway_fleet(count=4, outliers=1, rule_count=8, seed=2)
+        reference = devices[0].hostname
+        serial = compare_fleet(devices, reference=reference, workers=1)
+        parallel = compare_fleet(devices, reference=reference, workers=2)
+        assert fleet_as_json(serial) == fleet_as_json(parallel)
+
+
+class TestBatchHelpers:
+    def test_pairwise_counts_match_config_diff(self):
+        devices, _ = gateway_fleet(count=4, outliers=1, rule_count=8, seed=9)
+        pairs = [(devices[0], devices[1]), (devices[1], devices[2])]
+        expected = [
+            config_diff(a, b).total_differences() for a, b in pairs
+        ]
+        assert pairwise_counts(pairs, workers=1) == expected
+        assert pairwise_counts(pairs, workers=2) == expected
+
+    def test_diff_pairs_serialized_reports(self):
+        devices, _ = gateway_fleet(count=4, outliers=1, rule_count=8, seed=9)
+        pairs = [(devices[0], devices[1]), (devices[2], devices[3])]
+        expected = [report_to_dict(config_diff(a, b)) for a, b in pairs]
+        assert diff_pairs(pairs, workers=1) == expected
+        assert diff_pairs(pairs, workers=2) == expected
+
+    def test_env_var_drives_fleet(self, monkeypatch):
+        devices, _ = gateway_fleet(count=3, outliers=1, rule_count=6, seed=1)
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        via_env = compare_fleet(devices)
+        monkeypatch.delenv(WORKERS_ENV)
+        serial = compare_fleet(devices)
+        assert fleet_as_json(via_env) == fleet_as_json(serial)

@@ -1,0 +1,111 @@
+"""Tests for the lightweight perf-telemetry registry."""
+
+import json
+
+import pytest
+
+from repro import perf
+from repro.perf import PerfRegistry
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    perf.reset()
+    yield
+    perf.reset()
+
+
+class TestRegistry:
+    def test_counters_accumulate(self):
+        registry = PerfRegistry()
+        registry.add("widgets")
+        registry.add("widgets", 4)
+        assert registry.snapshot()["counters"]["widgets"] == 5
+
+    def test_timer_records_calls(self):
+        registry = PerfRegistry()
+        with registry.timer("phase"):
+            pass
+        with registry.timer("phase"):
+            pass
+        timers = registry.snapshot()["timers"]
+        assert timers["phase"]["calls"] == 2
+        assert timers["phase"]["total_s"] >= 0.0
+        assert timers["phase"]["max_s"] >= timers["phase"]["mean_s"]
+
+    def test_record_direct(self):
+        registry = PerfRegistry()
+        registry.record("io", 0.25)
+        registry.record("io", 0.75)
+        timers = registry.snapshot()["timers"]
+        assert timers["io"]["calls"] == 2
+        assert timers["io"]["total_s"] == pytest.approx(1.0)
+        assert timers["io"]["max_s"] == pytest.approx(0.75)
+
+    def test_reset(self):
+        registry = PerfRegistry()
+        registry.add("x")
+        registry.record("t", 1.0)
+        registry.reset()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["timers"] == {}
+
+    def test_dump_json(self, tmp_path):
+        registry = PerfRegistry()
+        registry.add("events", 3)
+        path = tmp_path / "perf.json"
+        registry.dump_json(path)
+        data = json.loads(path.read_text())
+        assert data["counters"]["events"] == 3
+
+
+class TestModuleLevelRegistry:
+    def test_global_conveniences(self):
+        perf.add("global.counter", 2)
+        with perf.timer("global.timer"):
+            pass
+        snapshot = perf.snapshot()
+        assert snapshot["counters"]["global.counter"] == 2
+        assert snapshot["timers"]["global.timer"]["calls"] == 1
+
+
+class TestInstrumentation:
+    def test_semantic_diff_reports(self):
+        from repro.workloads.university import university_network
+
+        network = university_network()
+        from repro.core import config_diff
+
+        config_diff(network.core.cisco, network.core.juniper)
+        snapshot = perf.snapshot()
+        assert "semantic_diff" in snapshot["timers"]
+        assert snapshot["counters"].get("semantic_diff.classes", 0) > 0
+
+    def test_parsers_report(self):
+        from repro.parsers import parse_config
+
+        parse_config("ip access-list extended DEMO\n permit ip any any\n")
+        snapshot = perf.snapshot()
+        assert snapshot["timers"]["parse.cisco"]["calls"] == 1
+        assert snapshot["counters"]["parse.cisco.lines"] > 0
+
+    def test_union_memoization_counter(self):
+        from repro.core.results import ComponentKind
+        from repro.core.semantic_diff import semantic_diff_classes
+        from repro.encoding import PacketSpace, acl_equivalence_classes
+        from repro.parsers import parse_config
+
+        device = parse_config(
+            "ip access-list extended DEMO\n"
+            " permit tcp any any eq 80\n"
+            " deny ip any any\n"
+        )
+        acl = next(iter(device.acls.values()))
+        space = PacketSpace()
+        classes = acl_equivalence_classes(space, acl)
+        semantic_diff_classes(ComponentKind.ACL, classes, classes)
+        first = perf.snapshot()["counters"].get("semantic_diff.union_cache_hits", 0)
+        semantic_diff_classes(ComponentKind.ACL, classes, classes)
+        second = perf.snapshot()["counters"]["semantic_diff.union_cache_hits"]
+        assert second > first
