@@ -1,10 +1,11 @@
 """From-scratch ROBDD engine (JavaBDD substitute) and bit-vector helpers."""
 
-from .engine import Bdd, BddManager
+from .engine import AnalysisBudgetExceeded, Bdd, BddManager
 from .sat import blocking_clause, complete_model, cube_count, extract_field_values
 from .vector import BitVector
 
 __all__ = [
+    "AnalysisBudgetExceeded",
     "Bdd",
     "BddManager",
     "BitVector",

@@ -47,9 +47,35 @@ set algebra.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["Bdd", "BddManager"]
+__all__ = ["AnalysisBudgetExceeded", "Bdd", "BddManager"]
+
+
+class AnalysisBudgetExceeded(RuntimeError):
+    """A BDD analysis outgrew its resource budget and was aborted.
+
+    Raised from the node-allocation path when the manager holds more
+    nodes than its ``node_limit`` or its wall-clock ``deadline`` has
+    passed.  Carries structured fields so callers can report *which*
+    budget tripped and convert the abort into a per-component degraded
+    result instead of letting the process OOM or hang:
+
+    * ``resource`` — ``"nodes"`` or ``"deadline"``,
+    * ``limit`` — the configured bound (node count, or seconds granted),
+    * ``used`` — the observed value at abort time.
+    """
+
+    def __init__(self, resource: str, limit: float, used: float):
+        self.resource = resource
+        self.limit = limit
+        self.used = used
+        if resource == "nodes":
+            detail = f"{int(used)} nodes allocated, limit {int(limit)}"
+        else:
+            detail = f"{used:.1f}s elapsed, budget {limit:.1f}s"
+        super().__init__(f"analysis budget exceeded ({resource}): {detail}")
 
 # Terminal node ids.  They are the same in every manager.
 _FALSE = 0
@@ -61,6 +87,11 @@ _TERMINAL_LEVEL = 1 << 30
 
 # Names of the operation caches surfaced by BddManager.stats().
 _OP_NAMES = ("ite", "and", "or", "xor", "diff", "not", "intersect")
+
+# Deadline checks poll the clock once per this many fresh node
+# allocations: cheap enough to leave on, frequent enough that a BDD
+# blow-up is caught within milliseconds of the deadline passing.
+_DEADLINE_CHECK_EVERY = 4096
 
 
 class Bdd:
@@ -158,7 +189,12 @@ class BddManager:
     baseline inside a single process.
     """
 
-    def __init__(self, fast_kernels: bool = True) -> None:
+    def __init__(
+        self,
+        fast_kernels: bool = True,
+        node_limit: Optional[int] = None,
+        time_budget: Optional[float] = None,
+    ) -> None:
         # Parallel node arrays.  Slots 0/1 are the FALSE/TRUE terminals.
         self._var: List[int] = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
         self._low: List[int] = [0, 1]
@@ -178,6 +214,14 @@ class BddManager:
         self._misses: Dict[str, int] = {name: 0 for name in _OP_NAMES}
         self._num_vars = 0
         self.fast_kernels = bool(fast_kernels)
+        # Resource budget (see set_budget); checked on node allocation,
+        # the single point every kernel grows through.
+        self._node_limit: Optional[int] = None
+        self._deadline: Optional[float] = None
+        self._time_budget: Optional[float] = None
+        self._deadline_countdown = _DEADLINE_CHECK_EVERY
+        self._budget_active = False
+        self.set_budget(node_limit=node_limit, time_budget=time_budget)
         self.false = Bdd(self, _FALSE)
         self.true = Bdd(self, _TRUE)
 
@@ -239,6 +283,10 @@ class BddManager:
         }
         return {
             "fast_kernels": self.fast_kernels,
+            "budget": {
+                "node_limit": self._node_limit,
+                "time_budget": self._time_budget,
+            },
             "num_vars": self._num_vars,
             "node_count": self.node_count,
             "unique_entries": len(self._unique),
@@ -259,6 +307,48 @@ class BddManager:
             self._hits[name] = 0
             self._misses[name] = 0
 
+    # -- resource budgets ----------------------------------------------------
+    def set_budget(
+        self,
+        node_limit: Optional[int] = None,
+        time_budget: Optional[float] = None,
+    ) -> None:
+        """Arm (or disarm, with both ``None``) this manager's budget.
+
+        ``node_limit`` bounds total allocated nodes; ``time_budget`` is
+        wall-clock seconds from *now*.  When either trips, node
+        allocation raises :class:`AnalysisBudgetExceeded` — the manager
+        stays internally consistent (nodes are immortal, caches only
+        hold finished subresults), so a caller may catch the exception,
+        report the component as aborted, and keep using other managers.
+        """
+        if node_limit is not None and node_limit < 2:
+            raise ValueError(f"node_limit must cover the terminals, got {node_limit}")
+        if time_budget is not None and time_budget <= 0:
+            raise ValueError(f"time_budget must be positive, got {time_budget}")
+        self._node_limit = node_limit
+        self._time_budget = time_budget
+        self._deadline = (
+            time.monotonic() + time_budget if time_budget is not None else None
+        )
+        self._deadline_countdown = _DEADLINE_CHECK_EVERY
+        self._budget_active = node_limit is not None or time_budget is not None
+
+    def _check_budget(self) -> None:
+        """Raise if a fresh allocation would exceed the armed budget."""
+        if self._node_limit is not None and len(self._var) >= self._node_limit:
+            raise AnalysisBudgetExceeded("nodes", self._node_limit, len(self._var))
+        if self._deadline is not None:
+            self._deadline_countdown -= 1
+            if self._deadline_countdown <= 0:
+                self._deadline_countdown = _DEADLINE_CHECK_EVERY
+                now = time.monotonic()
+                if now > self._deadline:
+                    elapsed = self._time_budget + (now - self._deadline)
+                    raise AnalysisBudgetExceeded(
+                        "deadline", self._time_budget, elapsed
+                    )
+
     # -- node construction ----------------------------------------------------
     def _mk(self, var: int, low: int, high: int) -> int:
         """Find-or-create the node ``(var, low, high)`` with reduction."""
@@ -267,6 +357,8 @@ class BddManager:
         key = (var, low, high)
         node = self._unique.get(key)
         if node is None:
+            if self._budget_active:
+                self._check_budget()
             node = len(self._var)
             self._var.append(var)
             self._low.append(low)

@@ -9,6 +9,20 @@ Subcommands:
 * ``campion baseline A.cfg B.cfg`` — run the Minesweeper-style
   monolithic check instead (single counterexample, no localization),
   for side-by-side comparison of the two interfaces.
+
+Exit codes form a contract for scripting and CI:
+
+* ``0`` — configurations are behaviorally equivalent (full coverage)
+* ``1`` — differences found
+* ``2`` — usage or parse error (bad flags, unreadable/empty file,
+  strict-mode parse failure, duplicate fleet hostnames)
+* ``3`` — partial or degraded analysis: the verdict holds only for the
+  analyzed components (lenient parsing skipped stanzas, a resource
+  budget aborted a component, or fleet pairs failed)
+
+Errors print as clean one-line messages on stderr — never tracebacks;
+an unexpected internal error is reported the same way with a request to
+file it.
 """
 
 from __future__ import annotations
@@ -27,9 +41,28 @@ from .core import (
     report_to_json,
 )
 from .model.device import DeviceConfig
+from .model.types import ConfigError
 from .parsers import load_config
 
 __all__ = ["main"]
+
+EXIT_EQUIVALENT = 0
+EXIT_DIFFERENCES = 1
+EXIT_USAGE = 2
+EXIT_PARTIAL = 3
+
+
+def _fail(message: str) -> int:
+    print(f"campion: error: {message}", file=sys.stderr)
+    return EXIT_USAGE
+
+
+def _load(args: argparse.Namespace, path: str) -> DeviceConfig:
+    """Load one config honoring ``--strict``/``--lenient``."""
+    device = load_config(path, dialect=args.dialect, strict=args.strict)
+    for diagnostic in device.diagnostics:
+        print(f"campion: {diagnostic.render()}", file=sys.stderr)
+    return device
 
 
 def _summarize(device: DeviceConfig) -> str:
@@ -49,19 +82,23 @@ def _summarize(device: DeviceConfig) -> str:
 
 
 def _cmd_parse(args: argparse.Namespace) -> int:
-    device = load_config(args.config, dialect=args.dialect)
+    device = _load(args, args.config)
     print(_summarize(device))
-    return 0
+    return EXIT_PARTIAL if device.parse_degraded() else EXIT_EQUIVALENT
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     start = time.time()
-    device1 = load_config(args.config1, dialect=args.dialect)
-    device2 = load_config(args.config2, dialect=args.dialect)
+    device1 = _load(args, args.config1)
+    device2 = _load(args, args.config2)
     parse_time = time.time() - start
     start = time.time()
     report = config_diff(
-        device1, device2, exhaustive_communities=args.exhaustive_communities
+        device1,
+        device2,
+        exhaustive_communities=args.exhaustive_communities,
+        node_limit=args.node_limit,
+        time_budget=args.timeout,
     )
     diff_time = time.time() - start
     if args.json:
@@ -70,12 +107,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         print(render_report(report))
         print()
         print(f"(parse {parse_time:.2f}s, diff {diff_time:.2f}s)")
-    return 0 if report.is_equivalent() else 1
+    if report.is_degraded():
+        return EXIT_PARTIAL
+    return EXIT_EQUIVALENT if report.is_equivalent() else EXIT_DIFFERENCES
 
 
 def _cmd_baseline(args: argparse.Namespace) -> int:
-    device1 = load_config(args.config1, dialect=args.dialect)
-    device2 = load_config(args.config2, dialect=args.dialect)
+    device1 = _load(args, args.config1)
+    device2 = _load(args, args.config2)
     found = False
     shared_maps = set(device1.route_maps) & set(device2.route_maps)
     for name in sorted(shared_maps):
@@ -97,13 +136,13 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
         found = True
     if not found:
         print("no differences found by the monolithic check")
-    return 1 if found else 0
+    return EXIT_DIFFERENCES if found else EXIT_EQUIVALENT
 
 
 def _cmd_translate(args: argparse.Namespace) -> int:
     from .render import translate
 
-    device = load_config(args.config, dialect=args.dialect)
+    device = _load(args, args.config)
     result = translate(device, args.target)
     for warning in result.warnings:
         print(f"warning: {warning}", file=sys.stderr)
@@ -115,20 +154,35 @@ def _cmd_translate(args: argparse.Namespace) -> int:
         print(result.text, end="")
     if result.verified:
         print("verification: translation is behaviorally equivalent", file=sys.stderr)
-        return 0
+        return EXIT_EQUIVALENT
     print("verification: translation DIFFERS from the source:", file=sys.stderr)
     print(render_report(result.report), file=sys.stderr)
-    return 1
+    return EXIT_DIFFERENCES
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
-    devices = [load_config(path, dialect=args.dialect) for path in args.configs]
-    report = compare_fleet(devices, reference=args.reference, workers=args.workers)
+    devices = [_load(args, path) for path in args.configs]
+    try:
+        report = compare_fleet(
+            devices,
+            reference=args.reference,
+            workers=args.workers,
+            timeout=args.timeout,
+            node_limit=args.node_limit,
+        )
+    except ValueError as exc:
+        # duplicate hostnames, too-few devices, unknown reference
+        return _fail(str(exc))
+    except RuntimeError as exc:
+        # every pairwise comparison failed — no verdict at all
+        return _fail(str(exc))
     print(report.render_summary())
     for hostname in report.outliers:
         print(f"\n--- {hostname} vs {report.reference} " + "-" * 40)
         print(render_report(report.reports[hostname]))
-    return 0 if not report.outliers else 1
+    if report.is_partial():
+        return EXIT_PARTIAL
+    return EXIT_DIFFERENCES if report.outliers else EXIT_EQUIVALENT
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -143,7 +197,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="auto",
         help="configuration dialect (default: auto-detect)",
     )
+    strictness = parser.add_mutually_exclusive_group()
+    strictness.add_argument(
+        "--strict",
+        action="store_true",
+        default=False,
+        help="fail on any unparseable stanza (exit 2)",
+    )
+    strictness.add_argument(
+        "--lenient",
+        dest="strict",
+        action="store_false",
+        help="record-and-skip unparseable stanzas (default)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_budget_flags(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-pair wall-clock budget (default: $CAMPION_PAIR_TIMEOUT)",
+        )
+        subparser.add_argument(
+            "--node-limit",
+            type=int,
+            default=None,
+            metavar="NODES",
+            help="per-pair BDD node budget (default: unbounded)",
+        )
 
     parse_parser = subparsers.add_parser("parse", help="parse one configuration")
     parse_parser.add_argument("config")
@@ -162,6 +245,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="localize the community dimension exhaustively (extension)",
     )
+    add_budget_flags(compare_parser)
     compare_parser.set_defaults(func=_cmd_compare)
 
     baseline_parser = subparsers.add_parser(
@@ -186,6 +270,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="processes for the pairwise matrix (default: $CAMPION_WORKERS or 1)",
     )
+    add_budget_flags(fleet_parser)
     fleet_parser.set_defaults(func=_cmd_fleet)
 
     translate_parser = subparsers.add_parser(
@@ -201,7 +286,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     translate_parser.set_defaults(func=_cmd_translate)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ConfigError as exc:
+        return _fail(str(exc))
+    except OSError as exc:
+        name = getattr(exc, "filename", None)
+        detail = exc.strerror or str(exc)
+        return _fail(f"{name}: {detail}" if name else detail)
+    except KeyboardInterrupt:
+        print("campion: interrupted", file=sys.stderr)
+        return 130
+    except Exception as exc:  # noqa: BLE001 - last-resort clean reporting
+        return _fail(
+            f"internal error ({type(exc).__name__}: {exc}); please report this"
+        )
 
 
 if __name__ == "__main__":

@@ -14,12 +14,14 @@ output and renders.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional
 
+from ..bdd import AnalysisBudgetExceeded
 from ..model.device import DeviceConfig
 from .match_policies import PolicyPairing, match_policies
 from .present import localize_acl_difference, localize_route_map_difference
-from .results import CampionReport, ComponentKind
+from .results import AbortedAnalysis, CampionReport, ComponentKind
 from .semantic_diff import diff_acls, diff_route_maps
 from .structural_diff import structural_diff_all
 
@@ -31,11 +33,20 @@ COMPONENT_CHECKS: Dict[ComponentKind, str] = {
 }
 
 
+def _component_label(name1: str, name2: str, prefix: str) -> str:
+    """Readable component label covering differently-named pairings."""
+    if name1 == name2:
+        return f"{prefix} {name1}"
+    return f"{prefix} {name1}/{name2}"
+
+
 def config_diff(
     device1: DeviceConfig,
     device2: DeviceConfig,
     pairing: Optional[PolicyPairing] = None,
     exhaustive_communities: bool = False,
+    node_limit: Optional[int] = None,
+    time_budget: Optional[float] = None,
 ) -> CampionReport:
     """Find and localize all differences between two router configurations.
 
@@ -44,12 +55,45 @@ def config_diff(
     ``exhaustive_communities`` enables the §4 future-work extension:
     full DNF localization of the community dimension instead of one
     example.
+
+    ``node_limit`` bounds BDD nodes per compared component and
+    ``time_budget`` bounds this whole pair's wall clock; a component
+    whose analysis trips either budget is recorded on
+    ``report.aborted`` (its verdict is unknown) while every other
+    component's result — still sound per Theorem 3.3 — stands.  The
+    report also carries both devices' error-severity parse diagnostics
+    so downstream consumers can flag reduced coverage.
     """
     if pairing is None:
         pairing = match_policies(device1, device2)
 
     report = CampionReport(router1=device1.hostname, router2=device2.hostname)
     report.unmatched = list(pairing.unmatched)
+    for device in (device1, device2):
+        errors = device.parse_errors()
+        if errors:
+            report.parse_diagnostics[device.hostname] = errors
+
+    deadline = (
+        time.monotonic() + time_budget if time_budget is not None else None
+    )
+
+    def _remaining(component: str, kind: ComponentKind) -> Optional[float]:
+        """Seconds left in the pair budget; records an abort when spent."""
+        if deadline is None:
+            return None
+        left = deadline - time.monotonic()
+        if left <= 0:
+            report.aborted.append(
+                AbortedAnalysis(
+                    kind=kind,
+                    component=component,
+                    reason=f"pair time budget of {time_budget:.1f}s exhausted",
+                    resource="deadline",
+                )
+            )
+            return 0.0
+        return left
 
     seen_route_map_pairs = set()
     for pair in pairing.route_map_pairs:
@@ -77,35 +121,69 @@ def config_diff(
                 )
             )
             continue
-        space, differences = diff_route_maps(
-            map1,
-            map2,
-            router1=device1.hostname,
-            router2=device2.hostname,
-            context=pair.context,
-        )
-        for difference in differences:
-            localize_route_map_difference(
-                space,
-                difference,
+        component = _component_label(pair.name1, pair.name2, "route map")
+        left = _remaining(component, ComponentKind.ROUTE_MAP)
+        if left is not None and left <= 0:
+            continue
+        try:
+            space, differences = diff_route_maps(
                 map1,
                 map2,
-                exhaustive_communities=exhaustive_communities,
+                router1=device1.hostname,
+                router2=device2.hostname,
+                context=pair.context,
+                node_limit=node_limit,
+                time_budget=left,
             )
+            for difference in differences:
+                localize_route_map_difference(
+                    space,
+                    difference,
+                    map1,
+                    map2,
+                    exhaustive_communities=exhaustive_communities,
+                )
+        except AnalysisBudgetExceeded as exc:
+            report.aborted.append(
+                AbortedAnalysis(
+                    kind=ComponentKind.ROUTE_MAP,
+                    component=component,
+                    reason=str(exc),
+                    resource=exc.resource,
+                )
+            )
+            continue
         report.semantic.extend(differences)
 
     for pair in pairing.acl_pairs:
         acl1 = device1.acls[pair.name1]
         acl2 = device2.acls[pair.name2]
-        space, differences = diff_acls(
-            acl1,
-            acl2,
-            router1=device1.hostname,
-            router2=device2.hostname,
-            context=f"ACL {pair.name1}",
-        )
-        for difference in differences:
-            localize_acl_difference(space, difference, acl1, acl2)
+        component = _component_label(pair.name1, pair.name2, "ACL")
+        left = _remaining(component, ComponentKind.ACL)
+        if left is not None and left <= 0:
+            continue
+        try:
+            space, differences = diff_acls(
+                acl1,
+                acl2,
+                router1=device1.hostname,
+                router2=device2.hostname,
+                context=f"ACL {pair.name1}",
+                node_limit=node_limit,
+                time_budget=left,
+            )
+            for difference in differences:
+                localize_acl_difference(space, difference, acl1, acl2)
+        except AnalysisBudgetExceeded as exc:
+            report.aborted.append(
+                AbortedAnalysis(
+                    kind=ComponentKind.ACL,
+                    component=component,
+                    reason=str(exc),
+                    resource=exc.resource,
+                )
+            )
+            continue
         report.semantic.extend(differences)
 
     report.structural = structural_diff_all(

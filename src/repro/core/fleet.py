@@ -8,6 +8,15 @@ rest — the fleet's de-facto intent, in the spirit of the outlier-
 detection related work the paper cites) and reports every other device
 against it, so each outlier comes with Campion's full localization.
 
+Failures are isolated, not fatal: the matrix phase consumes
+:class:`~repro.core.parallel.PairOutcome` objects, so a pair that
+crashes or exceeds its wall-clock timeout is recorded in
+``failed_pairs`` while every surviving pair still lands in the matrix.
+The medoid is then elected over *surviving* pairs (mean differences per
+surviving pair, so devices with failed pairs are not advantaged by
+their missing entries), and devices whose reference report cannot be
+produced are listed in ``failed`` alongside ``outliers``/``conforming``.
+
 For a fleet of n devices this costs n(n-1)/2 comparisons for the
 matrix; pass ``reference=<hostname>`` to skip the election and compare
 everything against a known-good device in n-1 comparisons.
@@ -20,7 +29,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..model.device import DeviceConfig
 from .config_diff import config_diff
-from .parallel import pairwise_counts, resolve_workers
+from .parallel import (
+    pairwise_count_outcomes,
+    resolve_timeout,
+    resolve_workers,
+)
 from .results import CampionReport
 
 __all__ = ["FleetReport", "compare_fleet"]
@@ -32,10 +45,15 @@ class FleetReport:
 
     reference: str
     hostnames: List[str]
-    # difference counts for every unordered pair (by hostname)
+    # difference counts for every unordered pair (by hostname) that
+    # completed; failed pairs appear in failed_pairs instead
     matrix: Dict[Tuple[str, str], int] = field(default_factory=dict)
     # full reports of each non-reference device against the reference
     reports: Dict[str, CampionReport] = field(default_factory=dict)
+    # pairs whose comparison crashed or timed out, with the cause
+    failed_pairs: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    # devices whose reference report could not be produced, with the cause
+    failed_reports: Dict[str, str] = field(default_factory=dict)
 
     @property
     def outliers(self) -> List[str]:
@@ -55,6 +73,19 @@ class FleetReport:
             if report.is_equivalent()
         )
 
+    @property
+    def failed(self) -> List[str]:
+        """Devices with no usable reference report."""
+        return sorted(self.failed_reports)
+
+    def is_partial(self) -> bool:
+        """Whether any part of the fleet analysis is missing or degraded."""
+        return bool(
+            self.failed_pairs
+            or self.failed_reports
+            or any(report.is_degraded() for report in self.reports.values())
+        )
+
     def pair_count(self, first: str, second: str) -> int:
         """Difference count between two devices (order-insensitive)."""
         key = (min(first, second), max(first, second))
@@ -64,13 +95,22 @@ class FleetReport:
         """One-paragraph fleet verdict for CLI output."""
         lines = [
             f"fleet of {len(self.hostnames)}; reference: {self.reference}",
-            f"conforming: {len(self.conforming)}; outliers: {len(self.outliers)}",
+            f"conforming: {len(self.conforming)}; outliers: {len(self.outliers)}"
+            + (f"; failed: {len(self.failed)}" if self.failed else ""),
         ]
         for hostname in self.outliers:
             report = self.reports[hostname]
             lines.append(
                 f"  {hostname}: {report.total_differences()} difference(s) vs {self.reference}"
             )
+        for hostname in self.failed:
+            lines.append(
+                f"  {hostname}: comparison failed ({self.failed_reports[hostname]})"
+            )
+        if self.failed_pairs:
+            lines.append(f"failed pairs: {len(self.failed_pairs)}")
+            for (first, second), cause in sorted(self.failed_pairs.items()):
+                lines.append(f"  {first} vs {second}: {cause}")
         return "\n".join(lines)
 
 
@@ -79,12 +119,17 @@ def compare_fleet(
     reference: Optional[str] = None,
     exhaustive_communities: bool = False,
     workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    node_limit: Optional[int] = None,
 ) -> FleetReport:
     """Compare a fleet of configurations intended to be identical.
 
     With ``reference=None`` the medoid is elected from the pairwise
-    difference matrix; ties break toward the lexicographically-smallest
-    hostname for determinism.
+    difference matrix: the device with the smallest *mean* difference
+    count over its surviving pairs (mean, not total, so a device whose
+    pairs failed is not advantaged by the missing entries); ties break
+    toward the lexicographically-smallest hostname for determinism.
+    Devices with no surviving pair at all cannot stand for election.
 
     ``workers`` fans the O(n²) matrix phase over that many processes
     (``None`` consults the ``CAMPION_WORKERS`` environment variable,
@@ -92,17 +137,30 @@ def compare_fleet(
     n-1 reference reports are always computed in this process, so the
     resulting :class:`FleetReport` — and its serialized form — is
     identical whatever the worker count.
+
+    ``timeout`` bounds each pair's wall clock (``None`` consults
+    ``CAMPION_PAIR_TIMEOUT``); ``node_limit`` bounds each pair's BDD
+    allocation.  Either tripping turns that pair into a ``failed_pairs``
+    entry (matrix phase) or a per-component degradation inside the
+    report (reference phase) rather than sinking the run.
     """
     if len(devices) < 2:
         raise ValueError("a fleet comparison needs at least two devices")
     by_name = {device.hostname: device for device in devices}
     if len(by_name) != len(devices):
-        raise ValueError("fleet hostnames must be unique")
+        seen: Dict[str, int] = {}
+        for device in devices:
+            seen[device.hostname] = seen.get(device.hostname, 0) + 1
+        duplicates = sorted(name for name, count in seen.items() if count > 1)
+        raise ValueError(
+            "fleet hostnames must be unique; duplicated: " + ", ".join(duplicates)
+        )
     hostnames = sorted(by_name)
     workers = resolve_workers(workers)
+    timeout = resolve_timeout(timeout)
 
     matrix: Dict[Tuple[str, str], int] = {}
-    pair_reports: Dict[Tuple[str, str], CampionReport] = {}
+    failed_pairs: Dict[Tuple[str, str], str] = {}
 
     if reference is None:
         pair_keys = [
@@ -110,45 +168,62 @@ def compare_fleet(
             for index, first in enumerate(hostnames)
             for second in hostnames[index + 1 :]
         ]
-        if workers > 1:
-            counts = pairwise_counts(
-                [(by_name[a], by_name[b]) for a, b in pair_keys],
-                workers=workers,
-                exhaustive_communities=exhaustive_communities,
-            )
-            matrix.update(zip(pair_keys, counts))
-        else:
-            for first, second in pair_keys:
-                report = config_diff(
-                    by_name[first],
-                    by_name[second],
-                    exhaustive_communities=exhaustive_communities,
-                )
-                matrix[(first, second)] = report.total_differences()
-                pair_reports[(first, second)] = report
-        totals = {
-            hostname: sum(
+        outcomes = pairwise_count_outcomes(
+            [(by_name[a], by_name[b]) for a, b in pair_keys],
+            workers=workers,
+            exhaustive_communities=exhaustive_communities,
+            timeout=timeout,
+            node_limit=node_limit,
+        )
+        for key, outcome in zip(pair_keys, outcomes):
+            if outcome.ok:
+                matrix[key] = outcome.result
+            else:
+                failed_pairs[key] = outcome.describe()
+        survivors = {
+            hostname: [
                 count for pair, count in matrix.items() if hostname in pair
-            )
+            ]
             for hostname in hostnames
         }
-        reference = min(hostnames, key=lambda h: (totals[h], h))
+        candidates = [h for h in hostnames if survivors[h]]
+        if not candidates:
+            raise RuntimeError(
+                f"fleet comparison failed: all {len(pair_keys)} pairwise "
+                "comparisons failed"
+            )
+        reference = min(
+            candidates,
+            key=lambda h: (sum(survivors[h]) / len(survivors[h]), h),
+        )
     elif reference not in by_name:
         raise ValueError(f"reference {reference!r} is not in the fleet")
 
-    result = FleetReport(reference=reference, hostnames=hostnames, matrix=matrix)
+    result = FleetReport(
+        reference=reference,
+        hostnames=hostnames,
+        matrix=matrix,
+        failed_pairs=failed_pairs,
+    )
     for hostname in hostnames:
         if hostname == reference:
             continue
         key = (min(reference, hostname), max(reference, hostname))
-        report = pair_reports.get(key)
-        if report is None or key[0] != reference:
-            # Re-run oriented reference-first so reports read uniformly.
+        # Always re-run oriented reference-first so reports read
+        # uniformly; budgets make the retry of a matrix-phase failure
+        # degrade per-component instead of repeating the blow-up.
+        try:
             report = config_diff(
                 by_name[reference],
                 by_name[hostname],
                 exhaustive_communities=exhaustive_communities,
+                node_limit=node_limit,
+                time_budget=timeout,
             )
+        except Exception as exc:  # noqa: BLE001 - isolate per-device failure
+            result.failed_reports[hostname] = f"{type(exc).__name__}: {exc}"
+            continue
         result.reports[hostname] = report
         result.matrix.setdefault(key, report.total_differences())
+        result.failed_pairs.pop(key, None)
     return result

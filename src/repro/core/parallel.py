@@ -9,10 +9,21 @@ comparison.  Each worker runs :func:`repro.core.config_diff.config_diff`
 with its own fresh managers (``config_diff`` allocates its spaces
 internally), so no shared state is needed.
 
+Fault isolation (the part the first parallel cut lacked): every task
+produces a :class:`PairOutcome` — ``ok``, ``error``, or ``timeout`` —
+instead of letting one worker exception poison the whole ``pool.map``.
+Failed pairs get one automatic in-parent serial retry (bounded by the
+pair time budget via the BDD engine's deadline checks), and the pool is
+torn down with ``terminate()``/``join()`` deterministically on both
+``KeyboardInterrupt`` and normal exit, so stuck workers never outlive
+the run as leaked fork children.
+
 Worker resolution: an explicit ``workers=N`` argument wins; ``None``
 falls back to the ``CAMPION_WORKERS`` environment variable, then to 1
 (serial).  ``workers=1`` never touches :mod:`multiprocessing` — callers
-on constrained platforms keep the exact serial code path.
+on constrained platforms keep the exact serial code path.  The per-pair
+wall-clock timeout resolves the same way through ``timeout=`` and the
+``CAMPION_PAIR_TIMEOUT`` environment variable (``None`` = unbounded).
 
 The ``fork`` start method is preferred (cheap, inherits the parsed
 configs' module state); platforms without it fall back to the default
@@ -23,8 +34,10 @@ functions.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.pool
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import perf
 from ..model.device import DeviceConfig
@@ -33,14 +46,57 @@ from .serialize import report_to_dict
 
 __all__ = [
     "WORKERS_ENV",
+    "TIMEOUT_ENV",
+    "PairOutcome",
     "resolve_workers",
+    "resolve_timeout",
     "pairwise_counts",
+    "pairwise_count_outcomes",
     "diff_pairs",
+    "diff_pair_outcomes",
 ]
 
 WORKERS_ENV = "CAMPION_WORKERS"
+TIMEOUT_ENV = "CAMPION_PAIR_TIMEOUT"
 
 _Pair = Tuple[DeviceConfig, DeviceConfig]
+
+# Task tuple shipped to workers: the pair plus the analysis options that
+# must apply inside the worker process (budgets arm the worker's own BDD
+# managers, so a blow-up degrades in-worker before the parent-side
+# timeout ever has to fire).
+_Task = Tuple[DeviceConfig, DeviceConfig, bool, Optional[int], Optional[float]]
+
+
+@dataclass
+class PairOutcome:
+    """Result of one fanned-out pair comparison.
+
+    ``status`` is ``"ok"`` (``result`` holds the payload), ``"error"``
+    (the worker raised; ``error`` holds the rendered cause), or
+    ``"timeout"`` (the pair exceeded its wall-clock budget and its
+    worker was terminated).  ``retried`` marks outcomes that went
+    through the automatic in-parent serial retry — whatever its final
+    status.
+    """
+
+    index: int
+    status: str
+    result: Optional[object] = None
+    error: str = ""
+    retried: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the pair produced a result."""
+        return self.status == "ok"
+
+    def describe(self) -> str:
+        """Short failure description for summaries."""
+        if self.ok:
+            return "ok"
+        suffix = " (after retry)" if self.retried else ""
+        return f"{self.status}: {self.error}{suffix}"
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -60,15 +116,48 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return workers
 
 
-def _count_pair(task: Tuple[DeviceConfig, DeviceConfig, bool]) -> int:
-    device1, device2, exhaustive = task
-    report = config_diff(device1, device2, exhaustive_communities=exhaustive)
+def resolve_timeout(timeout: Optional[float] = None) -> Optional[float]:
+    """Resolve the per-pair wall-clock timeout in seconds.
+
+    Argument wins, else ``CAMPION_PAIR_TIMEOUT``, else ``None``
+    (unbounded, the historical behavior).
+    """
+    if timeout is None:
+        raw = os.environ.get(TIMEOUT_ENV, "").strip()
+        if not raw:
+            return None
+        try:
+            timeout = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"{TIMEOUT_ENV} must be a number of seconds, got {raw!r}"
+            ) from None
+    if timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
+    return timeout
+
+
+def _count_pair(task: _Task) -> int:
+    device1, device2, exhaustive, node_limit, time_budget = task
+    report = config_diff(
+        device1,
+        device2,
+        exhaustive_communities=exhaustive,
+        node_limit=node_limit,
+        time_budget=time_budget,
+    )
     return report.total_differences()
 
 
-def _diff_pair(task: Tuple[DeviceConfig, DeviceConfig, bool]) -> Dict:
-    device1, device2, exhaustive = task
-    report = config_diff(device1, device2, exhaustive_communities=exhaustive)
+def _diff_pair(task: _Task) -> Dict:
+    device1, device2, exhaustive, node_limit, time_budget = task
+    report = config_diff(
+        device1,
+        device2,
+        exhaustive_communities=exhaustive,
+        node_limit=node_limit,
+        time_budget=time_budget,
+    )
     return report_to_dict(report)
 
 
@@ -84,30 +173,235 @@ def _init_worker(tasks: List) -> None:
     _WORKER_TASKS = tasks
 
 
-def _count_at(index: int) -> int:
-    return _count_pair(_WORKER_TASKS[index])
+def _count_at(index: int) -> Tuple[str, object]:
+    return _guarded_call(_count_pair, _WORKER_TASKS[index])
 
 
-def _diff_at(index: int) -> Dict:
-    return _diff_pair(_WORKER_TASKS[index])
+def _diff_at(index: int) -> Tuple[str, object]:
+    return _guarded_call(_diff_pair, _WORKER_TASKS[index])
 
 
-def _map(function, indexed, tasks: List, workers: int) -> List:
-    """Run over ``tasks`` on a worker pool (serial when ``workers`` is 1)."""
-    if workers == 1 or len(tasks) <= 1:
-        return [function(task) for task in tasks]
+def _guarded_call(function: Callable, task: _Task) -> Tuple[str, object]:
+    """Run one task in a worker, returning a tagged, always-picklable pair.
+
+    Catching here (rather than at ``.get()`` in the parent) keeps
+    arbitrary — possibly unpicklable — worker exceptions from breaking
+    result transport.
+    """
+    try:
+        return ("ok", function(task))
+    except Exception as exc:  # noqa: BLE001 - isolation boundary by design
+        return ("error", f"{type(exc).__name__}: {exc}")
+
+
+def _build_tasks(
+    pairs: Sequence[_Pair],
+    exhaustive_communities: bool,
+    node_limit: Optional[int],
+    timeout: Optional[float],
+) -> List[_Task]:
+    return [
+        (d1, d2, exhaustive_communities, node_limit, timeout) for d1, d2 in pairs
+    ]
+
+
+def _serial_outcomes(function: Callable, tasks: List[_Task]) -> List[PairOutcome]:
+    """The workers=1 path: no multiprocessing, failures still isolated.
+
+    Wall-clock timeouts cannot terminate an in-process task; the pair
+    time budget shipped inside each task bounds the BDD phase via the
+    engine's deadline checks instead, so a blow-up degrades into a
+    partial report rather than hanging the run.
+    """
+    outcomes = []
+    for index, task in enumerate(tasks):
+        tag, payload = _guarded_call(function, task)
+        if tag == "ok":
+            outcomes.append(PairOutcome(index, "ok", result=payload))
+        else:
+            perf.add("parallel.errors")
+            outcomes.append(PairOutcome(index, "error", error=str(payload)))
+    return outcomes
+
+
+def _pool_outcomes(
+    indexed: Callable,
+    tasks: List[_Task],
+    workers: int,
+    timeout: Optional[float],
+) -> List[PairOutcome]:
+    """Fan tasks over a pool, collecting one PairOutcome per task.
+
+    Tasks are submitted individually (``apply_async``) so one worker's
+    failure or overrun surfaces as that task's outcome the moment its
+    result is collected, not after every task ran.  The pool is always
+    ``terminate()``d and ``join()``ed on the way out — including on
+    ``KeyboardInterrupt`` — so a stuck or still-grinding worker cannot
+    leak as an orphaned fork child.
+
+    ``timeout`` is the per-pair allowance granted to each collection
+    wait; because collection is sequential while execution is
+    concurrent, a task has normally been running at least that long by
+    the time its wait expires, making this an upper bound on useful
+    work per pair rather than an exact stopwatch.
+    """
     try:
         context = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - platform without fork
         context = multiprocessing.get_context()
     processes = min(workers, len(tasks))
-    chunksize = max(1, len(tasks) // (processes * 4))
+    outcomes: List[Optional[PairOutcome]] = [None] * len(tasks)
+    pool = context.Pool(
+        processes=processes, initializer=_init_worker, initargs=(tasks,)
+    )
+    try:
+        futures = [
+            pool.apply_async(indexed, (index,)) for index in range(len(tasks))
+        ]
+        pool.close()
+        for index, future in enumerate(futures):
+            try:
+                tag, payload = future.get(timeout)
+            except multiprocessing.TimeoutError:
+                perf.add("parallel.timeouts")
+                outcomes[index] = PairOutcome(
+                    index,
+                    "timeout",
+                    error=f"pair exceeded {timeout:.1f}s wall-clock timeout",
+                )
+            except Exception as exc:  # worker or transport died
+                perf.add("parallel.errors")
+                outcomes[index] = PairOutcome(
+                    index, "error", error=f"{type(exc).__name__}: {exc}"
+                )
+            else:
+                if tag == "ok":
+                    outcomes[index] = PairOutcome(index, "ok", result=payload)
+                else:
+                    perf.add("parallel.errors")
+                    outcomes[index] = PairOutcome(
+                        index, "error", error=str(payload)
+                    )
+    finally:
+        # Deterministic teardown: kill stragglers (timed-out pairs are
+        # still grinding in their worker) and reap every child now.
+        pool.terminate()
+        pool.join()
+    return outcomes  # type: ignore[return-value]
+
+
+def _retry_failures(
+    function: Callable,
+    tasks: List[_Task],
+    outcomes: List[PairOutcome],
+    timeout: Optional[float],
+) -> None:
+    """One in-parent serial retry for each failed pair, in place.
+
+    A worker crash can be environmental (OOM killer, fork-state
+    corruption); the retry runs in the parent where the BDD deadline —
+    shipped inside the task as its time budget — bounds the attempt, so
+    a genuinely pathological pair degrades into a budget-aborted report
+    instead of hanging the parent.
+    """
+    for index, outcome in enumerate(outcomes):
+        if outcome.ok:
+            continue
+        perf.add("parallel.retries")
+        tag, payload = _guarded_call(function, tasks[index])
+        if tag == "ok":
+            outcomes[index] = PairOutcome(
+                index, "ok", result=payload, retried=True
+            )
+        else:
+            outcomes[index] = PairOutcome(
+                index, outcome.status, error=outcome.error or str(payload),
+                retried=True,
+            )
+
+
+def _run_outcomes(
+    function: Callable,
+    indexed: Callable,
+    pairs: Sequence[_Pair],
+    workers: Optional[int],
+    exhaustive_communities: bool,
+    timeout: Optional[float],
+    node_limit: Optional[int],
+    retry: bool,
+) -> List[PairOutcome]:
+    workers = resolve_workers(workers)
+    timeout = resolve_timeout(timeout)
+    tasks = _build_tasks(pairs, exhaustive_communities, node_limit, timeout)
     perf.add("parallel.tasks", len(tasks))
     with perf.timer("parallel.map"):
-        with context.Pool(
-            processes=processes, initializer=_init_worker, initargs=(tasks,)
-        ) as pool:
-            return pool.map(indexed, range(len(tasks)), chunksize=chunksize)
+        if workers == 1 or len(tasks) <= 1:
+            outcomes = _serial_outcomes(function, tasks)
+        else:
+            outcomes = _pool_outcomes(indexed, tasks, workers, timeout)
+        if retry and any(not outcome.ok for outcome in outcomes):
+            _retry_failures(function, tasks, outcomes, timeout)
+    return outcomes
+
+
+def pairwise_count_outcomes(
+    pairs: Sequence[_Pair],
+    workers: Optional[int] = None,
+    exhaustive_communities: bool = False,
+    timeout: Optional[float] = None,
+    node_limit: Optional[int] = None,
+    retry: bool = True,
+) -> List[PairOutcome]:
+    """Difference-count outcomes for each device pair, fanned over workers.
+
+    Outcomes are in input order; ``ok`` results are identical to running
+    ``config_diff`` serially on each pair (``config_diff`` is
+    deterministic), only the wall-clock differs.
+    """
+    return _run_outcomes(
+        _count_pair,
+        _count_at,
+        pairs,
+        workers,
+        exhaustive_communities,
+        timeout,
+        node_limit,
+        retry,
+    )
+
+
+def diff_pair_outcomes(
+    pairs: Sequence[_Pair],
+    workers: Optional[int] = None,
+    exhaustive_communities: bool = False,
+    timeout: Optional[float] = None,
+    node_limit: Optional[int] = None,
+    retry: bool = True,
+) -> List[PairOutcome]:
+    """Full ConfigDiff report-dict outcomes for each pair, fanned out.
+
+    ``ok`` outcomes carry :func:`repro.core.serialize.report_to_dict`
+    output (the BDD handles inside a :class:`CampionReport` cannot cross
+    processes, the serialized form can).  Order matches the input pairs.
+    """
+    return _run_outcomes(
+        _diff_pair,
+        _diff_at,
+        pairs,
+        workers,
+        exhaustive_communities,
+        timeout,
+        node_limit,
+        retry,
+    )
+
+
+def _unwrap(outcomes: List[PairOutcome]) -> List:
+    """Strict view: results in order, raising on the first failed pair."""
+    for outcome in outcomes:
+        if not outcome.ok:
+            raise RuntimeError(f"pair {outcome.index} failed: {outcome.describe()}")
+    return [outcome.result for outcome in outcomes]
 
 
 def pairwise_counts(
@@ -115,15 +409,20 @@ def pairwise_counts(
     workers: Optional[int] = None,
     exhaustive_communities: bool = False,
 ) -> List[int]:
-    """Difference counts for each device pair, fanned over workers.
+    """Difference counts for each device pair (strict; raises on failure).
 
-    Results are in input order and identical to running ``config_diff``
-    serially on each pair (``config_diff`` is deterministic); only the
-    wall-clock differs.
+    The historical all-or-nothing interface; fault-tolerant callers
+    want :func:`pairwise_count_outcomes`.
     """
-    workers = resolve_workers(workers)
-    tasks = [(d1, d2, exhaustive_communities) for d1, d2 in pairs]
-    return _map(_count_pair, _count_at, tasks, workers)
+    return _unwrap(
+        pairwise_count_outcomes(
+            pairs,
+            workers=workers,
+            exhaustive_communities=exhaustive_communities,
+            timeout=None,
+            retry=False,
+        )
+    )
 
 
 def diff_pairs(
@@ -131,12 +430,14 @@ def diff_pairs(
     workers: Optional[int] = None,
     exhaustive_communities: bool = False,
 ) -> List[Dict]:
-    """Full ConfigDiff report dictionaries for each pair, fanned out.
-
-    Returns :func:`repro.core.serialize.report_to_dict` output (the BDD
-    handles inside a :class:`CampionReport` cannot cross processes, the
-    serialized form can).  Order matches the input pairs.
-    """
-    workers = resolve_workers(workers)
-    tasks = [(d1, d2, exhaustive_communities) for d1, d2 in pairs]
-    return _map(_diff_pair, _diff_at, tasks, workers)
+    """Full ConfigDiff report dictionaries per pair (strict; raises on
+    failure).  Fault-tolerant callers want :func:`diff_pair_outcomes`."""
+    return _unwrap(
+        diff_pair_outcomes(
+            pairs,
+            workers=workers,
+            exhaustive_communities=exhaustive_communities,
+            timeout=None,
+            retry=False,
+        )
+    )

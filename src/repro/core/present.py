@@ -288,6 +288,21 @@ def render_structural_difference(difference: StructuralDifference) -> str:
     return f"[{difference.kind.value}]\n" + _two_column_table(header, rows)
 
 
+def _coverage_notes(report: CampionReport) -> List[str]:
+    """Degraded-coverage banner lines (aborted components, skipped stanzas)."""
+    notes: List[str] = []
+    for aborted in report.aborted:
+        notes.append(aborted.render())
+    for hostname in sorted(report.parse_diagnostics):
+        diagnostics = report.parse_diagnostics[hostname]
+        notes.append(
+            f"note: {hostname}: {len(diagnostics)} stanza(s) skipped by lenient "
+            "parsing; coverage is reduced"
+        )
+        notes.extend(f"  {diagnostic.render()}" for diagnostic in diagnostics)
+    return notes
+
+
 def render_report(report: CampionReport) -> str:
     """The full report for a router pair."""
     sections: List[str] = [
@@ -295,8 +310,20 @@ def render_report(report: CampionReport) -> str:
         f"Total differences: {report.total_differences()}",
         "",
     ]
+    notes = _coverage_notes(report)
+    if notes:
+        sections.extend(notes)
+        sections.append("")
     if report.is_equivalent():
-        sections.append("No differences found: configurations are behaviorally equivalent.")
+        if notes:
+            sections.append(
+                "No differences found in the analyzed components "
+                "(coverage reduced; see notes above)."
+            )
+        else:
+            sections.append(
+                "No differences found: configurations are behaviorally equivalent."
+            )
         return "\n".join(sections)
     for index, difference in enumerate(report.semantic, start=1):
         sections.append(f"Difference {index} (semantic)")

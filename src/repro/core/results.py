@@ -20,10 +20,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..bdd import Bdd
+from ..diagnostics import Diagnostic
 from ..encoding.classes import EquivalenceClass
 from ..model.types import SourceSpan
 
 __all__ = [
+    "AbortedAnalysis",
     "ComponentKind",
     "SemanticDifference",
     "StructuralDifference",
@@ -118,6 +120,26 @@ class StructuralDifference:
 
 
 @dataclass(frozen=True)
+class AbortedAnalysis:
+    """One component whose comparison was aborted by a resource budget.
+
+    A BDD blow-up on one pathological route map must not take down the
+    whole run: the offending component is reported as *aborted* (with
+    the budget that tripped) while every other component's verdict —
+    still sound per Theorem 3.3 — stands.
+    """
+
+    kind: ComponentKind
+    component: str  # e.g. "route map POL", "ACL 101"
+    reason: str  # human-readable abort cause
+    resource: str = ""  # "nodes" | "deadline" | "" when unknown
+
+    def render(self) -> str:
+        """One-line rendering for text reports."""
+        return f"[{self.kind.value}] {self.component}: analysis aborted: {self.reason}"
+
+
+@dataclass(frozen=True)
 class UnmatchedPolicy:
     """A policy/structure that MatchPolicies could not pair."""
 
@@ -137,6 +159,12 @@ class CampionReport:
     semantic: List[SemanticDifference] = field(default_factory=list)
     structural: List[StructuralDifference] = field(default_factory=list)
     unmatched: List[UnmatchedPolicy] = field(default_factory=list)
+    # Components whose analysis tripped a resource budget and was
+    # skipped; their verdict is unknown, everything else's stands.
+    aborted: List[AbortedAnalysis] = field(default_factory=list)
+    # Error-severity parse diagnostics per hostname (lenient parsing
+    # skipped stanzas Campion models, so coverage is reduced).
+    parse_diagnostics: Dict[str, List[Diagnostic]] = field(default_factory=dict)
 
     def total_differences(self) -> int:
         """Count of all differences of every kind."""
@@ -144,8 +172,19 @@ class CampionReport:
 
     def is_equivalent(self) -> bool:
         """Campion's verdict: no differences of any kind (Theorem 3.3's
-        hypothesis holds, so behavior is guaranteed equivalent)."""
-        return self.total_differences() == 0
+        hypothesis holds, so behavior is guaranteed equivalent).
+
+        An aborted component blocks the claim — its verdict is unknown,
+        so the pair cannot be pronounced equivalent.
+        """
+        return self.total_differences() == 0 and not self.aborted
+
+    def is_degraded(self) -> bool:
+        """Whether the verdict covers less than the full configurations
+        (budget-aborted components or stanzas lenient parsing skipped)."""
+        return bool(self.aborted) or any(
+            diagnostics for diagnostics in self.parse_diagnostics.values()
+        )
 
     def by_kind(self, kind: ComponentKind) -> List[object]:
         """All differences belonging to one Table 1 component."""

@@ -160,15 +160,24 @@ def diff_route_maps(
     router2: str = "router2",
     context: str = "",
     space: Optional[RouteSpace] = None,
+    node_limit: Optional[int] = None,
+    time_budget: Optional[float] = None,
 ) -> Tuple[RouteSpace, List[SemanticDifference]]:
     """SemanticDiff on two route maps.
 
     Builds (or reuses) a :class:`RouteSpace` whose vocabulary covers both
     policies and returns it with the differences so the caller can run
     HeaderLocalize and decode witnesses in the same space.
+
+    ``node_limit``/``time_budget`` arm a resource budget on the space's
+    BDD manager (see :meth:`BddManager.set_budget`); a blow-up then
+    raises :class:`~repro.bdd.AnalysisBudgetExceeded` for the caller to
+    convert into a per-component aborted result.
     """
     if space is None:
         space = RouteSpace([map1, map2])
+    if node_limit is not None or time_budget is not None:
+        space.manager.set_budget(node_limit=node_limit, time_budget=time_budget)
     classes1 = route_map_equivalence_classes(space, map1)
     classes2 = route_map_equivalence_classes(space, map2)
     differences = semantic_diff_classes(
@@ -184,10 +193,18 @@ def diff_acls(
     router2: str = "router2",
     context: str = "",
     space: Optional[PacketSpace] = None,
+    node_limit: Optional[int] = None,
+    time_budget: Optional[float] = None,
 ) -> Tuple[PacketSpace, List[SemanticDifference]]:
-    """SemanticDiff on two ACLs over a shared packet space."""
+    """SemanticDiff on two ACLs over a shared packet space.
+
+    ``node_limit``/``time_budget`` arm a resource budget on the space's
+    BDD manager; see :func:`diff_route_maps`.
+    """
     if space is None:
         space = PacketSpace()
+    if node_limit is not None or time_budget is not None:
+        space.manager.set_budget(node_limit=node_limit, time_budget=time_budget)
     classes1 = acl_equivalence_classes(space, acl1)
     classes2 = acl_equivalence_classes(space, acl2)
     differences = semantic_diff_classes(

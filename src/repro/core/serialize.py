@@ -18,7 +18,9 @@ from .results import CampionReport, SemanticDifference, StructuralDifference
 
 __all__ = ["report_to_dict", "report_to_json"]
 
-SCHEMA_VERSION = 1
+# v2: adds "degraded", "aborted" (budget-tripped components), and
+# "parse_diagnostics" (stanzas lenient parsing skipped, per router).
+SCHEMA_VERSION = 2
 
 
 def _span_to_dict(span: SourceSpan) -> Optional[Dict]:
@@ -99,7 +101,21 @@ def report_to_dict(report: CampionReport) -> Dict:
         "router1": report.router1,
         "router2": report.router2,
         "equivalent": report.is_equivalent(),
+        "degraded": report.is_degraded(),
         "total_differences": report.total_differences(),
+        "aborted": [
+            {
+                "kind": a.kind.value,
+                "component": a.component,
+                "reason": a.reason,
+                "resource": a.resource,
+            }
+            for a in report.aborted
+        ],
+        "parse_diagnostics": {
+            hostname: [d.to_dict() for d in diagnostics]
+            for hostname, diagnostics in sorted(report.parse_diagnostics.items())
+        },
         "semantic": [_semantic_to_dict(d) for d in report.semantic],
         "structural": [_structural_to_dict(d) for d in report.structural],
         "unmatched": [

@@ -1,0 +1,145 @@
+"""Structured diagnostics for degraded-but-useful analysis runs.
+
+Campion's value is auditing *real* operator configurations (§5), which
+are routinely partially unparseable: a vendor feature outside Table 1,
+a typo'd stanza, a dialect quirk.  A tool that dies on the first bad
+line never reaches the bugs it was pointed at.  This module is the
+shared vocabulary for degrading per-component instead of globally:
+
+* :class:`Diagnostic` — one structured record of something that was
+  skipped, with severity, file/line provenance (a
+  :class:`~repro.model.types.SourceSpan`) and a human reason.
+* :class:`DiagnosticSink` — the accumulator parsers and analyses write
+  into.  In *strict* mode an error-severity diagnostic raises
+  :class:`~repro.model.types.ConfigError` immediately (the historical
+  fail-fast behavior); in *lenient* mode (the default for the CLI) it is
+  recorded and the caller skips the offending construct, keeping line
+  provenance so reports can flag reduced coverage.
+
+The severity split matters for exit codes: ``WARNING`` means "construct
+outside the modeled feature set, ignored by design" (Campion's §5.1
+behavior), ``ERROR`` means "construct we *should* model but could not
+parse" — an error-bearing run is *degraded* and the CLI reports it with
+exit code 3 instead of silently claiming equivalence.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from .model.types import ConfigError, SourceSpan
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "DiagnosticSink",
+]
+
+
+class Severity(enum.Enum):
+    """How much a skipped construct undermines the analysis verdict."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One record-and-skip event with full provenance."""
+
+    severity: Severity
+    reason: str
+    span: SourceSpan = field(default_factory=SourceSpan)
+    component: str = ""  # e.g. "route-map POL", "" when not attributable
+
+    def render(self) -> str:
+        """One-line human rendering: ``file:line: severity: reason``."""
+        location = self.span.filename
+        if self.span.start_line:
+            location += f":{self.span.start_line}"
+        parts = [location, self.severity.value, self.reason]
+        if self.component:
+            parts[2] = f"{self.reason} ({self.component})"
+        return ": ".join(parts)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form for serialized reports."""
+        return {
+            "severity": self.severity.value,
+            "reason": self.reason,
+            "component": self.component,
+            "file": self.span.filename,
+            "line": self.span.start_line or None,
+        }
+
+
+class DiagnosticSink:
+    """Accumulates diagnostics; raises instead when ``strict`` is set.
+
+    One sink per parsed file (or per analysis run).  The sink is the
+    single decision point for strict-vs-lenient so parsers never need
+    ``if strict`` branches: they call :meth:`error` and either get an
+    exception (strict) or a recorded diagnostic plus permission to skip
+    (lenient).
+    """
+
+    def __init__(self, strict: bool = False, filename: str = "<config>"):
+        self.strict = strict
+        self.filename = filename
+        self.diagnostics: List[Diagnostic] = []
+
+    # -- recording ---------------------------------------------------------
+    def warning(
+        self, reason: str, span: Optional[SourceSpan] = None, component: str = ""
+    ) -> None:
+        """Record an ignored-by-design construct (never raises)."""
+        self.diagnostics.append(
+            Diagnostic(
+                severity=Severity.WARNING,
+                reason=reason,
+                span=span if span is not None else SourceSpan(filename=self.filename),
+                component=component,
+            )
+        )
+
+    def error(
+        self, reason: str, span: Optional[SourceSpan] = None, component: str = ""
+    ) -> None:
+        """Record an unparseable construct, or raise in strict mode."""
+        span = span if span is not None else SourceSpan(filename=self.filename)
+        if self.strict:
+            location = span.filename
+            if span.start_line:
+                location += f":{span.start_line}"
+            raise ConfigError(f"{location}: {reason}")
+        self.diagnostics.append(
+            Diagnostic(
+                severity=Severity.ERROR, reason=reason, span=span, component=component
+            )
+        )
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        """Absorb another sink's records (e.g. sub-parser into parent)."""
+        self.diagnostics.extend(diagnostics)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def errors(self) -> List[Diagnostic]:
+        """Error-severity records (the run is degraded when non-empty)."""
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        """Warning-severity records."""
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def is_degraded(self) -> bool:
+        """Whether any error-severity diagnostic was recorded."""
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def render_summary(self) -> str:
+        """All diagnostics, one per line, errors first."""
+        ordered = self.errors + self.warnings
+        return "\n".join(d.render() for d in ordered)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..diagnostics import Diagnostic, Severity
 from .acl import Acl
 from .bgp import BgpProcess
 from .interface import Interface
@@ -54,6 +55,19 @@ class DeviceConfig:
         default_factory=lambda: dict(DEFAULT_ADMIN_DISTANCES)
     )
     raw_lines: Tuple[str, ...] = ()
+    # Parse diagnostics (lenient mode records-and-skips; see
+    # repro.diagnostics).  Error severity means a stanza we model could
+    # not be parsed, so comparisons over this device have reduced
+    # coverage and reports must say so.
+    diagnostics: Tuple[Diagnostic, ...] = ()
+
+    def parse_errors(self) -> List[Diagnostic]:
+        """Error-severity parse diagnostics (skipped modeled stanzas)."""
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    def parse_degraded(self) -> bool:
+        """Whether lenient parsing skipped stanzas Campion models."""
+        return bool(self.parse_errors())
 
     def connected_routes(self) -> List[ConnectedRoute]:
         """Connected routes contributed by addressed, enabled interfaces."""

@@ -75,19 +75,27 @@ from .common import NumberedLine, ParseContext, number_lines
 __all__ = ["parse_cisco"]
 
 
-def parse_cisco(text: str, filename: str = "<cisco-config>") -> DeviceConfig:
-    """Parse a Cisco IOS configuration into a DeviceConfig."""
+def parse_cisco(
+    text: str, filename: str = "<cisco-config>", strict: bool = False
+) -> DeviceConfig:
+    """Parse a Cisco IOS configuration into a DeviceConfig.
+
+    In the default lenient mode an unparseable stanza is recorded as an
+    error-severity :class:`~repro.diagnostics.Diagnostic` (with line
+    provenance) on the returned device and skipped; ``strict=True``
+    restores fail-fast :class:`ConfigError` behavior.
+    """
     with perf.timer("parse.cisco"):
-        parser = _CiscoParser(text, filename)
+        parser = _CiscoParser(text, filename, strict=strict)
         device = parser.parse()
     perf.add("parse.cisco.lines", len(parser.lines))
     return device
 
 
 class _CiscoParser:
-    def __init__(self, text: str, filename: str):
+    def __init__(self, text: str, filename: str, strict: bool = False):
         self.lines = number_lines(text)
-        self.context = ParseContext(filename)
+        self.context = ParseContext(filename, strict=strict)
         self.device = DeviceConfig(
             hostname="cisco-router", vendor="cisco", filename=filename
         )
@@ -150,9 +158,16 @@ class _CiscoParser:
                 else:
                     self.context.warn(line, "unsupported top-level statement")
                     index += 1
-            except ConfigError as exc:
-                self.context.warn(line, f"parse error: {exc}")
-                index += 1
+            except (ConfigError, ValueError, IndexError, KeyError) as exc:
+                # A stanza Campion models but could not parse: record it
+                # (raising in strict mode) and skip the whole block so a
+                # bad header does not shower its body in bogus warnings.
+                message = str(exc)
+                location = f"{self.context.filename}:{line.number}: "
+                if message.startswith(location):
+                    message = message[len(location) :]
+                self.context.error(line, f"parse error: {message}")
+                index = max(index + 1, self._block_end(index))
         return self._assemble()
 
     def _block_end(self, start: int) -> int:
@@ -780,6 +795,7 @@ class _CiscoParser:
             )
 
         self._assemble_ospf()
+        device.diagnostics = tuple(self.context.diagnostics)
         return device
 
     def _resolve_clause(self, clause: RouteMapClause) -> RouteMapClause:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from ..diagnostics import Diagnostic, DiagnosticSink, Severity
 from ..model.types import ConfigError, SourceSpan
 
 __all__ = ["NumberedLine", "number_lines", "ParserWarning", "ParseContext"]
@@ -59,15 +60,41 @@ class ParserWarning:
 
 
 class ParseContext:
-    """Accumulates warnings and provides error helpers during a parse."""
+    """Accumulates warnings/diagnostics and error helpers during a parse.
 
-    def __init__(self, filename: str):
+    ``strict`` selects the failure policy for *unparseable* stanzas (the
+    ones a parser routes through :meth:`error`): strict raises
+    :class:`ConfigError` at the first one, lenient records a
+    :class:`~repro.diagnostics.Diagnostic` and lets the parser skip the
+    stanza.  Ignored-by-design constructs always go through
+    :meth:`warn`, which never fails in either mode.
+    """
+
+    def __init__(self, filename: str, strict: bool = False):
         self.filename = filename
+        self.strict = strict
         self.warnings: List[ParserWarning] = []
+        self.sink = DiagnosticSink(strict=strict, filename=filename)
+
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        """All structured records collected so far."""
+        return self.sink.diagnostics
 
     def warn(self, line: NumberedLine, reason: str) -> None:
-        """Record a non-fatal parse issue."""
+        """Record a non-fatal parse issue (unsupported-by-design)."""
         self.warnings.append(ParserWarning(line.number, line.stripped, reason))
+        self.sink.warning(reason, span=line.span(self.filename))
+
+    def error(self, line: NumberedLine, reason: str) -> None:
+        """Record an unparseable stanza — raises in strict mode."""
+        self.sink.error(reason, span=line.span(self.filename))
+        self.warnings.append(ParserWarning(line.number, line.stripped, reason))
+
+    def error_span(self, span: SourceSpan, reason: str) -> None:
+        """Record an unparseable region — raises in strict mode."""
+        self.sink.error(reason, span=span)
+        self.warnings.append(ParserWarning(span.start_line, span.render(), reason))
 
     def fail(self, line: NumberedLine, reason: str) -> ConfigError:
         """Build a ConfigError pointing at ``line``."""

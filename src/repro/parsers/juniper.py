@@ -244,10 +244,18 @@ def parse_junos_tree(text: str, context: ParseContext) -> JunosStatement:
 # ---------------------------------------------------------------------------
 
 
-def parse_juniper(text: str, filename: str = "<junos-config>") -> DeviceConfig:
-    """Parse a JunOS configuration into a DeviceConfig."""
+def parse_juniper(
+    text: str, filename: str = "<junos-config>", strict: bool = False
+) -> DeviceConfig:
+    """Parse a JunOS configuration into a DeviceConfig.
+
+    In the default lenient mode an unparseable stanza is recorded as an
+    error-severity :class:`~repro.diagnostics.Diagnostic` (with line
+    provenance) on the returned device and skipped; ``strict=True``
+    restores fail-fast :class:`ConfigError` behavior.
+    """
     with perf.timer("parse.juniper"):
-        context = ParseContext(filename)
+        context = ParseContext(filename, strict=strict)
         tree = parse_junos_tree(text, context)
         interpreter = _JunosInterpreter(text, filename, tree, context)
         device = interpreter.interpret()
@@ -276,25 +284,42 @@ class _JunosInterpreter:
 
     def _warn(self, statement: JunosStatement, reason: str) -> None:
         self.context.warnings.append(_warning(statement, reason))
+        self.context.sink.warning(reason, span=self._header(statement))
+
+    def _guarded(self, interpret, statement: JunosStatement) -> None:
+        """Run one stanza's interpreter, recording-and-skipping failures.
+
+        Strict mode re-raises (via the sink) at the first unparseable
+        stanza; lenient mode keeps the stanza's span in the diagnostics
+        so reports can flag the reduced coverage.
+        """
+        try:
+            interpret(statement)
+        except (ConfigError, ValueError, IndexError, KeyError) as exc:
+            self.context.error_span(
+                self._header(statement),
+                f"parse error in {' '.join(statement.words) or 'stanza'}: {exc}",
+            )
 
     # -- top level -----------------------------------------------------------
     def interpret(self) -> DeviceConfig:
         for statement in self.tree.children:
             head = statement.head
             if head == "system":
-                self._interpret_system(statement)
+                self._guarded(self._interpret_system, statement)
             elif head == "interfaces":
-                self._interpret_interfaces(statement)
+                self._guarded(self._interpret_interfaces, statement)
             elif head == "routing-options":
-                self._interpret_routing_options(statement)
+                self._guarded(self._interpret_routing_options, statement)
             elif head == "policy-options":
                 self._interpret_policy_options(statement)
             elif head == "protocols":
-                self._interpret_protocols(statement)
+                self._guarded(self._interpret_protocols, statement)
             elif head == "firewall":
-                self._interpret_firewall(statement)
+                self._guarded(self._interpret_firewall, statement)
             else:
                 self._warn(statement, "unsupported top-level stanza")
+        self.device.diagnostics = tuple(self.context.diagnostics)
         return self.device
 
     def _interpret_system(self, system: JunosStatement) -> None:
@@ -397,13 +422,13 @@ class _JunosInterpreter:
         for statement in policy_options.children:
             head = statement.head
             if head == "prefix-list":
-                self._interpret_prefix_list(statement)
+                self._guarded(self._interpret_prefix_list, statement)
             elif head == "community":
-                self._interpret_community(statement)
+                self._guarded(self._interpret_community, statement)
             elif head == "as-path":
-                self._interpret_as_path(statement)
+                self._guarded(self._interpret_as_path, statement)
             elif head == "policy-statement":
-                self._interpret_policy_statement(statement)
+                self._guarded(self._interpret_policy_statement, statement)
             else:
                 self._warn(statement, "unsupported policy-options stanza")
 

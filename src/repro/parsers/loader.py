@@ -35,18 +35,30 @@ _JUNIPER_MARKERS = (
 )
 
 
-def detect_dialect(text: str) -> str:
-    """Guess ``"cisco"`` or ``"juniper"`` from configuration text."""
+def detect_dialect(text: str, filename: str = "<config>") -> str:
+    """Guess ``"cisco"`` or ``"juniper"`` from configuration text.
+
+    An empty (or whitespace-only) configuration gets its own spanful
+    error naming the file — "cannot detect dialect" on an empty file
+    sends an operator hunting for markers that are not there.
+    """
+    if not text.strip():
+        raise ConfigError(f"empty configuration: {filename}")
     if "{" in text and "}" in text:
         return "juniper"
     cisco_score = sum(text.count(marker) for marker in _CISCO_MARKERS)
     juniper_score = sum(text.count(marker) for marker in _JUNIPER_MARKERS)
     if cisco_score == 0 and juniper_score == 0:
-        raise ConfigError("cannot detect configuration dialect")
+        raise ConfigError(f"cannot detect configuration dialect: {filename}")
     return "cisco" if cisco_score >= juniper_score else "juniper"
 
 
-def parse_config(text: str, filename: str = "<config>", dialect: str = "auto") -> DeviceConfig:
+def parse_config(
+    text: str,
+    filename: str = "<config>",
+    dialect: str = "auto",
+    strict: bool = False,
+) -> DeviceConfig:
     """Parse text in the given (or detected) dialect.
 
     ``arista`` is accepted as an alias for the Cisco parser: EOS syntax
@@ -54,20 +66,28 @@ def parse_config(text: str, filename: str = "<config>", dialect: str = "auto") -
     how the paper's tool covers "any vendor format Batfish supports"
     beyond its two unparsed dialects (§4).  The device is tagged with
     its real vendor so reports stay honest.
+
+    ``strict`` selects fail-fast parsing; the default lenient mode
+    records unparseable stanzas on ``DeviceConfig.diagnostics`` and
+    skips them (see :mod:`repro.diagnostics`).
     """
     if dialect == "auto":
-        dialect = detect_dialect(text)
+        dialect = detect_dialect(text, filename)
     if dialect in ("cisco", "arista"):
-        device = parse_cisco(text, filename)
+        device = parse_cisco(text, filename, strict=strict)
         if dialect == "arista":
             device.vendor = "arista"
         return device
     if dialect == "juniper":
-        return parse_juniper(text, filename)
+        return parse_juniper(text, filename, strict=strict)
     raise ConfigError(f"unknown dialect {dialect!r}")
 
 
-def load_config(path: Union[str, pathlib.Path], dialect: str = "auto") -> DeviceConfig:
+def load_config(
+    path: Union[str, pathlib.Path], dialect: str = "auto", strict: bool = False
+) -> DeviceConfig:
     """Read and parse a configuration file."""
     path = pathlib.Path(path)
-    return parse_config(path.read_text(), filename=str(path), dialect=dialect)
+    return parse_config(
+        path.read_text(), filename=str(path), dialect=dialect, strict=strict
+    )

@@ -21,7 +21,10 @@ def report():
 class TestSchema:
     def test_top_level_fields(self, report):
         data = report_to_dict(report)
-        assert data["schema_version"] == 1
+        assert data["schema_version"] == 2
+        assert data["degraded"] is False
+        assert data["aborted"] == []
+        assert data["parse_diagnostics"] == {}
         assert data["router1"] == "cisco_router"
         assert data["router2"] == "juniper_router"
         assert data["equivalent"] is False

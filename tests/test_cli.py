@@ -113,6 +113,82 @@ class TestFleet:
         assert main(["fleet"] + paths) == 0
 
 
+class TestExitCodes:
+    """The scripting contract: 0 equivalent, 1 differences, 2 usage or
+    parse error, 3 partial/degraded — and never a traceback."""
+
+    BROKEN = CISCO_FIGURE1 + "\nroute-map BROKEN permit\n match ip address prefix-list\n"
+
+    def test_missing_file_exits_two(self, capsys):
+        assert main(["compare", "nope.cfg", "also-nope.cfg"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("campion: error:")
+        assert "nope.cfg" in err
+        assert "Traceback" not in err
+
+    def test_empty_file_exits_two(self, tmp_path, capsys):
+        empty = tmp_path / "empty.cfg"
+        empty.write_text("   \n\n")
+        assert main(["parse", str(empty)]) == 2
+        assert "empty configuration" in capsys.readouterr().err
+
+    def test_strict_parse_error_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.cfg"
+        bad.write_text(self.BROKEN)
+        assert main(["--strict", "parse", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "parse error" in err and "Traceback" not in err
+
+    def test_lenient_parse_exits_three_with_diagnostics(self, tmp_path, capsys):
+        bad = tmp_path / "bad.cfg"
+        bad.write_text(self.BROKEN)
+        assert main(["parse", str(bad)]) == 3
+        captured = capsys.readouterr()
+        assert "route maps:      1" in captured.out  # healthy stanzas parsed
+        assert "error: parse error" in captured.err
+
+    def test_lenient_compare_exits_three(self, tmp_path, capsys):
+        first = tmp_path / "a.cfg"
+        second = tmp_path / "b.cfg"
+        first.write_text(self.BROKEN)
+        second.write_text(
+            self.BROKEN.replace("hostname cisco_router", "hostname other")
+        )
+        assert main(["compare", str(first), str(second)]) == 3
+        assert "lenient parsing" in capsys.readouterr().out
+
+    def test_node_limit_exits_three(self, config_files, capsys):
+        cisco, juniper = config_files
+        assert main(["compare", "--node-limit", "50", cisco, juniper]) == 3
+        assert "analysis aborted" in capsys.readouterr().out
+
+    def test_fleet_duplicate_hostname_exits_two(self, tmp_path, capsys):
+        first = tmp_path / "a.cfg"
+        second = tmp_path / "b.cfg"
+        first.write_text(CISCO_FIGURE1)
+        second.write_text(CISCO_FIGURE1)
+        assert main(["fleet", str(first), str(second)]) == 2
+        err = capsys.readouterr().err
+        assert "hostnames must be unique" in err
+        assert "cisco_router" in err
+
+    def test_fleet_missing_file_exits_two(self, tmp_path, capsys):
+        first = tmp_path / "a.cfg"
+        first.write_text(CISCO_FIGURE1)
+        assert main(["fleet", str(first), "missing.cfg"]) == 2
+        assert "missing.cfg" in capsys.readouterr().err
+
+    def test_fleet_too_few_devices_exits_two(self, config_files, capsys):
+        cisco, _ = config_files
+        assert main(["fleet", cisco]) == 2
+        assert "at least two devices" in capsys.readouterr().err
+
+    def test_fleet_unknown_reference_exits_two(self, config_files, capsys):
+        cisco, juniper = config_files
+        assert main(["fleet", "--reference", "ghost", cisco, juniper]) == 2
+        assert "ghost" in capsys.readouterr().err
+
+
 class TestTranslate:
     def test_translate_verified(self, tmp_path, capsys):
         from repro.workloads.datacenter import _cisco_tor
