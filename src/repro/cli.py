@@ -9,6 +9,9 @@ Subcommands:
 * ``campion baseline A.cfg B.cfg`` — run the Minesweeper-style
   monolithic check instead (single counterexample, no localization),
   for side-by-side comparison of the two interfaces.
+* ``campion selfcheck`` — run the differential-testing oracle
+  (``repro.oracle``) on seeded generated workloads; any failure prints
+  a minimal reproducer with its case seed.
 
 Exit codes form a contract for scripting and CI:
 
@@ -160,6 +163,20 @@ def _cmd_translate(args: argparse.Namespace) -> int:
     return EXIT_DIFFERENCES
 
 
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    from .oracle import run_selfcheck
+
+    def progress(done: int, total: int) -> None:
+        if args.progress and (done % 10 == 0 or done == total):
+            print(f"campion: selfcheck {done}/{total} pairs", file=sys.stderr)
+
+    result = run_selfcheck(
+        seed=args.seed, pairs=args.pairs, on_progress=progress
+    )
+    print(result.render())
+    return EXIT_EQUIVALENT if result.passed else EXIT_DIFFERENCES
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     devices = [_load(args, path) for path in args.configs]
     try:
@@ -272,6 +289,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     add_budget_flags(fleet_parser)
     fleet_parser.set_defaults(func=_cmd_fleet)
+
+    selfcheck_parser = subparsers.add_parser(
+        "selfcheck",
+        help="differential-test the analysis pipeline against a brute-force oracle",
+    )
+    selfcheck_parser.add_argument(
+        "--seed", type=int, default=0, help="run seed (default: 0)"
+    )
+    selfcheck_parser.add_argument(
+        "--pairs",
+        type=int,
+        default=50,
+        help="number of generated component pairs to check (default: 50)",
+    )
+    selfcheck_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print progress to stderr every 10 pairs",
+    )
+    selfcheck_parser.set_defaults(func=_cmd_selfcheck)
 
     translate_parser = subparsers.add_parser(
         "translate", help="render a config in the other dialect and verify it"

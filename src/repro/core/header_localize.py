@@ -14,7 +14,12 @@ those ranges.  The algorithm is the paper's:
    the complement); otherwise recurse into children and union;
 3. flatten nested differences in one pass: ``C − (F − G)`` becomes
    ``{C − F, G}`` (valid because nested terms always denote subsets of
-   their enclosing range in a containment DAG).
+   their enclosing range in a containment DAG);
+4. prune the flat union down to a *minimal* cover: flattening can
+   surface a nested term that another branch of the DAG already covers
+   (two overlapping parents whose match parts nest), so redundant flat
+   terms are dropped — checked semantically against the BDD — until no
+   term is covered by the union of the rest.
 
 The same machinery handles route maps (ranges are
 :class:`~repro.model.types.PrefixRange` over the advertisement's
@@ -39,6 +44,7 @@ __all__ = [
     "GetMatchStats",
     "get_match",
     "flatten_terms",
+    "minimal_flat_terms",
     "header_localize",
 ]
 
@@ -109,21 +115,14 @@ class Localization(Generic[ElementT]):
     @property
     def included(self) -> List[ElementT]:
         """The positive ranges (Included Prefixes row)."""
-        seen: List[ElementT] = []
-        for term in self.terms:
-            if term.range not in seen:
-                seen.append(term.range)
-        return seen
+        return _unique_in_order(term.range for term in self.terms)
 
     @property
     def excluded(self) -> List[ElementT]:
         """The subtracted ranges (Excluded Prefixes row)."""
-        seen: List[ElementT] = []
-        for term in self.terms:
-            for minus in term.minus:
-                if minus not in seen:
-                    seen.append(minus)
-        return seen
+        return _unique_in_order(
+            minus for term in self.terms for minus in term.minus
+        )
 
     def render(self) -> str:
         """Union of the flat terms, rendered."""
@@ -228,14 +227,27 @@ def get_match(
     return _dedupe(terms)
 
 
+def _unique_in_order(items) -> List:
+    """Hash-based order-preserving dedup.
+
+    All the dedup sites (terms, ranges) previously did ``item not in
+    seen`` against a list, degrading large localizations to O(n²);
+    terms and ranges are hashable, so a set membership check keeps each
+    pass linear.
+    """
+    seen: set = set()
+    unique: List = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            unique.append(item)
+    return unique
+
+
 def _dedupe(terms: List[MatchTerm[ElementT]]) -> List[MatchTerm[ElementT]]:
     """Drop duplicate terms (a node reachable via two parents is visited
     twice in a DAG traversal)."""
-    seen: List[MatchTerm[ElementT]] = []
-    for term in terms:
-        if term not in seen:
-            seen.append(term)
-    return seen
+    return _unique_in_order(terms)
 
 
 def flatten_terms(terms: Sequence[MatchTerm[ElementT]]) -> List[FlatTerm[ElementT]]:
@@ -255,11 +267,51 @@ def flatten_terms(terms: Sequence[MatchTerm[ElementT]]) -> List[FlatTerm[Element
     for term in terms:
         emit(term)
     # Deduplicate while preserving discovery order.
-    unique: List[FlatTerm[ElementT]] = []
-    for term in flat:
-        if term not in unique:
-            unique.append(term)
-    return unique
+    return _unique_in_order(flat)
+
+
+def minimal_flat_terms(
+    flat: Sequence[FlatTerm[ElementT]],
+    to_pred: Callable[[ElementT], Bdd],
+    manager,
+) -> List[FlatTerm[ElementT]]:
+    """Drop flat terms semantically covered by the union of the rest.
+
+    GetMatch prunes redundant *nested* terms at every DAG level, but
+    flattening can still surface a redundant piece: when two overlapping
+    parents both exclude parts of the affected set, the matching part
+    recovered under one parent (say ``G1 = G2 ∩ X1``) may be strictly
+    contained in the part recovered under the other (``G2``), and both
+    surface as stand-alone flat terms.  The paper's output is the
+    *minimal* representation, so we greedily keep only non-redundant
+    terms, preferring structurally simpler (fewer subtrahends) ones.
+    The greedy drop preserves the denoted union exactly: a term is only
+    dropped while the remaining candidates still cover it.
+    """
+    unique = _unique_in_order(flat)
+    if len(unique) <= 1:
+        return list(unique)
+
+    def denote(term: FlatTerm[ElementT]) -> Bdd:
+        result = to_pred(term.range)
+        for subtrahend in term.minus:
+            result = result - to_pred(subtrahend)
+        return result
+
+    ordered = sorted(unique, key=lambda t: (len(t.minus), repr(t.range)))
+    denotations = {id(term): denote(term) for term in ordered}
+    kept: List[FlatTerm[ElementT]] = []
+    for index, term in enumerate(ordered):
+        rest = kept + ordered[index + 1 :]
+        union_rest = manager.disjoin(denotations[id(t)] for t in rest)
+        if not denotations[id(term)].implies(union_rest):
+            kept.append(term)
+    if len(kept) == len(unique):
+        return list(unique)
+    perf.add("header_localize.flat_terms_pruned", len(unique) - len(kept))
+    # Preserve discovery order for the survivors.
+    survivors = {id(term) for term in kept}
+    return [term for term in unique if id(term) in survivors]
 
 
 def header_localize(
@@ -268,12 +320,16 @@ def header_localize(
     algebra: RangeAlgebra[ElementT],
     to_pred: Callable[[ElementT], Bdd],
 ) -> Localization[ElementT]:
-    """End-to-end HeaderLocalize: DAG build, GetMatch, flattening."""
+    """End-to-end HeaderLocalize: DAG build, GetMatch, flattening, and
+    the final minimality prune over the flat terms."""
     with perf.timer("header_localize"):
         stats = GetMatchStats()
         dag = build_dag(ranges, algebra)
         terms = get_match(affected, dag, to_pred, stats)
-        localization = Localization(terms=tuple(flatten_terms(terms)), stats=stats)
+        flat = minimal_flat_terms(
+            flatten_terms(terms), to_pred, affected.manager
+        )
+        localization = Localization(terms=tuple(flat), stats=stats)
     perf.add("header_localize.ranges", len(ranges))
     perf.add("header_localize.terms", len(localization.terms))
     return localization

@@ -18,6 +18,7 @@ first-match oracle).
 from __future__ import annotations
 
 import weakref
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import perf
@@ -34,11 +35,18 @@ from ..model.routemap import RouteMap
 from .results import ComponentKind, SemanticDifference
 
 __all__ = [
+    "canonical_action_key",
     "semantic_diff_classes",
     "diff_route_maps",
     "diff_acls",
 ]
 
+
+#: Entries kept per manager in the union memo.  A pairing computes the
+#: unions for two class lists; fleet runs reuse one side across many
+#: peers, so a handful of slots captures all the reuse while bounding
+#: the memo for long-lived managers.
+_UNION_CACHE_SIZE = 8
 
 # Per-manager memo of per-action unions, keyed by the identity of the
 # class list handed to SemanticDiff: fleet comparisons and repeated
@@ -48,12 +56,30 @@ __all__ = [
 # keep that true, the memo stores raw node ids, never Bdd handles: a
 # handle's ``.manager`` attribute would strongly reference the weak key
 # through the value and pin the manager (and its caches) forever.
-_union_cache: "weakref.WeakKeyDictionary[BddManager, Dict]" = weakref.WeakKeyDictionary()
+# Each inner memo is a small LRU (an OrderedDict in recency order): one
+# partition diffed against many peers would otherwise accumulate an
+# entry per distinct class-list key for the manager's whole lifetime.
+_union_cache: "weakref.WeakKeyDictionary[BddManager, OrderedDict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def canonical_action_key(action: object):
+    """The canonical comparison key of a class's action.
+
+    SemanticDiff compares actions by their canonical *description* when
+    the action type provides one (``RouteMapAction.describe()`` renders
+    the normalized disposition) and by the action value itself otherwise
+    (``AclAction``).  Every comparison site — the agreement-region
+    pruning, the pairwise loop, and the differential-testing oracle —
+    must use this one key: mixing ``describe()``-keying with ``__eq__``
+    yields spurious or missed differences whenever the two disagree.
+    """
+    return action.describe() if hasattr(action, "describe") else action
 
 
 def _action_key(cls: EquivalenceClass):
-    action = cls.action
-    return action.describe() if hasattr(action, "describe") else action
+    return canonical_action_key(cls.action)
 
 
 def _action_unions(classes: Sequence[EquivalenceClass]) -> Dict:
@@ -66,11 +92,12 @@ def _action_unions(classes: Sequence[EquivalenceClass]) -> Dict:
     manager = classes[0].predicate.manager
     per_manager = _union_cache.get(manager)
     if per_manager is None:
-        per_manager = _union_cache.setdefault(manager, {})
+        per_manager = _union_cache.setdefault(manager, OrderedDict())
     key = tuple((cls.predicate.node, _action_key(cls)) for cls in classes)
     union_nodes = per_manager.get(key)
     if union_nodes is not None:
         perf.add("semantic_diff.union_cache_hits")
+        per_manager.move_to_end(key)
     else:
         by_action: Dict = {}
         for cls in classes:
@@ -80,6 +107,9 @@ def _action_unions(classes: Sequence[EquivalenceClass]) -> Dict:
             for action, predicates in by_action.items()
         }
         per_manager[key] = union_nodes
+        while len(per_manager) > _UNION_CACHE_SIZE:
+            per_manager.popitem(last=False)
+            perf.add("semantic_diff.union_cache_evictions")
     return {action: Bdd(manager, node) for action, node in union_nodes.items()}
 
 
@@ -125,12 +155,21 @@ def semantic_diff_classes(
         if disagree.is_false():
             perf.add("semantic_diff.classes", len(classes1) + len(classes2))
             return differences
-        candidates2 = [cls for cls in classes2 if cls.predicate.intersects(disagree)]
+        # Compare actions with the same canonical key the agreement-region
+        # pruning used: keying one side by ``describe()`` and the other by
+        # ``__eq__`` emits spurious differences inside the agreement region
+        # (and misses real ones) whenever the two notions disagree.
+        candidates2 = [
+            (cls, _action_key(cls))
+            for cls in classes2
+            if cls.predicate.intersects(disagree)
+        ]
         for class1 in classes1:
             if not class1.predicate.intersects(disagree):
                 continue
-            for class2 in candidates2:
-                if class1.action == class2.action:
+            key1 = _action_key(class1)
+            for class2, key2 in candidates2:
+                if key1 == key2:
                     continue
                 pairs_compared += 1
                 overlap = class1.predicate & class2.predicate

@@ -1,0 +1,61 @@
+"""Differential-testing oracle for the BDD analysis pipeline.
+
+The paper's core claim is *completeness*: SemanticDiff reports **all**
+behavioral differences between two components and HeaderLocalize's terms
+denote **exactly** the affected input set.  This package makes that
+claim executable:
+
+* :mod:`.evaluator` — brute-force first-match evaluation of ACLs and
+  route maps on concretely enumerated packet/route samples (no BDDs);
+* :mod:`.harness` — the differential checks: the union of SemanticDiff's
+  input sets must equal an independently-computed disagreement set, every
+  witness must reproduce concretely, and every localization must denote
+  the affected set exactly and minimally;
+* :mod:`.driver` — a seeded property-based loop feeding the harness
+  generated and mutated pairs, shrinking any failure to a minimal
+  reproducer printed with its seed (``campion selfcheck``).
+"""
+
+from .evaluator import (
+    PacketSample,
+    RouteSample,
+    SENTINEL_COMMUNITY,
+    SENTINEL_LOCAL_PREF,
+    SENTINEL_MED,
+    acl_disposition,
+    enumerate_packet_samples,
+    enumerate_route_samples,
+    route_behavior,
+    route_disposition,
+    supports_concrete_oracle,
+)
+from .harness import (
+    CheckStats,
+    OracleFailure,
+    check_acl_pair,
+    check_route_map_pair,
+    naive_disagreement,
+)
+from .driver import SelfCheckFailure, SelfCheckResult, run_selfcheck
+
+__all__ = [
+    "CheckStats",
+    "OracleFailure",
+    "PacketSample",
+    "RouteSample",
+    "SENTINEL_COMMUNITY",
+    "SENTINEL_LOCAL_PREF",
+    "SENTINEL_MED",
+    "SelfCheckFailure",
+    "SelfCheckResult",
+    "acl_disposition",
+    "check_acl_pair",
+    "check_route_map_pair",
+    "enumerate_packet_samples",
+    "enumerate_route_samples",
+    "naive_disagreement",
+    "route_behavior",
+    "route_disposition",
+    "run_selfcheck",
+    "supports_concrete_oracle",
+]

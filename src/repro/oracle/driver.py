@@ -1,0 +1,551 @@
+"""Seeded property-based driver for the differential harness.
+
+``run_selfcheck(seed, pairs)`` feeds the harness a round-robin of
+
+* generated near-equivalent ACL pairs (``workloads/acl_gen.py``),
+* random observability-safe route-map pairs (built here), and
+* text-mutated datacenter configs (``workloads/mutation.py``),
+
+each derived deterministically from the run seed.  A failing check is
+*shrunk* — lines, clauses, matches, and sets are removed greedily while
+the same check keeps failing — and reported as a
+:class:`SelfCheckFailure` whose reproducer names the case seed and the
+minimal components, so one reported line re-runs the exact failure.
+
+Route-map generation is *observability-safe*: set-action values are
+drawn from pools disjoint from the evaluator's sentinel attribute
+values and set-communities are never additive, so any two differing
+path dispositions produce extensionally different output routes (the
+behavioral witness check relies on this; arbitrary parsed configs get
+the path-level checks only).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..model.acl import Acl
+from ..model.routemap import (
+    Action,
+    CommunityList,
+    CommunityListEntry,
+    MatchCommunities,
+    MatchPrefixList,
+    MatchProtocol,
+    MatchTag,
+    PrefixList,
+    PrefixListEntry,
+    RouteMap,
+    RouteMapClause,
+    SetCommunities,
+    SetLocalPref,
+    SetMed,
+    SetNextHop,
+    SetTag,
+)
+from ..model.types import Community, Prefix, PrefixRange
+from ..parsers import parse_cisco, parse_juniper
+from ..workloads.acl_gen import generate_acl_pair
+from ..workloads.datacenter import _cisco_tor, _juniper_tor
+from ..workloads.mutation import apply_random_mutation
+from .harness import CheckStats, OracleFailure, check_acl_pair, check_route_map_pair
+
+__all__ = ["SelfCheckFailure", "SelfCheckResult", "run_selfcheck"]
+
+_GENERATORS = ("acl", "routemap", "mutation")
+
+#: Observability-safe value pools — all distinct from the evaluator's
+#: sentinels (local-pref 77, med 7, community 65535:65535) and from the
+#: matched-tag pool, so setting any of them is visible on the output route.
+_LOCAL_PREFS = (50, 100, 150)
+_MEDS = (5, 10)
+_SET_TAGS = (1000, 2000)
+_MATCH_TAGS = (10, 20)
+_COMMUNITY_POOL = tuple(Community(65000, value) for value in (100, 200, 300))
+_NEXT_HOPS = (0x0A000001, 0x0A000002)  # 10.0.0.1, 10.0.0.2
+_PROTOCOLS = ("bgp", "ospf", "static")
+
+
+@dataclass
+class SelfCheckFailure:
+    """One shrunk harness failure with everything needed to re-run it."""
+
+    generator: str
+    seed: int
+    check: str
+    detail: str
+    reproducer: str
+
+    def render(self) -> str:
+        """Multi-line report block for the CLI / CI log."""
+        lines = [
+            f"FAILED [{self.generator}] case seed {self.seed}: {self.check}",
+            f"  {self.detail}",
+            "  minimal reproducer:",
+        ]
+        lines.extend("    " + line for line in self.reproducer.splitlines())
+        return "\n".join(lines)
+
+
+@dataclass
+class SelfCheckResult:
+    """Aggregate outcome of one selfcheck run."""
+
+    seed: int
+    pairs: int
+    failures: List[SelfCheckFailure] = field(default_factory=list)
+    differences: int = 0
+    samples: int = 0
+    witnesses: int = 0
+    localizations: int = 0
+    skipped: List[str] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        """Whether every pair survived every check."""
+        return not self.failures
+
+    def render(self) -> str:
+        """Human-readable summary (plus reproducers on failure)."""
+        lines = [
+            f"selfcheck: {self.pairs} pairs, seed {self.seed} "
+            f"({self.elapsed:.1f}s)",
+            f"  differences checked: {self.differences}",
+            f"  concrete samples:    {self.samples}",
+            f"  witnesses decoded:   {self.witnesses}",
+            f"  localizations:       {self.localizations}",
+        ]
+        if self.skipped:
+            lines.append(f"  skipped checks:      {len(self.skipped)}")
+        if self.passed:
+            lines.append("selfcheck PASSED: BDD pipeline agrees with the oracle")
+        else:
+            lines.append(f"selfcheck FAILED: {len(self.failures)} case(s)")
+            for failure in self.failures:
+                lines.append("")
+                lines.append(failure.render())
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Random observability-safe route maps
+# ---------------------------------------------------------------------------
+
+
+def _random_prefix_list(rng: random.Random, name: str) -> PrefixList:
+    entries = []
+    for _ in range(rng.randint(1, 3)):
+        block = rng.choice((8, 16, 24))
+        network = rng.choice((10, 172, 192)) << 24 | rng.randrange(4) << 16
+        prefix = Prefix(network, block)
+        low = rng.randint(prefix.length, 32)
+        high = rng.randint(low, 32)
+        entries.append(
+            PrefixListEntry(
+                action=Action.PERMIT if rng.random() < 0.8 else Action.DENY,
+                range=PrefixRange(prefix, low, high),
+            )
+        )
+    return PrefixList(name=name, entries=tuple(entries))
+
+
+def _random_clause(rng: random.Random, index: int) -> RouteMapClause:
+    matches: List = []
+    if rng.random() < 0.85:
+        matches.append(
+            MatchPrefixList(_random_prefix_list(rng, f"PL{index}"))
+        )
+    if rng.random() < 0.35:
+        size = rng.randint(1, 2)
+        entries = tuple(
+            CommunityListEntry(
+                action=Action.PERMIT,
+                communities=frozenset(rng.sample(_COMMUNITY_POOL, size)),
+            )
+            for _ in range(rng.randint(1, 2))
+        )
+        matches.append(MatchCommunities(CommunityList(f"CL{index}", entries)))
+    if rng.random() < 0.2:
+        matches.append(MatchTag(rng.choice(_MATCH_TAGS)))
+    if rng.random() < 0.15:
+        matches.append(MatchProtocol(rng.choice(_PROTOCOLS)))
+
+    action = Action.PERMIT if rng.random() < 0.7 else Action.DENY
+    sets: List = []
+    if action is Action.PERMIT:
+        if rng.random() < 0.6:
+            sets.append(SetLocalPref(rng.choice(_LOCAL_PREFS)))
+        if rng.random() < 0.3:
+            sets.append(SetMed(rng.choice(_MEDS)))
+        if rng.random() < 0.3:
+            sets.append(
+                SetCommunities(
+                    frozenset(
+                        rng.sample(_COMMUNITY_POOL, rng.randint(1, 2))
+                    ),
+                    additive=False,
+                )
+            )
+        if rng.random() < 0.2:
+            sets.append(SetTag(rng.choice(_SET_TAGS)))
+        if rng.random() < 0.2:
+            sets.append(SetNextHop(rng.choice(_NEXT_HOPS)))
+    return RouteMapClause(
+        name=f"clause-{index}",
+        action=action,
+        matches=tuple(matches),
+        sets=tuple(sets),
+    )
+
+
+def _random_route_map(rng: random.Random, name: str) -> RouteMap:
+    clauses = tuple(
+        _random_clause(rng, index) for index in range(rng.randint(1, 4))
+    )
+    default = Action.PERMIT if rng.random() < 0.3 else Action.DENY
+    return RouteMap(name=name, clauses=clauses, default_action=default)
+
+
+def _perturb_route_map(route_map: RouteMap, rng: random.Random) -> RouteMap:
+    """A near-copy with one seeded difference (or none — also a valid case)."""
+    choice = rng.randrange(5)
+    clauses = list(route_map.clauses)
+    if choice == 0 and clauses:
+        index = rng.randrange(len(clauses))
+        clause = clauses[index]
+        flipped = Action.DENY if clause.action is Action.PERMIT else Action.PERMIT
+        clauses[index] = dataclasses.replace(clause, action=flipped, sets=())
+    elif choice == 1 and clauses:
+        del clauses[rng.randrange(len(clauses))]
+    elif choice == 2 and clauses:
+        index = rng.randrange(len(clauses))
+        clause = clauses[index]
+        if clause.action is Action.PERMIT:
+            clauses[index] = dataclasses.replace(
+                clause, sets=(SetLocalPref(rng.choice(_LOCAL_PREFS)),)
+            )
+    elif choice == 3:
+        return dataclasses.replace(
+            route_map,
+            default_action=(
+                Action.PERMIT
+                if route_map.default_action is Action.DENY
+                else Action.DENY
+            ),
+        )
+    # choice == 4: identical copy — equivalence must also survive the checks.
+    return dataclasses.replace(route_map, clauses=tuple(clauses))
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+
+
+def _shrink_acl_pair(
+    acl1: Acl,
+    acl2: Acl,
+    fails: Callable[[Acl, Acl], bool],
+) -> Tuple[Acl, Acl]:
+    """Greedily remove ACL lines while the same check keeps failing."""
+    progress = True
+    while progress:
+        progress = False
+        for which in (0, 1):
+            acl = (acl1, acl2)[which]
+            for index in range(len(acl.lines)):
+                candidate = dataclasses.replace(
+                    acl, lines=acl.lines[:index] + acl.lines[index + 1 :]
+                )
+                pair = (candidate, acl2) if which == 0 else (acl1, candidate)
+                if fails(*pair):
+                    acl1, acl2 = pair
+                    progress = True
+                    break
+            if progress:
+                break
+    return acl1, acl2
+
+
+def _clause_reductions(clause: RouteMapClause) -> List[RouteMapClause]:
+    """All one-step simplifications of a clause (drop one match or set)."""
+    reduced = []
+    for index in range(len(clause.matches)):
+        reduced.append(
+            dataclasses.replace(
+                clause,
+                matches=clause.matches[:index] + clause.matches[index + 1 :],
+            )
+        )
+    for index in range(len(clause.sets)):
+        reduced.append(
+            dataclasses.replace(
+                clause, sets=clause.sets[:index] + clause.sets[index + 1 :]
+            )
+        )
+    return reduced
+
+
+def _shrink_route_map_pair(
+    map1: RouteMap,
+    map2: RouteMap,
+    fails: Callable[[RouteMap, RouteMap], bool],
+) -> Tuple[RouteMap, RouteMap]:
+    """Greedily drop clauses, then matches/sets, while the check fails."""
+    progress = True
+    while progress:
+        progress = False
+        for which in (0, 1):
+            route_map = (map1, map2)[which]
+            candidates: List[RouteMap] = []
+            for index in range(len(route_map.clauses)):
+                candidates.append(
+                    dataclasses.replace(
+                        route_map,
+                        clauses=route_map.clauses[:index]
+                        + route_map.clauses[index + 1 :],
+                    )
+                )
+            for index, clause in enumerate(route_map.clauses):
+                for reduced in _clause_reductions(clause):
+                    clauses = list(route_map.clauses)
+                    clauses[index] = reduced
+                    candidates.append(
+                        dataclasses.replace(route_map, clauses=tuple(clauses))
+                    )
+            for candidate in candidates:
+                pair = (candidate, map2) if which == 0 else (map1, candidate)
+                if fails(*pair):
+                    map1, map2 = pair
+                    progress = True
+                    break
+            if progress:
+                break
+    return map1, map2
+
+
+# ---------------------------------------------------------------------------
+# Reproducer rendering
+# ---------------------------------------------------------------------------
+
+
+def _render_acl(acl: Acl) -> List[str]:
+    lines = [f"acl {acl.name} (default {acl.default_action}):"]
+    lines.extend(f"  {line.describe()}" for line in acl.lines)
+    return lines
+
+
+def _render_route_map(route_map: RouteMap) -> List[str]:
+    lines = [f"route-map {route_map.name} (default {route_map.default_action}):"]
+    for clause in route_map.clauses:
+        lines.append(f"  {clause.name} {clause.action}")
+        for condition in clause.matches:
+            if isinstance(condition, MatchPrefixList):
+                entries = " ".join(
+                    f"{entry.action} {entry.range}"
+                    for entry in condition.prefix_list.entries
+                )
+                lines.append(f"    match prefix-list [{entries}]")
+            elif isinstance(condition, MatchCommunities):
+                entries = " | ".join(
+                    entry.regex
+                    if entry.regex is not None
+                    else "{" + " ".join(sorted(map(str, entry.communities))) + "}"
+                    for entry in condition.community_list.entries
+                )
+                lines.append(f"    match community [{entries}]")
+            elif isinstance(condition, MatchTag):
+                lines.append(f"    match tag {condition.tag}")
+            elif isinstance(condition, MatchProtocol):
+                lines.append(f"    match protocol {condition.protocol}")
+            else:
+                lines.append(f"    match {condition!r}")
+        for set_action in clause.sets:
+            lines.append(f"    {set_action.describe()}")
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# Cases
+# ---------------------------------------------------------------------------
+
+
+def _same_failure(check: str, run: Callable[[], CheckStats]) -> bool:
+    try:
+        run()
+    except OracleFailure as failure:
+        return failure.check == check
+    except Exception:  # noqa: BLE001 - a shrunk pair may fail differently
+        return False
+    return False
+
+
+def _run_acl_case(
+    case_seed: int, result: SelfCheckResult
+) -> Optional[SelfCheckFailure]:
+    rng = random.Random(case_seed)
+    pair = generate_acl_pair(
+        rule_count=rng.randint(6, 16),
+        differences=rng.randint(0, 4),
+        seed=case_seed,
+    )
+    acl1, acl2 = pair.cisco_acl, pair.juniper_acl
+
+    def check(a1: Acl, a2: Acl) -> CheckStats:
+        return check_acl_pair(
+            a1, a2, rng=random.Random(case_seed), sample_budget=64
+        )
+
+    try:
+        _merge(result, check(acl1, acl2))
+        return None
+    except OracleFailure as failure:
+        shrunk1, shrunk2 = _shrink_acl_pair(
+            acl1, acl2, lambda a1, a2: _same_failure(failure.check, lambda: check(a1, a2))
+        )
+        reproducer = "\n".join(_render_acl(shrunk1) + _render_acl(shrunk2))
+        return SelfCheckFailure(
+            "acl", case_seed, failure.check, failure.detail, reproducer
+        )
+
+
+def _run_route_map_case(
+    case_seed: int, result: SelfCheckResult
+) -> Optional[SelfCheckFailure]:
+    rng = random.Random(case_seed)
+    map1 = _random_route_map(rng, "RM1")
+    if rng.random() < 0.7:
+        map2 = dataclasses.replace(_perturb_route_map(map1, rng), name="RM2")
+    else:
+        map2 = _random_route_map(rng, "RM2")
+
+    def check(m1: RouteMap, m2: RouteMap) -> CheckStats:
+        return check_route_map_pair(
+            m1, m2, rng=random.Random(case_seed), sample_budget=64, behavioral=True
+        )
+
+    try:
+        _merge(result, check(map1, map2))
+        return None
+    except OracleFailure as failure:
+        shrunk1, shrunk2 = _shrink_route_map_pair(
+            map1, map2, lambda m1, m2: _same_failure(failure.check, lambda: check(m1, m2))
+        )
+        reproducer = "\n".join(_render_route_map(shrunk1) + _render_route_map(shrunk2))
+        return SelfCheckFailure(
+            "routemap", case_seed, failure.check, failure.detail, reproducer
+        )
+
+
+def _run_mutation_case(
+    case_seed: int, result: SelfCheckResult
+) -> Optional[SelfCheckFailure]:
+    rng = random.Random(case_seed)
+    pair_index = rng.randrange(4)
+    if rng.random() < 0.5:
+        text = _cisco_tor(pair_index, spine_count=2)
+        parse = parse_cisco
+    else:
+        text = _juniper_tor(pair_index, spine_count=2)
+        parse = parse_juniper
+    mutation = apply_random_mutation(text, seed=case_seed)
+    mutated_text = mutation.text if mutation is not None else text
+    device1 = parse(text, "original.cfg")
+    device2 = parse(mutated_text, "mutated.cfg")
+
+    for name in sorted(set(device1.route_maps) & set(device2.route_maps)):
+        map1, map2 = device1.route_maps[name], device2.route_maps[name]
+
+        def check(m1: RouteMap, m2: RouteMap) -> CheckStats:
+            # Parsed configs are not observability-safe: path-level only.
+            return check_route_map_pair(
+                m1, m2, rng=random.Random(case_seed), sample_budget=48,
+                behavioral=False,
+            )
+
+        try:
+            _merge(result, check(map1, map2))
+        except OracleFailure as failure:
+            shrunk1, shrunk2 = _shrink_route_map_pair(
+                map1,
+                map2,
+                lambda m1, m2: _same_failure(failure.check, lambda: check(m1, m2)),
+            )
+            reproducer = "\n".join(
+                [f"mutation: {mutation.description if mutation else '(none)'}"]
+                + _render_route_map(shrunk1)
+                + _render_route_map(shrunk2)
+            )
+            return SelfCheckFailure(
+                "mutation", case_seed, failure.check, failure.detail, reproducer
+            )
+    for name in sorted(set(device1.acls) & set(device2.acls)):
+        acl1, acl2 = device1.acls[name], device2.acls[name]
+
+        def check_acls(a1: Acl, a2: Acl) -> CheckStats:
+            return check_acl_pair(
+                a1, a2, rng=random.Random(case_seed), sample_budget=48
+            )
+
+        try:
+            _merge(result, check_acls(acl1, acl2))
+        except OracleFailure as failure:
+            shrunk1, shrunk2 = _shrink_acl_pair(
+                acl1,
+                acl2,
+                lambda a1, a2: _same_failure(failure.check, lambda: check_acls(a1, a2)),
+            )
+            reproducer = "\n".join(
+                [f"mutation: {mutation.description if mutation else '(none)'}"]
+                + _render_acl(shrunk1)
+                + _render_acl(shrunk2)
+            )
+            return SelfCheckFailure(
+                "mutation", case_seed, failure.check, failure.detail, reproducer
+            )
+    return None
+
+
+def _merge(result: SelfCheckResult, stats: CheckStats) -> None:
+    result.differences += stats.differences
+    result.samples += stats.samples
+    result.witnesses += stats.witnesses
+    result.localizations += stats.localizations
+    result.skipped.extend(stats.skipped)
+
+
+_CASE_RUNNERS = {
+    "acl": _run_acl_case,
+    "routemap": _run_route_map_case,
+    "mutation": _run_mutation_case,
+}
+
+
+def run_selfcheck(
+    seed: int = 0,
+    pairs: int = 50,
+    on_progress: Optional[Callable[[int, int], None]] = None,
+) -> SelfCheckResult:
+    """Run the differential harness on ``pairs`` generated cases.
+
+    Deterministic in ``seed``: case ``i`` uses seed
+    ``seed * 1_000_003 + i``, so a reported failure re-runs standalone.
+    All failures are collected (the run does not stop at the first).
+    """
+    result = SelfCheckResult(seed=seed, pairs=pairs)
+    start = time.time()
+    for index in range(pairs):
+        kind = _GENERATORS[index % len(_GENERATORS)]
+        case_seed = seed * 1_000_003 + index
+        failure = _CASE_RUNNERS[kind](case_seed, result)
+        if failure is not None:
+            result.failures.append(failure)
+        if on_progress is not None:
+            on_progress(index + 1, pairs)
+    result.elapsed = time.time() - start
+    return result

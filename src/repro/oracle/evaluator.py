@@ -1,0 +1,347 @@
+"""Brute-force concrete evaluation — the oracle side of the harness.
+
+Everything here works on plain Python values: first-match walks over the
+model objects and structured enumeration of concrete packet/route
+samples.  No BDDs are involved, so agreement with the symbolic pipeline
+is evidence, not circularity.
+
+Sample enumeration is *corner-driven*: for every constant mentioned by
+either component (addresses, wildcards, port bounds, prefix ranges,
+tags, communities) the pool includes the constant itself and its
+one-off neighbors, because first-match bugs live at those boundaries.
+Random fill on top covers the interior.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from ..encoding.route import ROUTE_PROTOCOLS, RouteSpace
+from ..model.acl import Acl, AclAction
+from ..model.eval import ConcreteRoute, evaluate_clause_match
+from ..model.routemap import MatchAsPath, MatchProtocol, MatchTag, RouteMap
+from ..model.types import Community, Prefix
+from ..encoding.classes import RouteMapAction
+
+__all__ = [
+    "PacketSample",
+    "RouteSample",
+    "SENTINEL_COMMUNITY",
+    "SENTINEL_LOCAL_PREF",
+    "SENTINEL_MED",
+    "acl_disposition",
+    "enumerate_packet_samples",
+    "enumerate_route_samples",
+    "route_behavior",
+    "route_disposition",
+    "supports_concrete_oracle",
+]
+
+#: Attribute values planted on instrumented routes so that *setting* an
+#: attribute is always observable: none of these collide with values any
+#: generated policy sets (the driver's pools avoid them), so ``set
+#: local-preference 100`` vs no-op changes the output route.
+SENTINEL_LOCAL_PREF = 77
+SENTINEL_MED = 7
+SENTINEL_COMMUNITY = Community(65535, 65535)
+
+
+# ---------------------------------------------------------------------------
+# Samples
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PacketSample:
+    """One concrete packet fed to both ACLs."""
+
+    src_ip: int
+    dst_ip: int
+    protocol: int
+    src_port: int = 0
+    dst_port: int = 0
+    icmp_type: int = 0
+
+    def as_kwargs(self) -> Dict[str, int]:
+        """Keyword form accepted by ``Acl.evaluate_concrete`` and
+        ``PacketSpace.encode_concrete``."""
+        return {
+            "src_ip": self.src_ip,
+            "dst_ip": self.dst_ip,
+            "protocol": self.protocol,
+            "src_port": self.src_port,
+            "dst_port": self.dst_port,
+            "icmp_type": self.icmp_type,
+        }
+
+    def describe(self) -> str:
+        """One-line rendering for reproducers."""
+        from ..model.types import int_to_ip
+
+        return (
+            f"src {int_to_ip(self.src_ip)} dst {int_to_ip(self.dst_ip)} "
+            f"proto {self.protocol} sport {self.src_port} "
+            f"dport {self.dst_port} icmp {self.icmp_type}"
+        )
+
+
+@dataclass(frozen=True)
+class RouteSample:
+    """One concrete route advertisement fed to both route maps."""
+
+    prefix: Prefix
+    communities: FrozenSet[Community] = frozenset()
+    tag: int = 0
+    protocol: str = "bgp"
+
+    def describe(self) -> str:
+        """One-line rendering for reproducers."""
+        communities = " ".join(sorted(str(c) for c in self.communities)) or "-"
+        return (
+            f"prefix {self.prefix} communities {communities} "
+            f"tag {self.tag} proto {self.protocol}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Concrete dispositions
+# ---------------------------------------------------------------------------
+
+
+def acl_disposition(acl: Acl, sample: PacketSample) -> AclAction:
+    """First-match action of ``acl`` on one packet (ground truth)."""
+    return acl.evaluate_concrete(**sample.as_kwargs())
+
+
+def route_disposition(route_map: RouteMap, sample: RouteSample) -> RouteMapAction:
+    """The path disposition of ``route_map`` on one route sample.
+
+    Mirrors the encoder's path partition: the first clause whose
+    conditions hold decides, contributing ``RouteMapAction(action, sets)``
+    — exactly the action object :func:`route_map_equivalence_classes`
+    attaches to the matching path's class.
+    """
+    route = ConcreteRoute(
+        prefix=sample.prefix,
+        communities=sample.communities,
+        tag=sample.tag,
+        protocol=sample.protocol,
+    )
+    for clause in route_map.clauses:
+        if evaluate_clause_match(clause, route):
+            return RouteMapAction(clause.action, clause.sets)
+    return RouteMapAction(route_map.default_action)
+
+
+def route_behavior(route_map: RouteMap, sample: RouteSample) -> Tuple:
+    """The *extensional* outcome of ``route_map`` on an instrumented route.
+
+    The input route carries sentinel attribute values (see
+    :data:`SENTINEL_LOCAL_PREF` etc.) so that set-actions are observable
+    in the output; two policies with differing path dispositions on
+    observability-safe workloads must produce different outcomes here.
+    """
+    route = ConcreteRoute(
+        prefix=sample.prefix,
+        communities=sample.communities | {SENTINEL_COMMUNITY},
+        local_pref=SENTINEL_LOCAL_PREF,
+        med=SENTINEL_MED,
+        tag=sample.tag,
+        protocol=sample.protocol,
+    )
+    from ..model.eval import evaluate_route_map
+
+    result = evaluate_route_map(route_map, route)
+    if not result.accepted:
+        return ("reject",)
+    out = result.route
+    return (
+        "accept",
+        out.local_pref,
+        out.med,
+        frozenset(out.communities),
+        out.tag,
+        out.next_hop,
+        out.as_path,
+    )
+
+
+def supports_concrete_oracle(route_map: RouteMap) -> bool:
+    """Whether the concrete evaluator's semantics line up with the BDD's.
+
+    AS-path regexes are encoded as free boolean variables (syntactically
+    different regexes are "potentially different"), which a concrete
+    route sample cannot express — policies matching on as-path are
+    checked at the BDD level only.
+    """
+    for clause in route_map.clauses:
+        for condition in clause.matches:
+            if isinstance(condition, MatchAsPath):
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Sample enumeration
+# ---------------------------------------------------------------------------
+
+
+def _wildcard_corners(pool: set, address: int, wildcard: int, rng: random.Random) -> None:
+    low = address
+    high = (address | wildcard) & 0xFFFFFFFF
+    pool.update(
+        {
+            low,
+            high,
+            (low - 1) & 0xFFFFFFFF,
+            (high + 1) & 0xFFFFFFFF,
+            low | (rng.getrandbits(32) & wildcard),
+        }
+    )
+
+
+def enumerate_packet_samples(
+    acls: Sequence[Acl], rng: random.Random, budget: int = 96
+) -> List[PacketSample]:
+    """Corner-driven packet samples for a set of ACLs.
+
+    Field pools collect every constant either ACL consults plus off-by-one
+    neighbors; ``budget`` cross-product draws (plus a few fully random
+    packets) are deterministic in ``rng``.
+    """
+    src_pool: set = {0, 0xFFFFFFFF}
+    dst_pool: set = {0, 0xFFFFFFFF}
+    protocol_pool: set = {0, 1, 6, 17}
+    src_port_pool: set = {0, 0xFFFF}
+    dst_port_pool: set = {0, 0xFFFF}
+    icmp_pool: set = {0, 8}
+    for acl in acls:
+        for line in acl.lines:
+            _wildcard_corners(src_pool, line.src.address, line.src.wildcard, rng)
+            _wildcard_corners(dst_pool, line.dst.address, line.dst.wildcard, rng)
+            if line.protocol is not None:
+                protocol_pool.add(line.protocol)
+                protocol_pool.add((line.protocol + 1) % 256)
+            for port_range, pool in [
+                (r, src_port_pool) for r in line.src_ports
+            ] + [(r, dst_port_pool) for r in line.dst_ports]:
+                pool.update(
+                    {
+                        port_range.low,
+                        port_range.high,
+                        max(port_range.low - 1, 0),
+                        min(port_range.high + 1, 0xFFFF),
+                    }
+                )
+            if line.icmp_type is not None:
+                icmp_pool.add(line.icmp_type)
+                icmp_pool.add((line.icmp_type + 1) % 256)
+
+    pools = [
+        sorted(src_pool),
+        sorted(dst_pool),
+        sorted(protocol_pool),
+        sorted(src_port_pool),
+        sorted(dst_port_pool),
+        sorted(icmp_pool),
+    ]
+    samples: List[PacketSample] = []
+    seen: set = set()
+    for index in range(budget):
+        if index % 8 == 7:  # fully random fill between corner draws
+            fields = (
+                rng.getrandbits(32),
+                rng.getrandbits(32),
+                rng.randrange(256),
+                rng.randrange(0x10000),
+                rng.randrange(0x10000),
+                rng.randrange(256),
+            )
+        else:
+            fields = tuple(rng.choice(pool) for pool in pools)
+        if fields not in seen:
+            seen.add(fields)
+            samples.append(PacketSample(*fields))
+    return samples
+
+
+def _prefix_corners(pool: set, ranges: Iterable, rng: random.Random) -> None:
+    for prefix_range in ranges:
+        base = prefix_range.prefix
+        pool.add(base)
+        for length in {
+            max(prefix_range.low, base.length),
+            min(prefix_range.high, 32),
+        }:
+            if length >= base.length:
+                pool.add(Prefix(base.network, length))
+                if length > base.length:
+                    # A sub-prefix with one extra bit set: inside the
+                    # address block but off the all-zeros spine.
+                    pool.add(
+                        Prefix(base.network | (1 << (32 - length)), length)
+                    )
+        if base.length >= 1:
+            # The sibling block: same length, outside the range.
+            pool.add(
+                Prefix(base.network ^ (1 << (32 - base.length)), base.length)
+            )
+        if prefix_range.low > base.length:
+            pool.add(Prefix(base.network, prefix_range.low - 1))
+        if prefix_range.high < 32:
+            pool.add(Prefix(base.network, prefix_range.high + 1))
+
+
+def enumerate_route_samples(
+    space: RouteSpace,
+    maps: Sequence[RouteMap],
+    rng: random.Random,
+    budget: int = 80,
+) -> List[RouteSample]:
+    """Corner-driven route samples for a route-map pair.
+
+    Prefixes come from the maps' prefix-range corners (inside, boundary
+    lengths, sibling blocks); communities are subsets of the comparison
+    universe; tags and protocols are the mentioned constants plus
+    off-by-one/unmentioned fillers.
+    """
+    prefix_pool: set = {Prefix(0, 0), Prefix.parse("192.0.2.0/24")}
+    tag_pool: set = {0}
+    protocol_pool: set = {"bgp"}
+    for route_map in maps:
+        _prefix_corners(prefix_pool, route_map.prefix_ranges(), rng)
+        for clause in route_map.clauses:
+            for condition in clause.matches:
+                if isinstance(condition, MatchTag):
+                    tag_pool.add(condition.tag)
+                    tag_pool.add((condition.tag + 1) & 0xFFFF)
+                elif isinstance(condition, MatchProtocol):
+                    protocol_pool.add(condition.protocol)
+    protocol_pool &= set(ROUTE_PROTOCOLS)
+
+    vocabulary = list(space.communities)
+    community_pool: List[FrozenSet[Community]] = [frozenset()]
+    community_pool.extend(frozenset({c}) for c in vocabulary[:12])
+    if len(vocabulary) >= 2:
+        for _ in range(4):
+            size = rng.randrange(2, min(len(vocabulary), 4) + 1)
+            community_pool.append(frozenset(rng.sample(vocabulary, size)))
+
+    prefixes = sorted(prefix_pool, key=lambda p: (p.network, p.length))
+    tags = sorted(tag_pool)
+    protocols = sorted(protocol_pool)
+    samples: List[RouteSample] = []
+    seen: set = set()
+    for _ in range(budget):
+        sample = RouteSample(
+            prefix=rng.choice(prefixes),
+            communities=rng.choice(community_pool),
+            tag=rng.choice(tags),
+            protocol=rng.choice(protocols),
+        )
+        if sample not in seen:
+            seen.add(sample)
+            samples.append(sample)
+    return samples

@@ -254,3 +254,67 @@ class TestHeaderLocalizeProperty:
                 piece = piece - space.range_pred(minus)
             rebuilt = rebuilt | piece
         assert rebuilt == affected
+
+
+class TestFlatTermMinimality:
+    """Regression: flattening could surface a redundant nested piece when
+    two overlapping DAG parents' match parts nest (G1 = G2 ∩ X1 ⊊ G2 both
+    surfaced as flat terms).  The final minimality prune must drop it."""
+
+    UNIVERSE = _range("0.0.0.0/0 : 0-32")
+    X1 = _range("10.0.0.0/8 : 12-24")
+    X2 = _range("10.0.0.0/8 : 16-32")
+    G2 = _range("10.0.0.0/16 : 16-32")
+    REDUNDANT = _range("10.0.0.0/16 : 16-24")  # = G2 ∩ X1, covered by G2
+
+    def _affected(self, space):
+        to_pred = space.range_pred
+        return (
+            to_pred(self.UNIVERSE) - to_pred(self.X1) - to_pred(self.X2)
+        ) | to_pred(self.G2)
+
+    def test_redundant_nested_piece_is_pruned(self, space):
+        localization = header_localize(
+            self._affected(space),
+            [self.X1, self.X2, self.G2],
+            prefix_range_algebra(),
+            space.range_pred,
+        )
+        ranges = [term.range for term in localization.terms]
+        assert self.REDUNDANT not in ranges
+        assert len(localization.terms) == 2
+
+    def test_output_is_exact_and_minimal(self, space):
+        affected = self._affected(space)
+        localization = header_localize(
+            affected,
+            [self.X1, self.X2, self.G2],
+            prefix_range_algebra(),
+            space.range_pred,
+        )
+        denotations = []
+        for term in localization.terms:
+            denoted = space.range_pred(term.range)
+            for subtrahend in term.minus:
+                denoted = denoted - space.range_pred(subtrahend)
+            denotations.append(denoted)
+        assert space.manager.disjoin(denotations) == affected
+        for index, denoted in enumerate(denotations):
+            rest = denotations[:index] + denotations[index + 1 :]
+            assert not denoted.implies(space.manager.disjoin(rest))
+
+    def test_minimal_flat_terms_counts_pruned(self, space):
+        from repro import perf
+        from repro.core import FlatTerm, minimal_flat_terms
+
+        perf.reset()
+        terms = [
+            FlatTerm(self.UNIVERSE, (self.X1, self.X2)),
+            FlatTerm(self.REDUNDANT),
+            FlatTerm(self.G2),
+        ]
+        kept = minimal_flat_terms(terms, space.range_pred, space.manager)
+        assert [term.range for term in kept] == [self.UNIVERSE, self.G2]
+        counters = perf.snapshot()["counters"]
+        assert counters.get("header_localize.flat_terms_pruned", 0) == 1
+        perf.reset()

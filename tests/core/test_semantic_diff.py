@@ -273,3 +273,90 @@ class TestMetadata:
         map2 = RouteMap("P", (RouteMapClause("c", Action.PERMIT, (), (SetMed(2),)),))
         space, differences = diff_route_maps(map1, map2)
         assert len(differences) == 1
+
+
+class TestCanonicalActionKey:
+    """Regression: the pairwise loop must key actions exactly as the
+    agreement-region pruning does (by ``canonical_action_key``), or
+    actions whose ``describe()`` and ``__eq__`` disagree yield spurious
+    differences inside the agreement region."""
+
+    class _IdentityAction:
+        """describe()-equal but __eq__-unequal unless the same object."""
+
+        def __init__(self, label):
+            self.label = label
+
+        def describe(self):
+            return self.label
+
+    def _classes(self, space):
+        from repro.encoding.classes import EquivalenceClass
+
+        left = space.range_pred(PrefixRange.parse("10.0.0.0/8 : 8-32"))
+        mid = space.range_pred(PrefixRange.parse("20.0.0.0/8 : 8-32"))
+        right = space.range_pred(PrefixRange.parse("30.0.0.0/8 : 8-32"))
+        accept1 = self._IdentityAction("ACCEPT")
+        accept2 = self._IdentityAction("ACCEPT")  # describe-equal twin
+        reject = self._IdentityAction("REJECT")
+        drop = self._IdentityAction("DROP")
+        classes1 = [
+            EquivalenceClass(left | right, accept1, "P1", "a1"),
+            EquivalenceClass(mid, reject, "P1", "b1"),
+        ]
+        classes2 = [
+            EquivalenceClass(left | mid, accept2, "P2", "a2"),
+            EquivalenceClass(right, drop, "P2", "b2"),
+        ]
+        return left, mid, right, classes1, classes2
+
+    def test_no_spurious_difference_in_agreement_region(self):
+        space = RouteSpace([])
+        left, mid, right, classes1, classes2 = self._classes(space)
+        differences = semantic_diff_classes(
+            ComponentKind.ROUTE_MAP, classes1, classes2
+        )
+        # Both sides ACCEPT on `left`; with the buggy identity comparison
+        # the pairwise loop emitted that pure agreement region.
+        for difference in differences:
+            assert not difference.input_set.intersects(left)
+        union = space.manager.disjoin(d.input_set for d in differences)
+        assert union == mid | right
+
+    def test_canonical_key_prefers_describe(self):
+        from repro.core import canonical_action_key
+
+        assert canonical_action_key(self._IdentityAction("X")) == "X"
+        assert canonical_action_key(AclAction.PERMIT) is AclAction.PERMIT
+
+
+class TestUnionCacheBound:
+    """Regression: the per-manager union memo must stay bounded when one
+    manager serves many distinct class lists (fleet runs)."""
+
+    def test_lru_evicts_and_counts(self):
+        from repro import perf
+        from repro.core.semantic_diff import _UNION_CACHE_SIZE, _union_cache
+
+        space = RouteSpace([])
+        perf.reset()
+        baseline = RouteMap(
+            "B", (RouteMapClause("c", Action.PERMIT, (), (SetMed(1),)),)
+        )
+        classes_b = route_map_equivalence_classes(space, baseline)
+        for index in range(_UNION_CACHE_SIZE + 4):
+            peer = RouteMap(
+                f"P{index}",
+                (RouteMapClause("c", Action.PERMIT, (), (SetMed(index + 2),)),),
+            )
+            semantic_diff_classes(
+                ComponentKind.ROUTE_MAP,
+                classes_b,
+                route_map_equivalence_classes(space, peer),
+            )
+        per_manager = _union_cache.get(space.manager)
+        assert per_manager is not None
+        assert len(per_manager) <= _UNION_CACHE_SIZE
+        counters = perf.snapshot()["counters"]
+        assert counters.get("semantic_diff.union_cache_evictions", 0) > 0
+        perf.reset()

@@ -1,0 +1,204 @@
+"""Tests for the brute-force evaluator: dispositions mirror the encoder's
+path partition, and sample enumeration hits the boundary corners."""
+
+import random
+
+import pytest
+
+from repro.encoding import RouteSpace, route_map_equivalence_classes
+from repro.core.semantic_diff import canonical_action_key
+from repro.model import (
+    Acl,
+    AclAction,
+    AclLine,
+    Action,
+    AsPathList,
+    AsPathListEntry,
+    Community,
+    IpWildcard,
+    MatchAsPath,
+    MatchPrefixList,
+    MatchTag,
+    PortRange,
+    Prefix,
+    PrefixList,
+    PrefixListEntry,
+    PrefixRange,
+    RouteMap,
+    RouteMapClause,
+    SetLocalPref,
+)
+from repro.oracle import (
+    PacketSample,
+    RouteSample,
+    acl_disposition,
+    enumerate_packet_samples,
+    enumerate_route_samples,
+    route_disposition,
+    supports_concrete_oracle,
+)
+
+
+def _prefix_list(*texts, action=Action.PERMIT):
+    return PrefixList(
+        "PL",
+        tuple(
+            PrefixListEntry(action=action, range=PrefixRange.parse(text))
+            for text in texts
+        ),
+    )
+
+
+@pytest.fixture()
+def sample_map():
+    return RouteMap(
+        "RM",
+        clauses=(
+            RouteMapClause(
+                name="c10",
+                action=Action.PERMIT,
+                matches=(MatchPrefixList(_prefix_list("10.0.0.0/8 : 8-24")),),
+                sets=(SetLocalPref(150),),
+            ),
+            RouteMapClause(
+                name="c20",
+                action=Action.DENY,
+                matches=(MatchTag(10),),
+            ),
+        ),
+        default_action=Action.DENY,
+    )
+
+
+class TestRouteDisposition:
+    def test_first_match_decides(self, sample_map):
+        inside = RouteSample(prefix=Prefix.parse("10.1.0.0/16"))
+        disposition = route_disposition(sample_map, inside)
+        assert disposition.action is Action.PERMIT
+        assert disposition.describe() == "SET LOCAL PREF 150\nACCEPT"
+
+    def test_fallthrough_uses_default(self, sample_map):
+        outside = RouteSample(prefix=Prefix.parse("192.168.0.0/16"))
+        assert route_disposition(sample_map, outside).action is Action.DENY
+
+    def test_tag_match(self, sample_map):
+        tagged = RouteSample(prefix=Prefix.parse("192.168.0.0/16"), tag=10)
+        disposition = route_disposition(sample_map, tagged)
+        assert disposition.action is Action.DENY
+
+    def test_matches_encoder_partition_on_samples(self, sample_map):
+        """The concrete disposition of every sample equals the action of
+        the unique BDD equivalence class containing its encoding."""
+        space = RouteSpace([sample_map])
+        classes = route_map_equivalence_classes(space, sample_map)
+        rng = random.Random(7)
+        for sample in enumerate_route_samples(space, [sample_map], rng, 40):
+            point = space.encode_concrete(
+                sample.prefix, sample.communities, sample.tag, sample.protocol
+            )
+            containing = [
+                cls for cls in classes if point.intersects(cls.predicate)
+            ]
+            assert len(containing) == 1
+            assert canonical_action_key(
+                containing[0].action
+            ) == canonical_action_key(route_disposition(sample_map, sample))
+
+
+class TestAclDisposition:
+    def test_matches_model_evaluation(self):
+        acl = Acl(
+            "F",
+            lines=(
+                AclLine(
+                    action=AclAction.PERMIT,
+                    protocol=6,
+                    dst_ports=(PortRange(80, 90),),
+                ),
+            ),
+            default_action=AclAction.DENY,
+        )
+        hit = PacketSample(src_ip=1, dst_ip=2, protocol=6, dst_port=85)
+        miss = PacketSample(src_ip=1, dst_ip=2, protocol=6, dst_port=91)
+        assert acl_disposition(acl, hit) is AclAction.PERMIT
+        assert acl_disposition(acl, miss) is AclAction.DENY
+
+
+class TestSampleEnumeration:
+    def test_packet_samples_hit_port_corners(self):
+        acl = Acl(
+            "F",
+            lines=(
+                AclLine(
+                    action=AclAction.PERMIT,
+                    protocol=6,
+                    dst_ports=(PortRange(80, 90),),
+                ),
+            ),
+        )
+        samples = enumerate_packet_samples([acl], random.Random(0), 200)
+        ports = {sample.dst_port for sample in samples}
+        # Boundary and off-by-one values must all be reachable.
+        assert {79, 80, 90, 91} <= ports
+
+    def test_packet_samples_deterministic(self):
+        acl = Acl("F", lines=(AclLine(action=AclAction.PERMIT),))
+        first = enumerate_packet_samples([acl], random.Random(3), 50)
+        second = enumerate_packet_samples([acl], random.Random(3), 50)
+        assert first == second
+
+    def test_route_samples_cover_range_boundaries(self, sample_map):
+        space = RouteSpace([sample_map])
+        samples = enumerate_route_samples(
+            space, [sample_map], random.Random(0), 300
+        )
+        lengths = {
+            sample.prefix.length
+            for sample in samples
+            if Prefix.parse("10.0.0.0/8").contains_prefix(sample.prefix)
+        }
+        # The range is 8-24: both ends and the off-by-one must appear.
+        assert {8, 24, 25} <= lengths
+
+    def test_route_samples_use_universe_communities(self):
+        route_map = RouteMap(
+            "RM",
+            clauses=(
+                RouteMapClause(
+                    name="c",
+                    action=Action.PERMIT,
+                    matches=(),
+                    sets=(),
+                ),
+            ),
+        )
+        space = RouteSpace([route_map])
+        samples = enumerate_route_samples(
+            space, [route_map], random.Random(0), 30
+        )
+        for sample in samples:
+            assert all(c in set(space.communities) for c in sample.communities)
+
+
+class TestSupportsConcreteOracle:
+    def test_as_path_match_excluded(self):
+        as_map = RouteMap(
+            "RM",
+            clauses=(
+                RouteMapClause(
+                    name="c",
+                    action=Action.PERMIT,
+                    matches=(
+                        MatchAsPath(
+                            AsPathList(
+                                "AP", (AsPathListEntry(Action.PERMIT, "_65000_"),)
+                            )
+                        ),
+                    ),
+                ),
+            ),
+        )
+        assert not supports_concrete_oracle(as_map)
+
+    def test_plain_map_included(self, sample_map):
+        assert supports_concrete_oracle(sample_map)

@@ -1,0 +1,218 @@
+"""Tests for the differential harness: clean pairs pass every check, and
+seeded tampering with any pipeline stage is detected (the harness itself
+must be a sensitive instrument, or a green selfcheck means nothing)."""
+
+import random
+
+import pytest
+
+import repro.oracle.harness as harness_module
+from repro.core.header_localize import Localization
+from repro.core.semantic_diff import canonical_action_key
+from repro.model import (
+    Acl,
+    AclAction,
+    AclLine,
+    Action,
+    IpWildcard,
+    MatchPrefixList,
+    Prefix,
+    PrefixList,
+    PrefixListEntry,
+    PrefixRange,
+    RouteMap,
+    RouteMapClause,
+    SetLocalPref,
+)
+from repro.oracle import OracleFailure, check_acl_pair, check_route_map_pair
+from repro.workloads.acl_gen import generate_acl_pair
+from repro.workloads.figure1 import figure1_devices
+
+
+def _acl(*lines, default=AclAction.DENY, name="F"):
+    return Acl(name, lines=tuple(lines), default_action=default)
+
+
+def _permit_line(prefix_text):
+    return AclLine(
+        action=AclAction.PERMIT,
+        dst=IpWildcard.from_prefix(Prefix.parse(prefix_text)),
+    )
+
+
+def _route_map(name, clauses, default=Action.DENY):
+    return RouteMap(name, clauses=tuple(clauses), default_action=default)
+
+
+def _prefix_clause(name, action, prefix_range_text, sets=()):
+    prefix_list = PrefixList(
+        f"PL-{name}",
+        (
+            PrefixListEntry(
+                action=Action.PERMIT, range=PrefixRange.parse(prefix_range_text)
+            ),
+        ),
+    )
+    return RouteMapClause(
+        name=name,
+        action=action,
+        matches=(MatchPrefixList(prefix_list),),
+        sets=tuple(sets),
+    )
+
+
+class TestCleanPairsPass:
+    def test_identical_acls_have_no_differences(self):
+        acl = _acl(_permit_line("10.0.0.0/8"))
+        stats = check_acl_pair(acl, acl, random.Random(0))
+        assert stats.differences == 0
+        assert stats.samples > 0
+
+    def test_differing_acls_pass_all_checks(self):
+        acl1 = _acl(_permit_line("10.0.0.0/8"))
+        acl2 = _acl(_permit_line("10.0.0.0/9"))
+        stats = check_acl_pair(acl1, acl2, random.Random(0))
+        assert stats.differences > 0
+        assert stats.witnesses == stats.differences
+
+    def test_generated_pair_passes(self):
+        pair = generate_acl_pair(rule_count=10, differences=3, seed=5)
+        stats = check_acl_pair(
+            pair.cisco_acl, pair.juniper_acl, random.Random(5), sample_budget=48
+        )
+        assert stats.samples > 0
+
+    def test_figure1_maps_pass(self):
+        cisco, juniper = figure1_devices()
+        stats = check_route_map_pair(
+            cisco.route_maps["POL"], juniper.route_maps["POL"], random.Random(0)
+        )
+        assert stats.differences == 2
+        assert stats.localizations > 0
+
+    def test_route_map_pair_with_behavioral_witnesses(self):
+        map1 = _route_map(
+            "RM1",
+            [_prefix_clause("c10", Action.PERMIT, "10.0.0.0/8 : 8-24")],
+        )
+        map2 = _route_map(
+            "RM2",
+            [
+                _prefix_clause(
+                    "c10",
+                    Action.PERMIT,
+                    "10.0.0.0/8 : 8-24",
+                    sets=(SetLocalPref(150),),
+                )
+            ],
+        )
+        stats = check_route_map_pair(
+            map1, map2, random.Random(0), behavioral=True
+        )
+        assert stats.differences == 1
+        assert stats.witnesses == 1
+
+
+class TestTamperDetection:
+    """Sabotage one pipeline stage; the harness must notice."""
+
+    def _acl_pair(self):
+        return (
+            _acl(_permit_line("10.0.0.0/8")),
+            _acl(_permit_line("10.0.0.0/9")),
+        )
+
+    def test_dropped_difference_fails_union_check(self, monkeypatch):
+        real = harness_module.semantic_diff_classes
+
+        def tampered(kind, classes1, classes2, *args, **kwargs):
+            return real(kind, classes1, classes2, *args, **kwargs)[:-1]
+
+        monkeypatch.setattr(harness_module, "semantic_diff_classes", tampered)
+        with pytest.raises(OracleFailure) as excinfo:
+            check_acl_pair(*self._acl_pair(), random.Random(0))
+        assert excinfo.value.check in (
+            "acl-union-vs-naive",
+            "acl-union-vs-monolithic",
+        )
+
+    def test_widened_difference_fails_union_check(self, monkeypatch):
+        real = harness_module.semantic_diff_classes
+
+        def tampered(kind, classes1, classes2, *args, **kwargs):
+            differences = real(kind, classes1, classes2, *args, **kwargs)
+            if differences:
+                # Widen one input set beyond the true disagreement region.
+                widened = differences[0]
+                object.__setattr__(
+                    widened,
+                    "input_set",
+                    widened.input_set | classes1[0].predicate,
+                )
+            return differences
+
+        monkeypatch.setattr(harness_module, "semantic_diff_classes", tampered)
+        with pytest.raises(OracleFailure):
+            check_acl_pair(*self._acl_pair(), random.Random(0))
+
+    def test_wrong_action_key_fails_naive_check(self, monkeypatch):
+        # Keying the naive recomputation by identity instead of the
+        # canonical key must disagree with SemanticDiff on describe()-equal
+        # but __eq__-unequal actions; here we tamper the other direction:
+        # make the naive side think everything agrees.
+        monkeypatch.setattr(
+            harness_module, "canonical_action_key", lambda action: "constant"
+        )
+        with pytest.raises(OracleFailure) as excinfo:
+            check_acl_pair(*self._acl_pair(), random.Random(0))
+        assert excinfo.value.check == "acl-union-vs-naive"
+
+    def test_redundant_localization_term_fails_minimality(self, monkeypatch):
+        real = harness_module.header_localize
+
+        def tampered(affected, ranges, algebra, to_pred):
+            localization = real(affected, ranges, algebra, to_pred)
+            if not localization.terms:
+                return localization
+            # A duplicated term is covered by the union of the rest, so
+            # the output is no longer minimal (while still exact).
+            return Localization(
+                terms=localization.terms + (localization.terms[0],),
+                stats=localization.stats,
+            )
+
+        monkeypatch.setattr(harness_module, "header_localize", tampered)
+        with pytest.raises(OracleFailure) as excinfo:
+            check_acl_pair(*self._acl_pair(), random.Random(0))
+        assert excinfo.value.check in ("localize-minimal", "localize-exact")
+
+    def test_truncated_localization_fails_exactness(self, monkeypatch):
+        real = harness_module.header_localize
+
+        def tampered(affected, ranges, algebra, to_pred):
+            localization = real(affected, ranges, algebra, to_pred)
+            return Localization(
+                terms=localization.terms[:-1], stats=localization.stats
+            )
+
+        monkeypatch.setattr(harness_module, "header_localize", tampered)
+        with pytest.raises(OracleFailure) as excinfo:
+            check_acl_pair(*self._acl_pair(), random.Random(0))
+        assert excinfo.value.check == "localize-exact"
+
+
+class TestNaiveDisagreement:
+    def test_matches_semantic_diff_on_figure1(self):
+        from repro.core import diff_route_maps
+        from repro.encoding import route_map_equivalence_classes
+        from repro.encoding.route import RouteSpace
+
+        cisco, juniper = figure1_devices()
+        map1, map2 = cisco.route_maps["POL"], juniper.route_maps["POL"]
+        space, differences = diff_route_maps(map1, map2)
+        union = space.manager.disjoin(d.input_set for d in differences)
+        naive = harness_module.naive_disagreement(
+            route_map_equivalence_classes(space, map1),
+            route_map_equivalence_classes(space, map2),
+        )
+        assert union == naive

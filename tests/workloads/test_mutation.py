@@ -117,3 +117,56 @@ class TestApplyRandom:
             parse_cisco(cisco_mutation.text)
             juniper_mutation = apply_random_mutation(JUNIPER, seed=seed)
             parse_juniper(juniper_mutation.text)
+
+
+class TestOperatorContract:
+    """The module's stated contract: every operator's output is flagged by
+    ConfigDiff against the original, and operators return None (never
+    raise) on texts missing their pattern."""
+
+    ACL_TEXT = (
+        "hostname gw\n!\nip access-list extended F\n"
+        " permit tcp any any eq 80\n deny udp any 10.0.0.0 0.0.0.255\n!\n"
+    )
+    TAGGED = CISCO + "ip route 10.99.0.0 255.255.0.0 10.200.2.9 tag 5\n"
+    OSPF = CISCO.replace(
+        "interface Ethernet1", "interface Ethernet1\n ip ospf cost 10"
+    )
+
+    # One applicable Cisco-dialect base text per operator.
+    BASE_TEXTS = {
+        "change_local_pref": CISCO,
+        "change_community": CISCO,
+        "drop_prefix_list_entry": CISCO,
+        "change_static_next_hop": CISCO,
+        "change_static_tag": TAGGED,
+        "remove_send_community": CISCO,
+        "flip_acl_action": ACL_TEXT,
+        "change_ospf_cost": OSPF,
+    }
+
+    @pytest.mark.parametrize(
+        "operator", MUTATION_OPERATORS, ids=lambda op: op.__name__
+    )
+    def test_every_operator_flagged_by_config_diff(self, operator):
+        from repro.core import config_diff
+        from repro.parsers import parse_cisco
+
+        text = self.BASE_TEXTS[operator.__name__]
+        mutation = operator(text, random.Random(0))
+        assert mutation is not None, f"{operator.__name__} inapplicable"
+        report = config_diff(
+            parse_cisco(text, "original.cfg"),
+            parse_cisco(mutation.text, "mutated.cfg"),
+        )
+        assert not report.is_equivalent(), (
+            f"{operator.__name__} mutated the text "
+            f"({mutation.description}) but ConfigDiff saw no difference"
+        )
+
+    @pytest.mark.parametrize(
+        "operator", MUTATION_OPERATORS, ids=lambda op: op.__name__
+    )
+    def test_returns_none_on_missing_pattern(self, operator):
+        for text in ("", "hostname bare\n", "interface E1\n shutdown\n"):
+            assert operator(text, random.Random(0)) is None
