@@ -1,0 +1,314 @@
+"""Persistent content-addressed artifact cache (``~/.cache/campion``).
+
+Two stores under one root make repeated CLI invocations incremental:
+
+* ``devices/`` — parsed :class:`~repro.model.device.DeviceConfig`
+  objects (pickled, with their component fingerprints already computed),
+  keyed by the SHA-256 of the configuration *text* plus filename,
+  dialect, and strictness — re-running over an unchanged file skips the
+  parser entirely.
+* ``diffs/`` — per-component diff entries (JSON, the
+  :mod:`repro.core.memo` entry format), keyed by the component
+  fingerprint pair — re-running over a mostly-unchanged fleet only
+  analyzes changed components.
+
+Every key digest and every stored payload embeds the schema versions
+(cache layout, report serialization, fingerprint canonicalization), and
+reads validate the payload's stamps: an entry written by an older
+schema is rejected as stale — counted under ``cache.stale`` — and
+deleted, so a version bump atomically invalidates old artifacts even if
+the key format happens to survive.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent processes
+— parallel fleet workers write through the parent, but nothing stops
+two CLI invocations sharing a cache dir — can never observe a torn
+entry.  Each store is bounded by ``max_entries`` with mtime-LRU
+eviction.  Cache failures of any kind (unreadable file, corrupt pickle,
+full disk) degrade to a miss or a skipped write — the cache must never
+sink an analysis run.  Hit/miss/eviction counters land in
+:mod:`repro.perf`; ``campion cache stats|clear`` exposes the store.
+
+Like any pickle-based local cache, ``devices/`` is only as trustworthy
+as the directory permissions; the default root lives under the user's
+own cache home (``$XDG_CACHE_HOME``/``~/.cache``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import pickle
+import tempfile
+from typing import Dict, Optional, Tuple
+
+from . import perf
+from .core.serialize import SCHEMA_VERSION as SERIALIZE_SCHEMA_VERSION
+from .model.device import DeviceConfig
+from .model.fingerprint import FINGERPRINT_SCHEMA_VERSION
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CACHE_DIR_ENV",
+    "ArtifactCache",
+    "default_cache_dir",
+    "resolve_cache_dir",
+]
+
+#: Bump when the on-disk layout or pickled payload shape changes.
+CACHE_SCHEMA_VERSION = 1
+
+CACHE_DIR_ENV = "CAMPION_CACHE_DIR"
+
+_DEVICES = "devices"
+_DIFFS = "diffs"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$XDG_CACHE_HOME/campion`` or ``~/.cache/campion``."""
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
+    return base / "campion"
+
+
+def resolve_cache_dir(explicit: Optional[str] = None) -> pathlib.Path:
+    """Cache root: ``--cache-dir`` wins, else ``$CAMPION_CACHE_DIR``,
+    else the platform default."""
+    if explicit:
+        return pathlib.Path(explicit)
+    env = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if env:
+        return pathlib.Path(env)
+    return default_cache_dir()
+
+
+def _schema_stamp() -> Tuple[int, int, int]:
+    # Read at call time so tests can simulate version bumps.
+    return (
+        CACHE_SCHEMA_VERSION,
+        SERIALIZE_SCHEMA_VERSION,
+        FINGERPRINT_SCHEMA_VERSION,
+    )
+
+
+class ArtifactCache:
+    """Content-addressed store of parsed devices and diff entries."""
+
+    def __init__(
+        self,
+        root: os.PathLike,
+        max_entries: int = 8192,
+    ) -> None:
+        self.root = pathlib.Path(root)
+        self.max_entries = max_entries
+
+    # -- keys ----------------------------------------------------------------
+    def _digest(self, store: str, key_material: str) -> str:
+        material = repr((_schema_stamp(), store, key_material))
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def _path(self, store: str, digest: str, suffix: str) -> pathlib.Path:
+        # Two-level sharding keeps directory listings fast at capacity.
+        return self.root / store / digest[:2] / f"{digest}{suffix}"
+
+    @staticmethod
+    def device_text_key(
+        text: str, filename: str, dialect: str, strict: bool
+    ) -> str:
+        """Key material for one parsed device: text digest + parse options."""
+        text_sha = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        return repr((text_sha, filename, dialect, bool(strict)))
+
+    # -- devices -------------------------------------------------------------
+    def get_device(
+        self, text: str, filename: str, dialect: str, strict: bool
+    ) -> Optional[DeviceConfig]:
+        """The parsed device for this exact text, or ``None``."""
+        digest = self._digest(
+            _DEVICES, self.device_text_key(text, filename, dialect, strict)
+        )
+        path = self._path(_DEVICES, digest, ".pickle")
+        payload = self._read_pickle(path)
+        if payload is None:
+            perf.add("cache.device.misses")
+            return None
+        if payload.get("schema") != _schema_stamp():
+            self._reject_stale(path)
+            perf.add("cache.device.misses")
+            return None
+        device = payload.get("device")
+        if not isinstance(device, DeviceConfig):
+            self._reject_stale(path)
+            perf.add("cache.device.misses")
+            return None
+        perf.add("cache.device.hits")
+        return device
+
+    def put_device(
+        self,
+        text: str,
+        filename: str,
+        dialect: str,
+        strict: bool,
+        device: DeviceConfig,
+    ) -> None:
+        """Store a parsed device (fingerprints ride along pickled)."""
+        device.fingerprints  # ensure the cached property is materialized
+        digest = self._digest(
+            _DEVICES, self.device_text_key(text, filename, dialect, strict)
+        )
+        path = self._path(_DEVICES, digest, ".pickle")
+        self._write_atomic(
+            path, pickle.dumps({"schema": _schema_stamp(), "device": device})
+        )
+        self._evict(_DEVICES)
+
+    # -- diff entries --------------------------------------------------------
+    def get_diff(self, key: Tuple) -> Optional[Dict]:
+        """The memoized diff entry for a fingerprint key, or ``None``.
+
+        Only counted in :mod:`repro.perf` (``cache.diff.*``); the
+        :class:`~repro.core.memo.DiffMemo` in front counts the logical
+        memo hit/miss.
+        """
+        digest = self._digest(_DIFFS, repr(key))
+        path = self._path(_DIFFS, digest, ".json")
+        payload = self._read_json(path)
+        if payload is None:
+            perf.add("cache.diff.misses")
+            return None
+        if (
+            payload.get("cache_schema") != CACHE_SCHEMA_VERSION
+            or payload.get("serialize_schema") != SERIALIZE_SCHEMA_VERSION
+            or payload.get("fingerprint_schema") != FINGERPRINT_SCHEMA_VERSION
+            or not isinstance(payload.get("entry"), dict)
+        ):
+            self._reject_stale(path)
+            perf.add("cache.diff.misses")
+            return None
+        perf.add("cache.diff.hits")
+        return payload["entry"]
+
+    def put_diff(self, key: Tuple, entry: Dict) -> None:
+        """Store one clean per-component diff entry."""
+        digest = self._digest(_DIFFS, repr(key))
+        path = self._path(_DIFFS, digest, ".json")
+        payload = {
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "serialize_schema": SERIALIZE_SCHEMA_VERSION,
+            "fingerprint_schema": FINGERPRINT_SCHEMA_VERSION,
+            "key": repr(key),
+            "entry": entry,
+        }
+        self._write_atomic(
+            path, json.dumps(payload, sort_keys=True).encode("utf-8")
+        )
+        self._evict(_DIFFS)
+
+    # -- maintenance ---------------------------------------------------------
+    def stats(self) -> Dict:
+        """Entry counts and byte sizes per store (plus the root path)."""
+        result: Dict = {"root": str(self.root), "stores": {}}
+        for store in (_DEVICES, _DIFFS):
+            entries = 0
+            size = 0
+            for path in self._entries(store):
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+            result["stores"][store] = {"entries": entries, "bytes": size}
+        return result
+
+    def clear(self) -> int:
+        """Remove every cached artifact; returns the number removed."""
+        removed = 0
+        for store in (_DEVICES, _DIFFS):
+            for path in self._entries(store):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    continue
+        return removed
+
+    # -- internals -----------------------------------------------------------
+    def _entries(self, store: str):
+        base = self.root / store
+        if not base.is_dir():
+            return
+        for shard in sorted(base.iterdir()):
+            if not shard.is_dir():
+                continue
+            yield from sorted(shard.iterdir())
+
+    def _read_pickle(self, path: pathlib.Path) -> Optional[Dict]:
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:  # noqa: BLE001 - corrupt entry degrades to a miss
+            perf.add("cache.errors")
+            self._reject_stale(path)
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _read_json(self, path: pathlib.Path) -> Optional[Dict]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:  # noqa: BLE001 - corrupt entry degrades to a miss
+            perf.add("cache.errors")
+            self._reject_stale(path)
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _write_atomic(self, path: pathlib.Path, data: bytes) -> None:
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            descriptor, temp_name = tempfile.mkstemp(
+                dir=str(path.parent), prefix=".tmp-"
+            )
+            try:
+                with os.fdopen(descriptor, "wb") as handle:
+                    handle.write(data)
+                os.replace(temp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+            perf.add("cache.writes")
+        except OSError:
+            perf.add("cache.errors")  # full disk / permissions: skip write
+
+    def _reject_stale(self, path: pathlib.Path) -> None:
+        perf.add("cache.stale")
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def _evict(self, store: str) -> None:
+        """mtime-LRU bound on the store size (writes are rare — one per
+        unique artifact — so the scan cost is negligible in practice)."""
+        try:
+            entries = list(self._entries(store))
+            excess = len(entries) - self.max_entries
+            if excess <= 0:
+                return
+            entries.sort(key=lambda p: (p.stat().st_mtime, p.name))
+            for path in entries[:excess]:
+                try:
+                    path.unlink()
+                    perf.add("cache.evictions")
+                except OSError:
+                    continue
+        except OSError:
+            perf.add("cache.errors")

@@ -12,6 +12,11 @@ Subcommands:
 * ``campion selfcheck`` — run the differential-testing oracle
   (``repro.oracle``) on seeded generated workloads; any failure prints
   a minimal reproducer with its case seed.
+* ``campion cache stats|clear`` — inspect or clear the persistent
+  artifact cache; ``parse``/``compare``/``fleet``/``selfcheck`` use it
+  by default (``--cache-dir`` overrides the root, ``--no-cache``
+  disables it) and print a ``campion: cache: hits=… misses=…`` summary
+  line on stderr.
 
 Exit codes form a contract for scripting and CI:
 
@@ -35,17 +40,21 @@ import sys
 import time
 from typing import List, Optional
 
+from . import perf
 from .baseline import monolithic_route_map_check, monolithic_static_route_check
+from .cache import ArtifactCache, resolve_cache_dir
 from .core import (
+    DiffMemo,
     compare_fleet,
     config_diff,
+    fleet_report_to_dict,
     render_report,
     render_semantic_difference,
     report_to_json,
 )
 from .model.device import DeviceConfig
 from .model.types import ConfigError
-from .parsers import load_config
+from .parsers import load_config, parse_config
 
 __all__ = ["main"]
 
@@ -60,9 +69,62 @@ def _fail(message: str) -> int:
     return EXIT_USAGE
 
 
-def _load(args: argparse.Namespace, path: str) -> DeviceConfig:
-    """Load one config honoring ``--strict``/``--lenient``."""
-    device = load_config(path, dialect=args.dialect, strict=args.strict)
+#: Counters summarized on stderr after cache-enabled commands.
+_CACHE_COUNTERS = (
+    "cache.device.hits",
+    "cache.device.misses",
+    "cache.diff.hits",
+    "cache.diff.misses",
+)
+
+
+def _open_cache(args: argparse.Namespace):
+    """The persistent artifact cache for this invocation (or ``None``
+    under ``--no-cache``), plus a counter baseline for the summary."""
+    if getattr(args, "no_cache", False):
+        return None, {}
+    cache = ArtifactCache(resolve_cache_dir(getattr(args, "cache_dir", None)))
+    baseline = {
+        name: perf.REGISTRY.counters.get(name, 0) for name in _CACHE_COUNTERS
+    }
+    return cache, baseline
+
+
+def _cache_note(cache, baseline) -> None:
+    """One machine-greppable stderr line: hits/misses this invocation."""
+    if cache is None:
+        return
+    deltas = {
+        name: perf.REGISTRY.counters.get(name, 0) - baseline.get(name, 0)
+        for name in _CACHE_COUNTERS
+    }
+    hits = deltas["cache.device.hits"] + deltas["cache.diff.hits"]
+    misses = deltas["cache.device.misses"] + deltas["cache.diff.misses"]
+    print(
+        f"campion: cache: hits={hits} misses={misses} dir={cache.root}",
+        file=sys.stderr,
+    )
+
+
+def _load(
+    args: argparse.Namespace, path: str, cache: Optional[ArtifactCache] = None
+) -> DeviceConfig:
+    """Load one config honoring ``--strict``/``--lenient``.
+
+    With a cache, an unchanged file (same text/name/dialect/strictness)
+    is unpickled instead of re-parsed — fingerprints included.
+    """
+    if cache is None:
+        device = load_config(path, dialect=args.dialect, strict=args.strict)
+    else:
+        with open(path, "r") as handle:
+            text = handle.read()
+        device = cache.get_device(text, path, args.dialect, args.strict)
+        if device is None:
+            device = parse_config(
+                text, filename=path, dialect=args.dialect, strict=args.strict
+            )
+            cache.put_device(text, path, args.dialect, args.strict, device)
     for diagnostic in device.diagnostics:
         print(f"campion: {diagnostic.render()}", file=sys.stderr)
     return device
@@ -85,15 +147,18 @@ def _summarize(device: DeviceConfig) -> str:
 
 
 def _cmd_parse(args: argparse.Namespace) -> int:
-    device = _load(args, args.config)
+    cache, baseline = _open_cache(args)
+    device = _load(args, args.config, cache)
     print(_summarize(device))
+    _cache_note(cache, baseline)
     return EXIT_PARTIAL if device.parse_degraded() else EXIT_EQUIVALENT
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    cache, baseline = _open_cache(args)
     start = time.time()
-    device1 = _load(args, args.config1)
-    device2 = _load(args, args.config2)
+    device1 = _load(args, args.config1, cache)
+    device2 = _load(args, args.config2, cache)
     parse_time = time.time() - start
     start = time.time()
     report = config_diff(
@@ -102,6 +167,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         exhaustive_communities=args.exhaustive_communities,
         node_limit=args.node_limit,
         time_budget=args.timeout,
+        memo=DiffMemo(cache) if cache is not None else None,
     )
     diff_time = time.time() - start
     if args.json:
@@ -110,6 +176,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         print(render_report(report))
         print()
         print(f"(parse {parse_time:.2f}s, diff {diff_time:.2f}s)")
+    _cache_note(cache, baseline)
     if report.is_degraded():
         return EXIT_PARTIAL
     return EXIT_EQUIVALENT if report.is_equivalent() else EXIT_DIFFERENCES
@@ -166,19 +233,23 @@ def _cmd_translate(args: argparse.Namespace) -> int:
 def _cmd_selfcheck(args: argparse.Namespace) -> int:
     from .oracle import run_selfcheck
 
+    cache, baseline = _open_cache(args)
+
     def progress(done: int, total: int) -> None:
         if args.progress and (done % 10 == 0 or done == total):
             print(f"campion: selfcheck {done}/{total} pairs", file=sys.stderr)
 
     result = run_selfcheck(
-        seed=args.seed, pairs=args.pairs, on_progress=progress
+        seed=args.seed, pairs=args.pairs, on_progress=progress, cache=cache
     )
     print(result.render())
+    _cache_note(cache, baseline)
     return EXIT_EQUIVALENT if result.passed else EXIT_DIFFERENCES
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
-    devices = [_load(args, path) for path in args.configs]
+    cache, baseline = _open_cache(args)
+    devices = [_load(args, path, cache) for path in args.configs]
     try:
         report = compare_fleet(
             devices,
@@ -186,6 +257,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             workers=args.workers,
             timeout=args.timeout,
             node_limit=args.node_limit,
+            memo=DiffMemo(cache) if cache is not None else None,
         )
     except ValueError as exc:
         # duplicate hostnames, too-few devices, unknown reference
@@ -193,13 +265,38 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     except RuntimeError as exc:
         # every pairwise comparison failed — no verdict at all
         return _fail(str(exc))
-    print(report.render_summary())
-    for hostname in report.outliers:
-        print(f"\n--- {hostname} vs {report.reference} " + "-" * 40)
-        print(render_report(report.reports[hostname]))
+    if args.json:
+        import json
+
+        # Timing-free and deterministically ordered: two runs over the
+        # same fleet (cold or warm) print byte-identical JSON.
+        print(json.dumps(fleet_report_to_dict(report), indent=2))
+    else:
+        print(report.render_summary())
+        for hostname in report.outliers:
+            print(f"\n--- {hostname} vs {report.reference} " + "-" * 40)
+            print(render_report(report.reports[hostname]))
+    _cache_note(cache, baseline)
     if report.is_partial():
         return EXIT_PARTIAL
     return EXIT_DIFFERENCES if report.outliers else EXIT_EQUIVALENT
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ArtifactCache(resolve_cache_dir(getattr(args, "cache_dir", None)))
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cache: removed {removed} artifact(s) from {cache.root}")
+        return EXIT_EQUIVALENT
+    stats = cache.stats()
+    print(f"cache: {stats['root']}")
+    for store, numbers in stats["stores"].items():
+        print(
+            f"  {store}: {numbers['entries']} entr"
+            f"{'y' if numbers['entries'] == 1 else 'ies'}, "
+            f"{numbers['bytes']} bytes"
+        )
+    return EXIT_EQUIVALENT
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -226,6 +323,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         dest="strict",
         action="store_false",
         help="record-and-skip unparseable stanzas (default)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent artifact cache root "
+        "(default: $CAMPION_CACHE_DIR or ~/.cache/campion)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        default=False,
+        help="disable the persistent artifact cache for this invocation",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -287,6 +397,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="processes for the pairwise matrix (default: $CAMPION_WORKERS or 1)",
     )
+    fleet_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable, timing-free output (byte-identical across runs)",
+    )
     add_budget_flags(fleet_parser)
     fleet_parser.set_defaults(func=_cmd_fleet)
 
@@ -321,6 +436,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--output", default=None, help="write the translation here (default: stdout)"
     )
     translate_parser.set_defaults(func=_cmd_translate)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the persistent artifact cache"
+    )
+    cache_parser.add_argument(
+        "action", choices=["stats", "clear"], help="what to do with the cache"
+    )
+    cache_parser.set_defaults(func=_cmd_cache)
 
     args = parser.parse_args(argv)
     try:

@@ -10,22 +10,46 @@
 ``Diff`` dispatches per Table 1: SemanticDiff for ACLs and route maps,
 StructuralDiff for everything else; ``Present`` attaches HeaderLocalize
 output and renders.
+
+Both entry points run the *same* component walk, optionally through a
+:class:`~repro.core.memo.DiffMemo`:
+
+* :func:`config_diff` produces a full live :class:`CampionReport`.  A
+  memo hit with zero differences skips the component outright (it would
+  contribute nothing to the report); a hit with differences is
+  recomputed live so localization points at this pair's actual lines.
+* :func:`config_diff_summary` produces only the difference *count* (the
+  fleet matrix's currency): memo hits of any count are replayed as
+  arithmetic, misses are computed — and localized, so their entries are
+  report-grade — exactly once per unique fingerprint pair.
+
+Using one walk for both modes is what makes the count-parity invariant
+(``config_diff_summary(...) == config_diff(...).total_differences()``)
+structural rather than a matter of keeping two loops in sync.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import Dict, Optional, Tuple
 
 from ..bdd import AnalysisBudgetExceeded
 from ..model.device import DeviceConfig
 from .match_policies import PolicyPairing, match_policies
+from .memo import (
+    DiffMemo,
+    acl_key,
+    route_map_key,
+    semantic_entry,
+    structural_entry,
+    structural_key,
+)
 from .present import localize_acl_difference, localize_route_map_difference
 from .results import AbortedAnalysis, CampionReport, ComponentKind
 from .semantic_diff import diff_acls, diff_route_maps
 from .structural_diff import structural_diff_all
 
-__all__ = ["COMPONENT_CHECKS", "config_diff"]
+__all__ = ["COMPONENT_CHECKS", "config_diff", "config_diff_summary"]
 
 # Table 1: Components supported by Campion and the check used for each.
 COMPONENT_CHECKS: Dict[ComponentKind, str] = {
@@ -47,6 +71,7 @@ def config_diff(
     exhaustive_communities: bool = False,
     node_limit: Optional[int] = None,
     time_budget: Optional[float] = None,
+    memo: Optional[DiffMemo] = None,
 ) -> CampionReport:
     """Find and localize all differences between two router configurations.
 
@@ -63,9 +88,75 @@ def config_diff(
     component's result — still sound per Theorem 3.3 — stands.  The
     report also carries both devices' error-severity parse diagnostics
     so downstream consumers can flag reduced coverage.
+
+    ``memo`` enables fingerprint-keyed reuse: components whose memoized
+    result is *no differences* are skipped (identical report, zero BDD
+    work) and fresh clean results are recorded for later pairs — the
+    report itself is identical to a memo-less run.
+    """
+    report, _ = _walk_components(
+        device1,
+        device2,
+        pairing=pairing,
+        exhaustive_communities=exhaustive_communities,
+        node_limit=node_limit,
+        time_budget=time_budget,
+        memo=memo,
+        collect=True,
+    )
+    return report
+
+
+def config_diff_summary(
+    device1: DeviceConfig,
+    device2: DeviceConfig,
+    pairing: Optional[PolicyPairing] = None,
+    exhaustive_communities: bool = False,
+    node_limit: Optional[int] = None,
+    time_budget: Optional[float] = None,
+    memo: Optional[DiffMemo] = None,
+) -> int:
+    """The pair's total difference count, replaying memoized components.
+
+    Equals ``config_diff(...).total_differences()`` for the same inputs
+    (same walk, same per-component computations on memo misses); with a
+    warm memo a fully-shared pair costs MatchPolicies plus table
+    lookups — no BDD work at all.  This is what fleet matrix workers
+    run.
+    """
+    report, replayed = _walk_components(
+        device1,
+        device2,
+        pairing=pairing,
+        exhaustive_communities=exhaustive_communities,
+        node_limit=node_limit,
+        time_budget=time_budget,
+        memo=memo,
+        collect=False,
+    )
+    return report.total_differences() + replayed
+
+
+def _walk_components(
+    device1: DeviceConfig,
+    device2: DeviceConfig,
+    pairing: Optional[PolicyPairing],
+    exhaustive_communities: bool,
+    node_limit: Optional[int],
+    time_budget: Optional[float],
+    memo: Optional[DiffMemo],
+    collect: bool,
+) -> Tuple[CampionReport, int]:
+    """The shared component walk behind both ConfigDiff entry points.
+
+    Returns ``(report, replayed)`` where ``replayed`` counts memoized
+    differences that were *not* materialized on the report (non-zero
+    hits in count mode); in collect mode it is always 0.
     """
     if pairing is None:
         pairing = match_policies(device1, device2)
+    fps1 = device1.fingerprints if memo is not None else None
+    fps2 = device2.fingerprints if memo is not None else None
 
     report = CampionReport(router1=device1.hostname, router2=device2.hostname)
     report.unmatched = list(pairing.unmatched)
@@ -95,6 +186,8 @@ def config_diff(
             return 0.0
         return left
 
+    replayed = 0
+
     seen_route_map_pairs = set()
     for pair in pairing.route_map_pairs:
         dedup_key = (pair.name1, pair.name2)
@@ -121,6 +214,22 @@ def config_diff(
                 )
             )
             continue
+        key = entry = None
+        if memo is not None:
+            key = route_map_key(
+                fps1.route_maps[pair.name1],
+                fps2.route_maps[pair.name2],
+                exhaustive_communities,
+            )
+            entry = memo.get(key)
+            if entry is not None:
+                if entry["count"] == 0:
+                    continue  # nothing to add to any report
+                if not collect:
+                    replayed += entry["count"]
+                    continue
+                # collect mode recomputes live below so localization
+                # points at this pair's actual source lines.
         component = _component_label(pair.name1, pair.name2, "route map")
         left = _remaining(component, ComponentKind.ROUTE_MAP)
         if left is not None and left <= 0:
@@ -152,12 +261,29 @@ def config_diff(
                     resource=exc.resource,
                 )
             )
-            continue
+            continue  # aborted results are never memoized
         report.semantic.extend(differences)
+        if memo is not None and entry is None:
+            memo.put(
+                key,
+                semantic_entry(
+                    ComponentKind.ROUTE_MAP, differences, context=pair.context
+                ),
+            )
 
     for pair in pairing.acl_pairs:
         acl1 = device1.acls[pair.name1]
         acl2 = device2.acls[pair.name2]
+        key = entry = None
+        if memo is not None:
+            key = acl_key(fps1.acls[pair.name1], fps2.acls[pair.name2])
+            entry = memo.get(key)
+            if entry is not None:
+                if entry["count"] == 0:
+                    continue
+                if not collect:
+                    replayed += entry["count"]
+                    continue
         component = _component_label(pair.name1, pair.name2, "ACL")
         left = _remaining(component, ComponentKind.ACL)
         if left is not None and left <= 0:
@@ -185,8 +311,24 @@ def config_diff(
             )
             continue
         report.semantic.extend(differences)
+        if memo is not None and entry is None:
+            memo.put(key, semantic_entry(ComponentKind.ACL, differences))
 
-    report.structural = structural_diff_all(
-        device1, device2, pairing.ospf_interface_pairing
-    )
-    return report
+    if memo is not None:
+        skey = structural_key(fps1, fps2, pairing.ospf_interface_pairing)
+        sentry = memo.get(skey)
+        if sentry is not None and sentry["count"] == 0:
+            pass  # structurally identical: report.structural stays []
+        elif sentry is not None and not collect:
+            replayed += sentry["count"]
+        else:
+            report.structural = structural_diff_all(
+                device1, device2, pairing.ospf_interface_pairing
+            )
+            if sentry is None:
+                memo.put(skey, structural_entry(report.structural))
+    else:
+        report.structural = structural_diff_all(
+            device1, device2, pairing.ospf_interface_pairing
+        )
+    return report, replayed

@@ -25,10 +25,12 @@ everything against a known-good device in n-1 comparisons.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..model.device import DeviceConfig
 from .config_diff import config_diff
+from .memo import DiffMemo
 from .parallel import (
     pairwise_count_outcomes,
     resolve_timeout,
@@ -37,6 +39,29 @@ from .parallel import (
 from .results import CampionReport
 
 __all__ = ["FleetReport", "compare_fleet"]
+
+
+def _elect_medoid(
+    candidates: Sequence[str], survivors: Dict[str, List[int]]
+) -> str:
+    """The device with the smallest mean difference count to its peers.
+
+    Deterministic under ties by construction: candidates are ranked by
+    ``(exact mean, hostname)``.  Means are compared as
+    :class:`~fractions.Fraction` — float division could round two
+    genuinely-equal means (different survivor counts) to unequal
+    floats, or vice versa, making the winner depend on accumulated
+    rounding rather than the hostname tie-break.  Input ordering (and
+    therefore parallel completion order, since callers build
+    ``survivors`` from the outcome list) never affects the result.
+    """
+    return min(
+        sorted(candidates),
+        key=lambda hostname: (
+            Fraction(sum(survivors[hostname]), len(survivors[hostname])),
+            hostname,
+        ),
+    )
 
 
 @dataclass
@@ -121,6 +146,8 @@ def compare_fleet(
     workers: Optional[int] = None,
     timeout: Optional[float] = None,
     node_limit: Optional[int] = None,
+    memo: Optional[DiffMemo] = None,
+    use_memo: bool = True,
 ) -> FleetReport:
     """Compare a fleet of configurations intended to be identical.
 
@@ -143,6 +170,15 @@ def compare_fleet(
     allocation.  Either tripping turns that pair into a ``failed_pairs``
     entry (matrix phase) or a per-component degradation inside the
     report (reference phase) rather than sinking the run.
+
+    Fingerprint memoization is on by default (``use_memo=True``): each
+    unique component-content pair is diffed once and replayed across
+    the matrix and the reference reports, which is what makes templated
+    fleets near-linear instead of quadratic.  Pass a ``memo`` (e.g. a
+    :class:`~repro.core.memo.DiffMemo` backed by the persistent
+    :class:`~repro.cache.ArtifactCache`) to share results across runs,
+    or ``use_memo=False`` for the plain recompute-every-pair baseline.
+    Reports and counts are identical in every mode.
     """
     if len(devices) < 2:
         raise ValueError("a fleet comparison needs at least two devices")
@@ -158,6 +194,8 @@ def compare_fleet(
     hostnames = sorted(by_name)
     workers = resolve_workers(workers)
     timeout = resolve_timeout(timeout)
+    if memo is None and use_memo:
+        memo = DiffMemo()
 
     matrix: Dict[Tuple[str, str], int] = {}
     failed_pairs: Dict[Tuple[str, str], str] = {}
@@ -174,6 +212,7 @@ def compare_fleet(
             exhaustive_communities=exhaustive_communities,
             timeout=timeout,
             node_limit=node_limit,
+            memo=memo,
         )
         for key, outcome in zip(pair_keys, outcomes):
             if outcome.ok:
@@ -192,10 +231,7 @@ def compare_fleet(
                 f"fleet comparison failed: all {len(pair_keys)} pairwise "
                 "comparisons failed"
             )
-        reference = min(
-            candidates,
-            key=lambda h: (sum(survivors[h]) / len(survivors[h]), h),
-        )
+        reference = _elect_medoid(candidates, survivors)
     elif reference not in by_name:
         raise ValueError(f"reference {reference!r} is not in the fleet")
 
@@ -219,6 +255,7 @@ def compare_fleet(
                 exhaustive_communities=exhaustive_communities,
                 node_limit=node_limit,
                 time_budget=timeout,
+                memo=memo,
             )
         except Exception as exc:  # noqa: BLE001 - isolate per-device failure
             result.failed_reports[hostname] = f"{type(exc).__name__}: {exc}"

@@ -36,12 +36,13 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.pool
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import perf
 from ..model.device import DeviceConfig
-from .config_diff import config_diff
+from .config_diff import config_diff, config_diff_summary
+from .memo import DiffMemo
 from .serialize import report_to_dict
 
 __all__ = [
@@ -64,8 +65,18 @@ _Pair = Tuple[DeviceConfig, DeviceConfig]
 # Task tuple shipped to workers: the pair plus the analysis options that
 # must apply inside the worker process (budgets arm the worker's own BDD
 # managers, so a blow-up degrades in-worker before the parent-side
-# timeout ever has to fire).
-_Task = Tuple[DeviceConfig, DeviceConfig, bool, Optional[int], Optional[float]]
+# timeout ever has to fire).  The final slot is the fingerprint-keyed
+# DiffMemo (or None): every task in one fan-out references the same memo
+# object, so each worker process accumulates component results across
+# its tasks and drains them back via ``PairOutcome.memo_updates``.
+_Task = Tuple[
+    DeviceConfig,
+    DeviceConfig,
+    bool,
+    Optional[int],
+    Optional[float],
+    Optional[DiffMemo],
+]
 
 
 @dataclass
@@ -85,6 +96,10 @@ class PairOutcome:
     result: Optional[object] = None
     error: str = ""
     retried: bool = False
+    # Memo entries this task's process computed (fingerprint key ->
+    # entry dict); the parent merges them so later pairs — and the
+    # fleet reference phase — replay instead of recomputing.
+    memo_updates: Dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -138,7 +153,16 @@ def resolve_timeout(timeout: Optional[float] = None) -> Optional[float]:
 
 
 def _count_pair(task: _Task) -> int:
-    device1, device2, exhaustive, node_limit, time_budget = task
+    device1, device2, exhaustive, node_limit, time_budget, memo = task
+    if memo is not None:
+        return config_diff_summary(
+            device1,
+            device2,
+            exhaustive_communities=exhaustive,
+            node_limit=node_limit,
+            time_budget=time_budget,
+            memo=memo,
+        )
     report = config_diff(
         device1,
         device2,
@@ -150,13 +174,14 @@ def _count_pair(task: _Task) -> int:
 
 
 def _diff_pair(task: _Task) -> Dict:
-    device1, device2, exhaustive, node_limit, time_budget = task
+    device1, device2, exhaustive, node_limit, time_budget, memo = task
     report = config_diff(
         device1,
         device2,
         exhaustive_communities=exhaustive,
         node_limit=node_limit,
         time_budget=time_budget,
+        memo=memo,
     )
     return report_to_dict(report)
 
@@ -181,17 +206,28 @@ def _diff_at(index: int) -> Tuple[str, object]:
     return _guarded_call(_diff_pair, _WORKER_TASKS[index])
 
 
-def _guarded_call(function: Callable, task: _Task) -> Tuple[str, object]:
-    """Run one task in a worker, returning a tagged, always-picklable pair.
+def _guarded_call(
+    function: Callable, task: _Task
+) -> Tuple[str, object, Dict]:
+    """Run one task in a worker, returning a tagged, always-picklable
+    triple ``(status, payload, memo_updates)``.
 
     Catching here (rather than at ``.get()`` in the parent) keeps
     arbitrary — possibly unpicklable — worker exceptions from breaking
-    result transport.
+    result transport.  Memo updates are drained even on error: entries
+    recorded before the failure are clean, completed component results
+    and stay valid.
     """
+    memo = task[5] if len(task) > 5 else None
+
+    def _updates() -> Dict:
+        return memo.take_updates() if isinstance(memo, DiffMemo) else {}
+
     try:
-        return ("ok", function(task))
+        result = function(task)
     except Exception as exc:  # noqa: BLE001 - isolation boundary by design
-        return ("error", f"{type(exc).__name__}: {exc}")
+        return ("error", f"{type(exc).__name__}: {exc}", _updates())
+    return ("ok", result, _updates())
 
 
 def _build_tasks(
@@ -199,9 +235,11 @@ def _build_tasks(
     exhaustive_communities: bool,
     node_limit: Optional[int],
     timeout: Optional[float],
+    memo: Optional[DiffMemo],
 ) -> List[_Task]:
     return [
-        (d1, d2, exhaustive_communities, node_limit, timeout) for d1, d2 in pairs
+        (d1, d2, exhaustive_communities, node_limit, timeout, memo)
+        for d1, d2 in pairs
     ]
 
 
@@ -215,12 +253,18 @@ def _serial_outcomes(function: Callable, tasks: List[_Task]) -> List[PairOutcome
     """
     outcomes = []
     for index, task in enumerate(tasks):
-        tag, payload = _guarded_call(function, task)
+        tag, payload, updates = _guarded_call(function, task)
         if tag == "ok":
-            outcomes.append(PairOutcome(index, "ok", result=payload))
+            outcomes.append(
+                PairOutcome(index, "ok", result=payload, memo_updates=updates)
+            )
         else:
             perf.add("parallel.errors")
-            outcomes.append(PairOutcome(index, "error", error=str(payload)))
+            outcomes.append(
+                PairOutcome(
+                    index, "error", error=str(payload), memo_updates=updates
+                )
+            )
     return outcomes
 
 
@@ -261,7 +305,7 @@ def _pool_outcomes(
         pool.close()
         for index, future in enumerate(futures):
             try:
-                tag, payload = future.get(timeout)
+                tag, payload, updates = future.get(timeout)
             except multiprocessing.TimeoutError:
                 perf.add("parallel.timeouts")
                 outcomes[index] = PairOutcome(
@@ -276,11 +320,13 @@ def _pool_outcomes(
                 )
             else:
                 if tag == "ok":
-                    outcomes[index] = PairOutcome(index, "ok", result=payload)
+                    outcomes[index] = PairOutcome(
+                        index, "ok", result=payload, memo_updates=updates
+                    )
                 else:
                     perf.add("parallel.errors")
                     outcomes[index] = PairOutcome(
-                        index, "error", error=str(payload)
+                        index, "error", error=str(payload), memo_updates=updates
                     )
     finally:
         # Deterministic teardown: kill stragglers (timed-out pairs are
@@ -308,15 +354,15 @@ def _retry_failures(
         if outcome.ok:
             continue
         perf.add("parallel.retries")
-        tag, payload = _guarded_call(function, tasks[index])
+        tag, payload, updates = _guarded_call(function, tasks[index])
         if tag == "ok":
             outcomes[index] = PairOutcome(
-                index, "ok", result=payload, retried=True
+                index, "ok", result=payload, retried=True, memo_updates=updates
             )
         else:
             outcomes[index] = PairOutcome(
                 index, outcome.status, error=outcome.error or str(payload),
-                retried=True,
+                retried=True, memo_updates=updates,
             )
 
 
@@ -329,10 +375,13 @@ def _run_outcomes(
     timeout: Optional[float],
     node_limit: Optional[int],
     retry: bool,
+    memo: Optional[DiffMemo] = None,
 ) -> List[PairOutcome]:
     workers = resolve_workers(workers)
     timeout = resolve_timeout(timeout)
-    tasks = _build_tasks(pairs, exhaustive_communities, node_limit, timeout)
+    tasks = _build_tasks(
+        pairs, exhaustive_communities, node_limit, timeout, memo
+    )
     perf.add("parallel.tasks", len(tasks))
     with perf.timer("parallel.map"):
         if workers == 1 or len(tasks) <= 1:
@@ -341,6 +390,13 @@ def _run_outcomes(
             outcomes = _pool_outcomes(indexed, tasks, workers, timeout)
         if retry and any(not outcome.ok for outcome in outcomes):
             _retry_failures(function, tasks, outcomes, timeout)
+    if memo is not None:
+        # Fold worker-computed entries into the parent memo in input
+        # order (deterministic whatever the completion order; entries
+        # for equal keys are identical, so collisions are benign).
+        for outcome in outcomes:
+            if outcome.memo_updates:
+                memo.merge(outcome.memo_updates)
     return outcomes
 
 
@@ -351,12 +407,16 @@ def pairwise_count_outcomes(
     timeout: Optional[float] = None,
     node_limit: Optional[int] = None,
     retry: bool = True,
+    memo: Optional[DiffMemo] = None,
 ) -> List[PairOutcome]:
     """Difference-count outcomes for each device pair, fanned over workers.
 
     Outcomes are in input order; ``ok`` results are identical to running
     ``config_diff`` serially on each pair (``config_diff`` is
-    deterministic), only the wall-clock differs.
+    deterministic), only the wall-clock differs.  With ``memo`` each
+    unique fingerprint-pair component diff runs once per process at
+    most; worker-computed entries are merged back into the parent memo
+    before this returns.
     """
     return _run_outcomes(
         _count_pair,
@@ -367,6 +427,7 @@ def pairwise_count_outcomes(
         timeout,
         node_limit,
         retry,
+        memo=memo,
     )
 
 
@@ -377,12 +438,15 @@ def diff_pair_outcomes(
     timeout: Optional[float] = None,
     node_limit: Optional[int] = None,
     retry: bool = True,
+    memo: Optional[DiffMemo] = None,
 ) -> List[PairOutcome]:
     """Full ConfigDiff report-dict outcomes for each pair, fanned out.
 
     ``ok`` outcomes carry :func:`repro.core.serialize.report_to_dict`
     output (the BDD handles inside a :class:`CampionReport` cannot cross
     processes, the serialized form can).  Order matches the input pairs.
+    ``memo`` lets zero-difference components be skipped per pair; the
+    reports are identical either way.
     """
     return _run_outcomes(
         _diff_pair,
@@ -393,6 +457,7 @@ def diff_pair_outcomes(
         timeout,
         node_limit,
         retry,
+        memo=memo,
     )
 
 

@@ -16,11 +16,21 @@ from ..model.types import SourceSpan
 from .header_localize import Localization
 from .results import CampionReport, SemanticDifference, StructuralDifference
 
-__all__ = ["report_to_dict", "report_to_json"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "semantic_difference_to_dict",
+    "structural_difference_to_dict",
+    "report_to_dict",
+    "report_to_json",
+    "fleet_report_to_dict",
+]
 
 # v2: adds "degraded", "aborted" (budget-tripped components), and
 # "parse_diagnostics" (stanzas lenient parsing skipped, per router).
-SCHEMA_VERSION = 2
+# v3: adds fleet-report serialization (fleet_report_to_dict) and is the
+# schema stamped into cached per-component diff entries (repro.cache);
+# cache entries from older schemas are rejected as stale on read.
+SCHEMA_VERSION = 3
 
 
 def _span_to_dict(span: SourceSpan) -> Optional[Dict]:
@@ -45,6 +55,25 @@ def _localization_to_dict(localization: Optional[Localization]) -> Optional[Dict
         "included": [str(r) for r in localization.included],
         "excluded": [str(r) for r in localization.excluded],
     }
+
+
+def semantic_difference_to_dict(difference: SemanticDifference) -> Dict:
+    """One semantic difference as JSON-compatible dictionaries.
+
+    Hostname-free by construction (hostnames appear only at the report
+    top level), so this is also the per-component *cache entry* format
+    (:mod:`repro.core.memo`).  Text-localization spans do carry the
+    representative pair's file/line provenance, which is why memoized
+    entries with a non-zero count are replayed as *counts* only — live
+    reports re-localize against the actual devices.
+    """
+    return _semantic_to_dict(difference)
+
+
+def structural_difference_to_dict(difference: StructuralDifference) -> Dict:
+    """One structural difference as JSON-compatible dictionaries
+    (hostname-free; see :func:`semantic_difference_to_dict`)."""
+    return _structural_to_dict(difference)
 
 
 def _semantic_to_dict(difference: SemanticDifference) -> Dict:
@@ -128,6 +157,36 @@ def report_to_dict(report: CampionReport) -> Dict:
             }
             for u in report.unmatched
         ],
+    }
+
+
+def fleet_report_to_dict(report) -> Dict:
+    """A :class:`~repro.core.fleet.FleetReport` as JSON-compatible dicts.
+
+    Deliberately timing-free and deterministically ordered (matrix and
+    failure entries sorted by hostname pair), so two runs over the same
+    fleet — cold or cache-warm, serial or parallel — serialize
+    byte-identically.  CI's cache-smoke job diffs exactly this output.
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "reference": report.reference,
+        "hostnames": list(report.hostnames),
+        "matrix": [
+            [first, second, count]
+            for (first, second), count in sorted(report.matrix.items())
+        ],
+        "failed_pairs": [
+            [first, second, cause]
+            for (first, second), cause in sorted(report.failed_pairs.items())
+        ],
+        "failed_reports": dict(sorted(report.failed_reports.items())),
+        "outliers": report.outliers,
+        "conforming": report.conforming,
+        "reports": {
+            hostname: report_to_dict(pair_report)
+            for hostname, pair_report in sorted(report.reports.items())
+        },
     }
 
 

@@ -10,7 +10,10 @@ it without knowing which vendor it came from.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - fingerprint imports this module
+    from .fingerprint import ComponentFingerprints
 
 from ..diagnostics import Diagnostic, Severity
 from .acl import Acl
@@ -60,6 +63,22 @@ class DeviceConfig:
     # not be parsed, so comparisons over this device have reduced
     # coverage and reports must say so.
     diagnostics: Tuple[Diagnostic, ...] = ()
+
+    @property
+    def fingerprints(self) -> "ComponentFingerprints":
+        """Content-addressed component fingerprints, computed lazily once.
+
+        Parsers touch this property so every parsed device carries its
+        fingerprints; the cached value pickles with the device, so
+        workers and the on-disk artifact cache never recompute it.
+        """
+        cached = self.__dict__.get("_fingerprints")
+        if cached is None:
+            from .fingerprint import compute_fingerprints
+
+            cached = compute_fingerprints(self)
+            self.__dict__["_fingerprints"] = cached
+        return cached
 
     def parse_errors(self) -> List[Diagnostic]:
         """Error-severity parse diagnostics (skipped modeled stanzas)."""

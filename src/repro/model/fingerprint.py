@@ -1,0 +1,179 @@
+"""Canonical component fingerprints — content addresses for the model.
+
+The incremental-analysis engine (``repro.core.memo``, ``repro.cache``)
+replays a memoized diff result into any device pair whose components
+have the *same fingerprints*.  That is only sound if fingerprint
+equality implies "SemanticDiff/StructuralDiff would compare identical
+content", so the fingerprint is a SHA-256 over a canonical recursive
+serialization of the model dataclasses that:
+
+* **excludes every SourceSpan** — text provenance (file names, line
+  numbers, raw lines) does not influence which differences exist, only
+  how they are *presented*; dropping spans maximizes sharing across
+  templated fleets whose identical stanzas sit at different line
+  numbers.  (Components replayed with a non-zero difference count are
+  re-localized live, so spans in reports are always the real ones.)
+* **excludes identity-only device attributes** — hostname, vendor,
+  filename, raw lines, and parse diagnostics name the device, they do
+  not change component semantics (no diff consults ``vendor``; reports
+  carry hostnames at the top level only).
+* **includes names and every semantic field** — component names drive
+  MatchPolicies' pairing, so they are part of the compared content;
+  resolved sub-objects (prefix lists inside route-map matches, …) are
+  embedded in the model and canonicalized recursively.
+
+``FINGERPRINT_SCHEMA_VERSION`` is mixed into every digest: any change
+to the canonicalization (or to the model's semantics) must bump it,
+which atomically invalidates every memo table and on-disk cache entry
+keyed by the old fingerprints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from .types import SourceSpan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (device -> here)
+    from .device import DeviceConfig
+
+__all__ = [
+    "FINGERPRINT_SCHEMA_VERSION",
+    "ComponentFingerprints",
+    "canonical_form",
+    "fingerprint_value",
+    "compute_fingerprints",
+]
+
+#: Bump whenever canonicalization or model semantics change; stale
+#: fingerprints must never collide with current ones.
+FINGERPRINT_SCHEMA_VERSION = 1
+
+
+def canonical_form(value: object) -> object:
+    """A stable, span-free, order-insensitive representation of ``value``.
+
+    Dataclasses become ``(classname, (field, canon), ...)`` tuples with
+    SourceSpan-valued fields dropped; enums become their class and
+    member name; dicts/sets are sorted so insertion order never leaks
+    into the digest.
+    """
+    if isinstance(value, SourceSpan):
+        return ("<span>",)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = []
+        for field in dataclasses.fields(value):
+            attribute = getattr(value, field.name)
+            if isinstance(attribute, SourceSpan):
+                continue
+            fields.append((field.name, canonical_form(attribute)))
+        return (type(value).__name__, tuple(fields))
+    if isinstance(value, enum.Enum):
+        return ("<enum>", type(value).__name__, value.name)
+    if isinstance(value, dict):
+        return (
+            "<dict>",
+            tuple(
+                (canonical_form(key), canonical_form(value[key]))
+                for key in sorted(value, key=repr)
+            ),
+        )
+    if isinstance(value, (set, frozenset)):
+        return ("<set>", tuple(sorted((canonical_form(v) for v in value), key=repr)))
+    if isinstance(value, (list, tuple)):
+        return tuple(canonical_form(v) for v in value)
+    return value
+
+
+def fingerprint_value(value: object, kind: str = "") -> str:
+    """SHA-256 hex digest of ``value``'s canonical form (+ schema/kind)."""
+    material = repr((FINGERPRINT_SCHEMA_VERSION, kind, canonical_form(value)))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ComponentFingerprints:
+    """Per-component content addresses for one :class:`DeviceConfig`.
+
+    ``structural`` combines everything StructuralDiff consumes (static
+    routes, interfaces — which determine connected routes and the OSPF
+    interface pairing — BGP and OSPF processes, admin distances);
+    ``device`` combines every component, so equal device fingerprints
+    mean ConfigDiff would find zero differences between the devices.
+    """
+
+    acls: Dict[str, str]
+    route_maps: Dict[str, str]
+    static_routes: str
+    interfaces: str
+    bgp: str
+    ospf: str
+    admin_distances: str
+    structural: str
+    device: str
+
+    def route_map(self, name: str) -> str:
+        """The fingerprint of one named route map."""
+        return self.route_maps[name]
+
+    def acl(self, name: str) -> str:
+        """The fingerprint of one named ACL."""
+        return self.acls[name]
+
+
+def compute_fingerprints(device: "DeviceConfig") -> ComponentFingerprints:
+    """Fingerprint every component of a parsed device.
+
+    Called once at parse time (parsers touch ``device.fingerprints``)
+    and cached on the model; cost is one linear canonicalization pass,
+    trivial next to a single BDD diff.
+    """
+    acls = {
+        name: fingerprint_value(acl, kind="acl")
+        for name, acl in device.acls.items()
+    }
+    route_maps = {
+        name: fingerprint_value(route_map, kind="route_map")
+        for name, route_map in device.route_maps.items()
+    }
+    # Static routes are a set, not a sequence: sort by canonical form
+    # (not repr, which would leak span line numbers into the order).
+    static_routes = fingerprint_value(
+        tuple(
+            sorted(
+                (canonical_form(route) for route in device.static_routes),
+                key=repr,
+            )
+        ),
+        kind="static_routes",
+    )
+    interfaces = fingerprint_value(device.interfaces, kind="interfaces")
+    bgp = fingerprint_value(device.bgp, kind="bgp")
+    ospf = fingerprint_value(device.ospf, kind="ospf")
+    admin_distances = fingerprint_value(
+        device.admin_distances, kind="admin_distances"
+    )
+    structural = fingerprint_value(
+        (static_routes, interfaces, bgp, ospf, admin_distances),
+        kind="structural",
+    )
+    combined: Tuple = (
+        tuple(sorted(acls.items())),
+        tuple(sorted(route_maps.items())),
+        structural,
+    )
+    return ComponentFingerprints(
+        acls=acls,
+        route_maps=route_maps,
+        static_routes=static_routes,
+        interfaces=interfaces,
+        bgp=bgp,
+        ospf=ospf,
+        admin_distances=admin_distances,
+        structural=structural,
+        device=fingerprint_value(combined, kind="device"),
+    )

@@ -3,8 +3,12 @@
 ``run_selfcheck(seed, pairs)`` feeds the harness a round-robin of
 
 * generated near-equivalent ACL pairs (``workloads/acl_gen.py``),
-* random observability-safe route-map pairs (built here), and
-* text-mutated datacenter configs (``workloads/mutation.py``),
+* random observability-safe route-map pairs (built here),
+* text-mutated datacenter configs (``workloads/mutation.py``), and
+* memoization cross-checks — the same mutated pair analyzed fresh,
+  through a cold :class:`~repro.core.memo.DiffMemo`, and through the
+  warm memo again, asserting identical counts and reports (with a
+  persistent cache attached when the CLI passes one),
 
 each derived deterministically from the run seed.  A failing check is
 *shrunk* — lines, clauses, matches, and sets are removed greedily while
@@ -48,6 +52,9 @@ from ..model.routemap import (
     SetTag,
 )
 from ..model.types import Community, Prefix, PrefixRange
+from ..core.config_diff import config_diff, config_diff_summary
+from ..core.memo import DiffMemo
+from ..core.serialize import report_to_dict
 from ..parsers import parse_cisco, parse_juniper
 from ..workloads.acl_gen import generate_acl_pair
 from ..workloads.datacenter import _cisco_tor, _juniper_tor
@@ -56,7 +63,7 @@ from .harness import CheckStats, OracleFailure, check_acl_pair, check_route_map_
 
 __all__ = ["SelfCheckFailure", "SelfCheckResult", "run_selfcheck"]
 
-_GENERATORS = ("acl", "routemap", "mutation")
+_GENERATORS = ("acl", "routemap", "mutation", "memo")
 
 #: Observability-safe value pools — all distinct from the evaluator's
 #: sentinels (local-pref 77, med 7, community 65535:65535) and from the
@@ -511,6 +518,59 @@ def _run_mutation_case(
     return None
 
 
+def _run_memo_case(
+    case_seed: int, result: SelfCheckResult, cache=None
+) -> Optional[SelfCheckFailure]:
+    """Cross-validate memoized analysis against a fresh recompute.
+
+    The same mutated device pair is diffed four ways — fresh (no memo),
+    cold memo, warm memo replay, and full report through the warm memo —
+    and the case fails unless every count agrees and the memoized
+    report serializes identically to the fresh one.  When the CLI hands
+    a persistent :class:`~repro.cache.ArtifactCache` in, the memo reads
+    and writes through it, so on-disk entries get the same scrutiny.
+    """
+    rng = random.Random(case_seed)
+    pair_index = rng.randrange(4)
+    if rng.random() < 0.5:
+        text = _cisco_tor(pair_index, spine_count=2)
+        parse = parse_cisco
+    else:
+        text = _juniper_tor(pair_index, spine_count=2)
+        parse = parse_juniper
+    mutation = apply_random_mutation(text, seed=case_seed)
+    mutated_text = mutation.text if mutation is not None else text
+    device1 = parse(text, "original.cfg")
+    device2 = parse(mutated_text, "mutated.cfg")
+    label = f"mutation: {mutation.description if mutation else '(none)'}"
+
+    memo = DiffMemo(cache)
+    fresh = config_diff(device1, device2)
+    fresh_count = fresh.total_differences()
+    cold = config_diff_summary(device1, device2, memo=memo)
+    warm = config_diff_summary(device1, device2, memo=memo)
+    live = config_diff(device1, device2, memo=memo)
+    if not (fresh_count == cold == warm == live.total_differences()):
+        return SelfCheckFailure(
+            "memo",
+            case_seed,
+            "memo-count-parity",
+            f"fresh={fresh_count} cold-memo={cold} warm-memo={warm} "
+            f"live-memo={live.total_differences()}",
+            label,
+        )
+    if report_to_dict(fresh) != report_to_dict(live):
+        return SelfCheckFailure(
+            "memo",
+            case_seed,
+            "memo-report-identity",
+            "memoized report serializes differently from the fresh report",
+            label,
+        )
+    result.differences += fresh_count
+    return None
+
+
 def _merge(result: SelfCheckResult, stats: CheckStats) -> None:
     result.differences += stats.differences
     result.samples += stats.samples
@@ -523,6 +583,7 @@ _CASE_RUNNERS = {
     "acl": _run_acl_case,
     "routemap": _run_route_map_case,
     "mutation": _run_mutation_case,
+    "memo": _run_memo_case,
 }
 
 
@@ -530,19 +591,25 @@ def run_selfcheck(
     seed: int = 0,
     pairs: int = 50,
     on_progress: Optional[Callable[[int, int], None]] = None,
+    cache=None,
 ) -> SelfCheckResult:
     """Run the differential harness on ``pairs`` generated cases.
 
     Deterministic in ``seed``: case ``i`` uses seed
     ``seed * 1_000_003 + i``, so a reported failure re-runs standalone.
     All failures are collected (the run does not stop at the first).
+    ``cache`` (an :class:`~repro.cache.ArtifactCache`, or ``None``) is
+    threaded into the memoization cross-check cases only.
     """
     result = SelfCheckResult(seed=seed, pairs=pairs)
     start = time.time()
     for index in range(pairs):
         kind = _GENERATORS[index % len(_GENERATORS)]
         case_seed = seed * 1_000_003 + index
-        failure = _CASE_RUNNERS[kind](case_seed, result)
+        if kind == "memo":
+            failure = _run_memo_case(case_seed, result, cache=cache)
+        else:
+            failure = _CASE_RUNNERS[kind](case_seed, result)
         if failure is not None:
             result.failures.append(failure)
         if on_progress is not None:

@@ -89,6 +89,8 @@ def parse_cisco(
         parser = _CiscoParser(text, filename, strict=strict)
         device = parser.parse()
     perf.add("parse.cisco.lines", len(parser.lines))
+    with perf.timer("parse.fingerprint"):
+        device.fingerprints  # computed at parse time, cached on the model
     return device
 
 

@@ -260,6 +260,8 @@ def parse_juniper(
         interpreter = _JunosInterpreter(text, filename, tree, context)
         device = interpreter.interpret()
     perf.add("parse.juniper.lines", len(interpreter.raw_lines))
+    with perf.timer("parse.fingerprint"):
+        device.fingerprints  # computed at parse time, cached on the model
     return device
 
 

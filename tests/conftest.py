@@ -1,0 +1,14 @@
+"""Shared fixtures: keep tests hermetic against the user's real cache.
+
+Any test that exercises the CLI without ``--no-cache`` would otherwise
+read and write ``~/.cache/campion``; pointing ``CAMPION_CACHE_DIR`` at
+a per-test temporary directory isolates every test run (and tests that
+pass an explicit ``--cache-dir`` still win over the environment).
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_cache_dir(monkeypatch, tmp_path):
+    monkeypatch.setenv("CAMPION_CACHE_DIR", str(tmp_path / "campion-cache"))

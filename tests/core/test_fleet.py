@@ -1,8 +1,11 @@
 """Tests for n-way fleet comparison and outlier detection."""
 
+import random
+
 import pytest
 
 from repro.core import compare_fleet
+from repro.core.fleet import _elect_medoid
 from repro.parsers import parse_cisco
 from repro.workloads.datacenter import gateway_fleet
 from repro.workloads.figure1 import CISCO_FIGURE1
@@ -40,6 +43,47 @@ class TestIdenticalFleet:
         fleet = [_named(CISCO_FIGURE1, name) for name in ("a", "b", "c")]
         report = compare_fleet(fleet)
         assert all(count == 0 for count in report.matrix.values())
+
+
+class TestMedoidElection:
+    def test_tie_breaks_to_smallest_hostname(self):
+        survivors = {"c": [1, 1], "a": [1, 1], "b": [1, 1]}
+        assert _elect_medoid(["c", "a", "b"], survivors) == "a"
+
+    def test_insertion_order_never_matters(self):
+        # Parallel completion order feeds candidate/survivor dicts in
+        # arbitrary order; the elected reference must not move.
+        survivors = {"d": [2, 0], "b": [1, 1], "a": [0, 2], "c": [1, 1]}
+        candidates = list(survivors)
+        rng = random.Random(0)
+        elected = {
+            _elect_medoid(shuffled, dict(sorted(survivors.items())))
+            for shuffled in (
+                rng.sample(candidates, len(candidates)) for _ in range(10)
+            )
+        }
+        # All four means tie at 1; "a" wins every shuffle.
+        assert elected == {"a"}
+
+    def test_exact_means_not_float_rounding(self):
+        # Equal exact means with different survivor counts must tie
+        # (and break by hostname), which Fraction guarantees.
+        survivors = {"b": [1, 2], "a": [3, 0], "c": [9]}
+        assert _elect_medoid(["b", "a", "c"], survivors) == "a"
+
+    def test_smaller_mean_beats_hostname(self):
+        survivors = {"a": [5, 5], "z": [0, 0]}
+        assert _elect_medoid(["a", "z"], survivors) == "z"
+
+    def test_identical_fleet_elects_smallest_hostname(self):
+        fleet = [_named(CISCO_FIGURE1, name) for name in ("c", "a", "b")]
+        assert compare_fleet(fleet).reference == "a"
+
+    def test_election_stable_across_worker_counts(self):
+        devices, _ = gateway_fleet(count=5, outliers=1, rule_count=8, seed=6)
+        serial = compare_fleet(devices, workers=1)
+        parallel = compare_fleet(devices, workers=2)
+        assert serial.reference == parallel.reference
 
 
 class TestOutlierDetection:

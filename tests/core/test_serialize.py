@@ -4,8 +4,18 @@ import json
 
 import pytest
 
-from repro.core import config_diff, report_to_dict, report_to_json
+from repro.core import (
+    compare_fleet,
+    config_diff,
+    fleet_report_to_dict,
+    report_to_dict,
+    report_to_json,
+    semantic_difference_to_dict,
+    structural_difference_to_dict,
+)
+from repro.core.serialize import SCHEMA_VERSION
 from repro.parsers import parse_cisco
+from repro.workloads.datacenter import gateway_fleet
 from repro.workloads.figure1 import (
     CISCO_FIGURE1,
     figure1_devices,
@@ -21,7 +31,7 @@ def report():
 class TestSchema:
     def test_top_level_fields(self, report):
         data = report_to_dict(report)
-        assert data["schema_version"] == 2
+        assert data["schema_version"] == SCHEMA_VERSION == 3
         assert data["degraded"] is False
         assert data["aborted"] == []
         assert data["parse_diagnostics"] == {}
@@ -72,6 +82,50 @@ class TestSchema:
         assert data["equivalent"] is True
         assert data["semantic"] == []
         assert data["structural"] == []
+
+
+class TestDifferenceDictWrappers:
+    def test_semantic_difference_json_roundtrip(self, report):
+        for difference in report.semantic:
+            data = semantic_difference_to_dict(difference)
+            assert json.loads(json.dumps(data)) == data
+
+    def test_structural_difference_json_roundtrip(self):
+        static_report = config_diff(*section2_static_devices())
+        assert static_report.structural
+        for difference in static_report.structural:
+            data = structural_difference_to_dict(difference)
+            assert json.loads(json.dumps(data)) == data
+
+
+class TestFleetReportDict:
+    @pytest.fixture(scope="class")
+    def fleet_report(self):
+        devices, _ = gateway_fleet(count=4, outliers=1, rule_count=8, seed=2)
+        return compare_fleet(devices)
+
+    def test_shape(self, fleet_report):
+        data = fleet_report_to_dict(fleet_report)
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert data["reference"] == fleet_report.reference
+        assert data["hostnames"] == fleet_report.hostnames
+        assert data["outliers"] == fleet_report.outliers
+        assert data["conforming"] == fleet_report.conforming
+        for first, second, count in data["matrix"]:
+            assert fleet_report.pair_count(first, second) == count
+        for hostname, report in fleet_report.reports.items():
+            assert data["reports"][hostname] == report_to_dict(report)
+
+    def test_json_roundtrip_and_no_timing(self, fleet_report):
+        data = fleet_report_to_dict(fleet_report)
+        assert json.loads(json.dumps(data)) == data
+        # Deliberately timing-free: two runs over the same fleet must
+        # serialize byte-identically (the CI cache-smoke job diffs them).
+        assert "seconds" not in json.dumps(data)
+
+    def test_matrix_is_sorted(self, fleet_report):
+        data = fleet_report_to_dict(fleet_report)
+        assert data["matrix"] == sorted(data["matrix"])
 
 
 class TestCliJson:

@@ -1,0 +1,100 @@
+"""Tests for canonical component fingerprints."""
+
+import pickle
+
+import pytest
+
+from repro.model import fingerprint as fp_module
+from repro.model.fingerprint import (
+    ComponentFingerprints,
+    canonical_form,
+    compute_fingerprints,
+    fingerprint_value,
+)
+from repro.model.types import SourceSpan
+from repro.parsers import parse_cisco
+from repro.workloads.figure1 import CISCO_FIGURE1
+
+
+def _named(hostname, filename=None, text=CISCO_FIGURE1):
+    renamed = text.replace("hostname cisco_router", f"hostname {hostname}")
+    return parse_cisco(renamed, filename or f"{hostname}.cfg")
+
+
+class TestCanonicalForm:
+    def test_spans_are_erased(self):
+        span = SourceSpan("a.cfg", 1, 2, ("line",))
+        assert canonical_form(span) == ("<span>",)
+
+    def test_dict_order_does_not_leak(self):
+        assert canonical_form({"b": 2, "a": 1}) == canonical_form(
+            {"a": 1, "b": 2}
+        )
+
+    def test_set_order_does_not_leak(self):
+        assert canonical_form({3, 1, 2}) == canonical_form({2, 3, 1})
+
+    def test_sequence_order_matters(self):
+        assert canonical_form([1, 2]) != canonical_form([2, 1])
+
+
+class TestDeviceFingerprints:
+    def test_computed_at_parse_time(self):
+        device = _named("r1")
+        assert "_fingerprints" in device.__dict__
+        assert isinstance(device.fingerprints, ComponentFingerprints)
+
+    def test_identity_changes_do_not_change_fingerprints(self):
+        # Same content under a different hostname and filename: every
+        # component fingerprint (and the whole-device one) is equal.
+        one = _named("r1", "one.cfg")
+        two = _named("r2", "subdir/two.cfg")
+        assert one.fingerprints == two.fingerprints
+
+    def test_line_numbers_do_not_change_fingerprints(self):
+        shifted = "!\n!\n!\n" + CISCO_FIGURE1
+        assert (
+            _named("r1").fingerprints == _named("r1", text=shifted).fingerprints
+        )
+
+    def test_semantic_change_changes_fingerprints(self):
+        base = _named("r1")
+        changed = _named("r1", text=CISCO_FIGURE1.replace("deny", "permit", 1))
+        assert base.fingerprints != changed.fingerprints
+        assert base.fingerprints.device != changed.fingerprints.device
+
+    def test_component_accessors(self):
+        fps = _named("r1").fingerprints
+        for name, digest in fps.route_maps.items():
+            assert fps.route_map(name) == digest
+        for name, digest in fps.acls.items():
+            assert fps.acl(name) == digest
+
+    def test_fingerprints_survive_pickling(self):
+        device = _named("r1")
+        expected = device.fingerprints
+        clone = pickle.loads(pickle.dumps(device))
+        assert "_fingerprints" in clone.__dict__
+        assert clone.fingerprints == expected
+
+    def test_fingerprints_are_deterministic(self):
+        assert (
+            compute_fingerprints(_named("r1"))
+            == compute_fingerprints(_named("r1"))
+        )
+
+
+class TestSchemaVersion:
+    def test_schema_bump_changes_every_digest(self, monkeypatch):
+        before = fingerprint_value(("payload",), kind="test")
+        monkeypatch.setattr(
+            fp_module,
+            "FINGERPRINT_SCHEMA_VERSION",
+            fp_module.FINGERPRINT_SCHEMA_VERSION + 1,
+        )
+        assert fingerprint_value(("payload",), kind="test") != before
+
+    def test_kind_separates_digests(self):
+        assert fingerprint_value((), kind="acl") != fingerprint_value(
+            (), kind="route_map"
+        )
