@@ -1,0 +1,41 @@
+"""One writer for every ``BENCH_*.json`` benchmark artifact.
+
+Benchmark scripts used to write two independent copies of their JSON
+payload — one under ``benchmarks/results/`` and one at the repo root —
+which inevitably drifted (a crash between the writes, or a script
+growing one path but not the other, leaves the copies disagreeing).
+:func:`write_artifact` emits the payload exactly once, under
+``benchmarks/results/``, and points a relative symlink at it from the
+repo root so tooling (and readers) still find the latest numbers
+without digging into ``benchmarks/``.  On filesystems that refuse
+symlinks it degrades to copying the just-written text, still from the
+single serialization.
+"""
+
+import json
+import os
+import pathlib
+
+__all__ = ["RESULTS_DIR", "REPO_ROOT", "write_artifact"]
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+
+def write_artifact(name: str, payload: dict) -> pathlib.Path:
+    """Serialize ``payload`` to ``benchmarks/results/<name>`` and link it
+    from the repo root.  Returns the results path (the real file)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    path = RESULTS_DIR / name
+    path.write_text(text)
+    root_link = REPO_ROOT / name
+    if root_link.is_symlink() or root_link.exists():
+        root_link.unlink()
+    try:
+        os.symlink(
+            os.path.join("benchmarks", "results", name), root_link
+        )
+    except OSError:  # pragma: no cover - symlink-less filesystem
+        root_link.write_text(text)
+    return path

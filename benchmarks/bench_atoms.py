@@ -1,0 +1,147 @@
+"""Atomic-predicate bitset backend vs the pairwise BDD loop — BENCH_atoms.json.
+
+The acceptance workload for the ``atoms`` set-algebra backend
+(:mod:`repro.core.setalg`): the 10,000-rule near-equivalent ACL pair
+(``workloads/acl_gen.py``, 10 injected differences) is diffed once per
+backend.  Each run gets a fresh manager and freshly-built equivalence
+classes — the backends share no cached state — but only the
+``semantic_diff_classes`` call is timed, because class construction is
+identical on both sides and the backends exist to attack the pairwise
+comparison, not the encoding.
+
+Equivalence is asserted, not assumed: both backends must emit the same
+differing class-index pairs with input sets of the same satcount
+(hash-consing makes equal sets the same node, but the managers differ
+between runs, so satcount over one fixed variable layout is the
+manager-independent check).
+
+Workload size honours ``CAMPION_BENCH_ATOMS_RULES`` (default 10000) so
+the CI smoke job can run a tiny version; the ≥5x speedup bar only
+applies at full scale.
+
+Runs under pytest-benchmark or standalone:
+``PYTHONPATH=src python benchmarks/bench_atoms.py``.
+"""
+
+import gc
+import os
+import time
+
+from bench_artifacts import write_artifact
+from repro import perf
+from repro.bdd import BddManager
+from repro.core.results import ComponentKind
+from repro.core.semantic_diff import semantic_diff_classes
+from repro.core.setalg import BACKEND_NAMES, resolve_backend
+from repro.encoding import PacketSpace, acl_equivalence_classes
+from repro.workloads.acl_gen import generate_acl_pair
+
+RULES = int(os.environ.get("CAMPION_BENCH_ATOMS_RULES", "10000"))
+DIFFERENCES = 10
+SEED = 7
+
+
+def _signature(differences) -> list:
+    """Manager-independent identity of a difference list."""
+    return [
+        (
+            difference.class1.index,
+            difference.class2.index,
+            difference.input_set.satcount(),
+        )
+        for difference in differences
+    ]
+
+
+def _pairing_bench() -> dict:
+    pair = generate_acl_pair(RULES, differences=DIFFERENCES, seed=SEED)
+    result = {"rules": RULES, "injected_differences": DIFFERENCES}
+    signatures = {}
+    for name in BACKEND_NAMES:
+        gc.collect()
+        space = PacketSpace(manager=BddManager())
+        classes1 = acl_equivalence_classes(space, pair.cisco_acl)
+        classes2 = acl_equivalence_classes(space, pair.juniper_acl)
+        counters_before = dict(perf.REGISTRY.counters)
+        start = time.perf_counter()
+        differences = semantic_diff_classes(
+            ComponentKind.ACL, classes1, classes2, backend=name
+        )
+        elapsed = time.perf_counter() - start
+        deltas = {
+            key: value - counters_before.get(key, 0)
+            for key, value in perf.REGISTRY.counters.items()
+            if key.startswith(("setalg.", "semantic_diff."))
+            and value != counters_before.get(key, 0)
+        }
+        signatures[name] = _signature(differences)
+        result[name] = {
+            "seconds": elapsed,
+            "classes": len(classes1) + len(classes2),
+            "differences": len(differences),
+            "perf_deltas": deltas,
+            "manager_stats": space.manager.stats(),
+        }
+        del space, classes1, classes2, differences
+        gc.collect()
+    result["speedup"] = result["bdd"]["seconds"] / result["atoms"]["seconds"]
+    result["equivalent"] = signatures["bdd"] == signatures["atoms"]
+    assert result["equivalent"], "atoms backend diverged from bdd backend"
+    return result
+
+
+def _run_all() -> dict:
+    perf.reset()
+    payload = {"pairing": _pairing_bench(), "perf": perf.snapshot()}
+    return payload
+
+
+def _render(payload: dict) -> str:
+    pairing = payload["pairing"]
+    atoms = pairing["atoms"]["perf_deltas"]
+    lines = [
+        "Atomic-predicate bitset backend vs the pairwise BDD loop",
+        "",
+        f"ACL SemanticDiff, {pairing['rules']} rules,"
+        f" {pairing['injected_differences']} injected diffs"
+        f" ({pairing['bdd']['classes']} equivalence classes):",
+        f"  bdd backend    {pairing['bdd']['seconds']:.2f}s"
+        f"  ({pairing['bdd']['perf_deltas'].get('semantic_diff.pairs_compared', 0)}"
+        " pairs compared)",
+        f"  atoms backend  {pairing['atoms']['seconds']:.2f}s"
+        f"  ({atoms.get('setalg.atoms', 0)} atoms,"
+        f" {atoms.get('setalg.atom_probes', 0)} probes,"
+        f" {atoms.get('setalg.bitset_ops', 0)} bitset ops)",
+        f"  speedup        {pairing['speedup']:.2f}x"
+        f"  (identical results: {pairing['equivalent']})",
+    ]
+    return "\n".join(lines)
+
+
+def test_atoms_backend(benchmark, results_dir):
+    from conftest import emit
+
+    payload = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    write_artifact("BENCH_atoms.json", payload)
+    emit(results_dir, "BENCH_atoms", _render(payload))
+
+    pairing = payload["pairing"]
+    assert pairing["equivalent"]
+    assert (
+        pairing["bdd"]["differences"] == pairing["atoms"]["differences"]
+    ), "backends disagree on the number of differences"
+    # The speedup bar only applies at full scale; smoke runs with tiny
+    # workloads spend their time outside the pairwise comparison.  The
+    # committed full-scale artifact clears 5x; the in-test bar leaves
+    # headroom for noisy shared CI runners.
+    if RULES >= 5000:
+        assert pairing["speedup"] >= 3.5, (
+            f"atoms backend only {pairing['speedup']:.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    payload = _run_all()
+    path = write_artifact("BENCH_atoms.json", payload)
+    print(_render(payload))
+    print(f"\nwrote {path}")

@@ -30,20 +30,17 @@ files into DIR (for the CI cache-smoke job) and exits.
 import contextlib
 import gc
 import io
-import json
 import os
 import pathlib
 import sys
 import tempfile
 import time
 
+from bench_artifacts import write_artifact
 from repro import perf
 from repro.cli import main as campion_main
 from repro.core import compare_fleet, fleet_report_to_dict
 from repro.workloads.datacenter import gateway_fleet
-
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 FLEET_SIZE = int(os.environ.get("CAMPION_BENCH_MEMO_FLEET", "12"))
 FLEET_RULES = int(os.environ.get("CAMPION_BENCH_MEMO_RULES", "40"))
@@ -149,12 +146,7 @@ def _run_all() -> dict:
 
 
 def _write(payload: dict) -> pathlib.Path:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
-    path = RESULTS_DIR / "BENCH_fleet_memo.json"
-    path.write_text(text)
-    (REPO_ROOT / "BENCH_fleet_memo.json").write_text(text)
-    return path
+    return write_artifact("BENCH_fleet_memo.json", payload)
 
 
 def _render(payload: dict) -> str:

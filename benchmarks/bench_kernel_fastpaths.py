@@ -28,20 +28,17 @@ Runs under pytest-benchmark or standalone:
 """
 
 import gc
-import json
 import os
 import pathlib
 import time
 
+from bench_artifacts import write_artifact
 from repro import perf
 from repro.bdd import BddManager
 from repro.core import compare_fleet, diff_acls, report_to_json
 from repro.encoding import PacketSpace
 from repro.workloads.acl_gen import generate_acl_pair
 from repro.workloads.datacenter import gateway_fleet
-
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 RULES = int(os.environ.get("CAMPION_BENCH_RULES", "10000"))
 FLEET_SIZE = int(os.environ.get("CAMPION_BENCH_FLEET", "16"))
@@ -118,14 +115,7 @@ def _run_all() -> dict:
 
 
 def _write(payload: dict) -> pathlib.Path:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
-    path = RESULTS_DIR / "BENCH_kernels.json"
-    path.write_text(text)
-    # A machine-readable copy at the repo root so tooling (and readers)
-    # can grab the latest numbers without digging into benchmarks/.
-    (REPO_ROOT / "BENCH_kernels.json").write_text(text)
-    return path
+    return write_artifact("BENCH_kernels.json", payload)
 
 
 def _render(payload: dict) -> str:

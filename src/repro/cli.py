@@ -44,6 +44,8 @@ from . import perf
 from .baseline import monolithic_route_map_check, monolithic_static_route_check
 from .cache import ArtifactCache, resolve_cache_dir
 from .core import (
+    BACKEND_NAMES,
+    DEFAULT_BACKEND,
     DiffMemo,
     compare_fleet,
     config_diff,
@@ -168,6 +170,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         node_limit=args.node_limit,
         time_budget=args.timeout,
         memo=DiffMemo(cache) if cache is not None else None,
+        set_backend=args.set_backend,
     )
     diff_time = time.time() - start
     if args.json:
@@ -240,7 +243,11 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
             print(f"campion: selfcheck {done}/{total} pairs", file=sys.stderr)
 
     result = run_selfcheck(
-        seed=args.seed, pairs=args.pairs, on_progress=progress, cache=cache
+        seed=args.seed,
+        pairs=args.pairs,
+        on_progress=progress,
+        cache=cache,
+        set_backend=args.set_backend,
     )
     print(result.render())
     _cache_note(cache, baseline)
@@ -258,6 +265,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             node_limit=args.node_limit,
             memo=DiffMemo(cache) if cache is not None else None,
+            set_backend=args.set_backend,
         )
     except ValueError as exc:
         # duplicate hostnames, too-few devices, unknown reference
@@ -323,6 +331,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         dest="strict",
         action="store_false",
         help="record-and-skip unparseable stanzas (default)",
+    )
+    parser.add_argument(
+        "--set-backend",
+        choices=list(BACKEND_NAMES),
+        default=None,
+        help="SemanticDiff set-algebra backend: atomic-predicate bitsets "
+        "or the pairwise BDD loop (default: $CAMPION_SET_BACKEND or "
+        f"{DEFAULT_BACKEND}; results are identical, only speed differs)",
     )
     parser.add_argument(
         "--cache-dir",

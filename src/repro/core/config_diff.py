@@ -72,6 +72,7 @@ def config_diff(
     node_limit: Optional[int] = None,
     time_budget: Optional[float] = None,
     memo: Optional[DiffMemo] = None,
+    set_backend: Optional[str] = None,
 ) -> CampionReport:
     """Find and localize all differences between two router configurations.
 
@@ -93,6 +94,10 @@ def config_diff(
     result is *no differences* are skipped (identical report, zero BDD
     work) and fresh clean results are recorded for later pairs — the
     report itself is identical to a memo-less run.
+
+    ``set_backend`` selects the SemanticDiff set-algebra backend by name
+    (see :mod:`repro.core.setalg`); ``None`` uses the process default.
+    Reports are identical for every backend.
     """
     report, _ = _walk_components(
         device1,
@@ -103,6 +108,7 @@ def config_diff(
         time_budget=time_budget,
         memo=memo,
         collect=True,
+        set_backend=set_backend,
     )
     return report
 
@@ -115,6 +121,7 @@ def config_diff_summary(
     node_limit: Optional[int] = None,
     time_budget: Optional[float] = None,
     memo: Optional[DiffMemo] = None,
+    set_backend: Optional[str] = None,
 ) -> int:
     """The pair's total difference count, replaying memoized components.
 
@@ -133,6 +140,7 @@ def config_diff_summary(
         time_budget=time_budget,
         memo=memo,
         collect=False,
+        set_backend=set_backend,
     )
     return report.total_differences() + replayed
 
@@ -146,6 +154,7 @@ def _walk_components(
     time_budget: Optional[float],
     memo: Optional[DiffMemo],
     collect: bool,
+    set_backend: Optional[str] = None,
 ) -> Tuple[CampionReport, int]:
     """The shared component walk behind both ConfigDiff entry points.
 
@@ -243,6 +252,7 @@ def _walk_components(
                 context=pair.context,
                 node_limit=node_limit,
                 time_budget=left,
+                set_backend=set_backend,
             )
             for difference in differences:
                 localize_route_map_difference(
@@ -297,6 +307,7 @@ def _walk_components(
                 context=f"ACL {pair.name1}",
                 node_limit=node_limit,
                 time_budget=left,
+                set_backend=set_backend,
             )
             for difference in differences:
                 localize_acl_difference(space, difference, acl1, acl2)

@@ -148,6 +148,7 @@ def compare_fleet(
     node_limit: Optional[int] = None,
     memo: Optional[DiffMemo] = None,
     use_memo: bool = True,
+    set_backend: Optional[str] = None,
 ) -> FleetReport:
     """Compare a fleet of configurations intended to be identical.
 
@@ -179,6 +180,11 @@ def compare_fleet(
     :class:`~repro.cache.ArtifactCache`) to share results across runs,
     or ``use_memo=False`` for the plain recompute-every-pair baseline.
     Reports and counts are identical in every mode.
+
+    ``set_backend`` names the SemanticDiff set-algebra backend used in
+    the matrix workers and the reference reports (``None`` = process
+    default; see :mod:`repro.core.setalg`) — another knob that changes
+    only the wall clock, never the report.
     """
     if len(devices) < 2:
         raise ValueError("a fleet comparison needs at least two devices")
@@ -213,6 +219,7 @@ def compare_fleet(
             timeout=timeout,
             node_limit=node_limit,
             memo=memo,
+            set_backend=set_backend,
         )
         for key, outcome in zip(pair_keys, outcomes):
             if outcome.ok:
@@ -256,6 +263,7 @@ def compare_fleet(
                 node_limit=node_limit,
                 time_budget=timeout,
                 memo=memo,
+                set_backend=set_backend,
             )
         except Exception as exc:  # noqa: BLE001 - isolate per-device failure
             result.failed_reports[hostname] = f"{type(exc).__name__}: {exc}"

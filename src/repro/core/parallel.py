@@ -65,10 +65,13 @@ _Pair = Tuple[DeviceConfig, DeviceConfig]
 # Task tuple shipped to workers: the pair plus the analysis options that
 # must apply inside the worker process (budgets arm the worker's own BDD
 # managers, so a blow-up degrades in-worker before the parent-side
-# timeout ever has to fire).  The final slot is the fingerprint-keyed
-# DiffMemo (or None): every task in one fan-out references the same memo
-# object, so each worker process accumulates component results across
-# its tasks and drains them back via ``PairOutcome.memo_updates``.
+# timeout ever has to fire).  Slot 5 is the fingerprint-keyed DiffMemo
+# (or None): every task in one fan-out references the same memo object,
+# so each worker process accumulates component results across its tasks
+# and drains them back via ``PairOutcome.memo_updates``.  Slot 6 is the
+# SemanticDiff set-algebra backend *name* (or None for the worker's
+# default) — backend instances hold BDD handles and never cross
+# processes, names always pickle.
 _Task = Tuple[
     DeviceConfig,
     DeviceConfig,
@@ -76,6 +79,7 @@ _Task = Tuple[
     Optional[int],
     Optional[float],
     Optional[DiffMemo],
+    Optional[str],
 ]
 
 
@@ -153,7 +157,7 @@ def resolve_timeout(timeout: Optional[float] = None) -> Optional[float]:
 
 
 def _count_pair(task: _Task) -> int:
-    device1, device2, exhaustive, node_limit, time_budget, memo = task
+    device1, device2, exhaustive, node_limit, time_budget, memo, backend = task
     if memo is not None:
         return config_diff_summary(
             device1,
@@ -162,6 +166,7 @@ def _count_pair(task: _Task) -> int:
             node_limit=node_limit,
             time_budget=time_budget,
             memo=memo,
+            set_backend=backend,
         )
     report = config_diff(
         device1,
@@ -169,12 +174,13 @@ def _count_pair(task: _Task) -> int:
         exhaustive_communities=exhaustive,
         node_limit=node_limit,
         time_budget=time_budget,
+        set_backend=backend,
     )
     return report.total_differences()
 
 
 def _diff_pair(task: _Task) -> Dict:
-    device1, device2, exhaustive, node_limit, time_budget, memo = task
+    device1, device2, exhaustive, node_limit, time_budget, memo, backend = task
     report = config_diff(
         device1,
         device2,
@@ -182,6 +188,7 @@ def _diff_pair(task: _Task) -> Dict:
         node_limit=node_limit,
         time_budget=time_budget,
         memo=memo,
+        set_backend=backend,
     )
     return report_to_dict(report)
 
@@ -236,9 +243,10 @@ def _build_tasks(
     node_limit: Optional[int],
     timeout: Optional[float],
     memo: Optional[DiffMemo],
+    set_backend: Optional[str],
 ) -> List[_Task]:
     return [
-        (d1, d2, exhaustive_communities, node_limit, timeout, memo)
+        (d1, d2, exhaustive_communities, node_limit, timeout, memo, set_backend)
         for d1, d2 in pairs
     ]
 
@@ -376,11 +384,12 @@ def _run_outcomes(
     node_limit: Optional[int],
     retry: bool,
     memo: Optional[DiffMemo] = None,
+    set_backend: Optional[str] = None,
 ) -> List[PairOutcome]:
     workers = resolve_workers(workers)
     timeout = resolve_timeout(timeout)
     tasks = _build_tasks(
-        pairs, exhaustive_communities, node_limit, timeout, memo
+        pairs, exhaustive_communities, node_limit, timeout, memo, set_backend
     )
     perf.add("parallel.tasks", len(tasks))
     with perf.timer("parallel.map"):
@@ -408,6 +417,7 @@ def pairwise_count_outcomes(
     node_limit: Optional[int] = None,
     retry: bool = True,
     memo: Optional[DiffMemo] = None,
+    set_backend: Optional[str] = None,
 ) -> List[PairOutcome]:
     """Difference-count outcomes for each device pair, fanned over workers.
 
@@ -416,7 +426,9 @@ def pairwise_count_outcomes(
     deterministic), only the wall-clock differs.  With ``memo`` each
     unique fingerprint-pair component diff runs once per process at
     most; worker-computed entries are merged back into the parent memo
-    before this returns.
+    before this returns.  ``set_backend`` names the SemanticDiff
+    set-algebra backend applied inside each worker (``None`` = each
+    worker's process default); results are backend-independent.
     """
     return _run_outcomes(
         _count_pair,
@@ -428,6 +440,7 @@ def pairwise_count_outcomes(
         node_limit,
         retry,
         memo=memo,
+        set_backend=set_backend,
     )
 
 
@@ -439,13 +452,15 @@ def diff_pair_outcomes(
     node_limit: Optional[int] = None,
     retry: bool = True,
     memo: Optional[DiffMemo] = None,
+    set_backend: Optional[str] = None,
 ) -> List[PairOutcome]:
     """Full ConfigDiff report-dict outcomes for each pair, fanned out.
 
     ``ok`` outcomes carry :func:`repro.core.serialize.report_to_dict`
     output (the BDD handles inside a :class:`CampionReport` cannot cross
     processes, the serialized form can).  Order matches the input pairs.
-    ``memo`` lets zero-difference components be skipped per pair; the
+    ``memo`` lets zero-difference components be skipped per pair, and
+    ``set_backend`` names the per-worker set-algebra backend; the
     reports are identical either way.
     """
     return _run_outcomes(
@@ -458,6 +473,7 @@ def diff_pair_outcomes(
         node_limit,
         retry,
         memo=memo,
+        set_backend=set_backend,
     )
 
 

@@ -8,6 +8,15 @@ The algorithm is the paper's two-step:
 2. for every cross pair of classes whose predicates intersect and whose
    actions differ, emit a difference whose input set is the intersection.
 
+Step 2 is delegated to a pluggable set-algebra backend
+(:mod:`repro.core.setalg`): the historical ``bdd`` backend runs the
+pairwise ``intersects`` loop behind disagreement-region pruning, while
+the default ``atoms`` backend refines both partitions into atomic
+predicates once and reads the differing pairs off integer bitsets.  The
+backends are equivalence-checked (identical difference lists, identical
+hash-consed overlap nodes) by the oracle and the property suite, so
+every caller-visible guarantee below holds for both.
+
 Because classes within one component are disjoint, the emitted input sets
 for a fixed class of one component are disjoint too, so a reader can sum
 them; the union over all emitted differences is exactly the set of inputs
@@ -17,12 +26,9 @@ first-match oracle).
 
 from __future__ import annotations
 
-import weakref
-from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from .. import perf
-from ..bdd import Bdd, BddManager
 from ..encoding import (
     PacketSpace,
     RouteSpace,
@@ -34,6 +40,20 @@ from ..model.acl import Acl
 from ..model.routemap import RouteMap
 from .results import ComponentKind, SemanticDifference
 
+# The union memo and canonical action keying moved to repro.core.setalg
+# with the backend split; re-exported here because callers and tests
+# historically import them from this module.
+from .setalg import (  # noqa: F401  (re-exports)
+    _UNION_CACHE_SIZE,
+    _action_key,
+    _action_unions,
+    _disagreement_region,
+    _union_cache,
+    BackendSpec,
+    canonical_action_key,
+    resolve_backend,
+)
+
 __all__ = [
     "canonical_action_key",
     "semantic_diff_classes",
@@ -42,152 +62,41 @@ __all__ = [
 ]
 
 
-#: Entries kept per manager in the union memo.  A pairing computes the
-#: unions for two class lists; fleet runs reuse one side across many
-#: peers, so a handful of slots captures all the reuse while bounding
-#: the memo for long-lived managers.
-_UNION_CACHE_SIZE = 8
-
-# Per-manager memo of per-action unions, keyed by the identity of the
-# class list handed to SemanticDiff: fleet comparisons and repeated
-# pairings diff the *same* partition against many peers, and the unions
-# only depend on one side.  The outer WeakKeyDictionary lets a manager
-# (and every BDD in it) be collected once its comparison is done — to
-# keep that true, the memo stores raw node ids, never Bdd handles: a
-# handle's ``.manager`` attribute would strongly reference the weak key
-# through the value and pin the manager (and its caches) forever.
-# Each inner memo is a small LRU (an OrderedDict in recency order): one
-# partition diffed against many peers would otherwise accumulate an
-# entry per distinct class-list key for the manager's whole lifetime.
-_union_cache: "weakref.WeakKeyDictionary[BddManager, OrderedDict]" = (
-    weakref.WeakKeyDictionary()
-)
-
-
-def canonical_action_key(action: object):
-    """The canonical comparison key of a class's action.
-
-    SemanticDiff compares actions by their canonical *description* when
-    the action type provides one (``RouteMapAction.describe()`` renders
-    the normalized disposition) and by the action value itself otherwise
-    (``AclAction``).  Every comparison site — the agreement-region
-    pruning, the pairwise loop, and the differential-testing oracle —
-    must use this one key: mixing ``describe()``-keying with ``__eq__``
-    yields spurious or missed differences whenever the two disagree.
-    """
-    return action.describe() if hasattr(action, "describe") else action
-
-
-def _action_key(cls: EquivalenceClass):
-    return canonical_action_key(cls.action)
-
-
-def _action_unions(classes: Sequence[EquivalenceClass]) -> Dict:
-    """Map each action to the union of its classes' predicates, memoized.
-
-    The memo key is the (node id, action) sequence of the class list, so
-    two calls over the same partition — however the caller rebuilt the
-    list object — share one set of ``disjoin`` results.
-    """
-    manager = classes[0].predicate.manager
-    per_manager = _union_cache.get(manager)
-    if per_manager is None:
-        per_manager = _union_cache.setdefault(manager, OrderedDict())
-    key = tuple((cls.predicate.node, _action_key(cls)) for cls in classes)
-    union_nodes = per_manager.get(key)
-    if union_nodes is not None:
-        perf.add("semantic_diff.union_cache_hits")
-        per_manager.move_to_end(key)
-    else:
-        by_action: Dict = {}
-        for cls in classes:
-            by_action.setdefault(_action_key(cls), []).append(cls.predicate)
-        union_nodes = {
-            action: manager.disjoin(predicates).node
-            for action, predicates in by_action.items()
-        }
-        per_manager[key] = union_nodes
-        while len(per_manager) > _UNION_CACHE_SIZE:
-            per_manager.popitem(last=False)
-            perf.add("semantic_diff.union_cache_evictions")
-    return {action: Bdd(manager, node) for action, node in union_nodes.items()}
-
-
-def _disagreement_region(
-    classes1: Sequence[EquivalenceClass], classes2: Sequence[EquivalenceClass]
-) -> Bdd:
-    """The set of inputs on which the two partitions' actions differ.
-
-    Computed as the complement of the agreement region
-    ``∪_a (U1_a ∧ U2_a)`` where ``U_a`` unions the classes taking action
-    ``a``.  This costs O(n) BDD operations and lets the pairwise loop
-    skip every class that only overlaps agreeing classes — on
-    nearly-equivalent 10,000-rule ACLs (§5.4) that prunes the quadratic
-    comparison down to the handful of genuinely differing paths.
-    """
-    manager = classes1[0].predicate.manager
-    agree = manager.false
-    unions1 = _action_unions(classes1)
-    unions2 = _action_unions(classes2)
-    for key, union1 in unions1.items():
-        union2 = unions2.get(key)
-        if union2 is None:
-            continue
-        agree = agree | (union1 & union2)
-    return ~agree
-
-
 def semantic_diff_classes(
     kind: ComponentKind,
-    classes1: Sequence[EquivalenceClass],
-    classes2: Sequence[EquivalenceClass],
+    classes1: List[EquivalenceClass],
+    classes2: List[EquivalenceClass],
     router1: str = "router1",
     router2: str = "router2",
     context: str = "",
+    backend: BackendSpec = None,
 ) -> List[SemanticDifference]:
-    """Pairwise comparison of two path partitions (§3.1 step 2)."""
+    """Pairwise comparison of two path partitions (§3.1 step 2).
+
+    ``backend`` selects the set-algebra backend (a name from
+    :data:`repro.core.setalg.BACKEND_NAMES`, a backend instance, or
+    ``None`` for the process default); the result is identical for every
+    backend, only the wall clock differs.
+    """
     differences: List[SemanticDifference] = []
     if not classes1 or not classes2:
         return differences
     with perf.timer("semantic_diff"):
-        pairs_compared = 0
-        disagree = _disagreement_region(classes1, classes2)
-        if disagree.is_false():
-            perf.add("semantic_diff.classes", len(classes1) + len(classes2))
-            return differences
-        # Compare actions with the same canonical key the agreement-region
-        # pruning used: keying one side by ``describe()`` and the other by
-        # ``__eq__`` emits spurious differences inside the agreement region
-        # (and misses real ones) whenever the two notions disagree.
-        candidates2 = [
-            (cls, _action_key(cls))
-            for cls in classes2
-            if cls.predicate.intersects(disagree)
-        ]
-        for class1 in classes1:
-            if not class1.predicate.intersects(disagree):
-                continue
-            key1 = _action_key(class1)
-            for class2, key2 in candidates2:
-                if key1 == key2:
-                    continue
-                pairs_compared += 1
-                overlap = class1.predicate & class2.predicate
-                if overlap.is_false():
-                    continue
-                differences.append(
-                    SemanticDifference(
-                        kind=kind,
-                        input_set=overlap,
-                        class1=class1,
-                        class2=class2,
-                        router1=router1,
-                        router2=router2,
-                        context=context,
-                    )
+        for class1, class2, overlap in resolve_backend(backend).differing_pairs(
+            classes1, classes2
+        ):
+            differences.append(
+                SemanticDifference(
+                    kind=kind,
+                    input_set=overlap,
+                    class1=class1,
+                    class2=class2,
+                    router1=router1,
+                    router2=router2,
+                    context=context,
                 )
+            )
         perf.add("semantic_diff.classes", len(classes1) + len(classes2))
-        perf.add("semantic_diff.pairs_compared", pairs_compared)
         perf.add("semantic_diff.differences", len(differences))
     return differences
 
@@ -201,6 +110,7 @@ def diff_route_maps(
     space: Optional[RouteSpace] = None,
     node_limit: Optional[int] = None,
     time_budget: Optional[float] = None,
+    set_backend: BackendSpec = None,
 ) -> Tuple[RouteSpace, List[SemanticDifference]]:
     """SemanticDiff on two route maps.
 
@@ -211,7 +121,8 @@ def diff_route_maps(
     ``node_limit``/``time_budget`` arm a resource budget on the space's
     BDD manager (see :meth:`BddManager.set_budget`); a blow-up then
     raises :class:`~repro.bdd.AnalysisBudgetExceeded` for the caller to
-    convert into a per-component aborted result.
+    convert into a per-component aborted result.  ``set_backend``
+    selects the set-algebra backend (see :func:`semantic_diff_classes`).
     """
     if space is None:
         space = RouteSpace([map1, map2])
@@ -220,7 +131,13 @@ def diff_route_maps(
     classes1 = route_map_equivalence_classes(space, map1)
     classes2 = route_map_equivalence_classes(space, map2)
     differences = semantic_diff_classes(
-        ComponentKind.ROUTE_MAP, classes1, classes2, router1, router2, context
+        ComponentKind.ROUTE_MAP,
+        classes1,
+        classes2,
+        router1,
+        router2,
+        context,
+        backend=set_backend,
     )
     return space, differences
 
@@ -234,11 +151,13 @@ def diff_acls(
     space: Optional[PacketSpace] = None,
     node_limit: Optional[int] = None,
     time_budget: Optional[float] = None,
+    set_backend: BackendSpec = None,
 ) -> Tuple[PacketSpace, List[SemanticDifference]]:
     """SemanticDiff on two ACLs over a shared packet space.
 
     ``node_limit``/``time_budget`` arm a resource budget on the space's
-    BDD manager; see :func:`diff_route_maps`.
+    BDD manager and ``set_backend`` selects the set-algebra backend; see
+    :func:`diff_route_maps`.
     """
     if space is None:
         space = PacketSpace()
@@ -247,6 +166,12 @@ def diff_acls(
     classes1 = acl_equivalence_classes(space, acl1)
     classes2 = acl_equivalence_classes(space, acl2)
     differences = semantic_diff_classes(
-        ComponentKind.ACL, classes1, classes2, router1, router2, context
+        ComponentKind.ACL,
+        classes1,
+        classes2,
+        router1,
+        router2,
+        context,
+        backend=set_backend,
     )
     return space, differences

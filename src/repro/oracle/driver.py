@@ -4,11 +4,15 @@
 
 * generated near-equivalent ACL pairs (``workloads/acl_gen.py``),
 * random observability-safe route-map pairs (built here),
-* text-mutated datacenter configs (``workloads/mutation.py``), and
+* text-mutated datacenter configs (``workloads/mutation.py``),
 * memoization cross-checks — the same mutated pair analyzed fresh,
   through a cold :class:`~repro.core.memo.DiffMemo`, and through the
   warm memo again, asserting identical counts and reports (with a
-  persistent cache attached when the CLI passes one),
+  persistent cache attached when the CLI passes one), and
+* set-algebra backend cross-checks — the same generated component pair
+  diffed and localized under both the ``bdd`` and ``atoms`` backends
+  (:mod:`repro.core.setalg`), asserting the serialized differences,
+  input-set satcounts, and localizations are identical,
 
 each derived deterministically from the run seed.  A failing check is
 *shrunk* — lines, clauses, matches, and sets are removed greedily while
@@ -26,6 +30,7 @@ the path-level checks only).
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import random
 import time
@@ -52,9 +57,15 @@ from ..model.routemap import (
     SetTag,
 )
 from ..model.types import Community, Prefix, PrefixRange
+from ..core import setalg
 from ..core.config_diff import config_diff, config_diff_summary
 from ..core.memo import DiffMemo
-from ..core.serialize import report_to_dict
+from ..core.present import (
+    localize_acl_difference,
+    localize_route_map_difference,
+)
+from ..core.semantic_diff import diff_acls, diff_route_maps
+from ..core.serialize import report_to_dict, semantic_difference_to_dict
 from ..parsers import parse_cisco, parse_juniper
 from ..workloads.acl_gen import generate_acl_pair
 from ..workloads.datacenter import _cisco_tor, _juniper_tor
@@ -63,7 +74,7 @@ from .harness import CheckStats, OracleFailure, check_acl_pair, check_route_map_
 
 __all__ = ["SelfCheckFailure", "SelfCheckResult", "run_selfcheck"]
 
-_GENERATORS = ("acl", "routemap", "mutation", "memo")
+_GENERATORS = ("acl", "routemap", "mutation", "memo", "backend")
 
 #: Observability-safe value pools — all distinct from the evaluator's
 #: sentinels (local-pref 77, med 7, community 65535:65535) and from the
@@ -571,6 +582,110 @@ def _run_memo_case(
     return None
 
 
+def _backend_report(kind: str, component1, component2) -> List[dict]:
+    """Diff + localize one component pair under one backend, serialized.
+
+    Each call builds a fresh space (fresh BDD manager), so the two
+    backends share no cached state whatsoever; the serialized dicts are
+    manager-independent, which is what makes them comparable.  Satcounts
+    of the raw input sets ride along — the dict's localization view
+    could in principle coarsen an input-set discrepancy away.
+    """
+    differ = diff_acls if kind == "acl" else diff_route_maps
+    space, differences = differ(component1, component2)
+    payload = []
+    for difference in differences:
+        if kind == "acl":
+            localize_acl_difference(space, difference, component1, component2)
+        else:
+            localize_route_map_difference(
+                space, difference, component1, component2
+            )
+        entry = semantic_difference_to_dict(difference)
+        entry["input_satcount"] = difference.input_set.satcount()
+        payload.append(entry)
+    return payload
+
+
+def _backend_mismatch(kind: str, component1, component2) -> Optional[str]:
+    """One-line description of any bdd/atoms divergence, else ``None``."""
+    reports = {}
+    for name in setalg.BACKEND_NAMES:
+        with setalg.default_backend(name):
+            reports[name] = _backend_report(kind, component1, component2)
+    bdd_report, atoms_report = reports["bdd"], reports["atoms"]
+    if len(bdd_report) != len(atoms_report):
+        return (
+            f"bdd found {len(bdd_report)} difference(s), "
+            f"atoms found {len(atoms_report)}"
+        )
+    for index, (entry1, entry2) in enumerate(zip(bdd_report, atoms_report)):
+        if entry1 != entry2:
+            keys = sorted(
+                key
+                for key in set(entry1) | set(entry2)
+                if entry1.get(key) != entry2.get(key)
+            )
+            return (
+                f"difference #{index} diverges between backends "
+                f"(fields: {', '.join(keys)})"
+            )
+    return None
+
+
+def _run_backend_case(
+    case_seed: int, result: SelfCheckResult
+) -> Optional[SelfCheckFailure]:
+    """Cross-validate the ``bdd`` and ``atoms`` set-algebra backends.
+
+    The same generated component pair is diffed and localized under
+    each backend in isolation; the serialized difference lists (action
+    pairs, localization spans, header ranges, examples) and the raw
+    input-set satcounts must agree exactly.
+    """
+    rng = random.Random(case_seed)
+    if rng.random() < 0.5:
+        pair = generate_acl_pair(
+            rule_count=rng.randint(6, 16),
+            differences=rng.randint(0, 4),
+            seed=case_seed,
+        )
+        kind, component1, component2 = "acl", pair.cisco_acl, pair.juniper_acl
+    else:
+        kind = "routemap"
+        component1 = _random_route_map(rng, "RM1")
+        if rng.random() < 0.7:
+            component2 = dataclasses.replace(
+                _perturb_route_map(component1, rng), name="RM2"
+            )
+        else:
+            component2 = _random_route_map(rng, "RM2")
+
+    detail = _backend_mismatch(kind, component1, component2)
+    if detail is None:
+        result.differences += len(_backend_report(kind, component1, component2))
+        return None
+
+    def fails(c1, c2) -> bool:
+        try:
+            return _backend_mismatch(kind, c1, c2) is not None
+        except Exception:  # noqa: BLE001 - a shrunk pair may fail differently
+            return False
+
+    if kind == "acl":
+        shrunk1, shrunk2 = _shrink_acl_pair(component1, component2, fails)
+        reproducer = "\n".join(_render_acl(shrunk1) + _render_acl(shrunk2))
+    else:
+        shrunk1, shrunk2 = _shrink_route_map_pair(component1, component2, fails)
+        reproducer = "\n".join(
+            _render_route_map(shrunk1) + _render_route_map(shrunk2)
+        )
+    final_detail = _backend_mismatch(kind, shrunk1, shrunk2) or detail
+    return SelfCheckFailure(
+        "backend", case_seed, "backend-equivalence", final_detail, reproducer
+    )
+
+
 def _merge(result: SelfCheckResult, stats: CheckStats) -> None:
     result.differences += stats.differences
     result.samples += stats.samples
@@ -584,6 +699,7 @@ _CASE_RUNNERS = {
     "routemap": _run_route_map_case,
     "mutation": _run_mutation_case,
     "memo": _run_memo_case,
+    "backend": _run_backend_case,
 }
 
 
@@ -592,6 +708,7 @@ def run_selfcheck(
     pairs: int = 50,
     on_progress: Optional[Callable[[int, int], None]] = None,
     cache=None,
+    set_backend: Optional[str] = None,
 ) -> SelfCheckResult:
     """Run the differential harness on ``pairs`` generated cases.
 
@@ -600,19 +717,30 @@ def run_selfcheck(
     All failures are collected (the run does not stop at the first).
     ``cache`` (an :class:`~repro.cache.ArtifactCache`, or ``None``) is
     threaded into the memoization cross-check cases only.
+
+    ``set_backend`` scopes the process-default set-algebra backend to
+    this run, so the whole harness — every brute-force comparison, not
+    just the dedicated backend cross-check cases — exercises that
+    backend; the backend cases themselves always compare both.
     """
     result = SelfCheckResult(seed=seed, pairs=pairs)
     start = time.time()
-    for index in range(pairs):
-        kind = _GENERATORS[index % len(_GENERATORS)]
-        case_seed = seed * 1_000_003 + index
-        if kind == "memo":
-            failure = _run_memo_case(case_seed, result, cache=cache)
-        else:
-            failure = _CASE_RUNNERS[kind](case_seed, result)
-        if failure is not None:
-            result.failures.append(failure)
-        if on_progress is not None:
-            on_progress(index + 1, pairs)
+    scope = (
+        setalg.default_backend(set_backend)
+        if set_backend is not None
+        else contextlib.nullcontext()
+    )
+    with scope:
+        for index in range(pairs):
+            kind = _GENERATORS[index % len(_GENERATORS)]
+            case_seed = seed * 1_000_003 + index
+            if kind == "memo":
+                failure = _run_memo_case(case_seed, result, cache=cache)
+            else:
+                failure = _CASE_RUNNERS[kind](case_seed, result)
+            if failure is not None:
+                result.failures.append(failure)
+            if on_progress is not None:
+                on_progress(index + 1, pairs)
     result.elapsed = time.time() - start
     return result

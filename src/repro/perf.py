@@ -2,8 +2,12 @@
 
 The hot paths (SemanticDiff, HeaderLocalize, the parsers) report into a
 process-global :class:`PerfRegistry`; benchmarks and the CLI snapshot it
-to JSON so perf trajectories (``BENCH_kernels.json``) carry the *why*
-behind a wall-clock number — how many class pairs were compared, how
+to JSON so perf trajectories (``BENCH_kernels.json``,
+``BENCH_atoms.json``) carry the *why* behind a wall-clock number — how
+many class pairs were compared (``semantic_diff.pairs_compared``, the
+``bdd`` backend's loop) or how many atoms/bitset operations replaced
+them (``setalg.atoms``, ``setalg.atom_probes``, ``setalg.bitset_ops``,
+``setalg.atom_budget_fallbacks`` — see :mod:`repro.core.setalg`), how
 long parsing took versus diffing, how the BDD caches behaved.
 
 Instrumentation is deliberately coarse-grained (one timer span per

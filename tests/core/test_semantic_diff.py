@@ -353,6 +353,7 @@ class TestUnionCacheBound:
                 ComponentKind.ROUTE_MAP,
                 classes_b,
                 route_map_equivalence_classes(space, peer),
+                backend="bdd",  # the union memo is bdd-backend machinery
             )
         per_manager = _union_cache.get(space.manager)
         assert per_manager is not None
