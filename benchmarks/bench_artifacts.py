@@ -10,6 +10,13 @@ repo root so tooling (and readers) still find the latest numbers
 without digging into ``benchmarks/``.  On filesystems that refuse
 symlinks it degrades to copying the just-written text, still from the
 single serialization.
+
+The root link is refreshed *idempotently*: a correct existing symlink
+is left untouched, and anything else — a stale regular-file copy from
+a symlink-less run, a symlink pointing elsewhere, a broken symlink —
+is replaced atomically (create under a temporary name, ``os.replace``
+over), so re-running a benchmark never crashes on the leftovers of a
+previous run and never leaves a stale copy shadowing fresh numbers.
 """
 
 import json
@@ -22,6 +29,31 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 
+def _refresh_root_link(root_link: pathlib.Path, target: str, text: str) -> None:
+    """Point ``root_link`` at ``target``, atomically and idempotently.
+
+    Prefers a relative symlink; degrades to writing ``text`` as a plain
+    copy where symlinks are unsupported.  Either way the final rename is
+    ``os.replace``, so a crash mid-refresh leaves the old link intact
+    rather than no link at all.
+    """
+    try:
+        if os.readlink(root_link) == target:
+            return  # already current — nothing to refresh
+    except OSError:
+        pass  # missing, a regular file, or unreadable: replace it
+    scratch = root_link.with_name(root_link.name + ".tmp")
+    try:
+        scratch.unlink()
+    except OSError:
+        pass
+    try:
+        os.symlink(target, scratch)
+    except OSError:  # pragma: no cover - symlink-less filesystem
+        scratch.write_text(text)
+    os.replace(scratch, root_link)
+
+
 def write_artifact(name: str, payload: dict) -> pathlib.Path:
     """Serialize ``payload`` to ``benchmarks/results/<name>`` and link it
     from the repo root.  Returns the results path (the real file)."""
@@ -29,13 +61,9 @@ def write_artifact(name: str, payload: dict) -> pathlib.Path:
     text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
     path = RESULTS_DIR / name
     path.write_text(text)
-    root_link = REPO_ROOT / name
-    if root_link.is_symlink() or root_link.exists():
-        root_link.unlink()
-    try:
-        os.symlink(
-            os.path.join("benchmarks", "results", name), root_link
-        )
-    except OSError:  # pragma: no cover - symlink-less filesystem
-        root_link.write_text(text)
+    _refresh_root_link(
+        REPO_ROOT / name,
+        os.path.join("benchmarks", "results", name),
+        text,
+    )
     return path

@@ -8,15 +8,21 @@ satisfiability counting, and variable support computation.
 
 Design notes
 ------------
-* Nodes are stored in flat parallel lists (``_var``, ``_low``, ``_high``)
-  indexed by integer node ids.  Ids 0 and 1 are the terminal FALSE and TRUE
-  nodes.  This "struct of arrays" layout keeps the engine allocation-light,
-  which matters because SemanticDiff on 10,000-rule ACLs creates millions of
-  nodes.
-* A unique table (``_unique``) maps ``(var, low, high)`` triples to node ids
+* Nodes live in a pluggable *node store* (:mod:`repro.bdd.store`): flat
+  parallel columns (``var``/``low``/``high``) indexed by integer node ids,
+  with ids 0 and 1 reserved for the terminal FALSE and TRUE nodes.  The
+  default :class:`~repro.bdd.store.FlatNodeStore` keeps the columns in
+  ``array('q')`` C arrays and the unique table open-addressed in one more
+  flat array — no boxed ints, no key tuples — which matters because
+  SemanticDiff on 10,000-rule ACLs creates millions of nodes.  The manager
+  aliases the columns as ``_var``/``_low``/``_high``, so every traversal
+  below reads them by plain indexing whatever the store.
+* The store's unique table maps ``(var, low, high)`` triples to node ids
   so that structurally equal subgraphs share one node; BDD equality is then
   id equality, which is what makes the pairwise intersection tests in
-  SemanticDiff cheap.
+  SemanticDiff cheap.  All node creation — the kernels' fold sites
+  included — funnels through ``store.mk``, which is also where resource
+  budgets are enforced.
 * Every traversal — the ite core, the binary apply kernels, quantification,
   restriction, counting, and cube enumeration — runs on an explicit stack
   rather than Python recursion, so BDDs over thousands of variables (deep
@@ -49,6 +55,9 @@ from __future__ import annotations
 
 import time
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .. import perf
+from .store import resolve_store
 
 __all__ = ["AnalysisBudgetExceeded", "Bdd", "BddManager"]
 
@@ -194,12 +203,15 @@ class BddManager:
         fast_kernels: bool = True,
         node_limit: Optional[int] = None,
         time_budget: Optional[float] = None,
+        store=None,
     ) -> None:
-        # Parallel node arrays.  Slots 0/1 are the FALSE/TRUE terminals.
-        self._var: List[int] = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
-        self._low: List[int] = [0, 1]
-        self._high: List[int] = [0, 1]
-        self._unique: Dict[Tuple[int, int, int], int] = {}
+        # The node store owns the parallel node columns (slots 0/1 are
+        # the FALSE/TRUE terminals) and the unique table; the manager
+        # aliases the columns for the kernels' direct indexing.
+        self._store = resolve_store(store)
+        self._var = self._store.var
+        self._low = self._store.low
+        self._high = self._store.high
         self._ite_cache: Dict[Tuple[int, int, int], int] = {}
         self._and_cache: Dict[Tuple[int, int], int] = {}
         self._or_cache: Dict[Tuple[int, int], int] = {}
@@ -283,13 +295,14 @@ class BddManager:
         }
         return {
             "fast_kernels": self.fast_kernels,
+            "node_store": self._store.kind,
             "budget": {
                 "node_limit": self._node_limit,
                 "time_budget": self._time_budget,
             },
             "num_vars": self._num_vars,
             "node_count": self.node_count,
-            "unique_entries": len(self._unique),
+            "unique_entries": self._store.unique_entries,
             "satcount_entries": len(self._satcount_cache),
             "caches": {
                 name: {
@@ -333,6 +346,10 @@ class BddManager:
         )
         self._deadline_countdown = _DEADLINE_CHECK_EVERY
         self._budget_active = node_limit is not None or time_budget is not None
+        # Arm the store hook: every fresh allocation — including the
+        # kernels' inline fold sites — checks the budget exactly when
+        # one is set, and pays nothing when none is.
+        self._store.budget_check = self._check_budget if self._budget_active else None
 
     def _check_budget(self) -> None:
         """Raise if a fresh allocation would exceed the armed budget."""
@@ -352,19 +369,7 @@ class BddManager:
     # -- node construction ----------------------------------------------------
     def _mk(self, var: int, low: int, high: int) -> int:
         """Find-or-create the node ``(var, low, high)`` with reduction."""
-        if low == high:
-            return low
-        key = (var, low, high)
-        node = self._unique.get(key)
-        if node is None:
-            if self._budget_active:
-                self._check_budget()
-            node = len(self._var)
-            self._var.append(var)
-            self._low.append(low)
-            self._high.append(high)
-            self._unique[key] = node
-        return node
+        return self._store.mk(var, low, high)
 
     def cube(self, literals) -> Bdd:
         """Conjunction of single-variable literals, built directly.
@@ -457,6 +462,7 @@ class BddManager:
         value stack) into a node and memoizes it under ``key``.
         """
         var_arr, low_arr, high_arr = self._var, self._low, self._high
+        mk = self._store.mk
         cache = self._ite_cache
         hits = misses = 0
         values: List[int] = []
@@ -508,7 +514,7 @@ class BddManager:
                 _, key, top, _ = task
                 high = values.pop()
                 low = values.pop()
-                result = self._mk(top, low, high)
+                result = mk(top, low, high)
                 cache[key] = result
                 values.append(result)
         self._hits["ite"] += hits
@@ -541,7 +547,7 @@ class BddManager:
             self._hits["and"] += 1
             return result
         var_arr, low_arr, high_arr = self._var, self._low, self._high
-        unique = self._unique
+        mk = self._store.mk
         hits = misses = 0
         values: List[int] = []
         # Work items: (0, f, g) expand; (1, key, top) fold two child
@@ -608,17 +614,7 @@ class BddManager:
                         hits += 1
                 if r0 >= 0:
                     if r1 >= 0:
-                        if r0 == r1:
-                            result = r0
-                        else:
-                            ukey = (top, r0, r1)
-                            result = unique.get(ukey)
-                            if result is None:
-                                result = len(var_arr)
-                                var_arr.append(top)
-                                low_arr.append(r0)
-                                high_arr.append(r1)
-                                unique[ukey] = result
+                        result = mk(top, r0, r1)
                         cache[key] = result
                         values.append(result)
                     else:
@@ -639,17 +635,7 @@ class BddManager:
                 else:
                     _, key, top, high = task
                 low = values.pop()
-                if low == high:
-                    result = low
-                else:
-                    ukey = (top, low, high)
-                    result = unique.get(ukey)
-                    if result is None:
-                        result = len(var_arr)
-                        var_arr.append(top)
-                        low_arr.append(low)
-                        high_arr.append(high)
-                        unique[ukey] = result
+                result = mk(top, low, high)
                 cache[key] = result
                 values.append(result)
         self._hits["and"] += hits
@@ -671,7 +657,7 @@ class BddManager:
             self._hits["or"] += 1
             return result
         var_arr, low_arr, high_arr = self._var, self._low, self._high
-        unique = self._unique
+        mk = self._store.mk
         hits = misses = 0
         values: List[int] = []
         tasks: List[Tuple] = [(0, f, g)]
@@ -734,17 +720,7 @@ class BddManager:
                         hits += 1
                 if r0 >= 0:
                     if r1 >= 0:
-                        if r0 == r1:
-                            result = r0
-                        else:
-                            ukey = (top, r0, r1)
-                            result = unique.get(ukey)
-                            if result is None:
-                                result = len(var_arr)
-                                var_arr.append(top)
-                                low_arr.append(r0)
-                                high_arr.append(r1)
-                                unique[ukey] = result
+                        result = mk(top, r0, r1)
                         cache[key] = result
                         values.append(result)
                     else:
@@ -765,17 +741,7 @@ class BddManager:
                 else:
                     _, key, top, high = task
                 low = values.pop()
-                if low == high:
-                    result = low
-                else:
-                    ukey = (top, low, high)
-                    result = unique.get(ukey)
-                    if result is None:
-                        result = len(var_arr)
-                        var_arr.append(top)
-                        low_arr.append(low)
-                        high_arr.append(high)
-                        unique[ukey] = result
+                result = mk(top, low, high)
                 cache[key] = result
                 values.append(result)
         self._hits["or"] += hits
@@ -801,7 +767,7 @@ class BddManager:
             self._hits["xor"] += 1
             return result
         var_arr, low_arr, high_arr = self._var, self._low, self._high
-        unique = self._unique
+        mk = self._store.mk
         hits = misses = 0
         values: List[int] = []
         tasks: List[Tuple] = [(0, f, g)]
@@ -849,17 +815,7 @@ class BddManager:
                 _, key, top = task
                 high = values.pop()
                 low = values.pop()
-                if low == high:
-                    result = low
-                else:
-                    ukey = (top, low, high)
-                    result = unique.get(ukey)
-                    if result is None:
-                        result = len(var_arr)
-                        var_arr.append(top)
-                        low_arr.append(low)
-                        high_arr.append(high)
-                        unique[ukey] = result
+                result = mk(top, low, high)
                 cache[key] = result
                 values.append(result)
         self._hits["xor"] += hits
@@ -880,7 +836,7 @@ class BddManager:
             self._hits["diff"] += 1
             return result
         var_arr, low_arr, high_arr = self._var, self._low, self._high
-        unique = self._unique
+        mk = self._store.mk
         hits = misses = 0
         values: List[int] = []
         tasks: List[Tuple] = [(0, f, g)]
@@ -937,17 +893,7 @@ class BddManager:
                         hits += 1
                 if r0 >= 0:
                     if r1 >= 0:
-                        if r0 == r1:
-                            result = r0
-                        else:
-                            ukey = (top, r0, r1)
-                            result = unique.get(ukey)
-                            if result is None:
-                                result = len(var_arr)
-                                var_arr.append(top)
-                                low_arr.append(r0)
-                                high_arr.append(r1)
-                                unique[ukey] = result
+                        result = mk(top, r0, r1)
                         cache[key] = result
                         values.append(result)
                     else:
@@ -968,17 +914,7 @@ class BddManager:
                 else:
                     _, key, top, high = task
                 low = values.pop()
-                if low == high:
-                    result = low
-                else:
-                    ukey = (top, low, high)
-                    result = unique.get(ukey)
-                    if result is None:
-                        result = len(var_arr)
-                        var_arr.append(top)
-                        low_arr.append(low)
-                        high_arr.append(high)
-                        unique[ukey] = result
+                result = mk(top, low, high)
                 cache[key] = result
                 values.append(result)
         self._hits["diff"] += hits
@@ -999,7 +935,7 @@ class BddManager:
             self._hits["not"] += 1
             return result
         var_arr, low_arr, high_arr = self._var, self._low, self._high
-        unique = self._unique
+        mk = self._store.mk
         hits = misses = 0
         values: List[int] = []
         tasks: List[Tuple] = [(0, f)]
@@ -1023,17 +959,7 @@ class BddManager:
                 _, f, top = task
                 high = values.pop()
                 low = values.pop()
-                if low == high:
-                    result = low
-                else:
-                    ukey = (top, low, high)
-                    result = unique.get(ukey)
-                    if result is None:
-                        result = len(var_arr)
-                        var_arr.append(top)
-                        low_arr.append(low)
-                        high_arr.append(high)
-                        unique[ukey] = result
+                result = mk(top, low, high)
                 cache[f] = result
                 cache[result] = f
                 values.append(result)
@@ -1131,12 +1057,14 @@ class BddManager:
     def ite(self, f: Bdd, g: Bdd, h: Bdd) -> Bdd:
         """``if f then g else h``."""
         self._check(f, g, h)
+        perf.add("bdd.applies")
         return Bdd(self, self._ite(f.node, g.node, h.node))
 
     def apply_and(self, a: Bdd, b: Bdd) -> Bdd:
         """Conjunction of two functions."""
         if a.manager is not self or b.manager is not self:
             raise ValueError("operands belong to different BddManagers")
+        perf.add("bdd.applies")
         if self.fast_kernels:
             return Bdd(self, self._and(a.node, b.node))
         return Bdd(self, self._ite(a.node, b.node, _FALSE))
@@ -1145,6 +1073,7 @@ class BddManager:
         """Disjunction of two functions."""
         if a.manager is not self or b.manager is not self:
             raise ValueError("operands belong to different BddManagers")
+        perf.add("bdd.applies")
         if self.fast_kernels:
             return Bdd(self, self._or(a.node, b.node))
         return Bdd(self, self._ite(a.node, _TRUE, b.node))
@@ -1153,6 +1082,7 @@ class BddManager:
         """Exclusive-or of two functions."""
         if a.manager is not self or b.manager is not self:
             raise ValueError("operands belong to different BddManagers")
+        perf.add("bdd.applies")
         if self.fast_kernels:
             return Bdd(self, self._xor(a.node, b.node))
         not_b = self._ite(b.node, _FALSE, _TRUE)
@@ -1162,6 +1092,7 @@ class BddManager:
         """Negation of a function."""
         if a.manager is not self:
             raise ValueError("operands belong to different BddManagers")
+        perf.add("bdd.applies")
         if self.fast_kernels:
             return Bdd(self, self._not(a.node))
         return Bdd(self, self._ite(a.node, _FALSE, _TRUE))
@@ -1170,6 +1101,7 @@ class BddManager:
         """``a & ~b`` without materializing ``~b`` separately."""
         if a.manager is not self or b.manager is not self:
             raise ValueError("operands belong to different BddManagers")
+        perf.add("bdd.applies")
         if self.fast_kernels:
             return Bdd(self, self._diff(a.node, b.node))
         not_b = self._ite(b.node, _FALSE, _TRUE)
@@ -1179,6 +1111,7 @@ class BddManager:
         """Decide whether ``a & b`` is satisfiable (no result BDD built)."""
         if a.manager is not self or b.manager is not self:
             raise ValueError("operands belong to different BddManagers")
+        perf.add("bdd.applies")
         if self.fast_kernels:
             return self._intersects(a.node, b.node)
         return self._ite(a.node, b.node, _FALSE) != _FALSE
@@ -1188,6 +1121,7 @@ class BddManager:
         acc = _TRUE
         for operand in operands:
             self._check(operand)
+            perf.add("bdd.applies")
             acc = self._land(acc, operand.node)
             if acc == _FALSE:
                 break
@@ -1198,6 +1132,7 @@ class BddManager:
         acc = _FALSE
         for operand in operands:
             self._check(operand)
+            perf.add("bdd.applies")
             acc = self._lor(acc, operand.node)
             if acc == _TRUE:
                 break

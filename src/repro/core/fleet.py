@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..model.device import DeviceConfig
 from .config_diff import config_diff
+from .fleet_atoms import FleetAtomizer
 from .memo import DiffMemo
 from .parallel import (
     pairwise_count_outcomes,
@@ -37,6 +38,7 @@ from .parallel import (
     resolve_workers,
 )
 from .results import CampionReport
+from .setalg import default_backend_name
 
 __all__ = ["FleetReport", "compare_fleet"]
 
@@ -79,6 +81,10 @@ class FleetReport:
     failed_pairs: Dict[Tuple[str, str], str] = field(default_factory=dict)
     # devices whose reference report could not be produced, with the cause
     failed_reports: Dict[str, str] = field(default_factory=dict)
+    # human-readable diagnostics (e.g. fleet-atoms per-group budget
+    # fallbacks); informational only, deliberately excluded from the
+    # serialized form so reports stay byte-identical across backends
+    notes: List[str] = field(default_factory=list)
 
     @property
     def outliers(self) -> List[str]:
@@ -136,6 +142,8 @@ class FleetReport:
             lines.append(f"failed pairs: {len(self.failed_pairs)}")
             for (first, second), cause in sorted(self.failed_pairs.items()):
                 lines.append(f"  {first} vs {second}: {cause}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
         return "\n".join(lines)
 
 
@@ -184,7 +192,13 @@ def compare_fleet(
     ``set_backend`` names the SemanticDiff set-algebra backend used in
     the matrix workers and the reference reports (``None`` = process
     default; see :mod:`repro.core.setalg`) — another knob that changes
-    only the wall clock, never the report.
+    only the wall clock, never the report.  ``"fleet-atoms"``
+    additionally runs fleet-scale atomization before the matrix
+    (:class:`~repro.core.fleet_atoms.FleetAtomizer`): each connected
+    device group's ACLs are folded into one shared atom universe and
+    every intra-group pair count is seeded into the memo as pure bitset
+    arithmetic, so the whole matrix phase performs zero BDD applies.
+    Per-group budget fallbacks are reported on ``FleetReport.notes``.
     """
     if len(devices) < 2:
         raise ValueError("a fleet comparison needs at least two devices")
@@ -200,8 +214,27 @@ def compare_fleet(
     hostnames = sorted(by_name)
     workers = resolve_workers(workers)
     timeout = resolve_timeout(timeout)
-    if memo is None and use_memo:
+    backend_name = (
+        set_backend if set_backend is not None else default_backend_name()
+    )
+    fleet_seeding = backend_name == "fleet-atoms"
+    # Fleet-scale atomization communicates with the matrix through the
+    # memo (seeded counts), so the backend forces one into existence
+    # even under use_memo=False — the recompute-every-pair baseline
+    # makes no sense for a backend whose whole point is fleet reuse.
+    if memo is None and (use_memo or fleet_seeding):
         memo = DiffMemo()
+
+    notes: List[str] = []
+    if fleet_seeding:
+        atomizer = FleetAtomizer(
+            devices,
+            memo,
+            exhaustive_communities=exhaustive_communities,
+            node_limit=node_limit,
+        )
+        atomizer.seed()
+        notes = list(atomizer.notes)
 
     matrix: Dict[Tuple[str, str], int] = {}
     failed_pairs: Dict[Tuple[str, str], str] = {}
@@ -247,6 +280,7 @@ def compare_fleet(
         hostnames=hostnames,
         matrix=matrix,
         failed_pairs=failed_pairs,
+        notes=notes,
     )
     for hostname in hostnames:
         if hostname == reference:

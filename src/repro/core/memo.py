@@ -48,6 +48,7 @@ __all__ = [
     "DiffMemo",
     "MemoKey",
     "acl_key",
+    "count_entry",
     "route_map_key",
     "structural_key",
     "semantic_entry",
@@ -108,6 +109,29 @@ def semantic_entry(
     }
 
 
+def count_entry(kind: ComponentKind, count: int, context: str = "") -> Dict:
+    """A count-only entry, as seeded by fleet-scale atomization.
+
+    Carries the exact difference count but no serialized differences:
+    the memo protocol only ever *replays* counts (count mode sums
+    ``count``; collect mode recomputes live so localization points at
+    the actual devices, and a zero count skips the component in both
+    modes), so the empty ``semantic`` list is never read.  ``seeded``
+    marks the entry so diagnostics and tests can tell it from a
+    completed per-pair analysis; seeds stay in memory only
+    (:meth:`DiffMemo.put_seed`).
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": kind.value,
+        "context": context,
+        "count": int(count),
+        "semantic": [],
+        "structural": [],
+        "seeded": True,
+    }
+
+
 def structural_entry(differences: Iterable[StructuralDifference]) -> Dict:
     """A clean StructuralDiff result as a memo/cache entry."""
     serialized = [structural_difference_to_dict(d) for d in differences]
@@ -137,6 +161,11 @@ class DiffMemo:
         self._entries: Dict[MemoKey, Dict] = {}
         self._updates: Dict[MemoKey, Dict] = {}
         self._cache = cache
+        # Per-universe bitset vectors from fleet-scale atomization,
+        # keyed by universe id (see FleetAtomizer.universe_id).  Memory
+        # only: never persisted and never pickled to workers — only the
+        # seeded count entries (plain dicts) cross process boundaries.
+        self._vectors: Dict[str, Dict] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -168,6 +197,30 @@ class DiffMemo:
         if self._cache is not None:
             self._cache.put_diff(key, entry)
 
+    def put_seed(self, key: MemoKey, entry: Dict) -> None:
+        """Record a seeded (count-only) entry, in memory only.
+
+        Seeds are exact counts derived from fleet-scale atomization,
+        not completed per-pair analyses, so they are deliberately kept
+        out of ``_updates`` and the persistent cache: a warm disk cache
+        must only ever contain full entries.  First write wins, and a
+        seed never overwrites an existing full entry.
+        """
+        if key in self._entries:
+            return
+        self._entries[key] = entry
+        perf.add("memo.seeds")
+
+    def get_vectors(self, universe_id: str) -> Optional[Dict]:
+        """Memoized per-fingerprint bitset vectors for one universe."""
+        vectors = self._vectors.get(universe_id)
+        perf.add("memo.vector_hits" if vectors is not None else "memo.vector_misses")
+        return vectors
+
+    def put_vectors(self, universe_id: str, vectors: Dict) -> None:
+        """Memoize one universe's per-fingerprint bitset vectors."""
+        self._vectors[universe_id] = vectors
+
     def take_updates(self) -> Dict[MemoKey, Dict]:
         """Drain entries added since the last drain (worker → parent)."""
         updates, self._updates = self._updates, {}
@@ -191,3 +244,4 @@ class DiffMemo:
         self._entries = dict(state["entries"])
         self._updates = {}
         self._cache = None
+        self._vectors = {}

@@ -10,9 +10,14 @@
   warm memo again, asserting identical counts and reports (with a
   persistent cache attached when the CLI passes one), and
 * set-algebra backend cross-checks — the same generated component pair
-  diffed and localized under both the ``bdd`` and ``atoms`` backends
-  (:mod:`repro.core.setalg`), asserting the serialized differences,
-  input-set satcounts, and localizations are identical,
+  diffed and localized under every backend in
+  :data:`repro.core.setalg.BACKEND_NAMES`, asserting the serialized
+  differences, input-set satcounts, and localizations are identical,
+* fleet backend cross-checks — a generated gateway fleet compared end
+  to end under the ``fleet-atoms`` and ``atoms`` backends
+  (:func:`repro.core.fleet.compare_fleet`), asserting the serialized
+  fleet reports are identical; a divergence is shrunk by dropping
+  devices,
 
 each derived deterministically from the run seed.  A failing check is
 *shrunk* — lines, clauses, matches, and sets are removed greedily while
@@ -74,7 +79,7 @@ from .harness import CheckStats, OracleFailure, check_acl_pair, check_route_map_
 
 __all__ = ["SelfCheckFailure", "SelfCheckResult", "run_selfcheck"]
 
-_GENERATORS = ("acl", "routemap", "mutation", "memo", "backend")
+_GENERATORS = ("acl", "routemap", "mutation", "memo", "backend", "fleet")
 
 #: Observability-safe value pools — all distinct from the evaluator's
 #: sentinels (local-pref 77, med 7, community 65535:65535) and from the
@@ -613,23 +618,25 @@ def _backend_mismatch(kind: str, component1, component2) -> Optional[str]:
     for name in setalg.BACKEND_NAMES:
         with setalg.default_backend(name):
             reports[name] = _backend_report(kind, component1, component2)
-    bdd_report, atoms_report = reports["bdd"], reports["atoms"]
-    if len(bdd_report) != len(atoms_report):
-        return (
-            f"bdd found {len(bdd_report)} difference(s), "
-            f"atoms found {len(atoms_report)}"
-        )
-    for index, (entry1, entry2) in enumerate(zip(bdd_report, atoms_report)):
-        if entry1 != entry2:
-            keys = sorted(
-                key
-                for key in set(entry1) | set(entry2)
-                if entry1.get(key) != entry2.get(key)
-            )
+    baseline = reports["bdd"]
+    for name in setalg.BACKEND_NAMES[1:]:
+        report = reports[name]
+        if len(baseline) != len(report):
             return (
-                f"difference #{index} diverges between backends "
-                f"(fields: {', '.join(keys)})"
+                f"bdd found {len(baseline)} difference(s), "
+                f"{name} found {len(report)}"
             )
+        for index, (entry1, entry2) in enumerate(zip(baseline, report)):
+            if entry1 != entry2:
+                keys = sorted(
+                    key
+                    for key in set(entry1) | set(entry2)
+                    if entry1.get(key) != entry2.get(key)
+                )
+                return (
+                    f"difference #{index} diverges between bdd and {name} "
+                    f"(fields: {', '.join(keys)})"
+                )
     return None
 
 
@@ -686,6 +693,94 @@ def _run_backend_case(
     )
 
 
+def _fleet_mismatch(devices) -> Optional[str]:
+    """One-line description of a fleet-atoms/atoms report divergence.
+
+    Both runs are serial and memo-isolated (each ``compare_fleet``
+    builds its own fresh memo), so the only variable is the backend —
+    including the fleet-scale seeding pass the ``fleet-atoms`` backend
+    runs before the matrix.
+    """
+    from ..core.fleet import compare_fleet
+    from ..core.serialize import fleet_report_to_dict
+
+    reports = {}
+    for name in ("atoms", "fleet-atoms"):
+        reports[name] = fleet_report_to_dict(
+            compare_fleet(devices, workers=1, set_backend=name)
+        )
+    if reports["atoms"] == reports["fleet-atoms"]:
+        return None
+    keys = sorted(
+        key
+        for key in set(reports["atoms"]) | set(reports["fleet-atoms"])
+        if reports["atoms"].get(key) != reports["fleet-atoms"].get(key)
+    )
+    return (
+        f"fleet report diverges between atoms and fleet-atoms "
+        f"(fields: {', '.join(keys)})"
+    )
+
+
+def _run_fleet_case(
+    case_seed: int, result: SelfCheckResult
+) -> Optional[SelfCheckFailure]:
+    """Cross-validate ``fleet-atoms`` against ``atoms`` on a whole fleet.
+
+    A generated gateway fleet — the connected-group seeding path end to
+    end: grouping, universe fold, memo seeding, matrix replay, medoid
+    election, reference reports — must serialize identically under both
+    backends.  A divergence is shrunk by dropping devices while it
+    persists, down to the minimal differing sub-fleet.
+    """
+    from ..workloads.datacenter import gateway_fleet
+
+    rng = random.Random(case_seed)
+    count = rng.randint(4, 7)
+    devices, _ = gateway_fleet(
+        count=count,
+        outliers=rng.randint(0, count - 1),
+        rule_count=rng.randint(8, 16),
+        seed=case_seed,
+    )
+    detail = _fleet_mismatch(devices)
+    if detail is None:
+        from ..core.fleet import compare_fleet
+
+        report = compare_fleet(devices, workers=1, set_backend="fleet-atoms")
+        result.differences += sum(report.matrix.values())
+        return None
+
+    def fails(fleet) -> bool:
+        try:
+            return _fleet_mismatch(fleet) is not None
+        except Exception:  # noqa: BLE001 - a shrunk fleet may fail differently
+            return False
+
+    progress = True
+    while progress and len(devices) > 2:
+        progress = False
+        for index in range(len(devices)):
+            candidate = devices[:index] + devices[index + 1 :]
+            if fails(candidate):
+                devices = candidate
+                progress = True
+                break
+    reproducer_lines = [
+        f"fleet of {len(devices)}: "
+        + ", ".join(device.hostname for device in devices)
+    ]
+    for device in devices:
+        for acl in device.acls.values():
+            reproducer_lines.append(f"[{device.hostname}]")
+            reproducer_lines.extend(_render_acl(acl))
+    final_detail = _fleet_mismatch(devices) or detail
+    return SelfCheckFailure(
+        "fleet", case_seed, "fleet-backend-equivalence", final_detail,
+        "\n".join(reproducer_lines),
+    )
+
+
 def _merge(result: SelfCheckResult, stats: CheckStats) -> None:
     result.differences += stats.differences
     result.samples += stats.samples
@@ -700,6 +795,7 @@ _CASE_RUNNERS = {
     "mutation": _run_mutation_case,
     "memo": _run_memo_case,
     "backend": _run_backend_case,
+    "fleet": _run_fleet_case,
 }
 
 

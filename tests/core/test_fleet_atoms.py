@@ -1,0 +1,478 @@
+"""Fleet-scale shared-atom universe: grouping, folding, seeding.
+
+Covers the three layers of the ``fleet-atoms`` backend:
+
+* :func:`repro.core.grouping.connected_device_groups` — the
+  topology-connected groups the atomizer iterates;
+* :class:`repro.bdd.fleet_atoms.AtomUniverse` and
+  :func:`repro.bdd.fleet_atoms.differing_pair_count` — the fold and the
+  bitwise pair counting;
+* :class:`repro.core.fleet_atoms.FleetAtomizer` — memo seeding, the
+  zero-BDD-apply matrix, the atom-budget fallback, and vector
+  memoization.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro import perf
+from repro.bdd import ATOM_BUDGET_ENV, AtomBudgetExceeded, BddManager
+from repro.bdd.atoms import refine_partitions
+from repro.bdd.fleet_atoms import (
+    AtomUniverse,
+    UniverseCoverageError,
+    differing_pair_count,
+)
+from repro.core.fleet import compare_fleet
+from repro.core.serialize import fleet_report_to_dict
+from repro.core.fleet_atoms import FleetAtomizer, acl_universe_id
+from repro.core.grouping import connected_device_groups
+from repro.core.memo import DiffMemo, acl_key, count_entry
+from repro.core.parallel import pairwise_count_outcomes
+from repro.core.results import ComponentKind
+from repro.core.semantic_diff import diff_acls
+from repro.core.setalg import canonical_action_key
+from repro.encoding import PacketSpace, acl_equivalence_classes
+from repro.model import DeviceConfig, Interface, Prefix
+from repro.model.acl import Acl
+from repro.workloads.acl_gen import random_rules
+from repro.workloads.datacenter import gateway_fleet
+
+
+def _counter(name):
+    return perf.REGISTRY.counters.get(name, 0)
+
+
+def _device(hostname, *subnets, acl=None):
+    """A device with one interface per subnet and an optional ACL."""
+    device = DeviceConfig(hostname=hostname)
+    for index, subnet_text in enumerate(subnets):
+        device.interfaces[f"e{index}"] = Interface(
+            name=f"e{index}", address=Prefix.parse(subnet_text)
+        )
+    if acl is not None:
+        device.acls[acl.name] = acl
+    return device
+
+
+def _acl(name, rules=12, seed=0):
+    rng = random.Random(seed)
+    return Acl(name=name, lines=tuple(random_rules(rules, rng)))
+
+
+def _hostnames(groups):
+    return [[device.hostname for device in group] for group in groups]
+
+
+class TestConnectedDeviceGroups:
+    def test_two_lans_make_two_groups(self):
+        devices = [
+            _device("a1", "10.0.0.1/24"),
+            _device("a2", "10.0.0.2/24"),
+            _device("b1", "10.1.0.1/24"),
+            _device("b2", "10.1.0.2/24"),
+        ]
+        assert _hostnames(connected_device_groups(devices)) == [
+            ["a1", "a2"],
+            ["b1", "b2"],
+        ]
+
+    def test_chain_connectivity_is_transitive(self):
+        # a–b share one subnet, b–c another: one group of three.
+        devices = [
+            _device("a", "10.0.0.1/24"),
+            _device("b", "10.0.0.2/24", "10.1.0.1/24"),
+            _device("c", "10.1.0.2/24"),
+        ]
+        assert _hostnames(connected_device_groups(devices)) == [["a", "b", "c"]]
+
+    def test_isolated_subnet_device_is_a_singleton(self):
+        devices = [
+            _device("a1", "10.0.0.1/24"),
+            _device("a2", "10.0.0.2/24"),
+            _device("lone", "172.16.0.1/24"),
+        ]
+        assert _hostnames(connected_device_groups(devices)) == [
+            ["a1", "a2"],
+            ["lone"],
+        ]
+
+    def test_topology_blind_devices_share_one_group(self):
+        # No subnet information at all (pure-ACL configs): grouping has
+        # nothing to split on, so it conservatively keeps them together
+        # rather than inventing singletons that would skip atomization.
+        devices = [DeviceConfig(hostname=name) for name in ("x", "y", "z")]
+        assert _hostnames(connected_device_groups(devices)) == [["x", "y", "z"]]
+
+    def test_blind_devices_group_apart_from_subnet_bearing_ones(self):
+        devices = [
+            _device("a1", "10.0.0.1/24"),
+            _device("a2", "10.0.0.2/24"),
+            DeviceConfig(hostname="blind1"),
+            DeviceConfig(hostname="blind2"),
+        ]
+        assert _hostnames(connected_device_groups(devices)) == [
+            ["a1", "a2"],
+            ["blind1", "blind2"],
+        ]
+
+    def test_loopback_only_devices_count_as_blind(self):
+        # /32 addresses carry no adjacency information, so devices with
+        # nothing else are topology-blind and conservatively grouped
+        # together (same as interface-less devices).
+        devices = [
+            _device("a", "10.255.0.1/32"),
+            _device("b", "10.255.0.1/32"),
+        ]
+        assert _hostnames(connected_device_groups(devices)) == [["a", "b"]]
+
+
+class TestAtomUniverse:
+    def _partitions(self, manager, count=3):
+        """`count` partitions of the 4-variable space, pairwise distinct."""
+        variables = manager.new_vars(4)
+        partitions = []
+        for index in range(count):
+            var = variables[index % len(variables)]
+            other = variables[(index + 1) % len(variables)]
+            partitions.append(
+                [var & other, var & ~other, ~var & other, ~var & ~other]
+            )
+        return partitions
+
+    def test_two_partition_fold_matches_refine_partitions(self):
+        manager = BddManager()
+        preds1, preds2 = self._partitions(manager, 2)
+        universe = AtomUniverse()
+        pid1 = universe.add_partition(preds1)
+        pid2 = universe.add_partition(preds2)
+        reference = refine_partitions(preds1, preds2)
+        assert universe.size == len(reference.atoms)
+        # Same intersection structure: class i of side 1 and class j of
+        # side 2 share an atom iff their predicates intersect.
+        for i, bits1 in enumerate(universe.vector(pid1)):
+            for j, bits2 in enumerate(universe.vector(pid2)):
+                assert bool(bits1 & bits2) == manager.intersects(
+                    preds1[i], preds2[j]
+                )
+
+    def test_every_folded_vector_partitions_the_final_atom_set(self):
+        manager = BddManager()
+        partitions = self._partitions(manager, 3)
+        universe = AtomUniverse()
+        pids = [universe.add_partition(preds) for preds in partitions]
+        assert universe.partitions == 3
+        full = universe.all_atoms_mask
+        for pid in pids:
+            vector = universe.vector(pid)
+            union = 0
+            for bits in vector:
+                assert union & bits == 0  # classes stay disjoint
+                union |= bits
+            assert union == full  # and cover every atom
+
+    def test_bitsets_agree_with_bdd_intersection_after_remap(self):
+        manager = BddManager()
+        partitions = self._partitions(manager, 3)
+        universe = AtomUniverse()
+        pids = [universe.add_partition(preds) for preds in partitions]
+        for pid_a, preds_a in zip(pids, partitions):
+            for pid_b, preds_b in zip(pids, partitions):
+                for i, bits_a in enumerate(universe.vector(pid_a)):
+                    for j, bits_b in enumerate(universe.vector(pid_b)):
+                        assert bool(bits_a & bits_b) == manager.intersects(
+                            preds_a[i], preds_b[j]
+                        )
+
+    def test_false_predicates_get_empty_bitsets(self):
+        manager = BddManager()
+        (var,) = manager.new_vars(1)
+        universe = AtomUniverse()
+        pid = universe.add_partition([var, ~var, manager.false])
+        assert universe.vector(pid)[2] == 0
+        assert universe.size == 2
+
+    def test_budget_overrun_raises(self):
+        manager = BddManager()
+        partitions = self._partitions(manager, 3)
+        universe = AtomUniverse(atom_budget=5)
+        universe.add_partition(partitions[0])
+        with pytest.raises(AtomBudgetExceeded):
+            for preds in partitions[1:]:
+                universe.add_partition(preds)
+
+    def test_non_covering_partition_raises_coverage_error(self):
+        manager = BddManager()
+        (var,) = manager.new_vars(1)
+        universe = AtomUniverse()
+        universe.add_partition([var, ~var])
+        with pytest.raises(UniverseCoverageError):
+            universe.add_partition([var])  # misses the ~var half
+
+
+class TestDifferingPairCount:
+    def test_matches_brute_force_on_random_partitions(self):
+        # Each side's bitsets must partition the atom set (one owner per
+        # atom per side) — that invariant is what makes the
+        # agreement-mask pruning exact — so assign each atom to a random
+        # class per side instead of drawing arbitrary bitsets.
+        rng = random.Random(5)
+        for _ in range(50):
+            width = rng.randint(1, 20)
+            n1, n2 = rng.randint(1, 6), rng.randint(1, 6)
+            bitsets1 = [0] * n1
+            bitsets2 = [0] * n2
+            for atom in range(width):
+                bitsets1[rng.randrange(n1)] |= 1 << atom
+                bitsets2[rng.randrange(n2)] |= 1 << atom
+            keys1 = [rng.randint(0, 2) for _ in range(n1)]
+            keys2 = [rng.randint(0, 2) for _ in range(n2)]
+            expected = sum(
+                1
+                for b1, k1 in zip(bitsets1, keys1)
+                for b2, k2 in zip(bitsets2, keys2)
+                if k1 != k2 and b1 & b2
+            )
+            assert (
+                differing_pair_count(bitsets1, keys1, bitsets2, keys2)
+                == expected
+            )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_semantic_diff_on_acl_pairs(self, seed):
+        acl1 = _acl("A", rules=14, seed=seed)
+        acl2 = _acl("B", rules=14, seed=seed + 100)
+        space = PacketSpace()
+        classes1 = acl_equivalence_classes(space, acl1)
+        classes2 = acl_equivalence_classes(space, acl2)
+        universe = AtomUniverse()
+        pid1 = universe.add_partition([c.predicate for c in classes1])
+        pid2 = universe.add_partition([c.predicate for c in classes2])
+        count = differing_pair_count(
+            universe.vector(pid1),
+            [canonical_action_key(c.action) for c in classes1],
+            universe.vector(pid2),
+            [canonical_action_key(c.action) for c in classes2],
+        )
+        _, differences = diff_acls(acl1, acl2, space=PacketSpace())
+        assert count == len(differences)
+
+    def test_identical_sides_count_zero(self):
+        acl = _acl("A", rules=10, seed=2)
+        space = PacketSpace()
+        classes = acl_equivalence_classes(space, acl)
+        universe = AtomUniverse()
+        pid = universe.add_partition([c.predicate for c in classes])
+        keys = [canonical_action_key(c.action) for c in classes]
+        vector = universe.vector(pid)
+        assert differing_pair_count(vector, keys, vector, keys) == 0
+
+
+class TestFleetAtomizerGrouping:
+    """Connected-group / atomization interplay."""
+
+    def test_one_universe_per_connected_group(self):
+        devices = [
+            _device("a1", "10.0.0.1/24", acl=_acl("FILTER", seed=1)),
+            _device("a2", "10.0.0.2/24", acl=_acl("FILTER", seed=2)),
+            _device("b1", "10.1.0.1/24", acl=_acl("FILTER", seed=3)),
+            _device("b2", "10.1.0.2/24", acl=_acl("FILTER", seed=4)),
+        ]
+        memo = DiffMemo()
+        atomizer = FleetAtomizer(devices, memo)
+        atomizer.seed()
+        assert atomizer.groups_atomized == 2
+        assert atomizer.groups_fallback == 0
+        assert atomizer.singleton_groups == 0
+        assert len(atomizer.universe_sizes) == 2
+        # Each group's universe id is content-addressed from ITS ACLs.
+        group_a = acl_universe_id(
+            [d.fingerprints.acls["FILTER"] for d in devices[:2]]
+        )
+        group_b = acl_universe_id(
+            [d.fingerprints.acls["FILTER"] for d in devices[2:]]
+        )
+        assert set(atomizer.universe_sizes) == {group_a, group_b}
+
+    def test_singleton_groups_are_skipped(self):
+        devices = [
+            _device("a1", "10.0.0.1/24", acl=_acl("FILTER", seed=1)),
+            _device("a2", "10.0.0.2/24", acl=_acl("FILTER", seed=2)),
+            _device("lone", "172.16.0.1/24", acl=_acl("FILTER", seed=3)),
+        ]
+        memo = DiffMemo()
+        atomizer = FleetAtomizer(devices, memo)
+        atomizer.seed()
+        assert atomizer.singleton_groups == 1
+        assert atomizer.groups_atomized == 1
+        assert len(atomizer.universe_sizes) == 1
+        # The singleton's ACL was never folded anywhere: no memo seed
+        # mentions its fingerprint.
+        lone_fp = devices[2].fingerprints.acls["FILTER"]
+        a1_fp = devices[0].fingerprints.acls["FILTER"]
+        assert acl_key(lone_fp, a1_fp) not in memo
+        assert acl_key(a1_fp, lone_fp) not in memo
+
+    def test_cross_group_pairs_are_not_seeded(self):
+        devices = [
+            _device("a1", "10.0.0.1/24", acl=_acl("FILTER", seed=1)),
+            _device("a2", "10.0.0.2/24", acl=_acl("FILTER", seed=2)),
+            _device("b1", "10.1.0.1/24", acl=_acl("FILTER", seed=3)),
+            _device("b2", "10.1.0.2/24", acl=_acl("FILTER", seed=4)),
+        ]
+        memo = DiffMemo()
+        FleetAtomizer(devices, memo).seed()
+        intra = acl_key(
+            devices[0].fingerprints.acls["FILTER"],
+            devices[1].fingerprints.acls["FILTER"],
+        )
+        cross = acl_key(
+            devices[0].fingerprints.acls["FILTER"],
+            devices[2].fingerprints.acls["FILTER"],
+        )
+        assert intra in memo
+        assert cross not in memo
+
+    def test_topology_blind_fleet_is_one_universe(self):
+        devices, _ = gateway_fleet(count=5, outliers=4, rule_count=10, seed=9)
+        memo = DiffMemo()
+        atomizer = FleetAtomizer(devices, memo)
+        atomizer.seed()
+        assert atomizer.groups_atomized == 1
+        assert len(atomizer.universe_sizes) == 1
+
+
+class TestSeededMatrix:
+    def test_seeded_counts_match_per_pair_diffs(self):
+        devices, _ = gateway_fleet(count=5, outliers=4, rule_count=12, seed=4)
+        memo = DiffMemo()
+        FleetAtomizer(devices, memo).seed()
+        for i, device1 in enumerate(devices):
+            for device2 in devices[i + 1 :]:
+                for name1, acl1 in device1.acls.items():
+                    for name2, acl2 in device2.acls.items():
+                        key = acl_key(
+                            device1.fingerprints.acls[name1],
+                            device2.fingerprints.acls[name2],
+                        )
+                        entry = memo.get(key)
+                        if entry is None:
+                            continue  # pairing not matched by heuristics
+                        _, differences = diff_acls(
+                            acl1, acl2, space=PacketSpace()
+                        )
+                        assert entry["count"] == len(differences)
+
+    def test_matrix_replays_with_zero_bdd_applies(self):
+        devices, _ = gateway_fleet(count=6, outliers=5, rule_count=12, seed=7)
+        memo = DiffMemo()
+        FleetAtomizer(devices, memo).seed()
+        pairs = [
+            (devices[i], devices[j])
+            for i in range(len(devices))
+            for j in range(i + 1, len(devices))
+        ]
+        before = _counter("bdd.applies")
+        outcomes = pairwise_count_outcomes(
+            pairs, workers=1, memo=memo, set_backend="fleet-atoms"
+        )
+        assert _counter("bdd.applies") == before  # the acceptance criterion
+        assert all(outcome.ok for outcome in outcomes)
+
+    def test_reports_identical_to_other_backends(self):
+        devices, _ = gateway_fleet(count=5, outliers=3, rule_count=10, seed=2)
+        reports = {
+            name: fleet_report_to_dict(
+                compare_fleet(devices, workers=1, set_backend=name)
+            )
+            for name in ("bdd", "atoms", "fleet-atoms")
+        }
+        assert reports["fleet-atoms"] == reports["atoms"]
+        assert reports["fleet-atoms"] == reports["bdd"]
+        assert any(count for _, _, count in reports["fleet-atoms"]["matrix"])
+
+
+class TestBudgetFallback:
+    def test_overrun_falls_back_per_group_with_note_and_counter(self):
+        devices, _ = gateway_fleet(count=4, outliers=3, rule_count=10, seed=6)
+        memo = DiffMemo()
+        before = _counter("fleet_atoms.budget_fallbacks")
+        atomizer = FleetAtomizer(devices, memo, atom_budget=2)
+        atomizer.seed()
+        assert _counter("fleet_atoms.budget_fallbacks") == before + 1
+        assert atomizer.groups_fallback == 1
+        assert atomizer.groups_atomized == 0
+        assert len(atomizer.notes) == 1
+        note = atomizer.notes[0]
+        assert "falling back to per-pair atoms" in note
+        for device in devices:
+            assert device.hostname in note
+        # No ACL seeds were written for the fallen-back group.
+        assert len(memo) == 0
+
+    def test_env_budget_fallback_keeps_report_identical(self, monkeypatch):
+        devices, _ = gateway_fleet(count=4, outliers=3, rule_count=10, seed=6)
+        baseline = fleet_report_to_dict(
+            compare_fleet(devices, workers=1, set_backend="atoms")
+        )
+        monkeypatch.setenv(ATOM_BUDGET_ENV, "4")
+        before = _counter("fleet_atoms.budget_fallbacks")
+        report = compare_fleet(devices, workers=1, set_backend="fleet-atoms")
+        assert _counter("fleet_atoms.budget_fallbacks") > before
+        assert report.notes and "falling back" in report.notes[0]
+        # Notes are diagnostics, not results: serialized forms match.
+        assert fleet_report_to_dict(report) == baseline
+
+    def test_unconstrained_run_has_no_notes(self):
+        devices, _ = gateway_fleet(count=4, outliers=2, rule_count=10, seed=6)
+        report = compare_fleet(devices, workers=1, set_backend="fleet-atoms")
+        assert report.notes == []
+
+
+class TestVectorMemoization:
+    def test_second_seed_reuses_cached_vectors(self):
+        devices, _ = gateway_fleet(count=4, outliers=3, rule_count=10, seed=8)
+        memo = DiffMemo()
+        before_universes = _counter("fleet_atoms.universes")
+        first = FleetAtomizer(devices, memo)
+        first.seed()
+        assert _counter("fleet_atoms.universes") == before_universes + 1
+        hits_before = _counter("memo.vector_hits")
+        second = FleetAtomizer(devices, memo)
+        second.seed()
+        # Cached vectors: no second universe build, one vector-table hit.
+        assert _counter("fleet_atoms.universes") == before_universes + 1
+        assert _counter("memo.vector_hits") == hits_before + 1
+        assert second.universe_sizes == first.universe_sizes
+
+    def test_vector_table_does_not_cross_pickling(self):
+        devices, _ = gateway_fleet(count=3, outliers=2, rule_count=8, seed=8)
+        memo = DiffMemo()
+        atomizer = FleetAtomizer(devices, memo)
+        atomizer.seed()
+        (universe_id,) = atomizer.universe_sizes
+        assert memo.get_vectors(universe_id) is not None
+        clone = pickle.loads(pickle.dumps(memo))
+        # Vectors are an in-process cache (BDD-derived, process-local);
+        # the count seeds themselves do survive.
+        assert clone.get_vectors(universe_id) is None
+        assert len(clone) == len(memo) > 0
+
+
+class TestSeedEntries:
+    def test_count_entry_shape(self):
+        entry = count_entry(ComponentKind.ACL, 3)
+        assert entry["count"] == 3
+        assert entry["kind"] == ComponentKind.ACL.value
+        assert entry["seeded"] is True
+        assert entry["semantic"] == []
+        assert entry["structural"] == []
+
+    def test_put_seed_never_overwrites(self):
+        memo = DiffMemo()
+        key = acl_key("fp1", "fp2")
+        memo.put_seed(key, count_entry(ComponentKind.ACL, 1))
+        memo.put_seed(key, count_entry(ComponentKind.ACL, 9))
+        assert memo.get(key)["count"] == 1

@@ -22,6 +22,7 @@ from repro.core.setalg import (
     DEFAULT_BACKEND,
     AtomsBackend,
     BddBackend,
+    FleetAtomsBackend,
     default_backend,
     default_backend_name,
     resolve_backend,
@@ -50,7 +51,8 @@ class TestBackendEquivalence:
             name: report_to_json(config_diff(device1, device2, set_backend=name))
             for name in BACKEND_NAMES
         }
-        assert reports["bdd"] == reports["atoms"], mutation.description
+        for name in BACKEND_NAMES[1:]:
+            assert reports["bdd"] == reports[name], (name, mutation.description)
 
     def test_cross_dialect_tor_reports_identical(self):
         device1 = parse_cisco(_cisco_tor(1, 2), "tor1.cfg")
@@ -59,7 +61,8 @@ class TestBackendEquivalence:
             name: report_to_json(config_diff(device1, device2, set_backend=name))
             for name in BACKEND_NAMES
         }
-        assert reports["bdd"] == reports["atoms"]
+        for name in BACKEND_NAMES[1:]:
+            assert reports["bdd"] == reports[name], name
 
     def test_acl_pair_differences_identical_across_spaces(self):
         # Fresh manager per backend: the comparison has to hold on
@@ -79,7 +82,8 @@ class TestBackendEquivalence:
                 for difference in differences
             ]
         assert serialized["bdd"]
-        assert serialized["bdd"] == serialized["atoms"]
+        for name in BACKEND_NAMES[1:]:
+            assert serialized["bdd"] == serialized[name], name
 
     def test_shared_manager_yields_identical_nodes(self):
         # Hash-consing makes equal sets the same node, so on one manager
@@ -94,11 +98,13 @@ class TestBackendEquivalence:
             )
             for name in BACKEND_NAMES
         }
-        assert len(results["bdd"]) == len(results["atoms"]) > 0
-        for from_bdd, from_atoms in zip(results["bdd"], results["atoms"]):
-            assert from_bdd.class1 is from_atoms.class1
-            assert from_bdd.class2 is from_atoms.class2
-            assert from_bdd.input_set.node == from_atoms.input_set.node
+        assert len(results["bdd"]) > 0
+        for name in BACKEND_NAMES[1:]:
+            assert len(results["bdd"]) == len(results[name]), name
+            for from_bdd, from_other in zip(results["bdd"], results[name]):
+                assert from_bdd.class1 is from_other.class1
+                assert from_bdd.class2 is from_other.class2
+                assert from_bdd.input_set.node == from_other.input_set.node
 
 
 def _cross_partition_classes(manager):
@@ -195,6 +201,12 @@ class TestBackendResolution:
     def test_name_resolution(self):
         assert isinstance(resolve_backend("bdd"), BddBackend)
         assert isinstance(resolve_backend("atoms"), AtomsBackend)
+        # fleet-atoms IS an AtomsBackend per pair; the fleet-level
+        # seeding is keyed off the name by compare_fleet.
+        fleet = resolve_backend("fleet-atoms")
+        assert isinstance(fleet, FleetAtomsBackend)
+        assert isinstance(fleet, AtomsBackend)
+        assert fleet.name == "fleet-atoms"
         with pytest.raises(ValueError, match="unknown set-algebra backend"):
             resolve_backend("cubes")
 

@@ -1,0 +1,117 @@
+"""Variable-order independence of SemanticDiff results.
+
+The packet-space variable order (protocol first, then contiguous
+address blocks — see ``repro/encoding/packet.py``) is a pure
+performance knob: equivalence classes, difference lists, counts, and
+localizations must come out identical under any order.  Only witness
+``example`` packets — one arbitrary model of a set — may decode
+differently, because ``any_model`` walks the BDD in variable order.
+
+These tests pin that contract by diffing the same ACL pairs under the
+default layout and under the historical address-first layout, then
+comparing the serialized differences with the ``example`` field
+stripped.
+"""
+
+import random
+
+from repro.bdd import BddManager, BitVector
+from repro.core.semantic_diff import diff_acls
+from repro.core.serialize import semantic_difference_to_dict
+from repro.encoding.packet import PacketSpace
+from repro.model.acl import Acl
+from repro.workloads.acl_gen import generate_acl_pair, random_rules
+from repro.workloads.datacenter import gateway_fleet
+
+
+class AddressFirstPacketSpace(PacketSpace):
+    """The pre-seeding default layout: addresses above the protocol."""
+
+    def __init__(self):
+        manager = BddManager()
+        self.manager = manager
+        self.dst_ip = BitVector.allocate(manager, "dstIp", 32)
+        self.src_ip = BitVector.allocate(manager, "srcIp", 32)
+        self.protocol = BitVector.allocate(manager, "protocol", 8)
+        self.src_port = BitVector.allocate(manager, "srcPort", 16)
+        self.dst_port = BitVector.allocate(manager, "dstPort", 16)
+        self.icmp_type = BitVector.allocate(manager, "icmpType", 8)
+        self.fields = (
+            self.dst_ip,
+            self.src_ip,
+            self.protocol,
+            self.src_port,
+            self.dst_port,
+            self.icmp_type,
+        )
+
+
+def _order_free(differences):
+    """Serialized differences with the order-dependent witness removed."""
+    rendered = []
+    for difference in differences:
+        entry = semantic_difference_to_dict(difference)
+        entry.pop("example", None)
+        rendered.append(entry)
+    return rendered
+
+
+def _diff_under_both_orders(acl1, acl2):
+    _, default_diffs = diff_acls(acl1, acl2, space=PacketSpace())
+    _, addr_diffs = diff_acls(acl1, acl2, space=AddressFirstPacketSpace())
+    return default_diffs, addr_diffs
+
+
+class TestOrderIndependence:
+    def test_random_acl_pairs_diff_identically(self):
+        for seed in range(4):
+            pair = generate_acl_pair(rule_count=30, differences=3, seed=seed)
+            acl1, acl2 = pair.cisco_acl, pair.juniper_acl
+            default_diffs, addr_diffs = _diff_under_both_orders(acl1, acl2)
+            assert len(default_diffs) == len(addr_diffs)
+            assert _order_free(default_diffs) == _order_free(addr_diffs)
+            # Sanity: the workload actually produced differences to compare.
+            assert len(default_diffs) >= 1
+
+    def test_gateway_fleet_acls_diff_identically(self):
+        devices, _ = gateway_fleet(count=4, outliers=3, rule_count=16, seed=11)
+        acls = [acl for device in devices for acl in device.acls.values()]
+        compared = 0
+        for i in range(len(acls)):
+            for j in range(i + 1, len(acls)):
+                default_diffs, addr_diffs = _diff_under_both_orders(
+                    acls[i], acls[j]
+                )
+                assert _order_free(default_diffs) == _order_free(addr_diffs)
+                compared += 1
+        assert compared == len(acls) * (len(acls) - 1) // 2
+
+    def test_identical_acls_have_no_differences_under_either_order(self):
+        rng = random.Random(7)
+        acl = Acl(name="A", lines=tuple(random_rules(40, rng)))
+        default_diffs, addr_diffs = _diff_under_both_orders(acl, acl)
+        assert default_diffs == []
+        assert addr_diffs == []
+
+    def test_witness_packets_stay_inside_the_difference_region(self):
+        # Witness packets (any_model decodes) ARE allowed to differ
+        # between orders — any_model walks the BDD in variable order —
+        # but each order's witness must still lie inside that order's
+        # own difference region.
+        pair = generate_acl_pair(rule_count=30, differences=3, seed=1)
+        for space in (PacketSpace(), AddressFirstPacketSpace()):
+            _, diffs = diff_acls(pair.cisco_acl, pair.juniper_acl, space=space)
+            assert diffs
+            for difference in diffs:
+                model = space.manager.any_model(difference.input_set)
+                assert model is not None
+                packet = space.decode(model)
+                singleton = space.encode_concrete(
+                    src_ip=packet.src_ip,
+                    dst_ip=packet.dst_ip,
+                    protocol=packet.protocol,
+                    src_port=packet.src_port,
+                    dst_port=packet.dst_port,
+                    icmp_type=packet.icmp_type,
+                )
+                assert space.manager.intersects(singleton, difference.input_set)

@@ -1,0 +1,84 @@
+"""Unit tests for the benchmark artifact writer (benchmarks/bench_artifacts.py)."""
+
+import importlib.util
+import json
+import os
+import pathlib
+
+import pytest
+
+_MODULE_PATH = (
+    pathlib.Path(__file__).parent.parent / "benchmarks" / "bench_artifacts.py"
+)
+
+
+@pytest.fixture()
+def artifacts(tmp_path, monkeypatch):
+    """The bench_artifacts module, redirected into a scratch repo layout."""
+    spec = importlib.util.spec_from_file_location(
+        "bench_artifacts_under_test", _MODULE_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "REPO_ROOT", tmp_path)
+    monkeypatch.setattr(module, "RESULTS_DIR", tmp_path / "benchmarks" / "results")
+    (tmp_path / "benchmarks").mkdir()
+    return module
+
+
+def _read_root(module, name: str) -> dict:
+    return json.loads((module.REPO_ROOT / name).read_text())
+
+
+class TestWriteArtifact:
+    def test_first_write_creates_results_file_and_root_link(self, artifacts):
+        path = artifacts.write_artifact("BENCH_x.json", {"speedup": 2.0})
+        assert path == artifacts.RESULTS_DIR / "BENCH_x.json"
+        assert json.loads(path.read_text()) == {"speedup": 2.0}
+        root_link = artifacts.REPO_ROOT / "BENCH_x.json"
+        assert root_link.is_symlink()
+        assert os.readlink(root_link) == os.path.join(
+            "benchmarks", "results", "BENCH_x.json"
+        )
+        assert _read_root(artifacts, "BENCH_x.json") == {"speedup": 2.0}
+
+    def test_rerun_over_existing_symlink_is_idempotent(self, artifacts):
+        artifacts.write_artifact("BENCH_x.json", {"speedup": 2.0})
+        artifacts.write_artifact("BENCH_x.json", {"speedup": 3.0})
+        root_link = artifacts.REPO_ROOT / "BENCH_x.json"
+        assert root_link.is_symlink()
+        assert _read_root(artifacts, "BENCH_x.json") == {"speedup": 3.0}
+
+    def test_rerun_replaces_stale_regular_file(self, artifacts):
+        # A symlink-less filesystem (or an old checkout) left a plain
+        # copy at the root; the refresh must replace it, not crash and
+        # not let it shadow fresh numbers.
+        root_copy = artifacts.REPO_ROOT / "BENCH_x.json"
+        root_copy.write_text('{"speedup": 1.0}\n')
+        artifacts.write_artifact("BENCH_x.json", {"speedup": 4.0})
+        assert root_copy.is_symlink()
+        assert _read_root(artifacts, "BENCH_x.json") == {"speedup": 4.0}
+
+    def test_rerun_repoints_wrong_and_broken_symlinks(self, artifacts):
+        root_link = artifacts.REPO_ROOT / "BENCH_x.json"
+        os.symlink("nowhere/else.json", root_link)  # broken AND wrong
+        artifacts.write_artifact("BENCH_x.json", {"speedup": 5.0})
+        assert os.readlink(root_link) == os.path.join(
+            "benchmarks", "results", "BENCH_x.json"
+        )
+        assert _read_root(artifacts, "BENCH_x.json") == {"speedup": 5.0}
+
+    def test_leftover_scratch_file_is_swept(self, artifacts):
+        # A crash between scratch creation and the rename leaves the
+        # temporary name behind; the next run must clean it up.
+        scratch = artifacts.REPO_ROOT / "BENCH_x.json.tmp"
+        scratch.write_text("junk")
+        artifacts.write_artifact("BENCH_x.json", {"speedup": 6.0})
+        assert not scratch.exists()
+        assert _read_root(artifacts, "BENCH_x.json") == {"speedup": 6.0}
+
+    def test_single_serialization_sorted_and_newline_terminated(self, artifacts):
+        path = artifacts.write_artifact("BENCH_x.json", {"b": 1, "a": 2})
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert text.index('"a"') < text.index('"b"')
