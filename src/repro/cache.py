@@ -22,11 +22,19 @@ the key format happens to survive.
 Writes are atomic (temp file + ``os.replace``) so concurrent processes
 — parallel fleet workers write through the parent, but nothing stops
 two CLI invocations sharing a cache dir — can never observe a torn
-entry.  Each store is bounded by ``max_entries`` with mtime-LRU
-eviction.  Cache failures of any kind (unreadable file, corrupt pickle,
-full disk) degrade to a miss or a skipped write — the cache must never
-sink an analysis run.  Hit/miss/eviction counters land in
-:mod:`repro.perf`; ``campion cache stats|clear`` exposes the store.
+entry; writers and evictors additionally serialize on an ``fcntl``
+advisory lock (``<root>/.lock``) so concurrent eviction can't race an
+in-flight replace.  Each store is bounded by ``max_entries`` with
+mtime-LRU eviction.  Cache failures of any kind (unreadable file,
+corrupt pickle, full disk) degrade to a miss or a skipped write — the
+cache must never sink an analysis run — and an entry whose *bytes*
+fail to load is moved to ``<root>/quarantine/`` (counted under
+``cache.quarantined``, noted on stderr) for operator inspection rather
+than silently deleted; schema-stale entries are still just deleted.
+Hit/miss/eviction counters land in :mod:`repro.perf`; ``campion cache
+stats|clear`` exposes the store.  :meth:`ArtifactCache.namespace`
+derives a per-tenant cache rooted under ``<root>/tenants/<name>`` for
+multi-tenant service deployments.
 
 Like any pickle-based local cache, ``devices/`` is only as trustworthy
 as the directory permissions; the default root lives under the user's
@@ -35,13 +43,21 @@ own cache home (``$XDG_CACHE_HOME``/``~/.cache``).
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import pathlib
 import pickle
+import re
+import sys
 import tempfile
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
+
+try:  # POSIX only; on other platforms locking degrades to a no-op
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
 
 from . import perf
 from .core.serialize import SCHEMA_VERSION as SERIALIZE_SCHEMA_VERSION
@@ -63,6 +79,12 @@ CACHE_DIR_ENV = "CAMPION_CACHE_DIR"
 
 _DEVICES = "devices"
 _DIFFS = "diffs"
+_QUARANTINE = "quarantine"
+_LOCK_FILE = ".lock"
+_TENANTS = "tenants"
+
+#: Tenant names are path components; anything else is flattened.
+_SAFE_TENANT = re.compile(r"[^A-Za-z0-9._-]+")
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -102,6 +124,21 @@ class ArtifactCache:
     ) -> None:
         self.root = pathlib.Path(root)
         self.max_entries = max_entries
+
+    def namespace(self, tenant: str) -> "ArtifactCache":
+        """A cache rooted under ``<root>/tenants/<tenant>``.
+
+        Tenants sharing one physical cache directory get disjoint
+        stores (and disjoint locks), so one tenant's pushes can never
+        evict or poison another's artifacts.  The tenant name is
+        sanitized to a single path component.
+        """
+        safe = _SAFE_TENANT.sub("_", tenant.strip())
+        if safe in ("", ".", ".."):
+            safe = f"_{safe}_"
+        return ArtifactCache(
+            self.root / _TENANTS / safe, max_entries=self.max_entries
+        )
 
     # -- keys ----------------------------------------------------------------
     def _digest(self, store: str, key_material: str) -> str:
@@ -220,10 +257,20 @@ class ArtifactCache:
                     continue
                 entries += 1
             result["stores"][store] = {"entries": entries, "bytes": size}
+        entries = 0
+        size = 0
+        for path in self._quarantine_entries():
+            try:
+                size += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+        result["stores"][_QUARANTINE] = {"entries": entries, "bytes": size}
         return result
 
     def clear(self) -> int:
-        """Remove every cached artifact; returns the number removed."""
+        """Remove every cached artifact (quarantined ones included);
+        returns the number removed."""
         removed = 0
         for store in (_DEVICES, _DIFFS):
             for path in self._entries(store):
@@ -232,6 +279,12 @@ class ArtifactCache:
                     removed += 1
                 except OSError:
                     continue
+        for path in self._quarantine_entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
         return removed
 
     # -- internals -----------------------------------------------------------
@@ -244,6 +297,14 @@ class ArtifactCache:
                 continue
             yield from sorted(shard.iterdir())
 
+    def _quarantine_entries(self):
+        base = self.root / _QUARANTINE
+        if not base.is_dir():
+            return
+        for path in sorted(base.iterdir()):
+            if path.is_file():
+                yield path
+
     def _read_pickle(self, path: pathlib.Path) -> Optional[Dict]:
         try:
             with open(path, "rb") as handle:
@@ -252,7 +313,7 @@ class ArtifactCache:
             return None
         except Exception:  # noqa: BLE001 - corrupt entry degrades to a miss
             perf.add("cache.errors")
-            self._reject_stale(path)
+            self._quarantine(path)
             return None
         return payload if isinstance(payload, dict) else None
 
@@ -264,27 +325,62 @@ class ArtifactCache:
             return None
         except Exception:  # noqa: BLE001 - corrupt entry degrades to a miss
             perf.add("cache.errors")
-            self._reject_stale(path)
+            self._quarantine(path)
             return None
         return payload if isinstance(payload, dict) else None
 
+    @contextlib.contextmanager
+    def _lock(self) -> Iterator[None]:
+        """Advisory cross-process lock on ``<root>/.lock``.
+
+        Serializes writers and evictors sharing one cache root so a
+        concurrent ``_evict`` scan can never race an in-flight
+        ``os.replace``.  Readers stay lock-free: an entry is either the
+        old bytes, the new bytes, or absent (rename atomicity), and
+        every failure mode already degrades to a miss.  Degrades to a
+        no-op where ``fcntl`` (or the lock file itself) is unavailable
+        — the cache must never sink an analysis run.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platform
+            yield
+            return
+        handle = None
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            handle = open(self.root / _LOCK_FILE, "a+b")
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        except OSError:
+            if handle is not None:
+                handle.close()
+                handle = None
+        try:
+            yield
+        finally:
+            if handle is not None:
+                try:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+                except OSError:  # pragma: no cover - defensive
+                    pass
+                handle.close()
+
     def _write_atomic(self, path: pathlib.Path, data: bytes) -> None:
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            descriptor, temp_name = tempfile.mkstemp(
-                dir=str(path.parent), prefix=".tmp-"
-            )
-            try:
-                with os.fdopen(descriptor, "wb") as handle:
-                    handle.write(data)
-                os.replace(temp_name, path)
-            except BaseException:
+            with self._lock():
+                path.parent.mkdir(parents=True, exist_ok=True)
+                descriptor, temp_name = tempfile.mkstemp(
+                    dir=str(path.parent), prefix=".tmp-"
+                )
                 try:
-                    os.unlink(temp_name)
-                except OSError:
-                    pass
-                raise
-            perf.add("cache.writes")
+                    with os.fdopen(descriptor, "wb") as handle:
+                        handle.write(data)
+                    os.replace(temp_name, path)
+                except BaseException:
+                    try:
+                        os.unlink(temp_name)
+                    except OSError:
+                        pass
+                    raise
+                perf.add("cache.writes")
         except OSError:
             perf.add("cache.errors")  # full disk / permissions: skip write
 
@@ -295,20 +391,49 @@ class ArtifactCache:
         except OSError:
             pass
 
+    def _quarantine(self, path: pathlib.Path) -> None:
+        """Move an unreadable entry aside instead of deleting it.
+
+        A truncated pickle or torn JSON is evidence of a fault
+        (crashed writer, disk corruption, hostile tampering) that an
+        operator may want to inspect — so the bytes survive under
+        ``<root>/quarantine/`` rather than vanishing as a silent miss.
+        Quarantined files never match a key digest again, so they are
+        read at most once more (never — the store path is gone).
+        """
+        perf.add("cache.quarantined")
+        target = self.root / _QUARANTINE / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+            print(
+                f"campion cache: quarantined corrupt entry {path.name}"
+                f" -> {target}",
+                file=sys.stderr,
+            )
+        except OSError:
+            # Can't move it (cross-device, permissions): fall back to
+            # the old behaviour and delete so it can't re-trip reads.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
     def _evict(self, store: str) -> None:
         """mtime-LRU bound on the store size (writes are rare — one per
         unique artifact — so the scan cost is negligible in practice)."""
         try:
-            entries = list(self._entries(store))
-            excess = len(entries) - self.max_entries
-            if excess <= 0:
-                return
-            entries.sort(key=lambda p: (p.stat().st_mtime, p.name))
-            for path in entries[:excess]:
-                try:
-                    path.unlink()
-                    perf.add("cache.evictions")
-                except OSError:
-                    continue
+            with self._lock():
+                entries = list(self._entries(store))
+                excess = len(entries) - self.max_entries
+                if excess <= 0:
+                    return
+                entries.sort(key=lambda p: (p.stat().st_mtime, p.name))
+                for path in entries[:excess]:
+                    try:
+                        path.unlink()
+                        perf.add("cache.evictions")
+                    except OSError:
+                        continue
         except OSError:
             perf.add("cache.errors")

@@ -17,6 +17,10 @@ Subcommands:
   by default (``--cache-dir`` overrides the root, ``--no-cache``
   disables it) and print a ``campion: cache: hits=… misses=…`` summary
   line on stderr.
+* ``campion serve`` — run the always-on analysis service
+  (``repro.service``): an HTTP-JSON job API over the same pipeline
+  with a durable journaled queue, retries, backpressure, and graceful
+  SIGTERM/SIGINT drain (exit 0 after a clean drain).
 
 Exit codes form a contract for scripting and CI:
 
@@ -290,6 +294,40 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return EXIT_DIFFERENCES if report.outliers else EXIT_EQUIVALENT
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import AnalysisService, ServiceConfig
+    from .service.app import default_journal_path
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        journal_path=args.journal or default_journal_path(),
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        queue_limit=args.queue_limit,
+        max_attempts=args.max_attempts,
+        tenant_quota=args.tenant_quota,
+        job_concurrency=args.job_concurrency,
+        workers=args.workers or 1,
+        timeout=args.timeout,
+        node_limit=args.node_limit,
+        set_backend=args.set_backend,
+        drain_grace=args.drain_grace,
+    )
+    service = AnalysisService(config)
+    print(
+        f"campion serve: listening on http://{config.host}:{config.port}"
+        f" (journal {service.journal.path},"
+        f" cache {'disabled' if service.cache is None else service.cache.root})",
+        file=sys.stderr,
+    )
+    asyncio.run(service.serve())
+    print("campion serve: drained and stopped", file=sys.stderr)
+    return EXIT_EQUIVALENT
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ArtifactCache(resolve_cache_dir(getattr(args, "cache_dir", None)))
     if args.action == "clear":
@@ -452,6 +490,62 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--output", default=None, help="write the translation here (default: stdout)"
     )
     translate_parser.set_defaults(func=_cmd_translate)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the always-on analysis service (HTTP-JSON job API)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8642, help="TCP port (default: 8642)"
+    )
+    serve_parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="job journal file (default: $CAMPION_JOURNAL or "
+        "<cache root>/service/journal.jsonl)",
+    )
+    serve_parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="max queued+running jobs before 429 backpressure (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="attempts per job before dead-lettering (default: 3)",
+    )
+    serve_parser.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=1,
+        help="concurrent running jobs per tenant (default: 1)",
+    )
+    serve_parser.add_argument(
+        "--job-concurrency",
+        type=int,
+        default=2,
+        help="jobs executed concurrently across tenants (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="processes per job's pairwise matrix (default: 1)",
+    )
+    serve_parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        help="seconds to let running jobs finish on SIGTERM (default: 30)",
+    )
+    add_budget_flags(serve_parser)
+    serve_parser.set_defaults(func=_cmd_serve)
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear the persistent artifact cache"

@@ -10,11 +10,19 @@ with its own fresh managers (``config_diff`` allocates its spaces
 internally), so no shared state is needed.
 
 Fault isolation (the part the first parallel cut lacked): every task
-produces a :class:`PairOutcome` — ``ok``, ``error``, or ``timeout`` —
-instead of letting one worker exception poison the whole ``pool.map``.
-Failed pairs get one automatic in-parent serial retry (bounded by the
-pair time budget via the BDD engine's deadline checks), and the pool is
-torn down with ``terminate()``/``join()`` deterministically on both
+produces a :class:`PairOutcome` — ``ok``, ``error``, ``timeout``, or
+``crashed`` — instead of letting one worker exception poison the whole
+fan-out.  A Python-level worker exception travels back as ``error``;
+*worker death* (OOM kill, segfault, a stray ``SIGKILL``) surfaces as
+``BrokenProcessPool`` from the executor and is classified as
+``crashed`` with a ``worker-crashed`` diagnostic rather than an
+unhandled traceback.  The pool is respawned with jittered backoff (up
+to ``_MAX_POOL_RESPAWNS`` generations per fan-out, counted under
+``parallel.pool_respawns``) and the still-unresolved tasks resubmitted;
+results that completed before the pool died are harvested, never
+recomputed.  Failed pairs get one automatic in-parent serial retry
+(bounded by the pair time budget via the BDD engine's deadline checks),
+and worker processes are killed and joined deterministically on both
 ``KeyboardInterrupt`` and normal exit, so stuck workers never outlive
 the run as leaked fork children.
 
@@ -33,9 +41,12 @@ functions.
 
 from __future__ import annotations
 
+import concurrent.futures
 import multiprocessing
-import multiprocessing.pool
 import os
+import random
+import time
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -59,6 +70,25 @@ __all__ = [
 
 WORKERS_ENV = "CAMPION_WORKERS"
 TIMEOUT_ENV = "CAMPION_PAIR_TIMEOUT"
+
+#: Fresh pool generations granted per fan-out after worker death.  The
+#: cap bounds the worst case — a task that deterministically kills its
+#: worker burns one generation per respawn — while one environmental
+#: kill (OOM reaper picking a victim) heals on the first respawn.
+_MAX_POOL_RESPAWNS = 2
+
+#: Base of the jittered exponential backoff between pool respawns, in
+#: seconds.  Small on purpose: a respawn is cheap, and the jitter only
+#: needs to decorrelate sibling fan-outs hammering a loaded machine.
+_RESPAWN_BACKOFF = 0.05
+
+#: Diagnostic attached to pairs whose worker died.  Structured ("worker
+#: -crashed" prefix) so the service supervisor and fleet reports can
+#: recognize crash casualties without string-matching tracebacks.
+_CRASH_DIAGNOSTIC = (
+    "worker-crashed: worker process died (OOM kill, segfault, or external"
+    " signal) before returning a result"
+)
 
 _Pair = Tuple[DeviceConfig, DeviceConfig]
 
@@ -88,11 +118,12 @@ class PairOutcome:
     """Result of one fanned-out pair comparison.
 
     ``status`` is ``"ok"`` (``result`` holds the payload), ``"error"``
-    (the worker raised; ``error`` holds the rendered cause), or
+    (the worker raised; ``error`` holds the rendered cause),
     ``"timeout"`` (the pair exceeded its wall-clock budget and its
-    worker was terminated).  ``retried`` marks outcomes that went
-    through the automatic in-parent serial retry — whatever its final
-    status.
+    worker was terminated), or ``"crashed"`` (the worker process died —
+    OOM kill, segfault — and the pool's respawn budget ran out before
+    the pair completed).  ``retried`` marks outcomes that went through
+    the automatic in-parent serial retry — whatever its final status.
     """
 
     index: int
@@ -276,71 +307,208 @@ def _serial_outcomes(function: Callable, tasks: List[_Task]) -> List[PairOutcome
     return outcomes
 
 
-def _pool_outcomes(
-    indexed: Callable,
-    tasks: List[_Task],
-    workers: int,
-    timeout: Optional[float],
-) -> List[PairOutcome]:
-    """Fan tasks over a pool, collecting one PairOutcome per task.
-
-    Tasks are submitted individually (``apply_async``) so one worker's
-    failure or overrun surfaces as that task's outcome the moment its
-    result is collected, not after every task ran.  The pool is always
-    ``terminate()``d and ``join()``ed on the way out — including on
-    ``KeyboardInterrupt`` — so a stuck or still-grinding worker cannot
-    leak as an orphaned fork child.
-
-    ``timeout`` is the per-pair allowance granted to each collection
-    wait; because collection is sequential while execution is
-    concurrent, a task has normally been running at least that long by
-    the time its wait expires, making this an upper bound on useful
-    work per pair rather than an exact stopwatch.
-    """
+def _make_executor(
+    tasks: List[_Task], workers: int
+) -> concurrent.futures.ProcessPoolExecutor:
     try:
         context = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - platform without fork
         context = multiprocessing.get_context()
-    processes = min(workers, len(tasks))
-    outcomes: List[Optional[PairOutcome]] = [None] * len(tasks)
-    pool = context.Pool(
-        processes=processes, initializer=_init_worker, initargs=(tasks,)
+    return concurrent.futures.ProcessPoolExecutor(
+        max_workers=min(workers, len(tasks)),
+        mp_context=context,
+        initializer=_init_worker,
+        initargs=(tasks,),
     )
+
+
+def _shutdown_executor(
+    executor: concurrent.futures.ProcessPoolExecutor,
+) -> None:
+    """Deterministic teardown: kill stragglers and reap every child.
+
+    Timed-out pairs are still grinding in their worker, so a plain
+    ``shutdown(wait=True)`` could block on them indefinitely; pending
+    futures are cancelled, the worker processes killed outright, and
+    only then does the final ``shutdown`` join the (now dead) children
+    — the executor equivalent of the old ``terminate()``/``join()``.
+    """
+    # shutdown() drops the executor's process table, so grab it first.
+    processes = dict(getattr(executor, "_processes", None) or {})
     try:
-        futures = [
-            pool.apply_async(indexed, (index,)) for index in range(len(tasks))
-        ]
-        pool.close()
-        for index, future in enumerate(futures):
+        executor.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - defensive
+        pass
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except Exception:  # pragma: no cover - already dead
+            pass
+    for process in list(processes.values()):
+        try:
+            process.join(timeout=5.0)
+        except Exception:  # pragma: no cover - defensive
+            pass
+    try:
+        executor.shutdown(wait=True, cancel_futures=True)
+    except Exception:  # pragma: no cover - defensive
+        pass
+
+
+def _settle(
+    outcomes: List[Optional[PairOutcome]],
+    index: int,
+    tag: str,
+    payload: object,
+    updates: Dict,
+) -> None:
+    """Record one transported worker result as this task's outcome."""
+    if tag == "ok":
+        outcomes[index] = PairOutcome(
+            index, "ok", result=payload, memo_updates=updates
+        )
+    else:
+        perf.add("parallel.errors")
+        outcomes[index] = PairOutcome(
+            index, "error", error=str(payload), memo_updates=updates
+        )
+
+
+def _pool_round(
+    indexed: Callable,
+    tasks: List[_Task],
+    workers: int,
+    timeout: Optional[float],
+    pending: List[int],
+    outcomes: List[Optional[PairOutcome]],
+) -> bool:
+    """Run one executor generation over the still-unresolved tasks.
+
+    Settles an outcome for every task it can; returns ``True`` when the
+    pool broke (a worker process died) leaving tasks unresolved, so the
+    caller can decide whether to respawn.  Collection is sequential
+    while execution is concurrent, so the per-future ``timeout`` wait
+    is an upper bound on useful work per pair rather than an exact
+    stopwatch — the same contract the old ``apply_async`` loop had.
+    """
+    executor = _make_executor(tasks, workers)
+    futures: Dict[int, concurrent.futures.Future] = {}
+    broken = False
+    try:
+        try:
+            for index in pending:
+                futures[index] = executor.submit(indexed, index)
+        except (BrokenProcessPool, RuntimeError):
+            # The pool died while we were still submitting (e.g. the
+            # initializer's worker was killed); whatever got in is
+            # collected below, the rest stays pending for the respawn.
+            broken = True
+        for index in pending:
+            future = futures.get(index)
+            if future is None:
+                break
             try:
-                tag, payload, updates = future.get(timeout)
-            except multiprocessing.TimeoutError:
+                tag, payload, updates = future.result(timeout)
+            except concurrent.futures.TimeoutError:
                 perf.add("parallel.timeouts")
                 outcomes[index] = PairOutcome(
                     index,
                     "timeout",
                     error=f"pair exceeded {timeout:.1f}s wall-clock timeout",
                 )
-            except Exception as exc:  # worker or transport died
+            except BrokenProcessPool:
+                broken = True
+                break
+            except concurrent.futures.CancelledError:
+                broken = True
+                break
+            except Exception as exc:  # transport failure
                 perf.add("parallel.errors")
                 outcomes[index] = PairOutcome(
                     index, "error", error=f"{type(exc).__name__}: {exc}"
                 )
             else:
-                if tag == "ok":
-                    outcomes[index] = PairOutcome(
-                        index, "ok", result=payload, memo_updates=updates
-                    )
-                else:
-                    perf.add("parallel.errors")
-                    outcomes[index] = PairOutcome(
-                        index, "error", error=str(payload), memo_updates=updates
-                    )
+                _settle(outcomes, index, tag, payload, updates)
+        if broken:
+            # Harvest everything that completed before the pool died —
+            # those results are clean and must not be recomputed.
+            for index in pending:
+                future = futures.get(index)
+                if (
+                    future is None
+                    or outcomes[index] is not None
+                    or not future.done()
+                ):
+                    continue
+                try:
+                    tag, payload, updates = future.result(0)
+                except Exception:  # broken/cancelled: stays pending
+                    continue
+                _settle(outcomes, index, tag, payload, updates)
     finally:
-        # Deterministic teardown: kill stragglers (timed-out pairs are
-        # still grinding in their worker) and reap every child now.
-        pool.terminate()
-        pool.join()
+        _shutdown_executor(executor)
+    return broken
+
+
+def _pool_outcomes(
+    indexed: Callable,
+    tasks: List[_Task],
+    workers: int,
+    timeout: Optional[float],
+) -> List[PairOutcome]:
+    """Fan tasks over worker processes, one PairOutcome per task.
+
+    Worker *death* (as opposed to a worker exception, which travels
+    back as a tagged result) surfaces as ``BrokenProcessPool``: the
+    generation's completed results are harvested, the pool is respawned
+    with jittered exponential backoff, and the unresolved tasks are
+    resubmitted.  A broken pool cannot name its victim — *every*
+    unfinished future breaks — so when the batch respawn budget runs
+    out (a task that deterministically kills its worker burns one
+    generation per round), the survivors move to an *isolation pass*:
+    one single-task pool each.  A lone task that breaks its own pool is
+    definitively the culprit and is classified ``crashed`` with a
+    structured ``worker-crashed`` diagnostic (the in-parent serial
+    retry, :func:`_retry_failures`, remains its last chance); innocent
+    bystanders complete normally instead of being misblamed.
+    """
+    outcomes: List[Optional[PairOutcome]] = [None] * len(tasks)
+    pending = list(range(len(tasks)))
+    respawns_left = _MAX_POOL_RESPAWNS
+    generation = 0
+    while pending:
+        broken = _pool_round(
+            indexed, tasks, workers, timeout, pending, outcomes
+        )
+        pending = [index for index in pending if outcomes[index] is None]
+        if not pending:
+            break
+        if not broken:  # pragma: no cover - defensive: round settles all
+            for index in pending:
+                outcomes[index] = PairOutcome(
+                    index, "error", error="pool round left no outcome"
+                )
+            break
+        perf.add("parallel.worker_crashes")
+        if respawns_left <= 0:
+            break
+        respawns_left -= 1
+        perf.add("parallel.pool_respawns")
+        time.sleep(
+            _RESPAWN_BACKOFF * (2**generation) * (1.0 + random.random())
+        )
+        generation += 1
+    # Isolation pass: definitive blame for repeated pool deaths.
+    for index in pending:
+        if outcomes[index] is not None:
+            continue
+        perf.add("parallel.pool_respawns")
+        _pool_round(indexed, tasks, 1, timeout, [index], outcomes)
+        if outcomes[index] is None:
+            perf.add("parallel.errors")
+            outcomes[index] = PairOutcome(
+                index, "crashed", error=_CRASH_DIAGNOSTIC
+            )
     return outcomes  # type: ignore[return-value]
 
 

@@ -18,6 +18,13 @@
   (:func:`repro.core.fleet.compare_fleet`), asserting the serialized
   fleet reports are identical; a divergence is shrunk by dropping
   devices,
+* service round-trips — the same fleet's config *texts* pushed through
+  a live in-thread analysis daemon
+  (:class:`repro.service.ServiceThread`, the real HTTP/JSON path:
+  submit, queue, supervised execution, poll) and compared
+  byte-for-byte against the in-process
+  :func:`~repro.core.fleet.compare_fleet` report; a divergence is
+  shrunk by dropping devices,
 
 each derived deterministically from the run seed.  A failing check is
 *shrunk* — lines, clauses, matches, and sets are removed greedily while
@@ -79,7 +86,15 @@ from .harness import CheckStats, OracleFailure, check_acl_pair, check_route_map_
 
 __all__ = ["SelfCheckFailure", "SelfCheckResult", "run_selfcheck"]
 
-_GENERATORS = ("acl", "routemap", "mutation", "memo", "backend", "fleet")
+_GENERATORS = (
+    "acl",
+    "routemap",
+    "mutation",
+    "memo",
+    "backend",
+    "fleet",
+    "service",
+)
 
 #: Observability-safe value pools — all distinct from the evaluator's
 #: sentinels (local-pref 77, med 7, community 65535:65535) and from the
@@ -781,6 +796,158 @@ def _run_fleet_case(
     )
 
 
+def _service_roundtrip(url: str, configs) -> dict:
+    """Push config texts through the live daemon; the result document.
+
+    Raises on any non-success path (HTTP error, job failure, poll
+    timeout) — the service case treats those as failures too, not just
+    report divergence.
+    """
+    import json as json_module
+    import urllib.request
+
+    request = urllib.request.Request(
+        url + "/v1/fleet",
+        data=json_module.dumps(
+            {"configs": configs, "tenant": "oracle", "workers": 1}
+        ).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        job_id = json_module.loads(response.read())["job"]["id"]
+    deadline = time.time() + 120.0
+    while time.time() < deadline:
+        with urllib.request.urlopen(
+            f"{url}/v1/jobs/{job_id}", timeout=30
+        ) as response:
+            document = json_module.loads(response.read())
+        state = document["job"]["state"]
+        if state == "done":
+            return document["result"]
+        if state in ("failed", "dead-letter"):
+            raise RuntimeError(
+                f"service job {state}: {document['job']['error']}"
+            )
+        time.sleep(0.05)
+    raise RuntimeError("service job did not finish within 120s")
+
+
+def _service_mismatch(url: str, devices) -> Optional[str]:
+    """One-line description of an HTTP/in-process divergence, else None.
+
+    Both sides parse the same rendered texts (not the already-parsed
+    devices), so the comparison covers the service's parse path too;
+    reports are compared as canonical JSON bytes — the byte-identity
+    contract ``fleet --json`` already guarantees across runs.
+    """
+    import json as json_module
+
+    from ..core.fleet import compare_fleet
+    from ..core.serialize import fleet_report_to_dict
+    from ..parsers import parse_config
+
+    configs = [
+        {
+            "name": f"{device.hostname}.cfg",
+            "text": "\n".join(device.raw_lines) + "\n",
+        }
+        for device in devices
+    ]
+    parsed = [
+        parse_config(config["text"], filename=config["name"], dialect="auto")
+        for config in configs
+    ]
+    expected = json_module.dumps(
+        fleet_report_to_dict(compare_fleet(parsed, workers=1)),
+        sort_keys=True,
+    )
+    try:
+        result = _service_roundtrip(url, configs)
+    except Exception as exc:  # noqa: BLE001 - any failure is a finding
+        return f"service round-trip failed: {exc}"
+    actual = json_module.dumps(result["report"], sort_keys=True)
+    if actual != expected:
+        for offset, (left, right) in enumerate(zip(expected, actual)):
+            if left != right:
+                return (
+                    "service report diverges from in-process compare_fleet"
+                    f" at byte {offset}"
+                )
+        return (
+            "service report diverges from in-process compare_fleet"
+            f" (lengths {len(expected)} vs {len(actual)})"
+        )
+    return None
+
+
+def _run_service_case(
+    case_seed: int, result: SelfCheckResult
+) -> Optional[SelfCheckFailure]:
+    """Round-trip a generated fleet through the HTTP analysis service.
+
+    A throwaway in-thread daemon (ephemeral port, temp journal, cache
+    disabled so every run is cold) analyzes the fleet via the real
+    submit/queue/supervise/poll path; the returned report must be
+    byte-identical JSON to the in-process ``compare_fleet`` over the
+    same texts.  A divergence is shrunk by dropping devices.
+    """
+    import tempfile
+
+    from ..service import ServiceConfig, ServiceThread
+    from ..workloads.datacenter import gateway_fleet
+
+    rng = random.Random(case_seed)
+    count = rng.randint(3, 5)
+    devices, _ = gateway_fleet(
+        count=count,
+        outliers=rng.randint(0, count - 1),
+        rule_count=rng.randint(6, 12),
+        seed=case_seed,
+    )
+    with tempfile.TemporaryDirectory(prefix="campion-oracle-") as tmp:
+        config = ServiceConfig(
+            port=0,
+            journal_path=f"{tmp}/journal.jsonl",
+            no_cache=True,
+            workers=1,
+            job_concurrency=1,
+        )
+        with ServiceThread(config) as service:
+            detail = _service_mismatch(service.url, devices)
+            if detail is None:
+                result.differences += 0
+                return None
+
+            def fails(fleet) -> bool:
+                try:
+                    return _service_mismatch(service.url, fleet) is not None
+                except Exception:  # noqa: BLE001 - shrunk fleet may differ
+                    return False
+
+            progress = True
+            while progress and len(devices) > 2:
+                progress = False
+                for index in range(len(devices)):
+                    candidate = devices[:index] + devices[index + 1 :]
+                    if fails(candidate):
+                        devices = candidate
+                        progress = True
+                        break
+            reproducer_lines = [
+                f"fleet of {len(devices)}: "
+                + ", ".join(device.hostname for device in devices)
+            ]
+            final_detail = _service_mismatch(service.url, devices) or detail
+    return SelfCheckFailure(
+        "service",
+        case_seed,
+        "service-report-identity",
+        final_detail,
+        "\n".join(reproducer_lines),
+    )
+
+
 def _merge(result: SelfCheckResult, stats: CheckStats) -> None:
     result.differences += stats.differences
     result.samples += stats.samples
@@ -796,6 +963,7 @@ _CASE_RUNNERS = {
     "memo": _run_memo_case,
     "backend": _run_backend_case,
     "fleet": _run_fleet_case,
+    "service": _run_service_case,
 }
 
 

@@ -12,10 +12,13 @@ long parsing took versus diffing, how the BDD caches behaved.
 
 Instrumentation is deliberately coarse-grained (one timer span per
 parse/diff/localize call, counters bumped in bulk), so the registry adds
-nothing measurable to the hot loops it describes.  The module is not
-thread-safe by design: Campion parallelism is process-based
-(``repro.core.parallel``), and each worker process gets its own registry
-whose numbers describe that worker alone.
+nothing measurable to the hot loops it describes.  Worker *processes*
+(``repro.core.parallel``) each get their own registry whose numbers
+describe that worker alone; within one process, mutation is guarded by
+a lock because the analysis service (``repro.service``) runs jobs on
+threads that report concurrently.  The lock is re-initialized in fork
+children (``os.register_at_fork``) so a worker forked while another
+service thread held it can never deadlock on the inherited state.
 
 Usage::
 
@@ -32,6 +35,8 @@ Usage::
 from __future__ import annotations
 
 import json
+import os
+import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
@@ -55,23 +60,26 @@ class PerfRegistry:
         self.counters: Dict[str, int] = {}
         # name -> [calls, total_seconds, max_seconds]
         self._timers: Dict[str, list] = {}
+        self._lock = threading.Lock()
 
     # -- counters ------------------------------------------------------------
     def add(self, name: str, amount: int = 1) -> None:
         """Bump counter ``name`` by ``amount`` (creating it at zero)."""
-        self.counters[name] = self.counters.get(name, 0) + amount
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
 
     # -- timers --------------------------------------------------------------
     def record(self, name: str, seconds: float) -> None:
         """Fold one measured span into timer ``name``."""
-        entry = self._timers.get(name)
-        if entry is None:
-            self._timers[name] = [1, seconds, seconds]
-        else:
-            entry[0] += 1
-            entry[1] += seconds
-            if seconds > entry[2]:
-                entry[2] = seconds
+        with self._lock:
+            entry = self._timers.get(name)
+            if entry is None:
+                self._timers[name] = [1, seconds, seconds]
+            else:
+                entry[0] += 1
+                entry[1] += seconds
+                if seconds > entry[2]:
+                    entry[2] = seconds
 
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
@@ -85,23 +93,25 @@ class PerfRegistry:
     # -- reporting -----------------------------------------------------------
     def snapshot(self) -> Dict:
         """Everything recorded so far, as JSON-compatible dictionaries."""
-        return {
-            "counters": dict(sorted(self.counters.items())),
-            "timers": {
-                name: {
-                    "calls": entry[0],
-                    "total_s": entry[1],
-                    "mean_s": entry[1] / entry[0],
-                    "max_s": entry[2],
-                }
-                for name, entry in sorted(self._timers.items())
-            },
-        }
+        with self._lock:
+            return {
+                "counters": dict(sorted(self.counters.items())),
+                "timers": {
+                    name: {
+                        "calls": entry[0],
+                        "total_s": entry[1],
+                        "mean_s": entry[1] / entry[0],
+                        "max_s": entry[2],
+                    }
+                    for name, entry in sorted(self._timers.items())
+                },
+            }
 
     def reset(self) -> None:
         """Clear all counters and timers."""
-        self.counters.clear()
-        self._timers.clear()
+        with self._lock:
+            self.counters.clear()
+            self._timers.clear()
 
     def dump_json(self, path: Optional[str] = None, indent: int = 2) -> str:
         """Render the snapshot as JSON, optionally writing it to ``path``."""
@@ -114,6 +124,14 @@ class PerfRegistry:
 
 #: The process-global registry the instrumented modules report into.
 REGISTRY = PerfRegistry()
+
+if hasattr(os, "register_at_fork"):
+    # A fork snapshots all thread state, including a possibly-held
+    # registry lock in another (service) thread; give the child a
+    # fresh lock so its first perf.add can never deadlock.
+    os.register_at_fork(
+        after_in_child=lambda: setattr(REGISTRY, "_lock", threading.Lock())
+    )
 
 # Module-level conveniences bound to the global registry.
 add = REGISTRY.add

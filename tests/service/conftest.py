@@ -1,0 +1,54 @@
+"""Shared fixtures for the analysis-service suites.
+
+``http_json`` is a tiny urllib client (no new deps) that returns
+``(status, parsed_body)`` and treats HTTP error statuses as data, not
+exceptions — backpressure tests assert on 429s.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.workloads.datacenter import gateway_fleet
+
+
+def http_json(url, body=None, method=None, timeout=30.0):
+    """One JSON request; returns (status, decoded body)."""
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json"},
+        method=method or ("POST" if data is not None else "GET"),
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        payload = error.read()
+        try:
+            return error.code, json.loads(payload)
+        except ValueError:
+            return error.code, {"raw": payload.decode("latin-1")}
+
+
+def fleet_configs(count=4, outliers=1, rules=6, seed=3):
+    """Config texts (wire format) plus the parsed devices behind them."""
+    devices, expected_outliers = gateway_fleet(
+        count=count, outliers=outliers, rule_count=rules, seed=seed
+    )
+    configs = [
+        {
+            "name": f"{device.hostname}.cfg",
+            "text": "\n".join(device.raw_lines) + "\n",
+        }
+        for device in devices
+    ]
+    return configs, devices, expected_outliers
+
+
+@pytest.fixture
+def small_fleet():
+    return fleet_configs()

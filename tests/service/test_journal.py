@@ -1,0 +1,75 @@
+"""Journal durability: append/replay round-trips, torn tails, compaction."""
+
+import json
+
+from repro.service.journal import Journal
+
+
+class TestAppendReplay:
+    def test_round_trip_preserves_order(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        records = [{"type": "job", "id": f"j{i}", "seq": i} for i in range(5)]
+        for record in records:
+            journal.append(record)
+        assert journal.replay() == records
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Journal(tmp_path / "absent.jsonl").replay() == []
+
+    def test_append_creates_parent_directories(self, tmp_path):
+        journal = Journal(tmp_path / "a" / "b" / "j.jsonl")
+        journal.append({"type": "job", "id": "x"})
+        assert journal.replay() == [{"type": "job", "id": "x"}]
+
+
+class TestTornTail:
+    def test_torn_tail_is_dropped_not_fatal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.append({"type": "job", "id": "a"})
+        journal.append({"type": "job", "id": "b"})
+        # simulate a crash mid-append: half a JSON record, no newline
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "job", "id": "c", "st')
+        assert [record["id"] for record in journal.replay()] == ["a", "b"]
+
+    def test_corrupt_middle_line_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.append({"type": "job", "id": "a"})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("!!! not json !!!\n")
+        journal.append({"type": "job", "id": "b"})
+        assert [record["id"] for record in journal.replay()] == ["a", "b"]
+
+    def test_non_object_lines_are_ignored(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('[1, 2]\n"string"\n')
+        journal.append({"type": "job", "id": "a"})
+        assert [record["id"] for record in journal.replay()] == ["a"]
+
+
+class TestCompaction:
+    def test_compact_replaces_contents(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        for index in range(10):
+            journal.append({"type": "job", "id": "a", "attempts": index})
+        journal.compact([{"type": "job", "id": "a", "attempts": 9}])
+        assert journal.replay() == [{"type": "job", "id": "a", "attempts": 9}]
+        # exactly one line on disk
+        text = (tmp_path / "j.jsonl").read_text()
+        assert len(text.splitlines()) == 1
+
+    def test_compact_to_empty(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append({"type": "job", "id": "a"})
+        journal.compact([])
+        assert journal.replay() == []
+
+    def test_records_are_single_line_json(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append({"type": "job", "id": "a", "payload": {"x": "y\nz"}})
+        (line,) = (tmp_path / "j.jsonl").read_text().splitlines()
+        assert json.loads(line)["payload"] == {"x": "y\nz"}

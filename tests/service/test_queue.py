@@ -1,0 +1,163 @@
+"""Job queue semantics: lifecycle, backoff, quotas, bounds, recovery."""
+
+import pytest
+
+from repro.service.journal import Journal
+from repro.service.queue import (
+    DEAD_LETTER,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobQueue,
+    QueueFull,
+)
+
+
+def make_queue(tmp_path, **kwargs):
+    return JobQueue(Journal(tmp_path / "j.jsonl"), **kwargs)
+
+
+class TestLifecycle:
+    def test_submit_claim_complete(self, tmp_path):
+        queue = make_queue(tmp_path)
+        job = queue.submit({"configs": []})
+        assert job.state == QUEUED and job.attempts == 0
+        claimed = queue.claim()
+        assert claimed is job
+        assert claimed.state == RUNNING and claimed.attempts == 1
+        queue.complete(claimed, {"report": {}})
+        assert job.state == DONE and job.result == {"report": {}}
+        assert queue.depth() == 0
+
+    def test_fifo_order(self, tmp_path):
+        queue = make_queue(tmp_path, tenant_quota=10)
+        first = queue.submit({}, tenant="a")
+        second = queue.submit({}, tenant="b")
+        assert queue.claim() is first
+        assert queue.claim() is second
+
+    def test_permanent_failure_goes_to_failed(self, tmp_path):
+        queue = make_queue(tmp_path)
+        job = queue.submit({})
+        queue.claim()
+        queue.fail(job, "duplicate hostnames", permanent=True)
+        assert job.state == FAILED
+        assert job.error == "duplicate hostnames"
+        assert queue.claim() is None  # not retried
+
+    def test_transient_failure_retries_with_backoff(self, tmp_path):
+        queue = make_queue(tmp_path, max_attempts=3)
+        job = queue.submit({})
+        queue.claim()
+        queue.fail(job, "worker hiccup", permanent=False)
+        assert job.state == QUEUED
+        assert job.not_before > 0  # gated by backoff
+        assert queue.claim(now=0.0) is None  # gate closed
+        assert queue.claim(now=job.not_before + 1) is job  # gate open
+
+    def test_dead_letter_after_max_attempts(self, tmp_path):
+        queue = make_queue(tmp_path, max_attempts=2)
+        job = queue.submit({})
+        for _ in range(2):
+            claimed = queue.claim(now=1e12)
+            assert claimed is job
+            queue.fail(job, "still broken", permanent=False)
+        assert job.state == DEAD_LETTER
+        assert job.attempts == 2
+
+
+class TestAdmission:
+    def test_queue_full_raises(self, tmp_path):
+        queue = make_queue(tmp_path, limit=2)
+        queue.submit({})
+        queue.submit({})
+        with pytest.raises(QueueFull):
+            queue.submit({})
+
+    def test_terminal_jobs_free_capacity(self, tmp_path):
+        queue = make_queue(tmp_path, limit=1)
+        job = queue.submit({})
+        queue.claim()
+        queue.complete(job, {})
+        queue.submit({})  # does not raise
+
+    def test_tenant_quota_skips_but_serves_others(self, tmp_path):
+        queue = make_queue(tmp_path, tenant_quota=1)
+        first_a = queue.submit({}, tenant="a")
+        second_a = queue.submit({}, tenant="a")
+        first_b = queue.submit({}, tenant="b")
+        assert queue.claim() is first_a
+        # tenant a is at quota: b's older-than-nothing job is served
+        assert queue.claim() is first_b
+        assert queue.claim() is None
+        queue.complete(first_a, {})
+        assert queue.claim() is second_a
+
+
+class TestRecovery:
+    def test_running_jobs_requeued_with_attempts_kept(self, tmp_path):
+        queue = make_queue(tmp_path, max_attempts=3)
+        job = queue.submit({"configs": [1]})
+        queue.claim()
+        assert job.state == RUNNING
+        # simulate kill -9: new queue over the same journal
+        revived = make_queue(tmp_path, max_attempts=3)
+        stats = revived.recover()
+        assert stats == {"replayed": 1, "requeued": 1, "dead_lettered": 0}
+        recovered = revived.get(job.id)
+        assert recovered.state == QUEUED
+        assert recovered.attempts == 1  # the burned attempt survives
+        assert recovered.payload == {"configs": [1]}
+
+    def test_running_job_on_final_attempt_dead_letters(self, tmp_path):
+        queue = make_queue(tmp_path, max_attempts=1)
+        job = queue.submit({})
+        queue.claim()
+        revived = make_queue(tmp_path, max_attempts=1)
+        stats = revived.recover()
+        assert stats["dead_lettered"] == 1
+        assert revived.get(job.id).state == DEAD_LETTER
+
+    def test_terminal_states_survive_restart(self, tmp_path):
+        queue = make_queue(tmp_path)
+        done = queue.submit({})
+        queue.claim()
+        queue.complete(done, {"report": {"ok": True}})
+        failed = queue.submit({})
+        queue.claim()
+        queue.fail(failed, "bad payload", permanent=True)
+        revived = make_queue(tmp_path)
+        revived.recover()
+        assert revived.get(done.id).state == DONE
+        assert revived.get(done.id).result == {"report": {"ok": True}}
+        assert revived.get(failed.id).state == FAILED
+
+    def test_recovery_compacts_journal(self, tmp_path):
+        queue = make_queue(tmp_path)
+        job = queue.submit({})
+        queue.claim()
+        queue.complete(job, {})
+        # 3 transition records before recovery, 1 merged record after
+        assert len(queue.journal.replay()) == 3
+        revived = make_queue(tmp_path)
+        revived.recover()
+        assert len(revived.journal.replay()) == 1
+
+    def test_torn_tail_does_not_block_recovery(self, tmp_path):
+        queue = make_queue(tmp_path)
+        job = queue.submit({})
+        with open(queue.journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "job", "id": "torn"')
+        revived = make_queue(tmp_path)
+        stats = revived.recover()
+        assert stats["replayed"] == 1
+        assert revived.get(job.id) is not None
+
+    def test_sequence_continues_after_recovery(self, tmp_path):
+        queue = make_queue(tmp_path)
+        old = queue.submit({})
+        revived = make_queue(tmp_path)
+        revived.recover()
+        fresh = revived.submit({})
+        assert fresh.seq > old.seq  # FIFO order is preserved across restarts

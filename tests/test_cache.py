@@ -216,3 +216,95 @@ class TestCliCache:
             line for line in err.splitlines() if "campion: cache:" in line
         ][0]
         assert "misses=0" in warm_line
+
+
+class TestQuarantine:
+    def test_corrupt_entry_moved_to_quarantine(self, cache, capsys):
+        text, device = _device()
+        cache.put_device(text, "r1.cfg", "auto", False, device)
+        (entry,) = list(cache._entries("devices"))
+        entry.write_bytes(b"not a pickle")
+        perf.reset()
+        assert cache.get_device(text, "r1.cfg", "auto", False) is None
+        counters = perf.snapshot()["counters"]
+        assert counters.get("cache.quarantined", 0) == 1
+        quarantined = list(cache._quarantine_entries())
+        assert [path.name for path in quarantined] == [entry.name]
+        assert quarantined[0].read_bytes() == b"not a pickle"
+        assert "quarantined corrupt entry" in capsys.readouterr().err
+
+    def test_stats_and_clear_cover_quarantine(self, cache):
+        text, device = _device()
+        cache.put_device(text, "r1.cfg", "auto", False, device)
+        (entry,) = list(cache._entries("devices"))
+        entry.write_bytes(b"garbage")
+        cache.get_device(text, "r1.cfg", "auto", False)
+        stats = cache.stats()
+        assert stats["stores"]["quarantine"]["entries"] == 1
+        assert cache.clear() == 1
+        assert list(cache._quarantine_entries()) == []
+
+    def test_stale_schema_is_deleted_not_quarantined(self, cache, monkeypatch):
+        cache.put_diff(TestDiffStore.KEY, TestDiffStore.ENTRY)
+        monkeypatch.setattr(
+            cache_module, "_schema_stamp", lambda: (999, 999, 999)
+        )
+        perf.reset()
+        assert cache.get_diff(TestDiffStore.KEY) is None
+        assert list(cache._quarantine_entries()) == []
+
+
+class TestLocking:
+    def test_write_takes_the_advisory_lock(self, cache):
+        text, device = _device()
+        cache.put_device(text, "r1.cfg", "auto", False, device)
+        assert (cache.root / ".lock").exists()
+
+    def test_concurrent_writers_keep_entries_readable(self, cache):
+        import threading
+
+        text, device = _device()
+
+        def hammer(index):
+            for _ in range(5):
+                cache.put_device(text, f"r{index}.cfg", "auto", False, device)
+
+        threads = [
+            threading.Thread(target=hammer, args=(index,)) for index in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for index in range(4):
+            cached = cache.get_device(text, f"r{index}.cfg", "auto", False)
+            assert cached is not None and cached.hostname == device.hostname
+
+    def test_lock_degrades_to_noop_without_fcntl(self, cache, monkeypatch):
+        monkeypatch.setattr(cache_module, "fcntl", None)
+        text, device = _device()
+        cache.put_device(text, "r1.cfg", "auto", False, device)
+        assert cache.get_device(text, "r1.cfg", "auto", False) is not None
+
+
+class TestTenantNamespaces:
+    def test_namespaces_are_isolated(self, cache):
+        text, device = _device()
+        alpha = cache.namespace("alpha")
+        beta = cache.namespace("beta")
+        alpha.put_device(text, "r1.cfg", "auto", False, device)
+        assert alpha.get_device(text, "r1.cfg", "auto", False) is not None
+        assert beta.get_device(text, "r1.cfg", "auto", False) is None
+        assert cache.get_device(text, "r1.cfg", "auto", False) is None
+
+    def test_namespace_roots_stay_under_tenants_dir(self, cache):
+        assert cache.namespace("alpha").root == cache.root / "tenants" / "alpha"
+
+    def test_hostile_tenant_names_are_sanitized(self, cache):
+        for name in ("", ".", "..", "../../etc", "a/b\\c", "week nd"):
+            namespaced = cache.namespace(name)
+            assert cache.root / "tenants" in namespaced.root.parents
+
+    def test_max_entries_carries_into_namespace(self, tmp_path):
+        parent = ArtifactCache(tmp_path / "cache", max_entries=7)
+        assert parent.namespace("t").max_entries == 7

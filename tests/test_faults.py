@@ -11,11 +11,14 @@ patched function, so one injection point covers both sides.
 """
 
 import multiprocessing
+import os
 import random
+import signal
 import time
 
 import pytest
 
+from repro import perf
 from repro.bdd import AnalysisBudgetExceeded
 from repro.core import compare_fleet, config_diff
 from repro.core import parallel
@@ -275,3 +278,170 @@ class TestNodeLimit:
         budgeted = config_diff(d1, d2, node_limit=1_000_000)
         assert not budgeted.aborted
         assert budgeted.total_differences() == unbudgeted.total_differences()
+
+
+class TestWorkerDeath:
+    """A worker process dying outright (SIGKILL — OOM killer, segfault)
+    is classified per-pair, the pool respawns, and the in-parent retry
+    still gets a shot."""
+
+    @staticmethod
+    def _kill_in_worker_factory(real):
+        def kill_in_worker(task):
+            if in_worker():
+                os.kill(os.getpid(), signal.SIGKILL)
+            return real(task)
+
+        return kill_in_worker
+
+    def test_killed_worker_classified_and_healed_by_retry(self, monkeypatch):
+        real = parallel._count_pair
+        monkeypatch.setattr(
+            parallel, "_count_pair", self._kill_in_worker_factory(real)
+        )
+        d1, d2 = figure1_devices()
+        base = perf.REGISTRY.counters.get("parallel.pool_respawns", 0)
+        outcomes = parallel.pairwise_count_outcomes([(d1, d2)] * 2, workers=2)
+        # every worker attempt died; the in-parent serial retry healed it
+        assert all(o.ok and o.retried for o in outcomes)
+        assert [o.result for o in outcomes] == [
+            config_diff(d1, d2).total_differences()
+        ] * 2
+        assert perf.REGISTRY.counters.get("parallel.pool_respawns", 0) > base
+
+    def test_killed_worker_without_retry_reports_crashed(self, monkeypatch):
+        real = parallel._count_pair
+        monkeypatch.setattr(
+            parallel, "_count_pair", self._kill_in_worker_factory(real)
+        )
+        d1, d2 = figure1_devices()
+        outcomes = parallel.pairwise_count_outcomes(
+            [(d1, d2)] * 2, workers=2, retry=False
+        )
+        assert [o.status for o in outcomes] == ["crashed", "crashed"]
+        assert all("worker-crashed" in o.error for o in outcomes)
+        # deterministic teardown even after SIGKILLs
+        for _ in range(50):
+            if not multiprocessing.active_children():
+                break
+            time.sleep(0.1)
+        assert not multiprocessing.active_children()
+
+    def test_completed_results_harvested_from_broken_generation(
+        self, monkeypatch
+    ):
+        """One poison pair must not discard its generation's finished
+        work: the healthy pair's result is harvested, not recomputed."""
+        real = parallel._count_pair
+        devices, _ = gateway_fleet(count=3, outliers=0, rule_count=6, seed=9)
+        doomed = {devices[0].hostname, devices[1].hostname}
+
+        def kill_one_pair(task):
+            if (
+                in_worker()
+                and {task[0].hostname, task[1].hostname} == doomed
+            ):
+                os.kill(os.getpid(), signal.SIGKILL)
+            return real(task)
+
+        monkeypatch.setattr(parallel, "_count_pair", kill_one_pair)
+        pairs = [
+            (devices[0], devices[1]),
+            (devices[1], devices[2]),
+            (devices[0], devices[2]),
+        ]
+        outcomes = parallel.pairwise_count_outcomes(
+            pairs, workers=2, retry=False
+        )
+        assert outcomes[0].status == "crashed"
+        assert [o.status for o in outcomes[1:]] == ["ok", "ok"]
+
+    def test_fleet_survives_killed_worker(self, monkeypatch):
+        """End to end: a worker SIGKILL during the fleet matrix leaves
+        the report intact (healed by the serial retry)."""
+        real = parallel._count_pair
+        monkeypatch.setattr(
+            parallel, "_count_pair", self._kill_in_worker_factory(real)
+        )
+        devices, expected = gateway_fleet(
+            count=4, outliers=1, rule_count=6, seed=5
+        )
+        report = compare_fleet(devices, workers=2)
+        assert not report.failed_pairs
+        assert set(report.outliers) == set(expected)
+
+
+class TestFleetAtomsFaults:
+    """Fault paths of the fleet-scale shared-atom backend: per-group
+    fallbacks must degrade, never corrupt the report."""
+
+    def _fleet(self, seed=7):
+        return gateway_fleet(count=4, outliers=1, rule_count=8, seed=seed)
+
+    def test_atom_budget_fallback_keeps_report_intact(self, monkeypatch):
+        from repro.bdd.atoms import ATOM_BUDGET_ENV
+        from repro.core.serialize import fleet_report_to_dict
+
+        devices, expected = self._fleet()
+        baseline = fleet_report_to_dict(
+            compare_fleet(devices, workers=1, set_backend="atoms")
+        )
+        monkeypatch.setenv(ATOM_BUDGET_ENV, "2")
+        base = perf.REGISTRY.counters.get("fleet_atoms.budget_fallbacks", 0)
+        report = compare_fleet(devices, workers=1, set_backend="fleet-atoms")
+        assert (
+            perf.REGISTRY.counters.get("fleet_atoms.budget_fallbacks", 0)
+            > base
+        )
+        assert any(
+            "falling back to per-pair atoms" in note for note in report.notes
+        )
+        assert fleet_report_to_dict(report) == baseline
+        assert set(report.outliers) == set(expected)
+
+    def test_coverage_guard_fallback_keeps_report_intact(self, monkeypatch):
+        from repro.bdd.fleet_atoms import UniverseCoverageError
+        from repro.core import fleet_atoms as fleet_atoms_module
+        from repro.core.serialize import fleet_report_to_dict
+
+        devices, expected = self._fleet()
+        baseline = fleet_report_to_dict(
+            compare_fleet(devices, workers=1, set_backend="atoms")
+        )
+
+        def tripped(self, fp_to_acl):
+            raise UniverseCoverageError("injected coverage hole")
+
+        monkeypatch.setattr(
+            fleet_atoms_module.FleetAtomizer, "_acl_vectors", tripped
+        )
+        report = compare_fleet(devices, workers=1, set_backend="fleet-atoms")
+        assert any(
+            "injected coverage hole" in note for note in report.notes
+        )
+        assert fleet_report_to_dict(report) == baseline
+        assert set(report.outliers) == set(expected)
+
+    def test_worker_crash_under_fleet_atoms(self, monkeypatch):
+        """SIGKILLed workers + fleet-atoms seeding: the memo-seeded
+        matrix still completes (serial retry) with an intact report."""
+        from repro.core.serialize import fleet_report_to_dict
+
+        devices, expected = self._fleet()
+        baseline = fleet_report_to_dict(
+            compare_fleet(devices, workers=1, set_backend="atoms")
+        )
+        real = parallel._count_pair
+
+        def kill_in_worker(task):
+            if in_worker():
+                os.kill(os.getpid(), signal.SIGKILL)
+            return real(task)
+
+        monkeypatch.setattr(parallel, "_count_pair", kill_in_worker)
+        report = compare_fleet(
+            devices, workers=2, set_backend="fleet-atoms"
+        )
+        assert not report.failed_pairs
+        assert fleet_report_to_dict(report) == baseline
+        assert set(report.outliers) == set(expected)
