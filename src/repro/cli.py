@@ -246,13 +246,21 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
         if args.progress and (done % 10 == 0 or done == total):
             print(f"campion: selfcheck {done}/{total} pairs", file=sys.stderr)
 
-    result = run_selfcheck(
-        seed=args.seed,
-        pairs=args.pairs,
-        on_progress=progress,
-        cache=cache,
-        set_backend=args.set_backend,
-    )
+    try:
+        result = run_selfcheck(
+            seed=args.seed,
+            pairs=args.pairs,
+            on_progress=progress,
+            cache=cache,
+            set_backend=args.set_backend,
+            generators=(
+                [name.strip() for name in args.generators.split(",") if name.strip()]
+                if args.generators
+                else None
+            ),
+        )
+    except ValueError as exc:
+        return _fail(str(exc))
     print(result.render())
     _cache_note(cache, baseline)
     return EXIT_EQUIVALENT if result.passed else EXIT_DIFFERENCES
@@ -270,6 +278,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             node_limit=args.node_limit,
             memo=DiffMemo(cache) if cache is not None else None,
             set_backend=args.set_backend,
+            compress=False if args.no_compress else None,
         )
     except ValueError as exc:
         # duplicate hostnames, too-few devices, unknown reference
@@ -285,6 +294,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         print(json.dumps(fleet_report_to_dict(report), indent=2))
     else:
         print(report.render_summary())
+        if report.symmetry is not None:
+            print(report.symmetry.render())
+        print()
+        print(report.render_coverage())
         for hostname in report.outliers:
             print(f"\n--- {hostname} vs {report.reference} " + "-" * 40)
             print(render_report(report.reports[hostname]))
@@ -456,6 +469,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="machine-readable, timing-free output (byte-identical across runs)",
     )
+    fleet_parser.add_argument(
+        "--no-compress",
+        action="store_true",
+        default=False,
+        help="disable fingerprint symmetry compression and analyze every "
+        "pair (default: $CAMPION_FLEET_COMPRESS or on; the report is "
+        "identical either way, compression only skips redundant pairs)",
+    )
     add_budget_flags(fleet_parser)
     fleet_parser.set_defaults(func=_cmd_fleet)
 
@@ -476,6 +497,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--progress",
         action="store_true",
         help="print progress to stderr every 10 pairs",
+    )
+    selfcheck_parser.add_argument(
+        "--generators",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="restrict to these case generators (e.g. 'symmetry' for the "
+        "compression cross-check only; default: round-robin over all)",
     )
     selfcheck_parser.set_defaults(func=_cmd_selfcheck)
 

@@ -20,8 +20,13 @@ Both entry points run the *same* component walk, optionally through a
   recomputed live so localization points at this pair's actual lines.
 * :func:`config_diff_summary` produces only the difference *count* (the
   fleet matrix's currency): memo hits of any count are replayed as
-  arithmetic, misses are computed — and localized, so their entries are
-  report-grade — exactly once per unique fingerprint pair.
+  arithmetic, misses are computed exactly once per unique fingerprint
+  pair.  Count mode skips HeaderLocalize entirely — localization
+  annotates differences (spans, exhaustive sets, examples) but never
+  changes how many there are, and nothing replays a memo entry's
+  difference *contents* (collect mode recomputes live so localization
+  points at the actual pair's lines) — so the matrix phase pays for
+  SemanticDiff only.
 
 Using one walk for both modes is what makes the count-parity invariant
 (``config_diff_summary(...) == config_diff(...).total_differences()``)
@@ -126,8 +131,9 @@ def config_diff_summary(
     """The pair's total difference count, replaying memoized components.
 
     Equals ``config_diff(...).total_differences()`` for the same inputs
-    (same walk, same per-component computations on memo misses); with a
-    warm memo a fully-shared pair costs MatchPolicies plus table
+    (same walk, same SemanticDiff/StructuralDiff on memo misses, no
+    HeaderLocalize — localization never changes a difference count);
+    with a warm memo a fully-shared pair costs MatchPolicies plus table
     lookups — no BDD work at all.  This is what fleet matrix workers
     run.
     """
@@ -254,14 +260,15 @@ def _walk_components(
                 time_budget=left,
                 set_backend=set_backend,
             )
-            for difference in differences:
-                localize_route_map_difference(
-                    space,
-                    difference,
-                    map1,
-                    map2,
-                    exhaustive_communities=exhaustive_communities,
-                )
+            if collect:
+                for difference in differences:
+                    localize_route_map_difference(
+                        space,
+                        difference,
+                        map1,
+                        map2,
+                        exhaustive_communities=exhaustive_communities,
+                    )
         except AnalysisBudgetExceeded as exc:
             report.aborted.append(
                 AbortedAnalysis(
@@ -309,8 +316,9 @@ def _walk_components(
                 time_budget=left,
                 set_backend=set_backend,
             )
-            for difference in differences:
-                localize_acl_difference(space, difference, acl1, acl2)
+            if collect:
+                for difference in differences:
+                    localize_acl_difference(space, difference, acl1, acl2)
         except AnalysisBudgetExceeded as exc:
             report.aborted.append(
                 AbortedAnalysis(

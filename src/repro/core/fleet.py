@@ -17,30 +17,76 @@ surviving pair, so devices with failed pairs are not advantaged by
 their missing entries), and devices whose reference report cannot be
 produced are listed in ``failed`` alongside ``outliers``/``conforming``.
 
-For a fleet of n devices this costs n(n-1)/2 comparisons for the
-matrix; pass ``reference=<hostname>`` to skip the election and compare
+**Symmetry compression** (on by default; ``compress=False`` or
+``CAMPION_FLEET_COMPRESS=0`` disables): real fleets are heavily
+templated, so before the matrix the devices are partitioned into
+equivalence classes by *device fingerprint* (the aggregate of every
+component fingerprint — equality means ConfigDiff would find zero
+differences; see :mod:`repro.model.fingerprint`).  Only unordered
+pairs of class representatives are analyzed; intra-class pairs expand
+to count 0 and cross-class pairs copy their representative pair's
+count — the same soundness argument that lets the diff memo replay a
+fingerprint-keyed entry into any pair with those fingerprints.  The
+reference reports still run per device (through the representative-
+warmed memo, so clones replay at memo speed): spans, hostnames, and
+parse diagnostics are device-specific and deliberately excluded from
+fingerprints, and running them live is what keeps the report — and its
+serialized form — byte-identical to the uncompressed run.  The oracle's
+``symmetry`` selfcheck generator cross-validates exactly that identity.
+
+For a fleet of n devices the uncompressed matrix costs n(n-1)/2
+comparisons (k(k-1)/2 for k fingerprint classes under compression);
+pass ``reference=<hostname>`` to skip the election and compare
 everything against a known-good device in n-1 comparisons.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import perf
 from ..model.device import DeviceConfig
+from ..model.fingerprint import partition_by_device_fingerprint
 from .config_diff import config_diff
+from .coverage import DeviceCoverage, compute_fleet_coverage
 from .fleet_atoms import FleetAtomizer
 from .memo import DiffMemo
 from .parallel import (
     pairwise_count_outcomes,
+    plan_representative_pairs,
     resolve_timeout,
     resolve_workers,
 )
 from .results import CampionReport
 from .setalg import default_backend_name
 
-__all__ = ["FleetReport", "compare_fleet"]
+__all__ = [
+    "COMPRESS_ENV",
+    "FleetReport",
+    "SymmetryStats",
+    "compare_fleet",
+    "resolve_compress",
+]
+
+COMPRESS_ENV = "CAMPION_FLEET_COMPRESS"
+
+
+def resolve_compress(compress: Optional[bool] = None) -> bool:
+    """Resolve the symmetry-compression switch.
+
+    Argument wins, else ``CAMPION_FLEET_COMPRESS`` (``0``/``false``/
+    ``no``/``off`` disable), else on — compression never changes the
+    report, only how much of the matrix is computed versus expanded.
+    """
+    if compress is not None:
+        return compress
+    raw = os.environ.get(COMPRESS_ENV, "").strip().lower()
+    if not raw:
+        return True
+    return raw not in ("0", "false", "no", "off")
 
 
 def _elect_medoid(
@@ -55,15 +101,46 @@ def _elect_medoid(
     floats, or vice versa, making the winner depend on accumulated
     rounding rather than the hostname tie-break.  Input ordering (and
     therefore parallel completion order, since callers build
-    ``survivors`` from the outcome list) never affects the result.
+    ``survivors`` from the outcome list) never affects the result:
+    the hostname component of the key already totally orders the
+    candidates, so no pre-sorting is needed.
     """
     return min(
-        sorted(candidates),
+        candidates,
         key=lambda hostname: (
             Fraction(sum(survivors[hostname]), len(survivors[hostname])),
             hostname,
         ),
     )
+
+
+@dataclass(frozen=True)
+class SymmetryStats:
+    """How much of the matrix phase symmetry compression avoided.
+
+    Informational only — deliberately *not* serialized (like timings),
+    so compressed and uncompressed runs stay byte-identical in JSON.
+    """
+
+    devices: int
+    classes: int
+    #: all unordered pairs the uncompressed matrix would compare
+    total_pairs: int
+    #: representative pairs actually analyzed
+    analyzed_pairs: int
+
+    @property
+    def expanded_pairs(self) -> int:
+        """Pairs whose counts were expanded instead of computed."""
+        return self.total_pairs - self.analyzed_pairs
+
+    def render(self) -> str:
+        """One summary line for CLI/stderr output."""
+        return (
+            f"symmetry: {self.devices} device(s) in {self.classes} "
+            f"fingerprint class(es); analyzed {self.analyzed_pairs} of "
+            f"{self.total_pairs} matrix pair(s)"
+        )
 
 
 @dataclass
@@ -81,10 +158,17 @@ class FleetReport:
     failed_pairs: Dict[Tuple[str, str], str] = field(default_factory=dict)
     # devices whose reference report could not be produced, with the cause
     failed_reports: Dict[str, str] = field(default_factory=dict)
-    # human-readable diagnostics (e.g. fleet-atoms per-group budget
-    # fallbacks); informational only, deliberately excluded from the
-    # serialized form so reports stay byte-identical across backends
+    # diagnostics (e.g. fleet-atoms per-group budget fallbacks); kept
+    # sorted and deduplicated so the serialized form (schema v4 carries
+    # notes) stays byte-identical across backends and worker counts
     notes: List[str] = field(default_factory=list)
+    # per-device configuration coverage (schema v4): which policy lines
+    # participated in some localized diff vs. untouched policy
+    coverage: Dict[str, DeviceCoverage] = field(default_factory=dict)
+    # symmetry-compression statistics for the matrix phase, or None
+    # when no compressed matrix phase ran; excluded from serialization
+    # (like timings) so compressed == uncompressed output holds
+    symmetry: Optional[SymmetryStats] = None
 
     @property
     def outliers(self) -> List[str]:
@@ -118,23 +202,49 @@ class FleetReport:
         )
 
     def pair_count(self, first: str, second: str) -> int:
-        """Difference count between two devices (order-insensitive)."""
+        """Difference count between two devices (order-insensitive).
+
+        Raises :class:`KeyError` with a message naming the pair when it
+        has no count — because a hostname is unknown, because the
+        pair's comparison failed (the recorded cause is included), or
+        because the two names are the same device.
+        """
         key = (min(first, second), max(first, second))
-        return self.matrix[key]
+        if key in self.matrix:
+            return self.matrix[key]
+        unknown = sorted({first, second} - set(self.hostnames))
+        if unknown:
+            raise KeyError(
+                f"no such device(s) in the fleet: {', '.join(unknown)}"
+                f" (fleet: {', '.join(self.hostnames)})"
+            )
+        if key in self.failed_pairs:
+            raise KeyError(
+                f"pair {key[0]} vs {key[1]} has no difference count: "
+                f"comparison failed ({self.failed_pairs[key]})"
+            )
+        if first == second:
+            raise KeyError(
+                f"pair {first} vs {second} is one device, not a pair"
+            )
+        raise KeyError(f"pair {key[0]} vs {key[1]} was not compared")
 
     def render_summary(self) -> str:
         """One-paragraph fleet verdict for CLI output."""
+        conforming = self.conforming
+        outliers = self.outliers
+        failed = self.failed
         lines = [
             f"fleet of {len(self.hostnames)}; reference: {self.reference}",
-            f"conforming: {len(self.conforming)}; outliers: {len(self.outliers)}"
-            + (f"; failed: {len(self.failed)}" if self.failed else ""),
+            f"conforming: {len(conforming)}; outliers: {len(outliers)}"
+            + (f"; failed: {len(failed)}" if failed else ""),
         ]
-        for hostname in self.outliers:
+        for hostname in outliers:
             report = self.reports[hostname]
             lines.append(
                 f"  {hostname}: {report.total_differences()} difference(s) vs {self.reference}"
             )
-        for hostname in self.failed:
+        for hostname in failed:
             lines.append(
                 f"  {hostname}: comparison failed ({self.failed_reports[hostname]})"
             )
@@ -144,6 +254,13 @@ class FleetReport:
                 lines.append(f"  {first} vs {second}: {cause}")
         for note in self.notes:
             lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def render_coverage(self) -> str:
+        """Per-device configuration-coverage section for CLI output."""
+        lines = ["configuration coverage (policy lines in localized diffs):"]
+        for hostname in sorted(self.coverage):
+            lines.append(f"  {self.coverage[hostname].render()}")
         return "\n".join(lines)
 
 
@@ -157,6 +274,7 @@ def compare_fleet(
     memo: Optional[DiffMemo] = None,
     use_memo: bool = True,
     set_backend: Optional[str] = None,
+    compress: Optional[bool] = None,
 ) -> FleetReport:
     """Compare a fleet of configurations intended to be identical.
 
@@ -167,7 +285,21 @@ def compare_fleet(
     toward the lexicographically-smallest hostname for determinism.
     Devices with no surviving pair at all cannot stand for election.
 
-    ``workers`` fans the O(n²) matrix phase over that many processes
+    ``compress`` controls matrix-phase symmetry compression (``None``
+    consults ``CAMPION_FLEET_COMPRESS``, defaulting to on): devices are
+    partitioned into device-fingerprint equivalence classes and only
+    class-representative pairs are analyzed; every other pair's count
+    is expanded from its representatives (0 within a class).  Reports,
+    election, and serialized output are identical with compression on
+    or off — on templated fleets the matrix phase just shrinks from
+    O(n²) to O(k²) for k distinct configurations.  Note the expansion
+    also applies to *failures*: a failed representative pair marks
+    every pair it stands for as failed with the same cause, which
+    matches the uncompressed outcome for content-deterministic
+    failures (budgets, malformed components) — the only kind that is
+    reproducible anyway.
+
+    ``workers`` fans the matrix phase over that many processes
     (``None`` consults the ``CAMPION_WORKERS`` environment variable,
     defaulting to serial).  Workers return only difference counts; the
     n-1 reference reports are always computed in this process, so the
@@ -199,6 +331,11 @@ def compare_fleet(
     every intra-group pair count is seeded into the memo as pure bitset
     arithmetic, so the whole matrix phase performs zero BDD applies.
     Per-group budget fallbacks are reported on ``FleetReport.notes``.
+
+    The report also carries per-device *configuration coverage*
+    (``FleetReport.coverage``, serialized under schema v4): which
+    ACL/route-map lines participated in some localized difference
+    versus policies the run found nothing to say about.
     """
     if len(devices) < 2:
         raise ValueError("a fleet comparison needs at least two devices")
@@ -214,6 +351,7 @@ def compare_fleet(
     hostnames = sorted(by_name)
     workers = resolve_workers(workers)
     timeout = resolve_timeout(timeout)
+    compress = resolve_compress(compress)
     backend_name = (
         set_backend if set_backend is not None else default_backend_name()
     )
@@ -238,27 +376,51 @@ def compare_fleet(
 
     matrix: Dict[Tuple[str, str], int] = {}
     failed_pairs: Dict[Tuple[str, str], str] = {}
+    symmetry: Optional[SymmetryStats] = None
 
     if reference is None:
-        pair_keys = [
-            (first, second)
-            for index, first in enumerate(hostnames)
-            for second in hostnames[index + 1 :]
-        ]
-        outcomes = pairwise_count_outcomes(
-            [(by_name[a], by_name[b]) for a, b in pair_keys],
-            workers=workers,
-            exhaustive_communities=exhaustive_communities,
-            timeout=timeout,
-            node_limit=node_limit,
-            memo=memo,
-            set_backend=set_backend,
-        )
-        for key, outcome in zip(pair_keys, outcomes):
-            if outcome.ok:
-                matrix[key] = outcome.result
-            else:
-                failed_pairs[key] = outcome.describe()
+        plan = None
+        if compress:
+            plan = plan_representative_pairs(
+                partition_by_device_fingerprint(devices)
+            )
+            pair_keys = list(plan.pair_keys)
+        else:
+            pair_keys = [
+                (first, second)
+                for index, first in enumerate(hostnames)
+                for second in hostnames[index + 1 :]
+            ]
+        with perf.timer("fleet.matrix"):
+            outcomes = pairwise_count_outcomes(
+                [(by_name[a], by_name[b]) for a, b in pair_keys],
+                workers=workers,
+                exhaustive_communities=exhaustive_communities,
+                timeout=timeout,
+                node_limit=node_limit,
+                memo=memo,
+                set_backend=set_backend,
+            )
+        if plan is not None:
+            matrix, failed_pairs = plan.expand(
+                hostnames, dict(zip(pair_keys, outcomes))
+            )
+            total_pairs = len(hostnames) * (len(hostnames) - 1) // 2
+            symmetry = SymmetryStats(
+                devices=len(hostnames),
+                classes=plan.class_count,
+                total_pairs=total_pairs,
+                analyzed_pairs=len(pair_keys),
+            )
+            perf.add(
+                "fleet.symmetry.pairs_expanded", symmetry.expanded_pairs
+            )
+        else:
+            for key, outcome in zip(pair_keys, outcomes):
+                if outcome.ok:
+                    matrix[key] = outcome.result
+                else:
+                    failed_pairs[key] = outcome.describe()
         survivors = {
             hostname: [
                 count for pair, count in matrix.items() if hostname in pair
@@ -280,7 +442,8 @@ def compare_fleet(
         hostnames=hostnames,
         matrix=matrix,
         failed_pairs=failed_pairs,
-        notes=notes,
+        notes=sorted(set(notes)),
+        symmetry=symmetry,
     )
     for hostname in hostnames:
         if hostname == reference:
@@ -305,4 +468,5 @@ def compare_fleet(
         result.reports[hostname] = report
         result.matrix.setdefault(key, report.total_differences())
         result.failed_pairs.pop(key, None)
+    result.coverage = compute_fleet_coverage(by_name, result)
     return result

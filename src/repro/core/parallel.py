@@ -60,6 +60,8 @@ __all__ = [
     "WORKERS_ENV",
     "TIMEOUT_ENV",
     "PairOutcome",
+    "SymmetryPlan",
+    "plan_representative_pairs",
     "resolve_workers",
     "resolve_timeout",
     "pairwise_counts",
@@ -147,6 +149,96 @@ class PairOutcome:
             return "ok"
         suffix = " (after retry)" if self.retried else ""
         return f"{self.status}: {self.error}{suffix}"
+
+
+@dataclass(frozen=True)
+class SymmetryPlan:
+    """Representative-pair plan for a symmetry-compressed fleet matrix.
+
+    Built from the device-fingerprint equivalence classes
+    (:func:`repro.model.fingerprint.partition_by_device_fingerprint`):
+    only unordered pairs of class *representatives* are analyzed, and
+    every full-fleet pair is recovered by :meth:`expand` — intra-class
+    pairs are zero differences by the fingerprint soundness argument,
+    cross-class pairs copy their representative pair's outcome.
+    """
+
+    #: hostname -> its class representative (smallest hostname in class)
+    representative: Dict[str, str]
+    #: representative -> all class members, sorted (representative first)
+    members: Dict[str, Tuple[str, ...]]
+    #: the unordered representative pairs to actually analyze, sorted
+    pair_keys: Tuple[Tuple[str, str], ...]
+
+    @property
+    def class_count(self) -> int:
+        """Number of equivalence classes (== number of representatives)."""
+        return len(self.members)
+
+    def pair_key(self, first: str, second: str) -> Tuple[str, str]:
+        """The representative pair standing in for ``(first, second)``."""
+        rep1 = self.representative[first]
+        rep2 = self.representative[second]
+        return (min(rep1, rep2), max(rep1, rep2))
+
+    def expand(
+        self,
+        hostnames: Sequence[str],
+        outcomes: Dict[Tuple[str, str], "PairOutcome"],
+    ) -> Tuple[Dict[Tuple[str, str], int], Dict[Tuple[str, str], str]]:
+        """The full ``(matrix, failed_pairs)`` from representative outcomes.
+
+        Same-class pairs expand to count 0 without consulting
+        ``outcomes`` at all; cross-class pairs take their representative
+        pair's count (or its failure cause, verbatim, so a failed
+        representative pair fails every pair it stands for — matching
+        what the uncompressed run would record for a deterministic
+        failure).
+        """
+        matrix: Dict[Tuple[str, str], int] = {}
+        failed: Dict[Tuple[str, str], str] = {}
+        ordered = sorted(hostnames)
+        for index, first in enumerate(ordered):
+            for second in ordered[index + 1 :]:
+                key = (first, second)
+                if self.representative[first] == self.representative[second]:
+                    matrix[key] = 0
+                    continue
+                outcome = outcomes[self.pair_key(first, second)]
+                if outcome.ok:
+                    matrix[key] = outcome.result
+                else:
+                    failed[key] = outcome.describe()
+        return matrix, failed
+
+
+def plan_representative_pairs(
+    classes: Dict[str, Sequence[str]]
+) -> SymmetryPlan:
+    """Build a :class:`SymmetryPlan` from fingerprint equivalence classes.
+
+    ``classes`` maps each device fingerprint to the hostnames sharing
+    it (:func:`repro.model.fingerprint.partition_by_device_fingerprint`).
+    The representative of each class is its lexicographically-smallest
+    hostname, so the plan — and therefore which pairs run — is fully
+    determined by the fleet's content, never by input order.
+    """
+    representative: Dict[str, str] = {}
+    members: Dict[str, Tuple[str, ...]] = {}
+    for hostnames in classes.values():
+        group = tuple(sorted(hostnames))
+        for hostname in group:
+            representative[hostname] = group[0]
+        members[group[0]] = group
+    reps = sorted(members)
+    pair_keys = tuple(
+        (first, second)
+        for index, first in enumerate(reps)
+        for second in reps[index + 1 :]
+    )
+    return SymmetryPlan(
+        representative=representative, members=members, pair_keys=pair_keys
+    )
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:

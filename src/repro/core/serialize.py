@@ -30,7 +30,12 @@ __all__ = [
 # v3: adds fleet-report serialization (fleet_report_to_dict) and is the
 # schema stamped into cached per-component diff entries (repro.cache);
 # cache entries from older schemas are rejected as stale on read.
-SCHEMA_VERSION = 3
+# v4: fleet reports gain "notes" (previously dropped on the floor —
+# now deterministic, so byte-identity across backends still holds),
+# a machine-readable "partial" degradation flag, and per-device
+# "coverage" (policy lines exercised by localized diffs vs. untouched
+# policy).  Bumping the stamp also invalidates pre-v4 cache entries.
+SCHEMA_VERSION = 4
 
 
 def _span_to_dict(span: SourceSpan) -> Optional[Dict]:
@@ -164,14 +169,21 @@ def fleet_report_to_dict(report) -> Dict:
     """A :class:`~repro.core.fleet.FleetReport` as JSON-compatible dicts.
 
     Deliberately timing-free and deterministically ordered (matrix and
-    failure entries sorted by hostname pair), so two runs over the same
-    fleet — cold or cache-warm, serial or parallel — serialize
-    byte-identically.  CI's cache-smoke job diffs exactly this output.
+    failure entries sorted by hostname pair, notes sorted and deduped
+    at the report level), so two runs over the same fleet — cold or
+    cache-warm, serial or parallel, symmetry-compressed or not —
+    serialize byte-identically.  CI's cache-smoke and symmetry-smoke
+    jobs diff exactly this output.  Schema v4 adds ``partial`` (the
+    machine-readable degradation flag), ``notes``, and per-device
+    ``coverage``; symmetry-compression statistics stay out, like
+    timings, precisely to preserve the byte-identity guarantee.
     """
     return {
         "schema_version": SCHEMA_VERSION,
         "reference": report.reference,
         "hostnames": list(report.hostnames),
+        "partial": report.is_partial(),
+        "notes": list(report.notes),
         "matrix": [
             [first, second, count]
             for (first, second), count in sorted(report.matrix.items())
@@ -183,6 +195,10 @@ def fleet_report_to_dict(report) -> Dict:
         "failed_reports": dict(sorted(report.failed_reports.items())),
         "outliers": report.outliers,
         "conforming": report.conforming,
+        "coverage": {
+            hostname: coverage.to_dict()
+            for hostname, coverage in sorted(report.coverage.items())
+        },
         "reports": {
             hostname: report_to_dict(pair_report)
             for hostname, pair_report in sorted(report.reports.items())

@@ -47,6 +47,7 @@ __all__ = [
     "canonical_form",
     "fingerprint_value",
     "compute_fingerprints",
+    "partition_by_device_fingerprint",
 ]
 
 #: Bump whenever canonicalization or model semantics change; stale
@@ -123,6 +124,30 @@ class ComponentFingerprints:
     def acl(self, name: str) -> str:
         """The fingerprint of one named ACL."""
         return self.acls[name]
+
+
+def partition_by_device_fingerprint(
+    devices,
+) -> "Dict[str, Tuple[str, ...]]":
+    """Hostnames grouped by device fingerprint, each group sorted.
+
+    The device fingerprint aggregates every component fingerprint, so
+    two devices landing in the same group would produce a zero-difference
+    ConfigDiff report — the soundness premise of fleet symmetry
+    compression (``repro.core.fleet``).  Each group is sorted by
+    hostname, making ``group[0]`` the deterministic class
+    representative (lexicographically-smallest hostname tie-break —
+    same convention as medoid election).
+    """
+    groups: Dict[str, list] = {}
+    for device in devices:
+        groups.setdefault(device.fingerprints.device, []).append(
+            device.hostname
+        )
+    return {
+        fingerprint: tuple(sorted(hostnames))
+        for fingerprint, hostnames in groups.items()
+    }
 
 
 def compute_fingerprints(device: "DeviceConfig") -> ComponentFingerprints:

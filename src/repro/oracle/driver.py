@@ -47,7 +47,7 @@ import dataclasses
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..model.acl import Acl
 from ..model.routemap import (
@@ -93,6 +93,7 @@ _GENERATORS = (
     "memo",
     "backend",
     "fleet",
+    "symmetry",
     "service",
 )
 
@@ -796,6 +797,105 @@ def _run_fleet_case(
     )
 
 
+def _symmetry_mismatch(devices) -> Optional[str]:
+    """One-line description of a compressed/uncompressed divergence.
+
+    Both runs are serial and memo-isolated; the only variable is the
+    symmetry-compression phase — fingerprint partition, representative-
+    pair planning, and count/failure expansion.  The serialized reports
+    (schema v4: matrix, reports, notes, partial flag, coverage) must be
+    identical, which is the compression soundness claim end to end.
+    """
+    from ..core.fleet import compare_fleet
+    from ..core.serialize import fleet_report_to_dict
+
+    reports = {}
+    for compress in (False, True):
+        reports[compress] = fleet_report_to_dict(
+            compare_fleet(devices, workers=1, compress=compress)
+        )
+    if reports[True] == reports[False]:
+        return None
+    keys = sorted(
+        key
+        for key in set(reports[True]) | set(reports[False])
+        if reports[True].get(key) != reports[False].get(key)
+    )
+    return (
+        f"fleet report diverges between compressed and uncompressed runs "
+        f"(fields: {', '.join(keys)})"
+    )
+
+
+def _run_symmetry_case(
+    case_seed: int, result: SelfCheckResult
+) -> Optional[SelfCheckFailure]:
+    """Cross-validate symmetry compression against the uncompressed run.
+
+    Alternates between two fleet shapes: the gateway fleet (cross-
+    vendor clones of one rule list plus distinct outliers — a mix of
+    multi-member and singleton fingerprint classes) and the templated
+    Clos fleet (a few role templates stamped onto many hostnames — the
+    heavy-compression case).  A divergence is shrunk by dropping
+    devices while it persists, like the ``fleet`` generator.
+    """
+    from ..workloads.datacenter import gateway_fleet, templated_clos_fleet
+
+    rng = random.Random(case_seed)
+    if rng.random() < 0.5:
+        count = rng.randint(4, 7)
+        devices, _ = gateway_fleet(
+            count=count,
+            outliers=rng.randint(0, count - 1),
+            rule_count=rng.randint(8, 16),
+            seed=case_seed,
+        )
+    else:
+        count = rng.randint(4, 8)
+        devices, _ = templated_clos_fleet(
+            count=count,
+            roles=rng.randint(1, min(3, count)),
+            rule_count=rng.randint(6, 12),
+            seed=case_seed,
+        )
+    detail = _symmetry_mismatch(devices)
+    if detail is None:
+        from ..core.fleet import compare_fleet
+
+        report = compare_fleet(devices, workers=1)
+        result.differences += sum(report.matrix.values())
+        return None
+
+    def fails(fleet) -> bool:
+        try:
+            return _symmetry_mismatch(fleet) is not None
+        except Exception:  # noqa: BLE001 - a shrunk fleet may fail differently
+            return False
+
+    progress = True
+    while progress and len(devices) > 2:
+        progress = False
+        for index in range(len(devices)):
+            candidate = devices[:index] + devices[index + 1 :]
+            if fails(candidate):
+                devices = candidate
+                progress = True
+                break
+    reproducer_lines = [
+        f"fleet of {len(devices)}: "
+        + ", ".join(device.hostname for device in devices)
+    ]
+    for device in devices:
+        for acl in device.acls.values():
+            reproducer_lines.append(f"[{device.hostname}]")
+            reproducer_lines.extend(_render_acl(acl))
+    final_detail = _symmetry_mismatch(devices) or detail
+    return SelfCheckFailure(
+        "symmetry", case_seed, "compression-report-identity", final_detail,
+        "\n".join(reproducer_lines),
+    )
+
+
 def _service_roundtrip(url: str, configs) -> dict:
     """Push config texts through the live daemon; the result document.
 
@@ -963,6 +1063,7 @@ _CASE_RUNNERS = {
     "memo": _run_memo_case,
     "backend": _run_backend_case,
     "fleet": _run_fleet_case,
+    "symmetry": _run_symmetry_case,
     "service": _run_service_case,
 }
 
@@ -973,6 +1074,7 @@ def run_selfcheck(
     on_progress: Optional[Callable[[int, int], None]] = None,
     cache=None,
     set_backend: Optional[str] = None,
+    generators: Optional[Sequence[str]] = None,
 ) -> SelfCheckResult:
     """Run the differential harness on ``pairs`` generated cases.
 
@@ -986,7 +1088,21 @@ def run_selfcheck(
     this run, so the whole harness — every brute-force comparison, not
     just the dedicated backend cross-check cases — exercises that
     backend; the backend cases themselves always compare both.
+
+    ``generators`` restricts the run to a subset of case generators
+    (names from ``--generators`` / this module's ``_GENERATORS``), so a
+    targeted CI job can spend all its cases on one cross-check.
     """
+    if generators:
+        unknown = sorted(set(generators) - set(_GENERATORS))
+        if unknown:
+            raise ValueError(
+                f"unknown generator(s): {', '.join(unknown)}"
+                f" (available: {', '.join(_GENERATORS)})"
+            )
+        pool: Sequence[str] = tuple(generators)
+    else:
+        pool = _GENERATORS
     result = SelfCheckResult(seed=seed, pairs=pairs)
     start = time.time()
     scope = (
@@ -996,7 +1112,7 @@ def run_selfcheck(
     )
     with scope:
         for index in range(pairs):
-            kind = _GENERATORS[index % len(_GENERATORS)]
+            kind = pool[index % len(pool)]
             case_seed = seed * 1_000_003 + index
             if kind == "memo":
                 failure = _run_memo_case(case_seed, result, cache=cache)

@@ -238,6 +238,7 @@ class Supervisor:
                 ),
                 memo=DiffMemo(cache) if cache is not None else None,
                 set_backend=payload.get("set_backend") or self.set_backend,
+                compress=self._bool_option(payload, "compress", None),
             )
         except JobError:
             raise
@@ -268,9 +269,28 @@ class Supervisor:
         }
         if quarantined:
             perf.add("service.jobs.quarantined_pairs", len(quarantined))
+        # Symmetry-compression counters: how much of the matrix phase
+        # the fingerprint equivalence classes let this job skip.  Kept
+        # out of the serialized report (like timings) and surfaced here
+        # instead, alongside the other supervision metadata.
+        if report.symmetry is not None:
+            symmetry = {
+                "compressed": True,
+                "devices": report.symmetry.devices,
+                "classes": report.symmetry.classes,
+                "matrix_pairs": report.symmetry.total_pairs,
+                "analyzed_pairs": report.symmetry.analyzed_pairs,
+                "expanded_pairs": report.symmetry.expanded_pairs,
+            }
+            perf.add(
+                "service.jobs.pairs_expanded", report.symmetry.expanded_pairs
+            )
+        else:
+            symmetry = {"compressed": False}
         return {
             "report": fleet_report_to_dict(report),
             "notes": list(report.notes),
+            "symmetry": symmetry,
             "supervision": {
                 "workers": effective_workers,
                 "requested_workers": requested,
@@ -326,3 +346,12 @@ class Supervisor:
             return int(value)
         except (TypeError, ValueError):
             raise JobError(f"option {key!r} is not an integer", permanent=True)
+
+    @staticmethod
+    def _bool_option(payload: Dict, key: str, default):
+        value = payload.get(key)
+        if value is None:
+            return default
+        if isinstance(value, bool):
+            return value
+        raise JobError(f"option {key!r} is not a boolean", permanent=True)

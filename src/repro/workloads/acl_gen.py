@@ -30,7 +30,9 @@ __all__ = [
     "GeneratedAclPair",
     "random_rules",
     "render_cisco_acl",
+    "render_cisco_acls",
     "render_juniper_filter",
+    "render_juniper_filters",
     "generate_acl_pair",
 ]
 
@@ -134,16 +136,25 @@ def _cisco_ports(ports: Sequence[PortRange]) -> str:
 
 def render_cisco_acl(name: str, rules: Sequence[AclLine], hostname: str = "cisco-gw") -> str:
     """Render rules as a named extended IOS access list."""
-    lines = [f"hostname {hostname}", "!", f"ip access-list extended {name}"]
+    return render_cisco_acls(hostname, [(name, rules)])
+
+
+def render_cisco_acls(
+    hostname: str, named: Sequence[Tuple[str, Sequence[AclLine]]]
+) -> str:
+    """Render one IOS config carrying several named extended ACLs."""
+    lines = [f"hostname {hostname}", "!"]
     protocol_names = {6: "tcp", 17: "udp", 1: "icmp", None: "ip"}
-    for rule in rules:
-        text = (
-            f" {rule.action.value} {protocol_names.get(rule.protocol, rule.protocol)}"
-            f" {_cisco_address(rule.src)}{_cisco_ports(rule.src_ports)}"
-            f" {_cisco_address(rule.dst)}{_cisco_ports(rule.dst_ports)}"
-        )
-        lines.append(text)
-    lines.append("!")
+    for name, rules in named:
+        lines.append(f"ip access-list extended {name}")
+        for rule in rules:
+            text = (
+                f" {rule.action.value} {protocol_names.get(rule.protocol, rule.protocol)}"
+                f" {_cisco_address(rule.src)}{_cisco_ports(rule.src_ports)}"
+                f" {_cisco_address(rule.dst)}{_cisco_ports(rule.dst_ports)}"
+            )
+            lines.append(text)
+        lines.append("!")
     return "\n".join(lines) + "\n"
 
 
@@ -156,15 +167,32 @@ def render_juniper_filter(
     name: str, rules: Sequence[AclLine], hostname: str = "juniper-gw"
 ) -> str:
     """Render rules as a JunOS firewall filter with one term per rule."""
-    protocol_names = {6: "tcp", 17: "udp", 1: "icmp"}
+    return render_juniper_filters(hostname, [(name, rules)])
+
+
+def render_juniper_filters(
+    hostname: str, named: Sequence[Tuple[str, Sequence[AclLine]]]
+) -> str:
+    """Render one JunOS config carrying several firewall filters."""
     lines = [
         "system {",
         f"    host-name {hostname};",
         "}",
         "firewall {",
         "    family inet {",
-        f"        filter {name} {{",
     ]
+    for name, rules in named:
+        lines.append(f"        filter {name} {{")
+        lines.extend(_juniper_filter_terms(rules))
+        lines.append("        }")
+    lines.extend(["    }", "}"])
+    return "\n".join(lines) + "\n"
+
+
+def _juniper_filter_terms(rules: Sequence[AclLine]) -> List[str]:
+    """The ``term`` stanzas of one filter, indented for the filter body."""
+    protocol_names = {6: "tcp", 17: "udp", 1: "icmp"}
+    lines: List[str] = []
     for index, rule in enumerate(rules):
         lines.append(f"            term t{index} {{")
         conditions = []
@@ -202,8 +230,7 @@ def render_juniper_filter(
         then_word = "accept" if rule.action is AclAction.PERMIT else "discard"
         lines.append(f"                then {then_word};")
         lines.append("            }")
-    lines.extend(["        }", "    }", "}"])
-    return "\n".join(lines) + "\n"
+    return lines
 
 
 # ---------------------------------------------------------------------------

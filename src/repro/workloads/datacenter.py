@@ -38,6 +38,8 @@ __all__ = [
     "scenario1_redundant_pairs",
     "scenario2_router_replacement",
     "scenario3_gateway_acls",
+    "gateway_fleet",
+    "templated_clos_fleet",
     "full_table6_workload",
 ]
 
@@ -529,6 +531,117 @@ def gateway_fleet(
             text = render_juniper_filter("GW_POLICY", device_rules, hostname=hostname)
             devices.append(parse_juniper(text, f"{hostname}.cfg"))
     return devices, sorted(expected)
+
+
+def templated_clos_fleet(
+    count: int = 32,
+    roles: int = 3,
+    rule_count: int = 24,
+    seed: int = 0,
+    vendors: int = 2,
+    acls: int = 4,
+    uplinks: int = 8,
+) -> Tuple[List[DeviceConfig], Dict[str, str]]:
+    """A heavily-templated Clos-style fleet with a few distinct roles.
+
+    Real Clos fabrics stamp a handful of role templates (ToR,
+    aggregation, spine) onto many devices; only the hostname differs
+    within a role.  This generator does exactly that: each role is an
+    independently-generated policy set of ``rule_count`` rules spread
+    over ``acls`` named ACLs (``CLOS_POLICY_0``.. — real devices carry
+    several per-interface policies, not one monolith) bound to
+    ``uplinks`` templated interfaces, device ``i`` taking role
+    ``i % roles``.  With ``vendors=2`` (the default)
+    vendors alternate between consecutive clones of the same role, so
+    each role renders as both Cisco and Juniper, like a mixed-vendor
+    fabric; ``vendors=1`` keeps the whole fabric Cisco, like a
+    single-vendor deployment.  The result is the symmetry-compression
+    showcase: the device-fingerprint partition has one class per
+    (role, vendor) — independent of ``count`` — so the compressed
+    matrix stays constant-size while the fleet grows.
+
+    Returns the parsed fleet plus ``hostname -> role name``.
+    """
+    import random as _random
+
+    from .acl_gen import random_rules, render_cisco_acls, render_juniper_filters
+
+    if roles < 1 or count < roles:
+        raise ValueError("need 1 <= roles <= count")
+    if vendors not in (1, 2):
+        raise ValueError("vendors must be 1 or 2")
+    if acls < 1:
+        raise ValueError("need at least one ACL per device")
+    acls = min(acls, rule_count)
+    rng = _random.Random(seed)
+
+    def _cisco_interfaces(names: List[str]) -> str:
+        lines: List[str] = []
+        for uplink in range(uplinks):
+            lines.extend(
+                [
+                    f"interface Ethernet{uplink}",
+                    f" description uplink{uplink}",
+                    f" ip access-group {names[uplink % len(names)]} in",
+                    "!",
+                ]
+            )
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def _juniper_interfaces(names: List[str]) -> str:
+        lines: List[str] = []
+        if uplinks:
+            lines.append("interfaces {")
+            for uplink in range(uplinks):
+                lines.extend(
+                    [
+                        f"    et-0/0/{uplink} {{",
+                        f"        description uplink{uplink};",
+                        "        unit 0 {",
+                        "            family inet {",
+                        "                filter {",
+                        f"                    input {names[uplink % len(names)]};",
+                        "                }",
+                        "            }",
+                        "        }",
+                        "    }",
+                    ]
+                )
+            lines.append("}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def _role_policies() -> List[Tuple[str, List]]:
+        rules = random_rules(rule_count, rng)
+        share, leftover = divmod(rule_count, acls)
+        policies = []
+        start = 0
+        for position in range(acls):
+            size = share + (1 if position < leftover else 0)
+            policies.append(
+                (f"CLOS_POLICY_{position}", rules[start : start + size])
+            )
+            start += size
+        return policies
+
+    role_policies = [_role_policies() for _ in range(roles)]
+
+    devices: List[DeviceConfig] = []
+    role_of: Dict[str, str] = {}
+    for index in range(count):
+        role = index % roles
+        hostname = f"clos{index:02d}"
+        role_of[hostname] = f"role{role}"
+        policies = role_policies[role]
+        policy_names = [name for name, _ in policies]
+        if vendors == 1 or (index // roles) % 2 == 0:
+            text = render_cisco_acls(hostname, policies)
+            text += _cisco_interfaces(policy_names)
+            devices.append(parse_cisco(text, f"{hostname}.cfg"))
+        else:
+            text = render_juniper_filters(hostname, policies)
+            text += _juniper_interfaces(policy_names)
+            devices.append(parse_juniper(text, f"{hostname}.cfg"))
+    return devices, role_of
 
 
 def full_table6_workload(seed: int = 0) -> List[Scenario]:

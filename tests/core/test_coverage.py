@@ -1,0 +1,166 @@
+"""Tests for per-device configuration coverage (schema v4).
+
+Coverage answers the NetCov-style question for a fleet run: which
+policy-defining lines actually participated in some localized
+difference, and which policies the run had nothing to say about.  It is
+a pure function of the finished report plus the parsed devices, so it
+must be identical across compression, memoization, and worker knobs.
+"""
+
+import json
+
+import pytest
+
+from repro.core import compare_fleet, fleet_report_to_dict
+from repro.core.coverage import compute_fleet_coverage, policy_spans
+from repro.parsers import parse_cisco
+from repro.workloads.datacenter import gateway_fleet
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    devices, expected = gateway_fleet(
+        count=6, outliers=2, rule_count=12, seed=0
+    )
+    return devices, expected, compare_fleet(devices)
+
+
+class TestExercisedLines:
+    def test_every_device_covered(self, fleet):
+        devices, _, report = fleet
+        assert sorted(report.coverage) == report.hostnames
+
+    def test_outliers_have_exercised_lines(self, fleet):
+        _, expected, report = fleet
+        for hostname in expected:
+            assert report.coverage[hostname].exercised_lines > 0
+
+    def test_reference_untouched_by_appended_rule_deviations(self, fleet):
+        # The injected deviation is a rule appended on the outlier only;
+        # the reference side of that difference region has no matching
+        # lines (empty span), so reference coverage correctly stays 0 —
+        # the differing configuration text lives on the outliers.
+        _, expected, report = fleet
+        assert expected, "fixture must inject outliers"
+        assert report.coverage[report.reference].exercised_lines == 0
+
+    def test_conforming_devices_have_zero_exercised_lines(self, fleet):
+        _, _, report = fleet
+        for hostname in report.conforming:
+            coverage = report.coverage[hostname]
+            assert coverage.exercised_lines == 0
+            # ... and every policy is listed as untouched.
+            assert len(coverage.unexercised) == len(coverage.policies)
+
+    def test_exercised_is_subset_of_policy_lines(self, fleet):
+        _, _, report = fleet
+        for coverage in report.coverage.values():
+            for policy in coverage.policies:
+                assert set(policy.exercised) <= set(policy.lines)
+                assert list(policy.exercised) == sorted(policy.exercised)
+                assert list(policy.lines) == sorted(policy.lines)
+            assert coverage.policy_lines >= coverage.exercised_lines
+
+
+class TestInvarianceAcrossKnobs:
+    def test_identical_across_compression_and_memo(self, fleet):
+        devices, _, report = fleet
+        baseline = {
+            hostname: coverage.to_dict()
+            for hostname, coverage in report.coverage.items()
+        }
+        for kwargs in (
+            {"compress": False},
+            {"compress": True, "use_memo": False},
+        ):
+            other = compare_fleet(devices, **kwargs)
+            fresh = {
+                hostname: coverage.to_dict()
+                for hostname, coverage in other.coverage.items()
+            }
+            assert fresh == baseline, f"coverage diverged under {kwargs}"
+
+
+class TestUnmatchedPolicies:
+    BASE = (
+        "hostname {host}\n"
+        "!\n"
+        "ip access-list extended COMMON\n"
+        " permit tcp 10.0.0.0 0.0.0.255 any eq 80\n"
+        " deny ip any any\n"
+        "!\n"
+    )
+    EXTRA = (
+        "ip access-list extended ONLY_A\n"
+        " permit udp 192.0.2.0 0.0.0.255 any eq 53\n"
+        " deny ip any any\n"
+        "!\n"
+    )
+
+    def test_unmatched_policy_is_wholly_exercised(self):
+        device_a = parse_cisco(
+            self.BASE.format(host="a") + self.EXTRA, "a.cfg"
+        )
+        device_b = parse_cisco(self.BASE.format(host="b"), "b.cfg")
+        report = compare_fleet([device_a, device_b])
+        only = next(
+            policy
+            for policy in report.coverage["a"].policies
+            if policy.name == "ONLY_A"
+        )
+        # The policy's existence is the difference: no differing-line
+        # pair to point at, so every defining line counts as exercised.
+        assert only.lines
+        assert only.exercised == only.lines
+        assert only.is_exercised
+        # The shared ACL is identical on both sides and stays untouched.
+        common = next(
+            policy
+            for policy in report.coverage["b"].policies
+            if policy.name == "COMMON"
+        )
+        assert common.exercised == ()
+        assert "acl ONLY_A" not in report.coverage["a"].unexercised
+
+
+class TestPolicySpans:
+    def test_spans_name_every_policy_with_lines(self, fleet):
+        devices, _, _ = fleet
+        device = devices[0]
+        spans = policy_spans(device)
+        names = [(kind, name) for kind, name, _ in spans]
+        assert names == sorted(names, key=lambda item: (item[0], item[1]))
+        assert {name for _, name, _ in spans} == set(device.acls) | set(
+            device.route_maps
+        )
+        for _, _, lines in spans:
+            assert lines, "every generated policy has source lines"
+
+
+class TestDeterminism:
+    def test_to_dict_json_roundtrip_and_order(self, fleet):
+        _, _, report = fleet
+        for coverage in report.coverage.values():
+            data = coverage.to_dict()
+            assert json.loads(json.dumps(data)) == data
+            names = [policy["name"] for policy in data["policies"]]
+            assert names == sorted(names)
+
+    def test_recompute_is_pure(self, fleet):
+        devices, _, report = fleet
+        by_name = {device.hostname: device for device in devices}
+        recomputed = compute_fleet_coverage(by_name, report)
+        assert {
+            hostname: coverage.to_dict()
+            for hostname, coverage in recomputed.items()
+        } == {
+            hostname: coverage.to_dict()
+            for hostname, coverage in report.coverage.items()
+        }
+
+    def test_render_mentions_counts(self, fleet):
+        _, _, report = fleet
+        rendered = report.render_coverage()
+        assert rendered.startswith("configuration coverage")
+        for hostname in report.hostnames:
+            assert hostname in rendered

@@ -1,11 +1,12 @@
 """Tests for n-way fleet comparison and outlier detection."""
 
 import random
+from unittest import mock
 
 import pytest
 
 from repro.core import compare_fleet
-from repro.core.fleet import _elect_medoid
+from repro.core.fleet import FleetReport, _elect_medoid
 from repro.parsers import parse_cisco
 from repro.workloads.datacenter import gateway_fleet
 from repro.workloads.figure1 import CISCO_FIGURE1
@@ -141,3 +142,79 @@ class TestOutlierDetection:
         summary = report.render_summary()
         assert "fleet of 4" in summary
         assert expected[0] in summary
+
+    def test_render_summary_evaluates_each_property_once(self):
+        # outliers/conforming/failed each walk every report; the summary
+        # must bind them once, not recompute per use (the old version
+        # re-evaluated the properties in every f-string).
+        devices, _ = gateway_fleet(count=4, outliers=1, rule_count=8, seed=0)
+        report = compare_fleet(devices)
+        with mock.patch.object(
+            FleetReport,
+            "outliers",
+            new_callable=mock.PropertyMock,
+            return_value=report.outliers,
+        ) as outliers, mock.patch.object(
+            FleetReport,
+            "conforming",
+            new_callable=mock.PropertyMock,
+            return_value=report.conforming,
+        ) as conforming, mock.patch.object(
+            FleetReport,
+            "failed",
+            new_callable=mock.PropertyMock,
+            return_value=[],
+        ) as failed:
+            report.render_summary()
+        assert outliers.call_count == 1
+        assert conforming.call_count == 1
+        assert failed.call_count == 1
+
+
+class TestPairCountErrors:
+    REPORT = FleetReport(
+        reference="a",
+        hostnames=["a", "b", "c"],
+        matrix={("a", "b"): 1},
+        failed_pairs={("b", "c"): "timeout: too slow"},
+    )
+
+    def test_order_insensitive_lookup(self):
+        assert self.REPORT.pair_count("a", "b") == 1
+        assert self.REPORT.pair_count("b", "a") == 1
+
+    def test_unknown_hostname_names_it_and_the_fleet(self):
+        with pytest.raises(KeyError) as excinfo:
+            self.REPORT.pair_count("a", "zz")
+        message = str(excinfo.value)
+        assert "no such device(s) in the fleet: zz" in message
+        assert "a, b, c" in message
+
+    def test_both_unknown_hostnames_listed_sorted(self):
+        with pytest.raises(KeyError) as excinfo:
+            self.REPORT.pair_count("zz", "mm")
+        assert "no such device(s) in the fleet: mm, zz" in str(excinfo.value)
+
+    def test_failed_pair_includes_recorded_cause(self):
+        with pytest.raises(KeyError) as excinfo:
+            self.REPORT.pair_count("c", "b")
+        message = str(excinfo.value)
+        assert "comparison failed" in message
+        assert "timeout: too slow" in message
+
+    def test_same_device_is_not_a_pair(self):
+        with pytest.raises(KeyError) as excinfo:
+            self.REPORT.pair_count("a", "a")
+        assert "is one device, not a pair" in str(excinfo.value)
+
+    def test_uncompared_pair_says_so(self):
+        with pytest.raises(KeyError) as excinfo:
+            self.REPORT.pair_count("a", "c")
+        assert "was not compared" in str(excinfo.value)
+
+    def test_explicit_reference_leaves_non_reference_pairs_uncompared(self):
+        devices, _ = gateway_fleet(count=4, outliers=0, rule_count=8, seed=1)
+        hostnames = sorted(device.hostname for device in devices)
+        report = compare_fleet(devices, reference=hostnames[0])
+        with pytest.raises(KeyError, match="was not compared"):
+            report.pair_count(hostnames[1], hostnames[2])

@@ -31,7 +31,7 @@ def report():
 class TestSchema:
     def test_top_level_fields(self, report):
         data = report_to_dict(report)
-        assert data["schema_version"] == SCHEMA_VERSION == 3
+        assert data["schema_version"] == SCHEMA_VERSION == 4
         assert data["degraded"] is False
         assert data["aborted"] == []
         assert data["parse_diagnostics"] == {}
@@ -126,6 +126,29 @@ class TestFleetReportDict:
     def test_matrix_is_sorted(self, fleet_report):
         data = fleet_report_to_dict(fleet_report)
         assert data["matrix"] == sorted(data["matrix"])
+
+    def test_v4_partial_and_notes(self, fleet_report):
+        data = fleet_report_to_dict(fleet_report)
+        assert data["partial"] is False  # machine-readable, not a note
+        assert data["notes"] == list(fleet_report.notes)
+        assert data["notes"] == sorted(data["notes"])
+
+    def test_v4_coverage_section(self, fleet_report):
+        data = fleet_report_to_dict(fleet_report)
+        assert sorted(data["coverage"]) == fleet_report.hostnames
+        for hostname, entry in data["coverage"].items():
+            coverage = fleet_report.coverage[hostname]
+            assert entry == coverage.to_dict()
+            assert entry["policy_lines"] >= entry["exercised_lines"] >= 0
+            names = [policy["name"] for policy in entry["policies"]]
+            assert names == sorted(names)
+
+    def test_v4_partial_true_on_failed_pairs(self):
+        devices, _ = gateway_fleet(count=4, outliers=1, rule_count=8, seed=2)
+        report = compare_fleet(devices)
+        report.failed_pairs[("gw0", "gw1")] = "injected failure"
+        data = fleet_report_to_dict(report)
+        assert data["partial"] is True
 
 
 class TestCliJson:
