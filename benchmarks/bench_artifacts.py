@@ -54,9 +54,25 @@ def _refresh_root_link(root_link: pathlib.Path, target: str, text: str) -> None:
     os.replace(scratch, root_link)
 
 
-def write_artifact(name: str, payload: dict) -> pathlib.Path:
+def write_artifact(
+    name: str, payload: dict, workload_scale: str
+) -> pathlib.Path:
     """Serialize ``payload`` to ``benchmarks/results/<name>`` and link it
-    from the repo root.  Returns the results path (the real file)."""
+    from the repo root.  Returns the results path (the real file).
+
+    ``workload_scale`` must be ``"smoke"`` (the tiny CI workload) or
+    ``"full"`` (the paper-scale workload) and is stamped into the
+    payload, so a committed baseline and a README citation always say
+    which regime produced their numbers — a full-scale speedup quoted
+    against a smoke baseline is the exact confusion this field exists
+    to prevent.
+    """
+    if workload_scale not in ("smoke", "full"):
+        raise ValueError(
+            f"workload_scale must be 'smoke' or 'full', got {workload_scale!r}"
+        )
+    payload = dict(payload)
+    payload["workload_scale"] = workload_scale
     RESULTS_DIR.mkdir(exist_ok=True)
     text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
     path = RESULTS_DIR / name

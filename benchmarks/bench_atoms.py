@@ -122,7 +122,9 @@ def test_atoms_backend(benchmark, results_dir):
     from conftest import emit
 
     payload = benchmark.pedantic(_run_all, rounds=1, iterations=1)
-    write_artifact("BENCH_atoms.json", payload)
+    write_artifact(
+        "BENCH_atoms.json", payload, "full" if RULES >= 5000 else "smoke"
+    )
     emit(results_dir, "BENCH_atoms", _render(payload))
 
     pairing = payload["pairing"]
@@ -142,6 +144,8 @@ def test_atoms_backend(benchmark, results_dir):
 
 if __name__ == "__main__":
     payload = _run_all()
-    path = write_artifact("BENCH_atoms.json", payload)
+    path = write_artifact(
+        "BENCH_atoms.json", payload, "full" if RULES >= 5000 else "smoke"
+    )
     print(_render(payload))
     print(f"\nwrote {path}")

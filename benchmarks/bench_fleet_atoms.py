@@ -83,7 +83,11 @@ def _run_all() -> dict:
 
 
 def _write(payload: dict):
-    return write_artifact("BENCH_fleet_atoms.json", payload)
+    return write_artifact(
+        "BENCH_fleet_atoms.json",
+        payload,
+        "full" if FULL_SCALE else "smoke",
+    )
 
 
 def _render(payload: dict) -> str:

@@ -146,7 +146,11 @@ def _run_all() -> dict:
 
 
 def _write(payload: dict) -> pathlib.Path:
-    return write_artifact("BENCH_fleet_memo.json", payload)
+    return write_artifact(
+        "BENCH_fleet_memo.json",
+        payload,
+        "full" if FULL_SCALE else "smoke",
+    )
 
 
 def _render(payload: dict) -> str:

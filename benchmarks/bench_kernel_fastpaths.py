@@ -115,7 +115,11 @@ def _run_all() -> dict:
 
 
 def _write(payload: dict) -> pathlib.Path:
-    return write_artifact("BENCH_kernels.json", payload)
+    return write_artifact(
+        "BENCH_kernels.json",
+        payload,
+        "full" if RULES >= 5000 else "smoke",
+    )
 
 
 def _render(payload: dict) -> str:

@@ -1,0 +1,163 @@
+"""Near-symmetry fleet compression — BENCH_near_symmetry.json.
+
+The matrix phase of ``compare_fleet`` under all three ``compress``
+modes on the *parameterized* Clos fleet: every device carries unique
+loopbacks, interface subnets, and BGP neighbors, so no two devices are
+byte-identical and exact fingerprint compression degenerates to one
+singleton class per device (analyzing all N(N-1)/2 pairs, same as
+``off``).  Near-symmetry abstracts the rewritable literals into
+template holes, partitions by template fingerprint, and analyzes one
+pair per joint-equality signature — on an R-role fleet that is
+O(R^2) pairs regardless of N, with every other pair's outcome
+replayed through the representative.  The exact-vs-near matrix gap is
+the point of the phase, and the headline ``matrix_speedup``
+(exact matrix seconds / near matrix seconds) carries the >=5x
+assertion.
+
+Three runs, all serial, cold, and memo-free (``use_memo=False`` keeps
+the per-pair diff cost honest — with the memo on, exact mode already
+replays most BDD work and the remaining gap narrows to the per-pair
+walk).  All three serialized reports must be byte-identical — the
+speedup is only meaningful if the answers are (the oracle's
+``near-symmetry`` generator checks the same identity on shrunken
+counterexamples).
+
+Workload sizes honour environment knobs so the CI smoke job can run a
+tiny version: ``CAMPION_BENCH_NEARSYM_DEVICES`` (default 32),
+``CAMPION_BENCH_NEARSYM_ROLES`` (default 3),
+``CAMPION_BENCH_NEARSYM_RULES`` (rules per role ACL, default 24),
+``CAMPION_BENCH_NEARSYM_UPLINKS`` (interfaces/neighbors per device,
+default 2).
+
+Runs under pytest-benchmark or standalone:
+``PYTHONPATH=src python benchmarks/bench_near_symmetry.py``.
+"""
+
+import gc
+import os
+import time
+
+from bench_artifacts import write_artifact
+from repro import perf
+from repro.core import compare_fleet, fleet_report_to_dict
+from repro.workloads.datacenter import parameterized_clos_fleet
+
+DEVICES = int(os.environ.get("CAMPION_BENCH_NEARSYM_DEVICES", "32"))
+ROLES = int(os.environ.get("CAMPION_BENCH_NEARSYM_ROLES", "3"))
+RULES = int(os.environ.get("CAMPION_BENCH_NEARSYM_RULES", "24"))
+UPLINKS = int(os.environ.get("CAMPION_BENCH_NEARSYM_UPLINKS", "2"))
+SEED = 33
+
+#: Scale gate for the artifact's ``workload_scale`` stamp.  Unlike the
+#: exact-symmetry bench, the >=5x bar holds at smoke scale too: the
+#: exact-mode matrix grows with N^2 while near stays O(roles^2), so
+#: even a 12-device smoke fleet clears it with margin.
+FULL_SCALE = DEVICES >= 32 and RULES >= 24
+
+
+def _matrix_seconds() -> float:
+    timers = perf.REGISTRY.snapshot()["timers"]
+    return timers.get("fleet.matrix", {}).get("total_s", 0.0)
+
+
+def _run_all() -> dict:
+    devices, _ = parameterized_clos_fleet(
+        count=DEVICES,
+        roles=ROLES,
+        rule_count=RULES,
+        seed=SEED,
+        uplinks=UPLINKS,
+    )
+    result = {
+        "devices": DEVICES,
+        "roles": ROLES,
+        "rules_per_role": RULES,
+        "uplinks": UPLINKS,
+    }
+    reports = {}
+    for compress in ("off", "exact", "near"):
+        gc.collect()
+        perf.reset()
+        start = time.perf_counter()
+        report = compare_fleet(
+            devices, workers=1, use_memo=False, compress=compress
+        )
+        result[f"{compress}_seconds"] = time.perf_counter() - start
+        result[f"{compress}_matrix_seconds"] = _matrix_seconds()
+        reports[compress] = fleet_report_to_dict(report)
+        if compress != "off":
+            stats = report.symmetry
+            result[f"{compress}_classes"] = stats.classes
+            result[f"{compress}_analyzed_pairs"] = stats.analyzed_pairs
+            if compress == "near":
+                result["matrix_pairs"] = stats.total_pairs
+                result["fallback_pairs"] = stats.fallback_pairs
+    result["matrix_speedup"] = (
+        result["exact_matrix_seconds"] / result["near_matrix_seconds"]
+    )
+    result["matrix_speedup_vs_off"] = (
+        result["off_matrix_seconds"] / result["near_matrix_seconds"]
+    )
+    result["total_speedup"] = (
+        result["exact_seconds"] / result["near_seconds"]
+    )
+    result["identical_reports"] = (
+        reports["exact"] == reports["off"] and reports["near"] == reports["off"]
+    )
+    assert result["identical_reports"], "compressed report diverged"
+    return result
+
+
+def _write(payload: dict):
+    return write_artifact(
+        "BENCH_near_symmetry.json",
+        payload,
+        "full" if FULL_SCALE else "smoke",
+    )
+
+
+def _render(payload: dict) -> str:
+    lines = [
+        "Fleet matrix with near-symmetry template compression",
+        "",
+        f"Parameterized Clos fleet: {payload['devices']} devices,"
+        f" {payload['roles']} roles, {payload['rules_per_role']} rules/role,"
+        f" {payload['uplinks']} uplinks (unique loopbacks/subnets/peers)",
+        f"  matrix pairs               {payload['matrix_pairs']}",
+        f"  exact classes              {payload['exact_classes']}"
+        f" (analyzed {payload['exact_analyzed_pairs']})",
+        f"  template classes           {payload['near_classes']}"
+        f" (analyzed {payload['near_analyzed_pairs']},"
+        f" {payload['fallback_pairs']} fallback)",
+        f"  off matrix                 {payload['off_matrix_seconds']:.2f}s",
+        f"  exact matrix               {payload['exact_matrix_seconds']:.2f}s",
+        f"  near matrix                {payload['near_matrix_seconds']:.2f}s",
+        f"  matrix speedup (vs exact)  {payload['matrix_speedup']:.2f}x",
+        f"  matrix speedup (vs off)    {payload['matrix_speedup_vs_off']:.2f}x",
+        f"  total speedup (vs exact)   {payload['total_speedup']:.2f}x",
+        f"  identical reports (all 3)  {payload['identical_reports']}",
+    ]
+    return "\n".join(lines)
+
+
+def test_near_symmetry(benchmark, results_dir):
+    from conftest import emit
+
+    payload = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    _write(payload)
+    emit(results_dir, "BENCH_near_symmetry", _render(payload))
+
+    assert payload["identical_reports"]
+    assert payload["fallback_pairs"] == 0
+    assert payload["near_analyzed_pairs"] < payload["exact_analyzed_pairs"]
+    speedup = payload["matrix_speedup"]
+    assert speedup >= 5.0, (
+        f"near-symmetry only {speedup:.2f}x over exact on the matrix"
+    )
+
+
+if __name__ == "__main__":
+    payload = _run_all()
+    path = _write(payload)
+    print(_render(payload))
+    print(f"\nwrote {path}")

@@ -136,7 +136,11 @@ def _run_all() -> dict:
 
 
 def _write(payload: dict) -> pathlib.Path:
-    return write_artifact("BENCH_service.json", payload)
+    return write_artifact(
+        "BENCH_service.json",
+        payload,
+        "full" if FULL_SCALE else "smoke",
+    )
 
 
 def _render(payload: dict) -> str:

@@ -278,7 +278,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             node_limit=args.node_limit,
             memo=DiffMemo(cache) if cache is not None else None,
             set_backend=args.set_backend,
-            compress=False if args.no_compress else None,
+            compress="off" if args.no_compress else args.compress,
         )
     except ValueError as exc:
         # duplicate hostnames, too-few devices, unknown reference
@@ -470,12 +470,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="machine-readable, timing-free output (byte-identical across runs)",
     )
     fleet_parser.add_argument(
+        "--compress",
+        choices=["off", "exact", "near"],
+        default=None,
+        help="matrix symmetry compression mode: 'exact' collapses "
+        "byte-identical devices, 'near' also collapses devices equal "
+        "modulo rewritable literals (loopbacks, router-ids, BGP peers) "
+        "(default: $CAMPION_FLEET_COMPRESS or near; the report is "
+        "identical in every mode, compression only skips redundant pairs)",
+    )
+    fleet_parser.add_argument(
         "--no-compress",
         action="store_true",
         default=False,
-        help="disable fingerprint symmetry compression and analyze every "
-        "pair (default: $CAMPION_FLEET_COMPRESS or on; the report is "
-        "identical either way, compression only skips redundant pairs)",
+        help="shorthand for --compress off",
     )
     add_budget_flags(fleet_parser)
     fleet_parser.set_defaults(func=_cmd_fleet)
@@ -502,8 +510,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--generators",
         default=None,
         metavar="NAME[,NAME...]",
-        help="restrict to these case generators (e.g. 'symmetry' for the "
-        "compression cross-check only; default: round-robin over all)",
+        help="restrict to these case generators (e.g. 'symmetry' or "
+        "'near-symmetry' for the compression cross-checks only; "
+        "default: round-robin over all)",
     )
     selfcheck_parser.set_defaults(func=_cmd_selfcheck)
 

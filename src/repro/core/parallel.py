@@ -169,10 +169,25 @@ class SymmetryPlan:
     members: Dict[str, Tuple[str, ...]]
     #: the unordered representative pairs to actually analyze, sorted
     pair_keys: Tuple[Tuple[str, str], ...]
+    #: ``"exact"`` (fingerprint classes only) or ``"near"`` (template
+    #: classes; built by ``repro.core.near_symmetry.plan_near_pairs``)
+    mode: str = "exact"
+    #: near mode only: exact-representative pair -> the analyzed pair
+    #: whose outcome it replays (identity entries omitted)
+    replay_key: Dict[Tuple[str, str], Tuple[str, str]] = field(
+        default_factory=dict
+    )
+    #: near mode only: template fingerprint -> exact-class
+    #: representatives sharing it (post-verification)
+    template_classes: Dict[str, Tuple[str, ...]] = field(
+        default_factory=dict
+    )
 
     @property
     def class_count(self) -> int:
         """Number of equivalence classes (== number of representatives)."""
+        if self.mode == "near":
+            return len(self.template_classes)
         return len(self.members)
 
     def pair_key(self, first: str, second: str) -> Tuple[str, str]:
@@ -210,6 +225,48 @@ class SymmetryPlan:
                 else:
                     failed[key] = outcome.describe()
         return matrix, failed
+
+    def expand_near(
+        self,
+        hostnames: Sequence[str],
+        outcomes: Dict[Tuple[str, str], "PairOutcome"],
+    ) -> Tuple[
+        Dict[Tuple[str, str], int],
+        Dict[Tuple[str, str], str],
+        List[Tuple[str, str]],
+    ]:
+        """``(matrix, failed_pairs, fallback_pairs)`` for a near plan.
+
+        Intra-exact-class pairs are zero and exact-class members copy
+        their representative pair, as in :meth:`expand`; a
+        representative pair that replays *another* signature
+        representative takes that pair's count.  Failure is where near
+        mode diverges from exact: a failed analyzed pair fails only the
+        pairs that are content-identical to it (same exact
+        representatives) — its merely near-symmetric member pairs are
+        returned as ``fallback_pairs`` for concrete analysis, so one
+        targeted fault never poisons a whole template class.
+        """
+        matrix: Dict[Tuple[str, str], int] = {}
+        failed: Dict[Tuple[str, str], str] = {}
+        fallback: List[Tuple[str, str]] = []
+        ordered = sorted(hostnames)
+        for index, first in enumerate(ordered):
+            for second in ordered[index + 1 :]:
+                key = (first, second)
+                if self.representative[first] == self.representative[second]:
+                    matrix[key] = 0
+                    continue
+                rep_key = self.pair_key(first, second)
+                replay = self.replay_key.get(rep_key, rep_key)
+                outcome = outcomes[replay]
+                if outcome.ok:
+                    matrix[key] = outcome.result
+                elif rep_key == replay:
+                    failed[key] = outcome.describe()
+                else:
+                    fallback.append(key)
+        return matrix, failed, fallback
 
 
 def plan_representative_pairs(

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - fingerprint imports this module
-    from .fingerprint import ComponentFingerprints
+    from .fingerprint import ComponentFingerprints, DeviceTemplate
 
 from ..diagnostics import Diagnostic, Severity
 from .acl import Acl
@@ -78,6 +78,22 @@ class DeviceConfig:
 
             cached = compute_fingerprints(self)
             self.__dict__["_fingerprints"] = cached
+        return cached
+
+    @property
+    def template(self) -> "DeviceTemplate":
+        """Template fingerprint + hole substitution, computed lazily once.
+
+        The near-symmetry layer (``repro.core.near_symmetry``) touches
+        this; like :attr:`fingerprints`, the cached value pickles with
+        the device so workers never recompute it.
+        """
+        cached = self.__dict__.get("_template")
+        if cached is None:
+            from .fingerprint import compute_template
+
+            cached = compute_template(self)
+            self.__dict__["_template"] = cached
         return cached
 
     def parse_errors(self) -> List[Diagnostic]:

@@ -33,10 +33,11 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
+import re
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Tuple
 
-from .types import SourceSpan
+from .types import Prefix, SourceSpan, int_to_ip
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (device -> here)
     from .device import DeviceConfig
@@ -44,10 +45,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (device -> here)
 __all__ = [
     "FINGERPRINT_SCHEMA_VERSION",
     "ComponentFingerprints",
+    "TemplateHole",
+    "DeviceTemplate",
     "canonical_form",
     "fingerprint_value",
     "compute_fingerprints",
+    "compute_template",
     "partition_by_device_fingerprint",
+    "partition_by_template_fingerprint",
 ]
 
 #: Bump whenever canonicalization or model semantics change; stale
@@ -142,6 +147,234 @@ def partition_by_device_fingerprint(
     groups: Dict[str, list] = {}
     for device in devices:
         groups.setdefault(device.fingerprints.device, []).append(
+            device.hostname
+        )
+    return {
+        fingerprint: tuple(sorted(hostnames))
+        for fingerprint, hostnames in groups.items()
+    }
+
+
+# --------------------------------------------------------------------------
+# Template fingerprints (near-symmetry)
+#
+# The device fingerprint above demands byte-identical semantic content, so
+# a templated fleet where every leaf has its own loopback/router-id/peer
+# addresses degenerates to singleton classes.  The *template* fingerprint
+# is a second canonicalization pass that abstracts exactly the rewritable
+# literals below into numbered holes, yielding per-device
+# ``(template_fingerprint, substitution)``.  Two devices with equal
+# template fingerprints are equal configurations *modulo* the hole
+# values; ``repro.core.near_symmetry`` proves when a pair outcome can be
+# replayed across such devices.
+#
+# The allowlist is deliberately tiny and positional — `(classname,
+# fieldname)` pairs whose values the semantic diff either never reads
+# (router-ids are excluded from ``process_attributes``; ``update_source``
+# is excluded from ``BgpNeighbor.attributes``) or reads only through
+# within-tag equality (interface subnets via connected-route symmetric
+# difference; BGP peer addresses via peer-keyed neighbor pairing).  ACL
+# and route-map match semantics are NEVER holed: their literals feed the
+# BDD header spaces, where a changed address changes the answer.
+
+#: ``(classname, fieldname) -> hole kind`` — the full rewritable-literal
+#: allowlist.  Kinds whose values the diff compares for within-tag
+#: equality carry *atoms* (see :class:`TemplateHole`); the rest are free.
+_HOLE_FIELDS: Dict[Tuple[str, str], str] = {
+    ("Interface", "address"): "interface-address",
+    ("BgpNeighbor", "peer_ip"): "bgp-peer",
+    ("BgpNeighbor", "update_source"): "bgp-update-source",
+    ("BgpProcess", "router_id"): "router-id",
+    ("OspfProcess", "router_id"): "router-id",
+}
+
+#: ``update_source`` may name an interface ("Loopback0") instead of an
+#: address; only IPv4 literals are rewritable, so only those are holed.
+_IPV4_LITERAL = re.compile(r"^(?:\d{1,3}\.){3}\d{1,3}$")
+
+
+@dataclass(frozen=True)
+class TemplateHole:
+    """One abstracted literal in a device template.
+
+    ``kind`` is the allowlist entry that produced the hole; ``value`` is
+    the concrete literal rendered as text (the substitution maps hole
+    index -> value).  ``atoms`` are the ``(tag, literal)`` equality
+    atoms the semantic diff *does* consult for this hole — empty for
+    free holes (router-ids, update-sources) whose values never reach a
+    comparison, ``("subnet", ...)`` for interface addresses (connected
+    routes compare by subnet), ``("peer", ...)`` for BGP neighbor
+    addresses (neighbors pair by peer address).  Replay of a pair
+    outcome is sound only when both pairs induce the same joint
+    first-occurrence equality pattern over their atom sequences.
+    """
+
+    kind: str
+    value: str
+    atoms: Tuple[Tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class DeviceTemplate:
+    """``(template_fingerprint, holes)`` for one device.
+
+    Devices with equal :attr:`fingerprint` are identical configurations
+    up to the hole values; :attr:`substitution` recovers the concrete
+    literals in hole order.
+    """
+
+    fingerprint: str
+    holes: Tuple[TemplateHole, ...]
+
+    @property
+    def substitution(self) -> Tuple[str, ...]:
+        """Hole values in hole order (the device's parameter vector)."""
+        return tuple(hole.value for hole in self.holes)
+
+    @property
+    def kind_sequence(self) -> Tuple[str, ...]:
+        """Hole kinds in hole order (equal across a template class)."""
+        return tuple(hole.kind for hole in self.holes)
+
+    @property
+    def atom_sequence(self) -> Tuple[Tuple[str, str], ...]:
+        """All equality atoms, flattened in hole order."""
+        return tuple(
+            atom for hole in self.holes for atom in hole.atoms
+        )
+
+
+def _hole_for(kind: str, attribute: object) -> "TemplateHole | None":
+    """The hole replacing ``attribute``, or ``None`` to keep it concrete.
+
+    ``None``-valued fields are never holed: absence vs presence of an
+    address is semantic (an unaddressed interface contributes no
+    connected route), so it stays in the template.
+    """
+    if attribute is None:
+        return None
+    if kind == "interface-address":
+        # Interface addresses retain their host bits (see the parsers'
+        # _InterfacePrefix), but the diff only ever reads the *masked
+        # subnet* (connected routes, OSPF interface pairing) — so the
+        # hole value keeps the host form for substitution replay while
+        # the equality atom is the subnet.  Masking in the atom is a
+        # soundness requirement, not an optimization: two distinct host
+        # addresses on one subnet are equal where the diff looks.
+        subnet = Prefix(attribute.network, attribute.length)
+        return TemplateHole(
+            kind=kind,
+            value=str(attribute),
+            atoms=(("subnet", str(subnet)),),
+        )
+    if kind == "bgp-peer":
+        value = int_to_ip(attribute)
+        return TemplateHole(kind=kind, value=value, atoms=(("peer", value),))
+    if kind == "bgp-update-source":
+        if not isinstance(attribute, str) or not _IPV4_LITERAL.match(
+            attribute
+        ):
+            return None
+        return TemplateHole(kind=kind, value=attribute)
+    if kind == "router-id":
+        return TemplateHole(kind=kind, value=int_to_ip(attribute))
+    raise AssertionError(f"unknown hole kind {kind!r}")  # pragma: no cover
+
+
+def _template_walk(value: object, holes: list) -> object:
+    """``canonical_form`` with allowlisted fields replaced by hole markers.
+
+    Mirrors :func:`canonical_form` exactly — same span dropping, same
+    dict/set sorting — except that an allowlisted ``(classname, field)``
+    whose value qualifies becomes ``("<hole>", index, kind)``, with the
+    concrete literal appended to ``holes``.  Hole numbering is therefore
+    a pure function of the template structure: two devices with equal
+    template fingerprints enumerate their holes in the same positions.
+    """
+    if isinstance(value, SourceSpan):
+        return ("<span>",)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        classname = type(value).__name__
+        fields = []
+        for field in dataclasses.fields(value):
+            attribute = getattr(value, field.name)
+            if isinstance(attribute, SourceSpan):
+                continue
+            kind = _HOLE_FIELDS.get((classname, field.name))
+            if kind is not None:
+                hole = _hole_for(kind, attribute)
+                if hole is not None:
+                    fields.append(
+                        (field.name, ("<hole>", len(holes), kind))
+                    )
+                    holes.append(hole)
+                    continue
+            fields.append((field.name, _template_walk(attribute, holes)))
+        return (classname, tuple(fields))
+    if isinstance(value, enum.Enum):
+        return ("<enum>", type(value).__name__, value.name)
+    if isinstance(value, dict):
+        return (
+            "<dict>",
+            tuple(
+                (canonical_form(key), _template_walk(value[key], holes))
+                for key in sorted(value, key=repr)
+            ),
+        )
+    if isinstance(value, (set, frozenset)):
+        # Order by the hole-free canonical form so hole numbering never
+        # depends on set iteration order.  (No allowlisted field lives
+        # inside a set today; this keeps the walk total regardless.)
+        ordered = sorted(value, key=lambda v: repr(canonical_form(v)))
+        return ("<set>", tuple(_template_walk(v, holes) for v in ordered))
+    if isinstance(value, (list, tuple)):
+        return tuple(_template_walk(v, holes) for v in value)
+    return value
+
+
+def compute_template(device: "DeviceConfig") -> DeviceTemplate:
+    """The device's template fingerprint and hole substitution.
+
+    Only the structural components containing allowlisted fields are
+    template-walked (interfaces, BGP, OSPF); ACLs, route maps, static
+    routes, and admin distances enter by their exact component
+    fingerprints — their literals are match semantics and must never be
+    abstracted.
+    """
+    holes: list = []
+    interfaces = _template_walk(device.interfaces, holes)
+    bgp = _template_walk(device.bgp, holes)
+    ospf = _template_walk(device.ospf, holes)
+    fingerprints = device.fingerprints
+    material = (
+        tuple(sorted(fingerprints.acls.items())),
+        tuple(sorted(fingerprints.route_maps.items())),
+        fingerprints.static_routes,
+        fingerprints.admin_distances,
+        interfaces,
+        bgp,
+        ospf,
+    )
+    return DeviceTemplate(
+        fingerprint=fingerprint_value(material, kind="template"),
+        holes=tuple(holes),
+    )
+
+
+def partition_by_template_fingerprint(
+    devices,
+) -> "Dict[str, Tuple[str, ...]]":
+    """Hostnames grouped by template fingerprint, each group sorted.
+
+    The near-symmetry analogue of
+    :func:`partition_by_device_fingerprint`: devices in one group are
+    identical configurations modulo their hole substitutions.  Groups
+    are sorted by hostname, so ``group[0]`` is the deterministic class
+    representative.
+    """
+    groups: Dict[str, list] = {}
+    for device in devices:
+        groups.setdefault(device.template.fingerprint, []).append(
             device.hostname
         )
     return {

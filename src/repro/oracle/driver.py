@@ -45,6 +45,7 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 import random
+import re
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -94,6 +95,7 @@ _GENERATORS = (
     "backend",
     "fleet",
     "symmetry",
+    "near-symmetry",
     "service",
 )
 
@@ -896,6 +898,275 @@ def _run_symmetry_case(
     )
 
 
+_NEAR_IP_TOKEN = re.compile(r"(?<![\d.])(?:\d{1,3}\.){3}\d{1,3}(?![\d.])")
+
+
+def _order_canonical(report: dict) -> dict:
+    """Sort each top-level finding list into a literal-independent order.
+
+    Serialized reports order findings by their concrete literals, so a
+    non-monotone substitution permutes entries without changing any of
+    them; sorting by JSON encoding makes the replay comparison
+    order-insensitive at the top level while every entry stays
+    compared exactly.
+    """
+    import json
+
+    return {
+        key: sorted(value, key=json.dumps)
+        if isinstance(value, list)
+        else value
+        for key, value in report.items()
+    }
+
+
+def _near_symmetry_mismatch(devices) -> Optional[str]:
+    """One-line description of a near-symmetry soundness violation.
+
+    Two claims are cross-validated.  First, the three-mode report
+    identity: ``compress`` ``off``/``exact``/``near`` must serialize
+    byte-identically (the near plan replays counts through template
+    signatures, so any unsound replay shows up as a diverging matrix).
+    Second, the substitution-replay identity on full reports: when two
+    same-template device pairs admit raw substitutions *and induce the
+    same joint equality pattern over their hole atoms* (the theorem's
+    precondition — a clone pair and a distinct-literal pair are not
+    replay-equivalent even though each device maps individually), the
+    first pair's live report rewritten through the substitutions must
+    equal the second pair's live report *up to entry order*: the
+    serializer orders findings by their concrete literals, and a
+    non-monotone substitution permutes that order without changing any
+    finding.
+    """
+    from ..core.fleet import compare_fleet
+    from ..core.near_symmetry import (
+        pair_pattern,
+        raw_substitution,
+        replay_report_dict,
+    )
+    from ..core.serialize import fleet_report_to_dict
+
+    reports = {}
+    for compress in ("off", "exact", "near"):
+        reports[compress] = fleet_report_to_dict(
+            compare_fleet(devices, workers=1, compress=compress)
+        )
+    for mode in ("exact", "near"):
+        if reports[mode] != reports["off"]:
+            keys = sorted(
+                key
+                for key in set(reports[mode]) | set(reports["off"])
+                if reports[mode].get(key) != reports["off"].get(key)
+            )
+            return (
+                f"fleet report diverges between {mode} compression and"
+                f" the uncompressed run (fields: {', '.join(keys)})"
+            )
+
+    # Replay identity: (a, b) rewritten through per-device substitutions
+    # must equal the live (c, d) report, for same-template a->c, b->d.
+    groups: dict = {}
+    for device in devices:
+        groups.setdefault(device.template.fingerprint, []).append(device)
+    multi = [
+        sorted(group, key=lambda d: d.hostname)
+        for group in groups.values()
+        if len(group) >= 2
+    ]
+    multi.sort(key=lambda group: group[0].hostname)
+    quad = None
+    if multi and len(multi[0]) >= 4:
+        quad = (multi[0][0], multi[0][2], multi[0][1], multi[0][3])
+    elif len(multi) >= 2:
+        quad = (multi[0][0], multi[1][0], multi[0][1], multi[1][1])
+    if quad is not None:
+        first, second, first_image, second_image = quad
+        # Oriented-pattern equality is the replay precondition; the
+        # report-level identity only holds when the pairs agree on
+        # which hole atoms coincide within and across the two sides.
+        same_pattern = pair_pattern(
+            first.template.atom_sequence, second.template.atom_sequence
+        ) == pair_pattern(
+            first_image.template.atom_sequence,
+            second_image.template.atom_sequence,
+        )
+        sub1 = raw_substitution(first, first_image)
+        sub2 = raw_substitution(second, second_image)
+        if same_pattern and sub1 is not None and sub2 is not None:
+            mapping = dict(sub1)
+            conflict = any(
+                mapping.get(key, value) != value
+                for key, value in sub2.items()
+            )
+            if not conflict:
+                mapping.update(sub2)
+                replayed = replay_report_dict(
+                    report_to_dict(config_diff(first, second)), mapping
+                )
+                live = report_to_dict(
+                    config_diff(first_image, second_image)
+                )
+                if _order_canonical(replayed) != _order_canonical(live):
+                    return (
+                        "substitution-replayed report for"
+                        f" ({first.hostname}, {second.hostname}) !="
+                        " live report for"
+                        f" ({first_image.hostname}, {second_image.hostname})"
+                    )
+    return None
+
+
+def _run_near_symmetry_case(
+    case_seed: int, result: SelfCheckResult
+) -> Optional[SelfCheckFailure]:
+    """Cross-validate near-symmetry compression on parameterized fleets.
+
+    The base fleet is the parameterized Clos (unique per-device
+    loopbacks/subnets/peers — exact compression finds nothing, so
+    every collapsed pair exercises the template-signature replay).
+    Cases then randomly stamp in a byte-identical clone (an exact class
+    inside a template class) and *alias substitutions* by rewriting one
+    device's IP literal onto another of its own literals — changing the
+    joint equality pattern, which the signature partition must refuse
+    to replay across.  A divergence is shrunk by dropping devices and
+    by perturbing substitutions toward byte-identical clones while the
+    mismatch persists.
+    """
+    from ..workloads.datacenter import parameterized_clos_fleet
+
+    rng = random.Random(case_seed)
+    count = rng.randint(4, 9)
+    devices, _ = parameterized_clos_fleet(
+        count=count,
+        roles=rng.randint(1, min(3, count)),
+        rule_count=rng.randint(4, 10),
+        seed=case_seed,
+        acls=rng.randint(1, 2),
+        uplinks=rng.randint(1, 3),
+    )
+    if rng.random() < 0.4:
+        source = rng.choice(devices)
+        clone_text = "\n".join(source.raw_lines).replace(
+            source.hostname, "pclosxx"
+        )
+        devices.append(parse_cisco(clone_text, "pclosxx.cfg"))
+    if rng.random() < 0.4:
+        index = rng.randrange(len(devices))
+        mutated = _alias_one_literal(devices[index], rng)
+        if mutated is not None:
+            devices[index] = mutated
+
+    detail = _near_symmetry_mismatch(devices)
+    if detail is None:
+        from ..core.fleet import compare_fleet
+
+        report = compare_fleet(devices, workers=1, compress="near")
+        result.differences += sum(report.matrix.values())
+        return None
+
+    def fails(fleet) -> bool:
+        try:
+            return _near_symmetry_mismatch(fleet) is not None
+        except Exception:  # noqa: BLE001 - a shrunk fleet may fail differently
+            return False
+
+    progress = True
+    while progress and len(devices) > 2:
+        progress = False
+        for index in range(len(devices)):
+            candidate = devices[:index] + devices[index + 1 :]
+            if fails(candidate):
+                devices = candidate
+                progress = True
+                break
+        if progress:
+            continue
+        # Substitution-perturbing shrink: replace one device with a
+        # hostname-renamed clone of another (collapsing two distinct
+        # substitutions into an exact class) while the mismatch holds.
+        # Only accepted when it strictly reduces the number of distinct
+        # device contents (modulo hostname) — otherwise clone swaps
+        # could cycle forever without converging.
+        def distinct_contents(fleet) -> int:
+            return len(
+                {
+                    "\n".join(device.raw_lines).replace(
+                        device.hostname, "HOSTNAME"
+                    )
+                    for device in fleet
+                }
+            )
+
+        before = distinct_contents(devices)
+        for index in range(len(devices)):
+            for source in devices:
+                if source.hostname == devices[index].hostname:
+                    continue
+                clone_text = "\n".join(source.raw_lines).replace(
+                    source.hostname, devices[index].hostname
+                )
+                try:
+                    clone = parse_cisco(
+                        clone_text, devices[index].filename
+                    )
+                except Exception:  # noqa: BLE001 - mixed-vendor text
+                    continue
+                candidate = list(devices)
+                candidate[index] = clone
+                if distinct_contents(candidate) < before and fails(
+                    candidate
+                ):
+                    devices = candidate
+                    progress = True
+                    break
+            if progress:
+                break
+    reproducer_lines = [
+        f"fleet of {len(devices)}: "
+        + ", ".join(device.hostname for device in devices)
+    ]
+    for device in devices:
+        reproducer_lines.append(f"[{device.hostname}]")
+        reproducer_lines.append(
+            "substitution: "
+            + ", ".join(device.template.substitution)
+        )
+        for acl in device.acls.values():
+            reproducer_lines.extend(_render_acl(acl))
+    final_detail = _near_symmetry_mismatch(devices) or detail
+    return SelfCheckFailure(
+        "near-symmetry",
+        case_seed,
+        "near-compression-report-identity",
+        final_detail,
+        "\n".join(reproducer_lines),
+    )
+
+
+def _alias_one_literal(device, rng) -> Optional["object"]:
+    """Rewrite one IPv4 literal of ``device`` onto another of its own.
+
+    This aliases two previously-distinct substitution values, changing
+    the device's joint equality pattern against its template class —
+    the exact situation the signature partition must analyze separately
+    instead of replaying.  Returns the re-parsed device, or ``None``
+    when the mutation does not parse (e.g. an address swapped into a
+    netmask position).
+    """
+    text = "\n".join(device.raw_lines)
+    literals = sorted(set(_NEAR_IP_TOKEN.findall(text)))
+    if len(literals) < 2:
+        return None
+    source, target = rng.sample(literals, 2)
+    mutated = re.sub(
+        rf"(?<![\d.]){re.escape(source)}(?![\d.])", target, text
+    )
+    try:
+        return parse_cisco(mutated, device.filename)
+    except Exception:  # noqa: BLE001 - swapped literal may be malformed
+        return None
+
+
 def _service_roundtrip(url: str, configs) -> dict:
     """Push config texts through the live daemon; the result document.
 
@@ -1064,6 +1335,7 @@ _CASE_RUNNERS = {
     "backend": _run_backend_case,
     "fleet": _run_fleet_case,
     "symmetry": _run_symmetry_case,
+    "near-symmetry": _run_near_symmetry_case,
     "service": _run_service_case,
 }
 

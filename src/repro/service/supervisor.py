@@ -238,7 +238,7 @@ class Supervisor:
                 ),
                 memo=DiffMemo(cache) if cache is not None else None,
                 set_backend=payload.get("set_backend") or self.set_backend,
-                compress=self._bool_option(payload, "compress", None),
+                compress=self._compress_option(payload, "compress", None),
             )
         except JobError:
             raise
@@ -276,15 +276,22 @@ class Supervisor:
         if report.symmetry is not None:
             symmetry = {
                 "compressed": True,
+                "mode": report.symmetry.mode,
                 "devices": report.symmetry.devices,
                 "classes": report.symmetry.classes,
                 "matrix_pairs": report.symmetry.total_pairs,
                 "analyzed_pairs": report.symmetry.analyzed_pairs,
                 "expanded_pairs": report.symmetry.expanded_pairs,
+                "fallback_pairs": report.symmetry.fallback_pairs,
             }
             perf.add(
                 "service.jobs.pairs_expanded", report.symmetry.expanded_pairs
             )
+            if report.symmetry.fallback_pairs:
+                perf.add(
+                    "service.jobs.near_fallback_pairs",
+                    report.symmetry.fallback_pairs,
+                )
         else:
             symmetry = {"compressed": False}
         return {
@@ -355,3 +362,24 @@ class Supervisor:
         if isinstance(value, bool):
             return value
         raise JobError(f"option {key!r} is not a boolean", permanent=True)
+
+    @staticmethod
+    def _compress_option(payload: Dict, key: str, default):
+        # Booleans keep their historical meaning (True = exact,
+        # False = off); strings select a mode by name.
+        value = payload.get(key)
+        if value is None:
+            return default
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, str) and value.strip().lower() in (
+            "off",
+            "exact",
+            "near",
+        ):
+            return value.strip().lower()
+        raise JobError(
+            f"option {key!r} must be a boolean or one of"
+            " 'off', 'exact', 'near'",
+            permanent=True,
+        )

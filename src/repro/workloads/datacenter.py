@@ -40,6 +40,7 @@ __all__ = [
     "scenario3_gateway_acls",
     "gateway_fleet",
     "templated_clos_fleet",
+    "parameterized_clos_fleet",
     "full_table6_workload",
 ]
 
@@ -641,6 +642,102 @@ def templated_clos_fleet(
             text = render_juniper_filters(hostname, policies)
             text += _juniper_interfaces(policy_names)
             devices.append(parse_juniper(text, f"{hostname}.cfg"))
+    return devices, role_of
+
+
+def parameterized_clos_fleet(
+    count: int = 12,
+    roles: int = 3,
+    rule_count: int = 8,
+    seed: int = 0,
+    acls: int = 2,
+    uplinks: int = 2,
+) -> Tuple[List[DeviceConfig], Dict[str, str]]:
+    """A templated Clos fleet where *no two devices are byte-identical*.
+
+    Like :func:`templated_clos_fleet`, device ``i`` stamps role
+    ``i % roles`` (a shared per-role ACL policy set bound to
+    ``uplinks`` interfaces) — but every device additionally carries its
+    own unique loopback, uplink subnets, router-ids, and BGP neighbor
+    addresses, exactly as a real fabric assigns per-device parameters
+    to one role template.  The exact device-fingerprint partition
+    therefore degenerates to ``count`` singleton classes (PR 8
+    compression finds nothing), while the *template* partition has one
+    class per role and the near-symmetry plan analyzes one pair per
+    role pair — the showcase workload for
+    ``compare_fleet(compress="near")``.
+
+    All devices are Cisco (template equality is per-vendor by
+    construction: vendors render different stanza structure).  Returns
+    the parsed fleet plus ``hostname -> role name``.
+    """
+    import random as _random
+
+    from .acl_gen import random_rules, render_cisco_acls
+
+    if roles < 1 or count < roles:
+        raise ValueError("need 1 <= roles <= count")
+    if acls < 1:
+        raise ValueError("need at least one ACL per device")
+    if not 1 <= count <= 250:
+        raise ValueError("need 1 <= count <= 250 (per-device /24 octets)")
+    acls = min(acls, rule_count)
+    rng = _random.Random(seed)
+
+    def _role_policies() -> List[Tuple[str, List]]:
+        rules = random_rules(rule_count, rng)
+        share, leftover = divmod(rule_count, acls)
+        policies = []
+        start = 0
+        for position in range(acls):
+            size = share + (1 if position < leftover else 0)
+            policies.append(
+                (f"PCLOS_POLICY_{position}", rules[start : start + size])
+            )
+            start += size
+        return policies
+
+    role_policies = [_role_policies() for _ in range(roles)]
+
+    devices: List[DeviceConfig] = []
+    role_of: Dict[str, str] = {}
+    for index in range(count):
+        role = index % roles
+        hostname = f"pclos{index:02d}"
+        role_of[hostname] = f"role{role}"
+        policies = role_policies[role]
+        policy_names = [name for name, _ in policies]
+        octet = index + 1
+        loopback = f"10.255.{octet}.1"
+        lines = [render_cisco_acls(hostname, policies).rstrip("\n")]
+        lines.append("interface Loopback0")
+        lines.append(f" ip address {loopback} 255.255.255.255")
+        lines.append("!")
+        for uplink in range(uplinks):
+            lines.append(f"interface Ethernet{uplink}")
+            lines.append(f" description uplink{uplink}")
+            lines.append(
+                f" ip address 10.200.{octet}.{4 * uplink + 1}"
+                " 255.255.255.252"
+            )
+            lines.append(
+                f" ip access-group {policy_names[uplink % len(policy_names)]} in"
+            )
+            lines.append("!")
+        lines.append("router bgp 65000")
+        lines.append(f" bgp router-id {loopback}")
+        for uplink in range(uplinks):
+            peer = f"10.200.{octet}.{4 * uplink + 2}"
+            lines.append(f" neighbor {peer} remote-as 64{uplink:03d}")
+            lines.append(f" neighbor {peer} update-source {loopback}")
+            lines.append(f" neighbor {peer} send-community")
+        lines.append("!")
+        lines.append("router ospf 1")
+        lines.append(f" router-id {loopback}")
+        lines.append(f" network 10.200.{octet}.0 0.0.0.255 area 0")
+        lines.append("!")
+        text = "\n".join(lines) + "\n"
+        devices.append(parse_cisco(text, f"{hostname}.cfg"))
     return devices, role_of
 
 

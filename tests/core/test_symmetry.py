@@ -169,7 +169,10 @@ class TestFailureExpansion:
             raise RuntimeError("boom")
 
         monkeypatch.setattr(parallel, "_count_pair", boom)
-        report = compare_fleet(devices, workers=1)
+        # Pinned to exact mode: near-symmetry deliberately does NOT fail
+        # the whole class (members fall back to concrete analysis; see
+        # tests/core/test_near_symmetry.py).
+        report = compare_fleet(devices, workers=1, compress="exact")
         # The intra-class pair never ran _count_pair, so it survives ...
         assert report.matrix[(first, second)] == 0
         # ... which makes `first` the medoid; the reference phase then
@@ -184,44 +187,75 @@ class TestFailureExpansion:
 
 
 class TestResolveCompress:
-    def test_default_is_on(self, monkeypatch):
+    def test_default_is_near(self, monkeypatch):
         monkeypatch.delenv(COMPRESS_ENV, raising=False)
-        assert resolve_compress() is True
-        assert resolve_compress(None) is True
+        assert resolve_compress() == "near"
+        assert resolve_compress(None) == "near"
 
     @pytest.mark.parametrize(
         "raw", ["0", "false", "no", "off", "False", " OFF ", "NO"]
     )
     def test_env_disables(self, monkeypatch, raw):
         monkeypatch.setenv(COMPRESS_ENV, raw)
-        assert resolve_compress() is False
+        assert resolve_compress() == "off"
 
     @pytest.mark.parametrize("raw", ["1", "true", "yes", "on", "anything"])
-    def test_env_enables(self, monkeypatch, raw):
+    def test_env_enables_near(self, monkeypatch, raw):
+        # Historical truthy values select the strongest compression.
         monkeypatch.setenv(COMPRESS_ENV, raw)
-        assert resolve_compress() is True
+        assert resolve_compress() == "near"
+
+    @pytest.mark.parametrize("raw", ["exact", "EXACT", " exact "])
+    def test_env_selects_exact(self, monkeypatch, raw):
+        monkeypatch.setenv(COMPRESS_ENV, raw)
+        assert resolve_compress() == "exact"
+
+    def test_booleans_keep_their_historical_meaning(self):
+        assert resolve_compress(True) == "exact"
+        assert resolve_compress(False) == "off"
+
+    @pytest.mark.parametrize("mode", ["off", "exact", "near"])
+    def test_mode_strings_pass_through(self, mode):
+        assert resolve_compress(mode) == mode
+        assert resolve_compress(mode.upper()) == mode
+
+    def test_unknown_mode_is_rejected(self):
+        with pytest.raises(ValueError, match="compress must be one of"):
+            resolve_compress("sorta")
 
     def test_argument_beats_environment(self, monkeypatch):
-        monkeypatch.setenv(COMPRESS_ENV, "1")
-        assert resolve_compress(False) is False
+        monkeypatch.setenv(COMPRESS_ENV, "near")
+        assert resolve_compress(False) == "off"
         monkeypatch.setenv(COMPRESS_ENV, "0")
-        assert resolve_compress(True) is True
+        assert resolve_compress(True) == "exact"
+        assert resolve_compress("near") == "near"
 
     def test_compare_fleet_honors_environment(self, monkeypatch):
         fleet = [_named(CISCO_FIGURE1, name) for name in ("a", "b")]
         monkeypatch.setenv(COMPRESS_ENV, "0")
         assert compare_fleet(fleet).symmetry is None
+        monkeypatch.setenv(COMPRESS_ENV, "exact")
+        assert compare_fleet(fleet).symmetry.mode == "exact"
         monkeypatch.setenv(COMPRESS_ENV, "1")
-        assert compare_fleet(fleet).symmetry is not None
+        assert compare_fleet(fleet).symmetry.mode == "near"
 
 
 class TestSymmetryStats:
     def test_render_mentions_classes_and_pairs(self):
         fleet = [_named(CISCO_FIGURE1, name) for name in ("a", "b", "c")]
-        stats = compare_fleet(fleet).symmetry
+        stats = compare_fleet(fleet, compress="exact").symmetry
         rendered = stats.render()
         assert "3 device(s)" in rendered
         assert "1 fingerprint class(es)" in rendered
+        assert "analyzed 0 of 3" in rendered
+
+    def test_near_render_mentions_template_classes(self):
+        fleet = [_named(CISCO_FIGURE1, name) for name in ("a", "b", "c")]
+        stats = compare_fleet(fleet).symmetry  # default mode is near
+        rendered = stats.render()
+        assert stats.mode == "near"
+        assert "3 device(s)" in rendered
+        assert "1 template class(es)" in rendered
         assert "analyzed 0 of 3" in rendered
 
     def test_stats_not_serialized(self):

@@ -7,12 +7,16 @@ import pytest
 from repro.model import fingerprint as fp_module
 from repro.model.fingerprint import (
     ComponentFingerprints,
+    DeviceTemplate,
     canonical_form,
     compute_fingerprints,
+    compute_template,
     fingerprint_value,
+    partition_by_template_fingerprint,
 )
 from repro.model.types import SourceSpan
 from repro.parsers import parse_cisco
+from repro.workloads.datacenter import parameterized_clos_fleet
 from repro.workloads.figure1 import CISCO_FIGURE1
 
 
@@ -82,6 +86,91 @@ class TestDeviceFingerprints:
             compute_fingerprints(_named("r1"))
             == compute_fingerprints(_named("r1"))
         )
+
+
+class TestDeviceTemplate:
+    def test_cached_on_first_access(self):
+        device = _named("r1")
+        assert "_template" not in device.__dict__
+        assert isinstance(device.template, DeviceTemplate)
+        assert "_template" in device.__dict__
+        assert device.template is device.template
+
+    def test_renamed_clone_has_identical_template(self):
+        one = _named("r1", "one.cfg")
+        two = _named("r2", "two.cfg")
+        assert one.template.fingerprint == two.template.fingerprint
+        assert one.template.substitution == two.template.substitution
+
+    def test_same_role_devices_share_template_with_distinct_substitutions(
+        self,
+    ):
+        devices, role_of = parameterized_clos_fleet(
+            count=6, roles=2, rule_count=6, seed=0
+        )
+        same_role = [
+            d for d in devices if role_of[d.hostname] == role_of[devices[0].hostname]
+        ]
+        first, second = same_role[0], same_role[1]
+        assert first.fingerprints.device != second.fingerprints.device
+        assert first.template.fingerprint == second.template.fingerprint
+        assert first.template.substitution != second.template.substitution
+        assert first.template.kind_sequence == second.template.kind_sequence
+
+    def test_partition_groups_by_role(self):
+        devices, role_of = parameterized_clos_fleet(
+            count=6, roles=2, rule_count=6, seed=0
+        )
+        classes = partition_by_template_fingerprint(devices)
+        assert len(classes) == 2
+        for group in classes.values():
+            assert len({role_of[h] for h in group}) == 1
+            assert group == tuple(sorted(group))
+
+    def test_acl_literal_change_changes_template(self):
+        # ACL match semantics are never holed: a changed address there
+        # is a changed answer, so the template must diverge.
+        base = _named("r1")
+        changed = _named(
+            "r1", text=CISCO_FIGURE1.replace("deny", "permit", 1)
+        )
+        assert base.template.fingerprint != changed.template.fingerprint
+
+    def test_interface_hole_atom_is_masked_subnet(self):
+        # The hole *value* keeps the host form (substitution replay
+        # rewrites raw text) while the equality *atom* is the masked
+        # subnet — the only form the diff's connected routes consult.
+        devices, _ = parameterized_clos_fleet(
+            count=2, roles=1, rule_count=4, seed=0, uplinks=1
+        )
+        template = devices[0].template
+        holes = [
+            h for h in template.holes if h.kind == "interface-address"
+        ]
+        assert holes
+        uplink = next(h for h in holes if h.value.endswith("/30"))
+        ((tag, subnet),) = uplink.atoms
+        assert tag == "subnet"
+        assert subnet.endswith("/30")
+        assert subnet != uplink.value  # host bits masked away
+
+    def test_free_holes_carry_no_atoms(self):
+        devices, _ = parameterized_clos_fleet(
+            count=2, roles=1, rule_count=4, seed=0
+        )
+        template = devices[0].template
+        kinds = set(template.kind_sequence)
+        assert "router-id" in kinds
+        assert "bgp-update-source" in kinds
+        for hole in template.holes:
+            if hole.kind in ("router-id", "bgp-update-source"):
+                assert hole.atoms == ()
+            elif hole.kind == "bgp-peer":
+                assert hole.atoms == (("peer", hole.value),)
+
+    def test_template_is_deterministic(self):
+        device = _named("r1")
+        assert compute_template(device) == compute_template(_named("r1"))
 
 
 class TestSchemaVersion:

@@ -32,22 +32,31 @@ def _read_root(module, name: str) -> dict:
 
 class TestWriteArtifact:
     def test_first_write_creates_results_file_and_root_link(self, artifacts):
-        path = artifacts.write_artifact("BENCH_x.json", {"speedup": 2.0})
+        path = artifacts.write_artifact("BENCH_x.json", {"speedup": 2.0}, "smoke")
         assert path == artifacts.RESULTS_DIR / "BENCH_x.json"
-        assert json.loads(path.read_text()) == {"speedup": 2.0}
+        assert json.loads(path.read_text()) == {
+            "speedup": 2.0,
+            "workload_scale": "smoke",
+        }
         root_link = artifacts.REPO_ROOT / "BENCH_x.json"
         assert root_link.is_symlink()
         assert os.readlink(root_link) == os.path.join(
             "benchmarks", "results", "BENCH_x.json"
         )
-        assert _read_root(artifacts, "BENCH_x.json") == {"speedup": 2.0}
+        assert _read_root(artifacts, "BENCH_x.json") == {
+            "speedup": 2.0,
+            "workload_scale": "smoke",
+        }
 
     def test_rerun_over_existing_symlink_is_idempotent(self, artifacts):
-        artifacts.write_artifact("BENCH_x.json", {"speedup": 2.0})
-        artifacts.write_artifact("BENCH_x.json", {"speedup": 3.0})
+        artifacts.write_artifact("BENCH_x.json", {"speedup": 2.0}, "smoke")
+        artifacts.write_artifact("BENCH_x.json", {"speedup": 3.0}, "full")
         root_link = artifacts.REPO_ROOT / "BENCH_x.json"
         assert root_link.is_symlink()
-        assert _read_root(artifacts, "BENCH_x.json") == {"speedup": 3.0}
+        assert _read_root(artifacts, "BENCH_x.json") == {
+            "speedup": 3.0,
+            "workload_scale": "full",
+        }
 
     def test_rerun_replaces_stale_regular_file(self, artifacts):
         # A symlink-less filesystem (or an old checkout) left a plain
@@ -55,30 +64,50 @@ class TestWriteArtifact:
         # not let it shadow fresh numbers.
         root_copy = artifacts.REPO_ROOT / "BENCH_x.json"
         root_copy.write_text('{"speedup": 1.0}\n')
-        artifacts.write_artifact("BENCH_x.json", {"speedup": 4.0})
+        artifacts.write_artifact("BENCH_x.json", {"speedup": 4.0}, "smoke")
         assert root_copy.is_symlink()
-        assert _read_root(artifacts, "BENCH_x.json") == {"speedup": 4.0}
+        assert _read_root(artifacts, "BENCH_x.json") == {
+            "speedup": 4.0,
+            "workload_scale": "smoke",
+        }
 
     def test_rerun_repoints_wrong_and_broken_symlinks(self, artifacts):
         root_link = artifacts.REPO_ROOT / "BENCH_x.json"
         os.symlink("nowhere/else.json", root_link)  # broken AND wrong
-        artifacts.write_artifact("BENCH_x.json", {"speedup": 5.0})
+        artifacts.write_artifact("BENCH_x.json", {"speedup": 5.0}, "smoke")
         assert os.readlink(root_link) == os.path.join(
             "benchmarks", "results", "BENCH_x.json"
         )
-        assert _read_root(artifacts, "BENCH_x.json") == {"speedup": 5.0}
+        assert _read_root(artifacts, "BENCH_x.json") == {
+            "speedup": 5.0,
+            "workload_scale": "smoke",
+        }
 
     def test_leftover_scratch_file_is_swept(self, artifacts):
         # A crash between scratch creation and the rename leaves the
         # temporary name behind; the next run must clean it up.
         scratch = artifacts.REPO_ROOT / "BENCH_x.json.tmp"
         scratch.write_text("junk")
-        artifacts.write_artifact("BENCH_x.json", {"speedup": 6.0})
+        artifacts.write_artifact("BENCH_x.json", {"speedup": 6.0}, "full")
         assert not scratch.exists()
-        assert _read_root(artifacts, "BENCH_x.json") == {"speedup": 6.0}
+        assert _read_root(artifacts, "BENCH_x.json") == {
+            "speedup": 6.0,
+            "workload_scale": "full",
+        }
 
     def test_single_serialization_sorted_and_newline_terminated(self, artifacts):
-        path = artifacts.write_artifact("BENCH_x.json", {"b": 1, "a": 2})
+        path = artifacts.write_artifact("BENCH_x.json", {"b": 1, "a": 2}, "smoke")
         text = path.read_text()
         assert text.endswith("\n")
         assert text.index('"a"') < text.index('"b"')
+
+    def test_workload_scale_is_stamped_without_mutating_caller(self, artifacts):
+        payload = {"speedup": 7.0}
+        path = artifacts.write_artifact("BENCH_x.json", payload, "full")
+        assert json.loads(path.read_text())["workload_scale"] == "full"
+        assert payload == {"speedup": 7.0}  # caller's dict untouched
+
+    def test_invalid_workload_scale_is_rejected(self, artifacts):
+        with pytest.raises(ValueError, match="workload_scale"):
+            artifacts.write_artifact("BENCH_x.json", {}, "medium")
+        assert not (artifacts.RESULTS_DIR / "BENCH_x.json").exists()
