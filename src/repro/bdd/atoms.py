@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 from .engine import Bdd
 
@@ -51,11 +51,25 @@ __all__ = [
     "AtomBudgetExceeded",
     "AtomRefinement",
     "default_atom_budget",
+    "iter_set_bits",
     "resolve_atom_budget",
     "refine_partitions",
 ]
 
 ATOM_BUDGET_ENV = "CAMPION_ATOM_BUDGET"
+
+
+def iter_set_bits(mask: int) -> Iterator[int]:
+    """Indices of the set bits of ``mask``, lowest first.
+
+    The canonical walk over an atom bitset: isolating the lowest set
+    bit with ``mask & -mask`` keeps each step O(word) on arbitrary-
+    precision ints instead of scanning all positions.
+    """
+    while mask:
+        low = mask & -mask
+        mask ^= low
+        yield low.bit_length() - 1
 
 
 class AtomBudgetExceeded(RuntimeError):

@@ -40,7 +40,12 @@ from __future__ import annotations
 
 from typing import Hashable, List, Optional, Sequence
 
-from .atoms import AtomBudgetExceeded, refine_partitions, resolve_atom_budget
+from .atoms import (
+    AtomBudgetExceeded,
+    iter_set_bits,
+    refine_partitions,
+    resolve_atom_budget,
+)
 from .engine import Bdd
 
 __all__ = [
@@ -141,10 +146,8 @@ class AtomUniverse:
         for vector in self._vectors:
             for index, bits in enumerate(vector):
                 remapped = 0
-                while bits:
-                    low = bits & -bits
-                    bits -= low
-                    remapped |= old_to_new[low.bit_length() - 1]
+                for atom in iter_set_bits(bits):
+                    remapped |= old_to_new[atom]
                 vector[index] = remapped
         self.atoms = list(refinement.atoms)
         self._vectors.append(list(refinement.bitsets2))

@@ -73,7 +73,9 @@ __all__ = [
 ]
 
 #: Bump when the on-disk layout or pickled payload shape changes.
-CACHE_SCHEMA_VERSION = 1
+#: v2: diff entries may carry localization-replay fields ("localized",
+#: "provenance", "replay") and stats() reports localized entry counts.
+CACHE_SCHEMA_VERSION = 2
 
 CACHE_DIR_ENV = "CAMPION_CACHE_DIR"
 
@@ -250,13 +252,26 @@ class ArtifactCache:
         for store in (_DEVICES, _DIFFS):
             entries = 0
             size = 0
+            localized = 0
             for path in self._entries(store):
                 try:
                     size += path.stat().st_size
                 except OSError:
                     continue
                 entries += 1
+                if store == _DIFFS:
+                    try:
+                        with open(path, "r", encoding="utf-8") as handle:
+                            payload = json.load(handle)
+                        if payload.get("entry", {}).get("localized"):
+                            localized += 1
+                    except Exception:  # noqa: BLE001 - stats stay best-effort
+                        continue
             result["stores"][store] = {"entries": entries, "bytes": size}
+            if store == _DIFFS:
+                # Diff entries carrying replayable localization (schema
+                # v2) — the warm full-report path's working set.
+                result["stores"][store]["localized"] = localized
         entries = 0
         size = 0
         for path in self._quarantine_entries():

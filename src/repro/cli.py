@@ -81,6 +81,8 @@ _CACHE_COUNTERS = (
     "cache.device.misses",
     "cache.diff.hits",
     "cache.diff.misses",
+    "memo.localization_replays",
+    "header_localize.dag_cache_hits",
 )
 
 
@@ -106,8 +108,12 @@ def _cache_note(cache, baseline) -> None:
     }
     hits = deltas["cache.device.hits"] + deltas["cache.diff.hits"]
     misses = deltas["cache.device.misses"] + deltas["cache.diff.misses"]
+    replays = deltas["memo.localization_replays"]
+    dag_hits = deltas["header_localize.dag_cache_hits"]
     print(
-        f"campion: cache: hits={hits} misses={misses} dir={cache.root}",
+        f"campion: cache: hits={hits} misses={misses} "
+        f"localization_replays={replays} dag_cache_hits={dag_hits} "
+        f"dir={cache.root}",
         file=sys.stderr,
     )
 
@@ -350,11 +356,14 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     stats = cache.stats()
     print(f"cache: {stats['root']}")
     for store, numbers in stats["stores"].items():
-        print(
+        line = (
             f"  {store}: {numbers['entries']} entr"
             f"{'y' if numbers['entries'] == 1 else 'ies'}, "
             f"{numbers['bytes']} bytes"
         )
+        if "localized" in numbers:
+            line += f", {numbers['localized']} localized"
+        print(line)
     return EXIT_EQUIVALENT
 
 

@@ -16,16 +16,16 @@ Both entry points run the *same* component walk, optionally through a
 
 * :func:`config_diff` produces a full live :class:`CampionReport`.  A
   memo hit with zero differences skips the component outright (it would
-  contribute nothing to the report); a hit with differences is
-  recomputed live so localization points at this pair's actual lines.
+  contribute nothing to the report); a *localized* hit whose provenance
+  digest matches this pair is replayed verbatim with span filenames
+  rewritten (:mod:`repro.core.replay`); any other hit is recomputed
+  live so localization points at this pair's actual lines.
 * :func:`config_diff_summary` produces only the difference *count* (the
   fleet matrix's currency): memo hits of any count are replayed as
   arithmetic, misses are computed exactly once per unique fingerprint
   pair.  Count mode skips HeaderLocalize entirely — localization
   annotates differences (spans, exhaustive sets, examples) but never
-  changes how many there are, and nothing replays a memo entry's
-  difference *contents* (collect mode recomputes live so localization
-  points at the actual pair's lines) — so the matrix phase pays for
+  changes how many there are — so the matrix phase pays for
   SemanticDiff only.
 
 Using one walk for both modes is what makes the count-parity invariant
@@ -38,6 +38,7 @@ from __future__ import annotations
 import time
 from typing import Dict, Optional, Tuple
 
+from .. import perf
 from ..bdd import AnalysisBudgetExceeded
 from ..model.device import DeviceConfig
 from .match_policies import PolicyPairing, match_policies
@@ -49,7 +50,12 @@ from .memo import (
     structural_entry,
     structural_key,
 )
-from .present import localize_acl_difference, localize_route_map_difference
+from .present import localize_acl_differences, localize_route_map_differences
+from .replay import (
+    localization_provenance,
+    replay_augmentation,
+    replay_semantic_differences,
+)
 from .results import AbortedAnalysis, CampionReport, ComponentKind
 from .semantic_diff import diff_acls, diff_route_maps
 from .structural_diff import structural_diff_all
@@ -97,8 +103,10 @@ def config_diff(
 
     ``memo`` enables fingerprint-keyed reuse: components whose memoized
     result is *no differences* are skipped (identical report, zero BDD
-    work) and fresh clean results are recorded for later pairs — the
-    report itself is identical to a memo-less run.
+    work), localized entries matching this pair's provenance are
+    replayed without recomputation, and fresh clean results are
+    recorded for later pairs — the report itself is identical to a
+    memo-less run.
 
     ``set_backend`` selects the SemanticDiff set-algebra backend by name
     (see :mod:`repro.core.setalg`); ``None`` uses the process default.
@@ -229,7 +237,7 @@ def _walk_components(
                 )
             )
             continue
-        key = entry = None
+        key = entry = provenance = None
         if memo is not None:
             key = route_map_key(
                 fps1.route_maps[pair.name1],
@@ -243,8 +251,22 @@ def _walk_components(
                 if not collect:
                     replayed += entry["count"]
                     continue
-                # collect mode recomputes live below so localization
-                # points at this pair's actual source lines.
+            if collect:
+                provenance = localization_provenance(
+                    map1, map2, pair.context, pair.name1, pair.name2
+                )
+            if (
+                entry is not None
+                and entry.get("localized")
+                and entry.get("provenance") == provenance
+            ):
+                rebuilt = replay_semantic_differences(entry, device1, device2)
+                report.semantic.extend(rebuilt)
+                perf.add("memo.localization_replays", len(rebuilt))
+                continue
+            # Otherwise collect mode recomputes live below (a hit whose
+            # provenance differs came from a clone at other file
+            # offsets; its localization would report the wrong lines).
         component = _component_label(pair.name1, pair.name2, "route map")
         left = _remaining(component, ComponentKind.ROUTE_MAP)
         if left is not None and left <= 0:
@@ -261,14 +283,14 @@ def _walk_components(
                 set_backend=set_backend,
             )
             if collect:
-                for difference in differences:
-                    localize_route_map_difference(
-                        space,
-                        difference,
-                        map1,
-                        map2,
-                        exhaustive_communities=exhaustive_communities,
-                    )
+                localize_route_map_differences(
+                    space,
+                    differences,
+                    map1,
+                    map2,
+                    exhaustive_communities=exhaustive_communities,
+                    backend=set_backend,
+                )
         except AnalysisBudgetExceeded as exc:
             report.aborted.append(
                 AbortedAnalysis(
@@ -280,18 +302,31 @@ def _walk_components(
             )
             continue  # aborted results are never memoized
         report.semantic.extend(differences)
-        if memo is not None and entry is None:
-            memo.put(
-                key,
-                semantic_entry(
-                    ComponentKind.ROUTE_MAP, differences, context=pair.context
-                ),
-            )
+        if memo is not None:
+            if collect:
+                localized = semantic_entry(
+                    ComponentKind.ROUTE_MAP,
+                    differences,
+                    context=pair.context,
+                    provenance=provenance,
+                    replay=replay_augmentation(differences),
+                )
+                if entry is None:
+                    memo.put(key, localized)
+                elif not entry.get("localized"):
+                    memo.upgrade(key, localized)
+            elif entry is None:
+                memo.put(
+                    key,
+                    semantic_entry(
+                        ComponentKind.ROUTE_MAP, differences, context=pair.context
+                    ),
+                )
 
     for pair in pairing.acl_pairs:
         acl1 = device1.acls[pair.name1]
         acl2 = device2.acls[pair.name2]
-        key = entry = None
+        key = entry = provenance = None
         if memo is not None:
             key = acl_key(fps1.acls[pair.name1], fps2.acls[pair.name2])
             entry = memo.get(key)
@@ -301,6 +336,19 @@ def _walk_components(
                 if not collect:
                     replayed += entry["count"]
                     continue
+            if collect:
+                provenance = localization_provenance(
+                    acl1, acl2, f"ACL {pair.name1}", pair.name1, pair.name2
+                )
+            if (
+                entry is not None
+                and entry.get("localized")
+                and entry.get("provenance") == provenance
+            ):
+                rebuilt = replay_semantic_differences(entry, device1, device2)
+                report.semantic.extend(rebuilt)
+                perf.add("memo.localization_replays", len(rebuilt))
+                continue
         component = _component_label(pair.name1, pair.name2, "ACL")
         left = _remaining(component, ComponentKind.ACL)
         if left is not None and left <= 0:
@@ -317,8 +365,9 @@ def _walk_components(
                 set_backend=set_backend,
             )
             if collect:
-                for difference in differences:
-                    localize_acl_difference(space, difference, acl1, acl2)
+                localize_acl_differences(
+                    space, differences, acl1, acl2, backend=set_backend
+                )
         except AnalysisBudgetExceeded as exc:
             report.aborted.append(
                 AbortedAnalysis(
@@ -330,8 +379,20 @@ def _walk_components(
             )
             continue
         report.semantic.extend(differences)
-        if memo is not None and entry is None:
-            memo.put(key, semantic_entry(ComponentKind.ACL, differences))
+        if memo is not None:
+            if collect:
+                localized = semantic_entry(
+                    ComponentKind.ACL,
+                    differences,
+                    provenance=provenance,
+                    replay=replay_augmentation(differences),
+                )
+                if entry is None:
+                    memo.put(key, localized)
+                elif not entry.get("localized"):
+                    memo.upgrade(key, localized)
+            elif entry is None:
+                memo.put(key, semantic_entry(ComponentKind.ACL, differences))
 
     if memo is not None:
         skey = structural_key(fps1, fps2, pairing.ospf_interface_pairing)

@@ -19,15 +19,20 @@ denoting address sets).  An element type must supply:
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Generic, Hashable, List, Optional, Sequence, Set, TypeVar
+from typing import Callable, Dict, Generic, Hashable, List, Optional, Sequence, Set, Tuple, TypeVar
 
+from .. import perf
 from ..model.types import Prefix, PrefixRange
 
 __all__ = [
     "DdnfNode",
     "DdnfDag",
     "build_dag",
+    "cached_dag",
+    "dag_cache_clear",
     "prefix_range_algebra",
     "address_prefix_algebra",
     "RangeAlgebra",
@@ -146,7 +151,14 @@ def build_dag(
     ranges: Sequence[ElementT], algebra: RangeAlgebra[ElementT]
 ) -> DdnfDag[ElementT]:
     """Build the immediate-containment DAG over the closed range set."""
-    labels = close_under_intersection(ranges, algebra)
+    return _dag_from_labels(
+        close_under_intersection(ranges, algebra), algebra
+    )
+
+
+def _dag_from_labels(
+    labels: Sequence[ElementT], algebra: RangeAlgebra[ElementT]
+) -> DdnfDag[ElementT]:
     nodes: Dict[ElementT, DdnfNode[ElementT]] = {
         label: DdnfNode(label) for label in labels
     }
@@ -177,3 +189,78 @@ def build_dag(
     for node in nodes.values():
         node.children.sort(key=lambda child: repr(child.label))
     return DdnfDag(root, nodes)
+
+
+#: LRU capacity of the shared DAG cache.  Distinct vocabularies per
+#: fleet are bounded by the number of distinct policy contents, which
+#: symmetry compression already keeps small; 256 comfortably covers a
+#: large mixed fleet while bounding memory.
+_DAG_CACHE_CAPACITY = 256
+
+_cache_lock = threading.Lock()
+#: (universe, frozenset(input ranges)) -> canonical closed vocabulary.
+_vocab_cache: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+#: (universe, closed vocabulary tuple) -> built DAG (treated read-only).
+_dag_cache: "OrderedDict[Tuple, DdnfDag]" = OrderedDict()
+
+
+def dag_cache_clear() -> None:
+    """Drop every cached vocabulary and DAG (tests and benchmarks)."""
+    with _cache_lock:
+        _vocab_cache.clear()
+        _dag_cache.clear()
+
+
+def _lru_get(cache: OrderedDict, key):
+    with _cache_lock:
+        value = cache.get(key)
+        if value is not None:
+            cache.move_to_end(key)
+        return value
+
+
+def _lru_put(cache: OrderedDict, key, value):
+    """Insert first-wins (a racing builder adopts the existing value)."""
+    with _cache_lock:
+        existing = cache.get(key)
+        if existing is not None:
+            cache.move_to_end(key)
+            return existing
+        cache[key] = value
+        while len(cache) > _DAG_CACHE_CAPACITY:
+            cache.popitem(last=False)
+        return value
+
+
+def cached_dag(
+    ranges: Sequence[ElementT], algebra: RangeAlgebra[ElementT]
+) -> DdnfDag[ElementT]:
+    """:func:`build_dag` through a process-wide two-level LRU cache.
+
+    Level 1 maps the *input* range multiset to its canonical closed
+    vocabulary; level 2 maps the closed vocabulary to the built DAG.
+    Two components quoting different range subsets of the same closure
+    (common across a templated fleet, where every clone carries the
+    same prefix lists) therefore share one DAG — HeaderLocalize builds
+    each distinct ddNF DAG once per process instead of once per
+    pair-per-difference.  Keys lead with ``algebra.universe`` because
+    the universe value distinguishes the two range algebras in use
+    (``PrefixRange.universe()`` vs ``Prefix(0, 0)``); the returned DAG
+    is shared and must be treated as read-only.
+    """
+    vocab_key = (algebra.universe, frozenset(ranges))
+    closed = _lru_get(_vocab_cache, vocab_key)
+    if closed is None:
+        closed = _lru_put(
+            _vocab_cache,
+            vocab_key,
+            tuple(close_under_intersection(ranges, algebra)),
+        )
+    dag_key = (algebra.universe, closed)
+    dag = _lru_get(_dag_cache, dag_key)
+    if dag is None:
+        perf.add("header_localize.dag_cache_misses")
+        dag = _lru_put(_dag_cache, dag_key, _dag_from_labels(closed, algebra))
+    else:
+        perf.add("header_localize.dag_cache_hits")
+    return dag

@@ -544,28 +544,29 @@ def compare_fleet(
         notes=sorted(set(notes)),
         symmetry=symmetry,
     )
-    for hostname in hostnames:
-        if hostname == reference:
-            continue
-        key = (min(reference, hostname), max(reference, hostname))
-        # Always re-run oriented reference-first so reports read
-        # uniformly; budgets make the retry of a matrix-phase failure
-        # degrade per-component instead of repeating the blow-up.
-        try:
-            report = config_diff(
-                by_name[reference],
-                by_name[hostname],
-                exhaustive_communities=exhaustive_communities,
-                node_limit=node_limit,
-                time_budget=timeout,
-                memo=memo,
-                set_backend=set_backend,
-            )
-        except Exception as exc:  # noqa: BLE001 - isolate per-device failure
-            result.failed_reports[hostname] = f"{type(exc).__name__}: {exc}"
-            continue
-        result.reports[hostname] = report
-        result.matrix.setdefault(key, report.total_differences())
-        result.failed_pairs.pop(key, None)
+    with perf.timer("fleet.reports"):
+        for hostname in hostnames:
+            if hostname == reference:
+                continue
+            key = (min(reference, hostname), max(reference, hostname))
+            # Always re-run oriented reference-first so reports read
+            # uniformly; budgets make the retry of a matrix-phase failure
+            # degrade per-component instead of repeating the blow-up.
+            try:
+                report = config_diff(
+                    by_name[reference],
+                    by_name[hostname],
+                    exhaustive_communities=exhaustive_communities,
+                    node_limit=node_limit,
+                    time_budget=timeout,
+                    memo=memo,
+                    set_backend=set_backend,
+                )
+            except Exception as exc:  # noqa: BLE001 - isolate per-device failure
+                result.failed_reports[hostname] = f"{type(exc).__name__}: {exc}"
+                continue
+            result.reports[hostname] = report
+            result.matrix.setdefault(key, report.total_differences())
+            result.failed_pairs.pop(key, None)
     result.coverage = compute_fleet_coverage(by_name, result)
     return result

@@ -96,10 +96,22 @@ def semantic_entry(
     kind: ComponentKind,
     differences: Iterable[SemanticDifference],
     context: str = "",
+    provenance: Optional[str] = None,
+    replay: Optional[Dict] = None,
 ) -> Dict:
-    """A clean semantic component result as a memo/cache entry."""
+    """A clean semantic component result as a memo/cache entry.
+
+    When ``provenance`` is supplied the differences were produced in
+    collect mode — they carry localization — and the entry is marked
+    ``localized`` so collect-mode hits can *replay* it instead of
+    recomputing (:mod:`repro.core.replay`): ``provenance`` is the
+    span/label digest gating the replay, ``replay`` the augmentation
+    block carrying flags serialization omits.  Entries without the mark
+    (count-mode results, pre-v5 cache entries) still replay as counts
+    only.
+    """
     serialized = [semantic_difference_to_dict(d) for d in differences]
-    return {
+    entry = {
         "schema_version": SCHEMA_VERSION,
         "kind": kind.value,
         "context": context,
@@ -107,6 +119,11 @@ def semantic_entry(
         "semantic": serialized,
         "structural": [],
     }
+    if provenance is not None:
+        entry["localized"] = True
+        entry["provenance"] = provenance
+        entry["replay"] = replay if replay is not None else {}
+    return entry
 
 
 def count_entry(kind: ComponentKind, count: int, context: str = "") -> Dict:
@@ -197,6 +214,26 @@ class DiffMemo:
         if self._cache is not None:
             self._cache.put_diff(key, entry)
 
+    def upgrade(self, key: MemoKey, entry: Dict) -> None:
+        """Replace a count-only entry with a localized one.
+
+        ``put`` is first-write-wins because equal fingerprints imply
+        equal results — but a count-mode run stores entries *without*
+        localization, and under that rule they would permanently block
+        collect-mode replay.  Upgrading is monotone (strictly more
+        information, same count and differences), so replacing is as
+        sound as the original write; an already-localized entry is left
+        alone.
+        """
+        existing = self._entries.get(key)
+        if existing is not None and existing.get("localized"):
+            return
+        self._entries[key] = entry
+        self._updates[key] = entry
+        perf.add("memo.upgrades")
+        if self._cache is not None:
+            self._cache.put_diff(key, entry)
+
     def put_seed(self, key: MemoKey, entry: Dict) -> None:
         """Record a seeded (count-only) entry, in memory only.
 
@@ -227,9 +264,18 @@ class DiffMemo:
         return updates
 
     def merge(self, updates: Dict[MemoKey, Dict]) -> None:
-        """Fold another process's new entries in (and persist them)."""
+        """Fold another process's new entries in (and persist them).
+
+        First write wins, with one exception mirroring :meth:`upgrade`:
+        a localized entry from a worker replaces a count-only entry the
+        parent already holds, so the extra information survives the
+        round trip.
+        """
         for key, entry in updates.items():
-            if key in self._entries:
+            existing = self._entries.get(key)
+            if existing is not None and (
+                existing.get("localized") or not entry.get("localized")
+            ):
                 continue
             self._entries[key] = entry
             perf.add("memo.merged")

@@ -26,6 +26,7 @@ from ..model.types import Prefix, PrefixRange, int_to_ip
 from .header_localize import (
     HeaderLocalizeError,
     Localization,
+    LocalizeSession,
     header_localize,
 )
 from .ddnf import address_prefix_algebra, prefix_range_algebra
@@ -33,7 +34,9 @@ from .results import CampionReport, ComponentKind, SemanticDifference, Structura
 
 __all__ = [
     "localize_route_map_difference",
+    "localize_route_map_differences",
     "localize_acl_difference",
+    "localize_acl_differences",
     "render_semantic_difference",
     "render_structural_difference",
     "render_report",
@@ -45,12 +48,47 @@ __all__ = [
 # ---------------------------------------------------------------------------
 
 
+def localize_route_map_differences(
+    space: RouteSpace,
+    differences: Sequence[SemanticDifference],
+    map1: RouteMap,
+    map2: RouteMap,
+    exhaustive_communities: bool = False,
+    backend: Optional[str] = None,
+) -> None:
+    """Attach prefix-range localizations for one pair's differences.
+
+    The range vocabulary, the predicate cache, and (under the bitset
+    backends) the DAG atom decomposition are built once for the pair
+    and shared across every difference — see :class:`LocalizeSession`.
+    """
+    ranges = map1.prefix_ranges() + map2.prefix_ranges()
+    session = LocalizeSession(backend=backend)
+    for difference in differences:
+        _localize_route_map(
+            space, difference, ranges, session, exhaustive_communities
+        )
+
+
 def localize_route_map_difference(
     space: RouteSpace,
     difference: SemanticDifference,
     map1: RouteMap,
     map2: RouteMap,
     exhaustive_communities: bool = False,
+) -> None:
+    """Single-difference form of :func:`localize_route_map_differences`."""
+    localize_route_map_differences(
+        space, [difference], map1, map2, exhaustive_communities
+    )
+
+
+def _localize_route_map(
+    space: RouteSpace,
+    difference: SemanticDifference,
+    ranges: Sequence[PrefixRange],
+    session: LocalizeSession,
+    exhaustive_communities: bool,
 ) -> None:
     """Attach prefix-range localization and a community example (§3.2).
 
@@ -64,13 +102,14 @@ def localize_route_map_difference(
     :mod:`repro.core.community_localize`).
     """
     affected = space.project_to_prefix(difference.input_set)
-    ranges = map1.prefix_ranges() + map2.prefix_ranges()
     try:
         difference.localization = header_localize(
             affected,
             ranges,
             prefix_range_algebra(),
             lambda prefix_range: space.range_pred(prefix_range),
+            session=session,
+            dimension="prefix",
         )
     except HeaderLocalizeError:
         difference.localization = None  # fall back to example-only output
@@ -108,19 +147,20 @@ def localize_route_map_difference(
             difference.example["Protocol"] = example.protocol
 
 
-def localize_acl_difference(
+def localize_acl_differences(
     space: PacketSpace,
-    difference: SemanticDifference,
+    differences: Sequence[SemanticDifference],
     acl1: Acl,
     acl2: Acl,
+    backend: Optional[str] = None,
 ) -> None:
-    """Attach source/destination address localizations and an example.
+    """Attach address localizations for one pair's ACL differences.
 
-    Address vocabularies are the prefix-expressible wildcards of both
-    ACLs; discontiguous wildcards make the space non-prefix-generated, in
-    which case that dimension degrades to example-only (the paper's
-    Campion similarly only emits exhaustive sets for the prefix-shaped
-    dimensions).
+    The per-dimension address vocabularies (previously rebuilt from
+    both ACLs' lines for every difference), the projection variable
+    lists, the predicate caches, and (under the bitset backends) the
+    DAG atom decompositions are built once for the pair and shared
+    across every difference — see :class:`LocalizeSession`.
     """
     vocabulary_src: List[Prefix] = []
     vocabulary_dst: List[Prefix] = []
@@ -133,7 +173,8 @@ def localize_acl_difference(
             if dst_prefix is not None and dst_prefix not in vocabulary_dst:
                 vocabulary_dst.append(dst_prefix)
 
-    difference.extra_localizations = {}
+    session = LocalizeSession(backend=backend)
+    dimensions = []
     for label, field, vocabulary in (
         ("srcIp", space.src_ip, vocabulary_src),
         ("dstIp", space.dst_ip, vocabulary_dst),
@@ -142,6 +183,38 @@ def localize_acl_difference(
         drop = [
             index for index in range(space.manager.num_vars) if index not in keep
         ]
+        dimensions.append((label, field, vocabulary, drop))
+
+    for difference in differences:
+        _localize_acl(space, difference, dimensions, session)
+
+
+def localize_acl_difference(
+    space: PacketSpace,
+    difference: SemanticDifference,
+    acl1: Acl,
+    acl2: Acl,
+) -> None:
+    """Single-difference form of :func:`localize_acl_differences`."""
+    localize_acl_differences(space, [difference], acl1, acl2)
+
+
+def _localize_acl(
+    space: PacketSpace,
+    difference: SemanticDifference,
+    dimensions,
+    session: LocalizeSession,
+) -> None:
+    """Attach source/destination address localizations and an example.
+
+    Address vocabularies are the prefix-expressible wildcards of both
+    ACLs; discontiguous wildcards make the space non-prefix-generated, in
+    which case that dimension degrades to example-only (the paper's
+    Campion similarly only emits exhaustive sets for the prefix-shaped
+    dimensions).
+    """
+    difference.extra_localizations = {}
+    for label, field, vocabulary, drop in dimensions:
         projected = space.manager.exists(difference.input_set, drop)
         try:
             localization = header_localize(
@@ -149,6 +222,8 @@ def localize_acl_difference(
                 vocabulary,
                 address_prefix_algebra(),
                 lambda prefix: _address_pred(space, field, prefix),
+                session=session,
+                dimension=label,
             )
             difference.extra_localizations[label] = localization
         except HeaderLocalizeError:

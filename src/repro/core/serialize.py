@@ -35,7 +35,12 @@ __all__ = [
 # a machine-readable "partial" degradation flag, and per-device
 # "coverage" (policy lines exercised by localized diffs vs. untouched
 # policy).  Bumping the stamp also invalidates pre-v4 cache entries.
-SCHEMA_VERSION = 4
+# v5: memo/cache entries gain the localization-replay fields
+# ("localized", "provenance", "replay" — see repro.core.replay); the
+# report schema itself is unchanged, but the bump invalidates pre-v5
+# cache entries so collect mode never replays an entry whose
+# localization fields predate the replay protocol.
+SCHEMA_VERSION = 5
 
 
 def _span_to_dict(span: SourceSpan) -> Optional[Dict]:
@@ -68,9 +73,11 @@ def semantic_difference_to_dict(difference: SemanticDifference) -> Dict:
     Hostname-free by construction (hostnames appear only at the report
     top level), so this is also the per-component *cache entry* format
     (:mod:`repro.core.memo`).  Text-localization spans do carry the
-    representative pair's file/line provenance, which is why memoized
-    entries with a non-zero count are replayed as *counts* only — live
-    reports re-localize against the actual devices.
+    representative pair's file/line provenance, which is why collect
+    mode only replays memoized entries whose provenance digest matches
+    the current pair (span filenames are then the sole per-device
+    field, rewritten at replay — :mod:`repro.core.replay`); other
+    non-zero entries replay as *counts* or re-localize live.
     """
     return _semantic_to_dict(difference)
 

@@ -43,7 +43,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .. import perf
 from ..bdd import Bdd, BddManager
-from ..bdd.atoms import AtomBudgetExceeded, refine_partitions
+from ..bdd.atoms import AtomBudgetExceeded, iter_set_bits, refine_partitions
 from ..encoding.classes import EquivalenceClass
 
 __all__ = [
@@ -317,14 +317,10 @@ class AtomsBackend(SetAlgebraBackend):
         bitset_ops += 2
         perf.add("setalg.bitset_ops", bitset_ops)
 
-        indexed: List[Tuple[int, int, int]] = []
-        while mask:
-            low = mask & -mask
-            mask ^= low
-            atom = low.bit_length() - 1
-            indexed.append(
-                (refinement.owner1[atom], refinement.owner2[atom], atom)
-            )
+        indexed = [
+            (refinement.owner1[atom], refinement.owner2[atom], atom)
+            for atom in iter_set_bits(mask)
+        ]
         # The cursor scan records atoms in rotated probe order; sort to
         # the (index1, index2) order the pairwise loop emits.
         indexed.sort()

@@ -75,7 +75,9 @@ from ..core.config_diff import config_diff, config_diff_summary
 from ..core.memo import DiffMemo
 from ..core.present import (
     localize_acl_difference,
+    localize_acl_differences,
     localize_route_map_difference,
+    localize_route_map_differences,
 )
 from ..core.semantic_diff import diff_acls, diff_route_maps
 from ..core.serialize import report_to_dict, semantic_difference_to_dict
@@ -93,6 +95,7 @@ _GENERATORS = (
     "mutation",
     "memo",
     "backend",
+    "localize",
     "fleet",
     "symmetry",
     "near-symmetry",
@@ -708,6 +711,143 @@ def _run_backend_case(
     final_detail = _backend_mismatch(kind, shrunk1, shrunk2) or detail
     return SelfCheckFailure(
         "backend", case_seed, "backend-equivalence", final_detail, reproducer
+    )
+
+
+def _localization_payload(kind: str, component1, component2, backend: str) -> List[dict]:
+    """Diff one pair, then localize under one explicit algebra backend.
+
+    Unlike :func:`_backend_report` (which swaps the *whole* process
+    default, exercising SemanticDiff and HeaderLocalize together), the
+    diff here runs under the process default and only the localization
+    algebra is forced, isolating the bitset-vs-BDD ``get_match`` /
+    ``minimal_flat_terms`` paths the differential targets.
+    """
+    differ = diff_acls if kind == "acl" else diff_route_maps
+    space, differences = differ(component1, component2)
+    if kind == "acl":
+        localize_acl_differences(
+            space, differences, component1, component2, backend=backend
+        )
+    else:
+        localize_route_map_differences(
+            space, differences, component1, component2, backend=backend
+        )
+    payload = []
+    for difference in differences:
+        entry = semantic_difference_to_dict(difference)
+        payload.append(
+            {
+                "localization": entry.get("localization"),
+                "extra_localizations": entry.get("extra_localizations"),
+            }
+        )
+    return payload
+
+
+def _localization_mismatch(kind: str, component1, component2) -> Optional[str]:
+    """One-line description of any bdd/atoms localization divergence.
+
+    Compared term-for-term: two localizations only agree when their
+    flat terms (positive range and subtracted ranges alike) match in
+    order and content, for the main localization and every extra
+    dimension.
+    """
+    payloads = {
+        name: _localization_payload(kind, component1, component2, name)
+        for name in ("bdd", "atoms")
+    }
+    baseline, candidate = payloads["bdd"], payloads["atoms"]
+    if len(baseline) != len(candidate):
+        return (
+            f"bdd localized {len(baseline)} difference(s), "
+            f"atoms localized {len(candidate)}"
+        )
+    for index, (entry1, entry2) in enumerate(zip(baseline, candidate)):
+        loc1, loc2 = entry1["localization"], entry2["localization"]
+        if loc1 != loc2:
+            terms1 = (loc1 or {}).get("terms", [])
+            terms2 = (loc2 or {}).get("terms", [])
+            for position, (term1, term2) in enumerate(zip(terms1, terms2)):
+                if term1 != term2:
+                    return (
+                        f"difference #{index} localization term #{position} "
+                        f"diverges: bdd={term1!r} atoms={term2!r}"
+                    )
+            return (
+                f"difference #{index} localization diverges "
+                f"({len(terms1)} vs {len(terms2)} term(s))"
+            )
+        if entry1["extra_localizations"] != entry2["extra_localizations"]:
+            extras1 = entry1["extra_localizations"] or {}
+            extras2 = entry2["extra_localizations"] or {}
+            keys = sorted(
+                key
+                for key in set(extras1) | set(extras2)
+                if extras1.get(key) != extras2.get(key)
+            )
+            return (
+                f"difference #{index} extra localization diverges "
+                f"(dimensions: {', '.join(keys)})"
+            )
+    return None
+
+
+def _run_localize_case(
+    case_seed: int, result: SelfCheckResult
+) -> Optional[SelfCheckFailure]:
+    """Cross-validate atoms-backed vs BDD-backed HeaderLocalize.
+
+    The same generated component pair is diffed once per backend name,
+    then localized with the localization algebra forced to ``bdd`` and
+    to ``atoms``; every flat term, included/excluded range, and extra
+    dimension must agree exactly (shrunk on failure like the other
+    differential generators).
+    """
+    rng = random.Random(case_seed)
+    if rng.random() < 0.5:
+        pair = generate_acl_pair(
+            rule_count=rng.randint(6, 16),
+            differences=rng.randint(0, 4),
+            seed=case_seed,
+        )
+        kind, component1, component2 = "acl", pair.cisco_acl, pair.juniper_acl
+    else:
+        kind = "routemap"
+        component1 = _random_route_map(rng, "RM1")
+        if rng.random() < 0.7:
+            component2 = dataclasses.replace(
+                _perturb_route_map(component1, rng), name="RM2"
+            )
+        else:
+            component2 = _random_route_map(rng, "RM2")
+
+    detail = _localization_mismatch(kind, component1, component2)
+    if detail is None:
+        payload = _localization_payload(kind, component1, component2, "bdd")
+        result.differences += len(payload)
+        result.localizations += sum(
+            1 for entry in payload if entry["localization"] is not None
+        )
+        return None
+
+    def fails(c1, c2) -> bool:
+        try:
+            return _localization_mismatch(kind, c1, c2) is not None
+        except Exception:  # noqa: BLE001 - a shrunk pair may fail differently
+            return False
+
+    if kind == "acl":
+        shrunk1, shrunk2 = _shrink_acl_pair(component1, component2, fails)
+        reproducer = "\n".join(_render_acl(shrunk1) + _render_acl(shrunk2))
+    else:
+        shrunk1, shrunk2 = _shrink_route_map_pair(component1, component2, fails)
+        reproducer = "\n".join(
+            _render_route_map(shrunk1) + _render_route_map(shrunk2)
+        )
+    final_detail = _localization_mismatch(kind, shrunk1, shrunk2) or detail
+    return SelfCheckFailure(
+        "localize", case_seed, "localization-equivalence", final_detail, reproducer
     )
 
 
@@ -1333,6 +1473,7 @@ _CASE_RUNNERS = {
     "mutation": _run_mutation_case,
     "memo": _run_memo_case,
     "backend": _run_backend_case,
+    "localize": _run_localize_case,
     "fleet": _run_fleet_case,
     "symmetry": _run_symmetry_case,
     "near-symmetry": _run_near_symmetry_case,

@@ -215,6 +215,8 @@ class Supervisor:
                 "cache.diff.hits",
                 "memo.hits",
                 "memo.misses",
+                "memo.localization_replays",
+                "header_localize.dag_cache_hits",
                 "parallel.worker_crashes",
                 "parallel.pool_respawns",
             )
@@ -311,6 +313,8 @@ class Supervisor:
                 "diff_hits": deltas["cache.diff.hits"],
                 "memo_hits": deltas["memo.hits"],
                 "memo_misses": deltas["memo.misses"],
+                "localization_replays": deltas["memo.localization_replays"],
+                "dag_cache_hits": deltas["header_localize.dag_cache_hits"],
             },
         }
 

@@ -31,7 +31,7 @@ def report():
 class TestSchema:
     def test_top_level_fields(self, report):
         data = report_to_dict(report)
-        assert data["schema_version"] == SCHEMA_VERSION == 4
+        assert data["schema_version"] == SCHEMA_VERSION == 5
         assert data["degraded"] is False
         assert data["aborted"] == []
         assert data["parse_diagnostics"] == {}
